@@ -1,0 +1,203 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table (E1-E16, the paper's
+   figures and claims — see DESIGN.md for the index).
+
+   Part 2 is the timing suite (bechamel):
+   - E13: LP solve + reconstruction wall-clock vs platform size — the
+     paper's polynomiality claim;
+   - the pivot-rule ablation (Bland vs Dantzig) called out in DESIGN.md;
+   - the matching-peeling (edge colouring) cost;
+   - substrate costs: bignum arithmetic, simulator event processing,
+     tree enumeration. *)
+
+open Bechamel
+open Toolkit
+
+module R = Rat
+
+(* --- part 1: tables --- *)
+
+let print_tables () =
+  print_endline "########## experiment tables (E1-E16) ##########\n";
+  List.iter
+    (fun t ->
+      print_string (Exp_common.render t);
+      print_newline ())
+    (Experiments.all ())
+
+(* --- part 2: timed benchmarks --- *)
+
+let sized_platform n =
+  Platform_gen.random_graph ~seed:(97 + n) ~nodes:n ~extra_edges:(n / 2) ()
+
+let bench_ms_lp n =
+  let p = sized_platform n in
+  Test.make
+    ~name:(Printf.sprintf "E13/master-slave LP n=%d" n)
+    (Staged.stage (fun () -> ignore (Master_slave.solve p ~master:0)))
+
+let bench_scatter_lp n =
+  let p = sized_platform n in
+  let targets = [ 1; n - 1 ] in
+  Test.make
+    ~name:(Printf.sprintf "E13/scatter LP n=%d" n)
+    (Staged.stage (fun () -> ignore (Scatter.solve p ~source:0 ~targets)))
+
+let bench_reconstruction n =
+  let p = sized_platform n in
+  let sol = Master_slave.solve p ~master:0 in
+  Test.make
+    ~name:(Printf.sprintf "E13/reconstruction n=%d" n)
+    (Staged.stage (fun () -> ignore (Master_slave.schedule sol)))
+
+let bench_pivot_rule rule name =
+  let p = sized_platform 12 in
+  Test.make
+    ~name:(Printf.sprintf "ablation/pivot %s n=12" name)
+    (Staged.stage (fun () ->
+         match Master_slave.solve_lp_only ~rule p ~master:0 with
+         | _, Lp.Optimal _ -> ()
+         | _, (Lp.Infeasible | Lp.Unbounded) -> assert false))
+
+let bench_solver solver name =
+  let p = sized_platform 12 in
+  let model, _ = Master_slave.solve_lp_only p ~master:0 in
+  Test.make
+    ~name:(Printf.sprintf "ablation/solver %s n=12" name)
+    (Staged.stage (fun () ->
+         match Lp.solve ~solver model with
+         | Lp.Optimal _ -> ()
+         | Lp.Infeasible | Lp.Unbounded -> assert false))
+
+let bench_coloring =
+  let st = Random.State.make [| 5 |] in
+  let edges =
+    List.init 40 (fun tag ->
+        {
+          Bipartite_coloring.left = Random.State.int st 8;
+          right = Random.State.int st 8;
+          weight = R.of_ints (1 + Random.State.int st 16) 4;
+          tag;
+        })
+  in
+  Test.make ~name:"substrate/edge colouring 8x8x40"
+    (Staged.stage (fun () ->
+         ignore
+           (Bipartite_coloring.decompose ~left_size:8 ~right_size:8 edges)))
+
+let bench_simulator =
+  let p = Platform_gen.figure1 () in
+  let sol = Master_slave.solve p ~master:0 in
+  let sched = Master_slave.schedule sol in
+  Test.make ~name:"substrate/simulate 10 periods (fig 1)"
+    (Staged.stage (fun () ->
+         let sim = Event_sim.create p in
+         Schedule.execute ~sim ~periods:10 sched;
+         Event_sim.run sim))
+
+let bench_bigint =
+  let a = Bigint.of_string (String.make 60 '7') in
+  let b = Bigint.of_string (String.make 37 '3') in
+  Test.make ~name:"substrate/bigint divmod 200x120 bits"
+    (Staged.stage (fun () -> ignore (Bigint.divmod a b)))
+
+let bench_karatsuba =
+  let huge = Bigint.of_string (String.make 6000 '8') in
+  Test.make ~name:"substrate/mul 20k bits (karatsuba)"
+    (Staged.stage (fun () -> ignore (Bigint.mul huge huge)))
+
+let bench_schoolbook =
+  let huge = Bigint.of_string (String.make 6000 '8') in
+  Test.make ~name:"substrate/mul 20k bits (schoolbook)"
+    (Staged.stage (fun () -> ignore (Bigint.mul_schoolbook huge huge)))
+
+let bench_rat =
+  let x = R.of_ints 355 113 and y = R.of_ints 103993 33102 in
+  Test.make ~name:"substrate/rat mul+add"
+    (Staged.stage (fun () -> ignore (R.add (R.mul x y) (R.div x y))))
+
+let bench_trees =
+  let p, src, targets = Platform_gen.multicast_fig2 () in
+  Test.make ~name:"substrate/multicast tree enumeration (fig 2)"
+    (Staged.stage (fun () ->
+         ignore (Multicast.enumerate_trees p ~source:src ~targets)))
+
+let all_tests =
+  Test.make_grouped ~name:"steady" ~fmt:"%s %s"
+    ([ bench_ms_lp 6; bench_ms_lp 10; bench_ms_lp 14;
+       bench_scatter_lp 6; bench_scatter_lp 10;
+       bench_reconstruction 6; bench_reconstruction 10;
+       bench_pivot_rule Simplex.Bland "Bland";
+       bench_pivot_rule Simplex.Dantzig "Dantzig";
+       bench_solver Lp.Tableau "tableau";
+       bench_solver Lp.Revised "revised";
+     ]
+    @ [ bench_coloring; bench_simulator; bench_bigint; bench_karatsuba;
+        bench_schoolbook; bench_rat; bench_trees ])
+
+let run_benchmarks () =
+  print_endline "########## timing suite (bechamel) ##########\n";
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let time_ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> t
+          | Some _ | None -> nan
+        in
+        (name, time_ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, t) ->
+      if t >= 1e6 then Printf.printf "%-48s %10.3f ms/run\n" name (t /. 1e6)
+      else if t >= 1e3 then Printf.printf "%-48s %10.3f us/run\n" name (t /. 1e3)
+      else Printf.printf "%-48s %10.0f ns/run\n" name t)
+    (List.sort compare rows)
+
+(* ablation: how tight is the <= |E| + 2|V| matching bound in practice? *)
+let print_coloring_stats () =
+  print_endline
+    "########## ablation: matchings produced by the decomposition ##########\n";
+  Printf.printf "%-28s %8s %8s %10s\n" "instance" "|E|" "bound" "matchings";
+  List.iter
+    (fun (label, l, r_, edges) ->
+      let ms = Bipartite_coloring.decompose ~left_size:l ~right_size:r_ edges in
+      Printf.printf "%-28s %8d %8d %10d\n" label (List.length edges)
+        (List.length edges + (2 * (l + r_)))
+        (List.length ms))
+    (List.map
+       (fun (label, seed, l, r_, n) ->
+         let st = Random.State.make [| seed |] in
+         ( label,
+           l,
+           r_,
+           List.init n (fun tag ->
+               {
+                 Bipartite_coloring.left = Random.State.int st l;
+                 right = Random.State.int st r_;
+                 weight = R.of_ints (1 + Random.State.int st 12) 4;
+                 tag;
+               }) ))
+       [
+         ("random 4x4, 10 edges", 3, 4, 4, 10);
+         ("random 6x6, 25 edges", 7, 6, 6, 25);
+         ("random 8x8, 50 edges", 11, 8, 8, 50);
+         ("random 10x10, 90 edges", 13, 10, 10, 90);
+       ]);
+  print_newline ()
+
+let () =
+  print_tables ();
+  print_coloring_stats ();
+  run_benchmarks ()

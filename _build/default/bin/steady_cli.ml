@@ -1,0 +1,272 @@
+(* Command-line interface to the steady-state scheduling library.
+
+   Platforms are read from the text format of Platform_parse; see
+   `steady-cli format --help`. *)
+
+open Cmdliner
+
+let read_platform path =
+  try Ok (Platform_parse.of_file path) with
+  | Invalid_argument msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let node_of_name p name =
+  match Platform.find_node p name with
+  | i -> Ok i
+  | exception Not_found ->
+    Error (Printf.sprintf "unknown node %S" name)
+
+let ( let* ) = Result.bind
+
+let or_die = function
+  | Ok () -> 0
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+
+(* --- common arguments --- *)
+
+let platform_arg =
+  let doc = "Platform description file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PLATFORM" ~doc)
+
+let master_arg =
+  let doc = "Master (source) node name." in
+  Arg.(value & opt string "P1" & info [ "master"; "m" ] ~docv:"NODE" ~doc)
+
+let targets_arg =
+  let doc = "Comma-separated target node names." in
+  Arg.(required & opt (some string) None & info [ "targets"; "t" ] ~docv:"A,B" ~doc)
+
+let periods_arg =
+  let doc = "Number of periods to simulate." in
+  Arg.(value & opt int 6 & info [ "periods"; "k" ] ~docv:"K" ~doc)
+
+(* --- solve-ms --- *)
+
+let solve_ms_cmd =
+  let run path master periods =
+    or_die
+      (let* p = read_platform path in
+       let* m = node_of_name p master in
+       let sol = Master_slave.solve p ~master:m in
+       Printf.printf "ntask(G) = %s tasks per time unit\n\n"
+         (Rat.to_string sol.Master_slave.ntask);
+       List.iter
+         (fun i ->
+           Printf.printf "  %-10s alpha = %-8s tasks/time = %s\n"
+             (Platform.name p i)
+             (Rat.to_string sol.Master_slave.alpha.(i))
+             (Rat.to_string
+                (Rat.mul sol.Master_slave.alpha.(i) (Platform.speed p i))))
+         (Platform.nodes p);
+       print_newline ();
+       let sched = Master_slave.schedule sol in
+       Format.printf "%a" Schedule.pp sched;
+       let sim_run = Master_slave.simulate ~periods sol in
+       Printf.printf
+         "\nsimulated %d periods: %s tasks (bound %s, strict one-port: ok)\n"
+         periods
+         (Rat.to_string sim_run.Master_slave.completed)
+         (Rat.to_string sim_run.Master_slave.upper_bound);
+       Ok ())
+  in
+  let doc = "Solve steady-state master-slave tasking (§3.1) and reconstruct the schedule." in
+  Cmd.v (Cmd.info "solve-ms" ~doc)
+    Term.(const run $ platform_arg $ master_arg $ periods_arg)
+
+(* --- solve-scatter --- *)
+
+let parse_targets p s =
+  let names = String.split_on_char ',' s in
+  List.fold_left
+    (fun acc name ->
+      let* acc = acc in
+      let* i = node_of_name p (String.trim name) in
+      Ok (acc @ [ i ]))
+    (Ok []) names
+
+let solve_scatter_cmd =
+  let run path source targets periods =
+    or_die
+      (let* p = read_platform path in
+       let* s = node_of_name p source in
+       let* tg = parse_targets p targets in
+       let sol = Scatter.solve p ~source:s ~targets:tg in
+       Printf.printf "scatter throughput TP = %s messages per time unit\n"
+         (Rat.to_string sol.Collective.throughput);
+       let sim_run = Scatter.simulate ~periods sol in
+       Array.iteri
+         (fun k d ->
+           Printf.printf "  delivered to %s over %s time units: %s\n"
+             (Platform.name p (List.nth tg k))
+             (Rat.to_string sim_run.Scatter.elapsed)
+             (Rat.to_string d))
+         sim_run.Scatter.delivered;
+       Ok ())
+  in
+  let doc = "Solve the pipelined scatter LP (§3.2) and simulate the schedule." in
+  Cmd.v (Cmd.info "solve-scatter" ~doc)
+    Term.(const run $ platform_arg $ master_arg $ targets_arg $ periods_arg)
+
+(* --- solve-multicast --- *)
+
+let solve_multicast_cmd =
+  let run path source targets =
+    or_die
+      (let* p = read_platform path in
+       let* s = node_of_name p source in
+       let* tg = parse_targets p targets in
+       let maxb = Multicast.max_lp_bound p ~source:s ~targets:tg in
+       let sumb = Multicast.scatter_lower_bound p ~source:s ~targets:tg in
+       Printf.printf "max-LP upper bound : %s\n"
+         (Rat.to_string maxb.Collective.throughput);
+       Printf.printf "scatter lower bound: %s\n"
+         (Rat.to_string sumb.Collective.throughput);
+       (if Platform.num_edges p <= 24 then begin
+          let pack = Multicast.best_tree_packing p ~source:s ~targets:tg in
+          Printf.printf "best tree packing  : %s  (%d trees)\n"
+            (Rat.to_string pack.Multicast.throughput)
+            (List.length pack.Multicast.trees);
+          if Rat.compare pack.Multicast.throughput maxb.Collective.throughput < 0
+          then
+            print_endline
+              "the max-LP bound is NOT met by tree schedules (cf. §4.3)"
+        end
+        else print_endline "platform too large for exhaustive tree packing");
+       Ok ())
+  in
+  let doc = "Bracket the pipelined multicast throughput (§3.3/§4.3)." in
+  Cmd.v (Cmd.info "solve-multicast" ~doc)
+    Term.(const run $ platform_arg $ master_arg $ targets_arg)
+
+(* --- broadcast --- *)
+
+let broadcast_cmd =
+  let run path source =
+    or_die
+      (let* p = read_platform path in
+       let* s = node_of_name p source in
+       let met, bound, achieved = Broadcast.bound_met p ~source:s in
+       Printf.printf "broadcast LP bound: %s\n" (Rat.to_string bound);
+       Printf.printf "tree packing      : %s\n" (Rat.to_string achieved);
+       Printf.printf "bound met         : %b\n" met;
+       Ok ())
+  in
+  let doc = "Broadcast throughput: LP bound vs achievable tree packing (§4.3)." in
+  Cmd.v (Cmd.info "broadcast" ~doc) Term.(const run $ platform_arg $ master_arg)
+
+(* --- experiments --- *)
+
+let experiments_cmd =
+  let only =
+    let doc = "Run only the experiment with this id (e.g. E5)." in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
+  in
+  let run only =
+    let tables = Experiments.all () in
+    let tables =
+      match only with
+      | None -> tables
+      | Some id ->
+        List.filter
+          (fun t -> String.lowercase_ascii t.Exp_common.id = String.lowercase_ascii id)
+          tables
+    in
+    if tables = [] then begin
+      prerr_endline "no such experiment";
+      1
+    end
+    else begin
+      List.iter
+        (fun t ->
+          print_string (Exp_common.render t);
+          print_newline ())
+        tables;
+      0
+    end
+  in
+  let doc = "Reproduce the paper's figures and claims (tables E1-E16)." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run path =
+    or_die
+      (let* p = read_platform path in
+       print_string (Dot.of_platform p);
+       Ok ())
+  in
+  let doc = "Export the platform as a Graphviz digraph." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ platform_arg)
+
+(* --- infer --- *)
+
+let infer_cmd =
+  let hosts_arg =
+    let doc = "Comma-separated host names to probe." in
+    Arg.(required & opt (some string) None & info [ "hosts" ] ~docv:"A,B,..." ~doc)
+  in
+  let run path master hosts =
+    or_die
+      (let* p = read_platform path in
+       let* m = node_of_name p master in
+       let* hs = parse_targets p hosts in
+       let rep = Topology_probe.infer p ~master:m ~hosts:hs in
+       List.iter
+         (fun (h, t) ->
+           Printf.printf "probe %s alone: %s time units (bw %s)\n"
+             (Platform.name p h) (Rat.to_string t)
+             (Rat.to_string (Rat.inv t)))
+         rep.Topology_probe.alone;
+       List.iter
+         (fun ((a, b), t) ->
+           Printf.printf "probe %s + %s: makespan %s\n" (Platform.name p a)
+             (Platform.name p b) (Rat.to_string t))
+         rep.Topology_probe.joint;
+       print_string "inferred clusters:";
+       List.iter
+         (fun c ->
+           Printf.printf "  {%s}"
+             (String.concat ", " (List.map (Platform.name p) c)))
+         rep.Topology_probe.clusters;
+       print_newline ();
+       Ok ())
+  in
+  let doc = "Infer shared bottlenecks from simultaneous probes (§5.3)." in
+  Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ platform_arg $ master_arg $ hosts_arg)
+
+(* --- format help --- *)
+
+let format_cmd =
+  let run () =
+    print_string
+      "Platform file format (one declaration per line, # comments):\n\n\
+      \  node P1 w=2        computing node: 2 time units per task\n\
+      \  node R w=inf       pure router (cannot compute)\n\
+      \  edge P1 R c=3/2    oriented link: 3/2 time units per data unit\n\
+      \  link P1 R c=0.5    both directions at once\n\n\
+       Weights and costs accept integers, fractions (a/b), decimals and\n\
+       (for weights) inf.\n";
+    0
+  in
+  let doc = "Describe the platform file format." in
+  Cmd.v (Cmd.info "format" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "steady-state scheduling on heterogeneous clusters" in
+  let info = Cmd.info "steady-cli" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      solve_ms_cmd;
+      solve_scatter_cmd;
+      solve_multicast_cmd;
+      broadcast_cmd;
+      experiments_cmd;
+      dot_cmd;
+      infer_cmd;
+      format_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/adaptive_grid.ml: Dynamic_sched Ext_rat Forecast List Platform_gen Printf Rat String

@@ -1,0 +1,1 @@
+examples/collective_pipelines.ml: Array Broadcast Collective List Multicast Platform Platform_gen Printf Rat Scatter String

@@ -1,0 +1,1 @@
+examples/collective_pipelines.mli:

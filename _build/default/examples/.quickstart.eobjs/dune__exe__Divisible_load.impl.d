@@ -1,0 +1,1 @@
+examples/divisible_load.ml: Divisible Ext_rat List Master_slave Platform Platform_gen Printf Rat

@@ -1,0 +1,1 @@
+examples/divisible_load.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ext_rat Format List Master_slave Platform Printf Rat Schedule

@@ -1,0 +1,1 @@
+examples/volunteer_computing.ml: Array Baselines Ext_rat List Master_slave Platform Printf Rat String

@@ -1,0 +1,77 @@
+(* Adaptive steady-state scheduling on a shared grid (§5.5): resource
+   performance drifts, the scheduler re-solves the LP at phase
+   boundaries using NWS-style forecasts, and throughput follows the
+   oracle.
+
+   Run with:  dune exec examples/adaptive_grid.exe *)
+
+module R = Rat
+module Dy = Dynamic_sched
+
+let ri = R.of_int
+
+let () =
+  (* a desktop-grid star: one fast dedicated node, one big shared node
+     whose availability fluctuates *)
+  let platform =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        [
+          (Ext_rat.of_int 2, R.one) (* dedicated but modest *);
+          (Ext_rat.of_ints 1 2, R.of_ints 1 2) (* shared, nominally best *);
+        ]
+      ()
+  in
+  (* the shared node loses most of its capacity twice during the run *)
+  let scenario =
+    {
+      Dy.platform;
+      master = 0;
+      cpu_traces =
+        [
+          ( 2,
+            [
+              (ri 30, R.of_ints 1 5);
+              (ri 60, R.one);
+              (ri 90, R.of_ints 1 3);
+              (ri 120, R.one);
+            ] );
+        ];
+      bw_traces = [];
+      phase = ri 15;
+      phases = 10;
+    }
+  in
+  Printf.printf "horizon: %d phases of %s time units; the shared node dips \
+                 to 1/5 and 1/3 of its speed along the way\n\n"
+    scenario.Dy.phases
+    (R.to_string scenario.Dy.phase);
+  let show label outcome =
+    Printf.printf "%-22s total %-8s per phase: %s\n" label
+      (R.to_string outcome.Dy.completed)
+      (String.concat " "
+         (List.map R.to_string outcome.Dy.per_phase))
+  in
+  show "static (plan once):" (Dy.run scenario Dy.Static);
+  show "reactive (forecast):" (Dy.run scenario Dy.Reactive);
+  show "oracle (true speeds):" (Dy.run scenario Dy.Oracle);
+  Printf.printf "\nper-phase oracle LP bound: %s tasks total\n"
+    (R.to_string (Dy.oracle_throughput_bound scenario));
+
+  (* what the forecaster does under the hood *)
+  Printf.printf "\nNWS-style forecasting of the shared node's multiplier:\n";
+  let fc = Forecast.create () in
+  List.iter
+    (fun t ->
+      let m =
+        List.fold_left
+          (fun acc (tb, mb) -> if R.compare tb (ri t) <= 0 then mb else acc)
+          R.one
+          (List.assoc 2 scenario.Dy.cpu_traces)
+      in
+      Forecast.observe fc m;
+      Printf.printf "  t=%3d observe %-5s -> predict %-5s (best: %s)\n" t
+        (R.to_string m)
+        (R.to_string (Forecast.predict fc))
+        (Forecast.predictor_name (Forecast.best_predictor fc)))
+    [ 0; 15; 30; 45; 60; 75; 90; 105; 120; 135 ]

@@ -1,0 +1,69 @@
+(* Divisible-load scheduling on a star ([8], cited in §5.2/§6): a single
+   batch of perfectly divisible work, split once, every participant
+   finishing together — and how the batch rate approaches the
+   steady-state throughput as the batch grows.
+
+   Run with:  dune exec examples/divisible_load.exe *)
+
+module R = Rat
+
+let () =
+  let platform =
+    Platform_gen.star ~master_weight:(Ext_rat.of_int 2)
+      ~slaves:
+        [
+          (Ext_rat.of_int 1, R.one);
+          (Ext_rat.of_int 2, R.two);
+          (Ext_rat.of_int 3, R.of_ints 1 2);
+        ]
+      ()
+  in
+  let ntask = (Master_slave.solve platform ~master:0).Master_slave.ntask in
+  Printf.printf "steady-state throughput of the star: %s tasks/time\n\n"
+    (R.to_string ntask);
+
+  (* one batch, optimal single split *)
+  let split =
+    Divisible.star_divisible_best_order platform ~master:0 ~load:(R.of_int 120)
+  in
+  Printf.printf "single batch of 120 units, optimal split (cheap links first):\n";
+  List.iter
+    (fun (i, chunk) ->
+      Printf.printf "  %-4s gets %s units\n"
+        (Platform.name platform i)
+        (R.to_string chunk))
+    split.Divisible.chunks;
+  Printf.printf "makespan: %s (everyone finishes simultaneously)\n\n"
+    (R.to_string split.Divisible.makespan);
+
+  (* the service order matters *)
+  let fwd =
+    Divisible.star_divisible platform ~master:0 ~load:(R.of_int 120)
+      ~order:[ 3; 1; 2 ]
+  in
+  let bwd =
+    Divisible.star_divisible platform ~master:0 ~load:(R.of_int 120)
+      ~order:[ 2; 1; 3 ]
+  in
+  Printf.printf "service order ablation: cheap-first %s vs expensive-first %s\n\n"
+    (R.to_string fwd.Divisible.makespan)
+    (R.to_string bwd.Divisible.makespan);
+
+  (* batch rate vs steady state: with a single installment the rate is
+     scale-invariant (the split is a linear system), and the gap to the
+     steady state is exactly the price of not overlapping communication
+     with computation — multi-round schedules (i.e. the steady-state
+     machinery) close it *)
+  Printf.printf "batch rate W/T(W) under a single installment (constant, \
+                 strictly below the steady state):\n";
+  List.iter
+    (fun w ->
+      let s =
+        Divisible.star_divisible_best_order platform ~master:0
+          ~load:(R.of_int w)
+      in
+      let rate = R.div (R.of_int w) s.Divisible.makespan in
+      Printf.printf "  W = %-6d rate = %-10s (%.4f of steady state)\n" w
+        (R.to_string rate)
+        (R.to_float rate /. R.to_float ntask))
+    [ 1; 10; 100; 10000 ]

@@ -1,0 +1,90 @@
+(* Volunteer-computing campaign on a cluster-of-clusters grid — the
+   workload class the paper's introduction motivates: a huge bag of
+   independent equal-size tasks, far more tasks than processors, and a
+   deeply heterogeneous platform.
+
+   The example contrasts three ways to run the campaign:
+   - the steady-state optimum (LP bound + reconstructed schedule),
+   - a demand-driven protocol (each worker pulls from the master),
+   - a round-robin push.
+
+   Run with:  dune exec examples/volunteer_computing.exe *)
+
+module R = Rat
+
+let () =
+  (* two remote campus clusters behind decent WAN links, plus a local
+     pool: relaying through the cluster heads pays off *)
+  let platform =
+    let inf = Ext_rat.inf and w = Ext_rat.of_int in
+    let c = R.of_ints in
+    Platform.create
+      ~names:[| "H0"; "L1"; "L2"; "H1"; "A1"; "A2"; "A3"; "H2"; "B1"; "B2" |]
+      ~weights:[| inf; w 2; w 3; inf; w 1; w 2; w 4; inf; w 1; w 1 |]
+      ~edges:
+        (List.concat_map
+           (fun (a, b, num, den) -> [ (a, b, c num den); (b, a, c num den) ])
+           [
+             (0, 1, 1, 2) (* H0 - local pool *);
+             (0, 2, 1, 2);
+             (0, 3, 1, 1) (* WAN to cluster A *);
+             (3, 4, 1, 4);
+             (3, 5, 1, 4);
+             (3, 6, 1, 4);
+             (0, 7, 3, 2) (* WAN to cluster B *);
+             (7, 8, 1, 4);
+             (7, 9, 1, 4);
+           ])
+  in
+  let master = 0 (* the head node H0 *) in
+  Printf.printf "platform: %d nodes, %d oriented links\n"
+    (Platform.num_nodes platform)
+    (Platform.num_edges platform);
+
+  (* the steady-state optimum *)
+  let sol = Master_slave.solve platform ~master in
+  Printf.printf "\nsteady-state optimum: %s tasks per time unit\n"
+    (R.to_string sol.Master_slave.ntask);
+
+  (* who actually works in the optimal regime? *)
+  let workers =
+    List.filter
+      (fun i -> R.sign sol.Master_slave.alpha.(i) > 0)
+      (Platform.nodes platform)
+  in
+  Printf.printf "nodes drafted by the optimum: %d of %d (%s)\n"
+    (List.length workers)
+    (Platform.num_nodes platform)
+    (String.concat ", " (List.map (Platform.name platform) workers));
+
+  (* execute the reconstructed schedule *)
+  let run = Master_slave.simulate ~periods:10 sol in
+  Printf.printf
+    "schedule simulated for %s time units: %s tasks (bound %s)\n"
+    (R.to_string run.Master_slave.elapsed)
+    (R.to_string run.Master_slave.completed)
+    (R.to_string run.Master_slave.upper_bound);
+
+  (* the naive competition, on the same horizon *)
+  let horizon = run.Master_slave.elapsed in
+  let dd = Baselines.demand_driven ~outstanding:2 platform ~master ~horizon in
+  let rr = Baselines.round_robin platform ~master ~horizon in
+  Printf.printf "\nover the same horizon (%s time units):\n"
+    (R.to_string horizon);
+  let pct x =
+    100. *. R.to_float x /. R.to_float run.Master_slave.upper_bound
+  in
+  Printf.printf "  steady state     : %8s tasks  (%5.1f%% of the bound)\n"
+    (R.to_string run.Master_slave.completed)
+    (pct run.Master_slave.completed);
+  Printf.printf "  demand-driven    : %8s tasks  (%5.1f%%)\n"
+    (R.to_string dd.Baselines.completed)
+    (pct dd.Baselines.completed);
+  Printf.printf "  round-robin push : %8s tasks  (%5.1f%%)\n"
+    (R.to_string rr.Baselines.completed)
+    (pct rr.Baselines.completed);
+  Printf.printf
+    "\nthe steady-state schedule relays work across the WAN into the \
+     remote cluster; the naive protocols never get past the master's \
+     direct neighbours and split the port without regard for link \
+     speed.\n"

@@ -1,0 +1,66 @@
+module R = Rat
+module P = Platform
+module S = Event_sim
+
+type result = { completed : R.t; horizon : R.t; throughput : R.t }
+
+let total_work sim p =
+  R.sum (List.map (fun i -> S.completed_work sim i) (P.nodes p))
+
+let finish sim p horizon =
+  S.run_until sim horizon;
+  let completed = total_work sim p in
+  { completed; horizon; throughput = R.div completed horizon }
+
+(* keep a node's CPU saturated with unit tasks *)
+let rec self_feed sim i =
+  S.submit sim (S.Compute (i, R.one)) ~on_done:(fun sim -> self_feed sim i)
+
+let can_compute p i = Ext_rat.is_finite (P.weight p i)
+
+let demand_driven ?(outstanding = 1) p ~master ~horizon =
+  if outstanding < 1 then invalid_arg "Baselines.demand_driven: outstanding < 1";
+  let sim = S.create p in
+  if can_compute p master then self_feed sim master;
+  let slaves =
+    List.filter (fun e -> can_compute p (P.edge_dst p e)) (P.out_edges p master)
+  in
+  (* per-slave loop: transfer one task file, compute it, re-request *)
+  let rec request e =
+    S.submit sim (S.Transfer (e, R.one)) ~on_done:(fun sim ->
+        S.submit sim
+          (S.Compute (P.edge_dst p e, R.one))
+          ~on_done:(fun _ -> request e))
+  in
+  List.iter
+    (fun e ->
+      for _ = 1 to outstanding do
+        request e
+      done)
+    slaves;
+  finish sim p horizon
+
+let round_robin p ~master ~horizon =
+  let sim = S.create p in
+  if can_compute p master then self_feed sim master;
+  let slaves =
+    Array.of_list
+      (List.filter
+         (fun e -> can_compute p (P.edge_dst p e))
+         (P.out_edges p master))
+  in
+  if Array.length slaves > 0 then begin
+    let k = ref 0 in
+    let rec push sim =
+      let e = slaves.(!k mod Array.length slaves) in
+      incr k;
+      S.submit sim (S.Transfer (e, R.one)) ~on_done:(fun sim ->
+          S.submit sim (S.Compute (P.edge_dst p e, R.one));
+          push sim)
+    in
+    push sim
+  end;
+  finish sim p horizon
+
+let steady_state_bound p ~master horizon =
+  R.mul (Master_slave.solve p ~master).Master_slave.ntask horizon

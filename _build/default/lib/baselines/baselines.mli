@@ -1,0 +1,37 @@
+(** Online master–slave baselines (the §1 motivation: what people run
+    when they do not compute a steady state).
+
+    Both protocols only use the master's direct links — naive protocols
+    do not orchestrate relaying — and are executed on the simulator in
+    queued mode, so all one-port serialisation effects are real.
+    Compared against the steady-state LP bound in experiment E16. *)
+
+type result = {
+  completed : Rat.t; (** tasks finished within the horizon *)
+  horizon : Rat.t;
+  throughput : Rat.t; (** completed / horizon *)
+}
+
+val demand_driven :
+  ?outstanding:int ->
+  Platform.t ->
+  master:Platform.node ->
+  horizon:Rat.t ->
+  result
+(** Each direct slave keeps up to [outstanding] task files in flight
+    (request - transfer - compute - request again, default 1); the
+    master's send port serves transfers FIFO and the master computes
+    continuously.  Bandwidth-oblivious: a slow link is served as eagerly
+    as a fast one. *)
+
+val round_robin :
+  Platform.t -> master:Platform.node -> horizon:Rat.t -> result
+(** The master pushes task files to its direct slaves cyclically,
+    back-to-back, regardless of demand; slaves queue what they cannot
+    process.  The classic equal-share schedule that heterogeneity
+    punishes. *)
+
+val steady_state_bound : Platform.t -> master:Platform.node -> Rat.t -> Rat.t
+(** [ntask(G) * horizon] — what the steady-state schedule delivers up to
+    the constant ramp-up (needs the LP, provided here for convenient
+    comparison). *)

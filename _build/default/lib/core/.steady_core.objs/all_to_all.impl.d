@@ -1,0 +1,1 @@
+lib/core/all_to_all.ml: Array Flow Hashtbl List Lp Platform Printf Rat

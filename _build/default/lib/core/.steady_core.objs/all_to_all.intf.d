@@ -1,0 +1,1 @@
+lib/core/all_to_all.mli: Platform Rat Simplex

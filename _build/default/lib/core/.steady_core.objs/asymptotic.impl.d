@@ -1,0 +1,1 @@
+lib/core/asymptotic.ml: Array Bigint Event_sim List Master_slave Platform Rat Schedule

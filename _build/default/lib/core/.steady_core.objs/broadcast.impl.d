@@ -1,0 +1,1 @@
+lib/core/broadcast.ml: Collective List Multicast Platform Rat

@@ -1,0 +1,1 @@
+lib/core/broadcast.mli: Collective Multicast Platform Rat Simplex

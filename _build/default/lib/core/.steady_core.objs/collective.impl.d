@@ -1,0 +1,1 @@
+lib/core/collective.ml: Array Flow Fun Hashtbl List Lp Platform Printf Rat

@@ -1,0 +1,1 @@
+lib/core/dag_sched.ml: Array Ext_rat Fun List Lp Platform Printf Queue Rat

@@ -1,0 +1,1 @@
+lib/core/dag_sched.mli: Platform Rat Simplex

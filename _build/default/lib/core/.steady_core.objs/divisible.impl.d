@@ -1,0 +1,1 @@
+lib/core/divisible.ml: Array Ext_rat List Platform Printf Rat

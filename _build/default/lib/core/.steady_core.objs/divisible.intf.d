@@ -1,0 +1,1 @@
+lib/core/divisible.mli: Platform Rat

@@ -1,0 +1,1 @@
+lib/core/dynamic_sched.ml: Array Event_sim Ext_rat Forecast List Master_slave Platform Rat

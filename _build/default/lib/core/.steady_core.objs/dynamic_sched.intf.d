@@ -1,0 +1,1 @@
+lib/core/dynamic_sched.mli: Event_sim Platform Rat

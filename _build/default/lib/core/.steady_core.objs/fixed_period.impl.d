@@ -1,0 +1,1 @@
+lib/core/fixed_period.ml: Array Flow List Master_slave Platform Queue Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/fixed_period.mli: Master_slave Rat Schedule

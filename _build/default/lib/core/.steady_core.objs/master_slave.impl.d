@@ -1,0 +1,1 @@
+lib/core/master_slave.ml: Array Event_sim Flow List Lp Platform Printf Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/master_slave.mli: Flow Lp Platform Rat Schedule Simplex

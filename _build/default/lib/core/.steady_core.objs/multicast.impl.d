@@ -1,0 +1,1 @@
+lib/core/multicast.ml: Array Collective Event_sim List Lp Platform Printf Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/multicast.mli: Collective Platform Rat Schedule Simplex

@@ -1,0 +1,1 @@
+lib/core/multiport.ml: Array Bipartite_coloring Flow List Lp Platform Printf Rat

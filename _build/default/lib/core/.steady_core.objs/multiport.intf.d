@@ -1,0 +1,1 @@
+lib/core/multiport.mli: Bipartite_coloring Flow Platform Rat Simplex

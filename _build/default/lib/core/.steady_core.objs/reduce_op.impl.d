@@ -1,0 +1,1 @@
+lib/core/reduce_op.ml: Collective Platform

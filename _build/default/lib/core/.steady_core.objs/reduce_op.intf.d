@@ -1,0 +1,1 @@
+lib/core/reduce_op.mli: Collective Platform Rat Simplex

@@ -1,0 +1,1 @@
+lib/core/scatter.ml: Array Collective Event_sim Flow List Platform Printf Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/scatter.mli: Collective Platform Rat Schedule Simplex

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Bigint Bipartite_coloring Buffer Bytes Char Event_sim Ext_rat Format Hashtbl List Platform Printf Rat Stdlib String

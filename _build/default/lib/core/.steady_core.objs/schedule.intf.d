@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Event_sim Format Platform Rat

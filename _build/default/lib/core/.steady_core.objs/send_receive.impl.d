@@ -1,0 +1,1 @@
+lib/core/send_receive.ml: Array Flow List Lp Platform Printf Rat

@@ -1,0 +1,1 @@
+lib/core/send_receive.mli: Flow Platform Rat Simplex

@@ -1,0 +1,1 @@
+lib/core/startup_costs.ml: Array Event_sim List Master_slave Platform Rat Schedule

@@ -1,0 +1,1 @@
+lib/core/startup_costs.mli: Master_slave Platform Rat Schedule

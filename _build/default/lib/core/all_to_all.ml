@@ -1,0 +1,158 @@
+module R = Rat
+module P = Platform
+
+type solution = {
+  platform : P.t;
+  participants : P.node list;
+  throughput : R.t;
+  flows : ((P.node * P.node) * R.t array) list;
+}
+
+let solve ?rule p ~participants =
+  if List.length participants < 2 then
+    invalid_arg "All_to_all.solve: need at least two participants";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= P.num_nodes p then
+        invalid_arg "All_to_all.solve: participant out of range";
+      if Hashtbl.mem seen i then
+        invalid_arg "All_to_all.solve: duplicate participant";
+      Hashtbl.replace seen i ())
+    participants;
+  let pairs =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun t -> if s = t then None else Some (s, t))
+          participants)
+      participants
+  in
+  let m = Lp.create () in
+  let tp = Lp.add_var m "TP" in
+  let unit_iv = Some R.one in
+  let s_v =
+    Array.init (P.num_edges p) (fun e ->
+        Lp.add_var ~ub:unit_iv m (Printf.sprintf "s_%s" (P.edge_name p e)))
+  in
+  let f_v =
+    List.map
+      (fun (s, t) ->
+        ( (s, t),
+          Array.init (P.num_edges p) (fun e ->
+              Lp.add_var m
+                (Printf.sprintf "f_%s_%s_%s" (P.name p s) (P.name p t)
+                   (P.edge_name p e))) ))
+      pairs
+  in
+  (* sum law: s_e = sum over pairs of f * c *)
+  Array.iteri
+    (fun e sv ->
+      let c = P.edge_cost p e in
+      let total = Lp.sum (List.map (fun (_, fv) -> Lp.term c fv.(e)) f_v) in
+      Lp.add_constraint m (Lp.sub (Lp.var sv) total) Lp.Eq R.zero)
+    s_v;
+  (* one-port *)
+  List.iter
+    (fun i ->
+      let outs = P.out_edges p i and ins = P.in_edges p i in
+      if outs <> [] then
+        Lp.add_constraint m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) outs))
+          Lp.Le R.one;
+      if ins <> [] then
+        Lp.add_constraint m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) ins))
+          Lp.Le R.one)
+    (P.nodes p);
+  (* per commodity: hygiene, conservation, sink *)
+  List.iter
+    (fun ((s, t), fv) ->
+      List.iter
+        (fun e -> Lp.add_constraint m (Lp.var fv.(e)) Lp.Eq R.zero)
+        (P.in_edges p s);
+      List.iter
+        (fun e -> Lp.add_constraint m (Lp.var fv.(e)) Lp.Eq R.zero)
+        (P.out_edges p t);
+      List.iter
+        (fun i ->
+          if i = s then ()
+          else if i = t then begin
+            let inflow =
+              Lp.sum (List.map (fun e -> Lp.var fv.(e)) (P.in_edges p i))
+            in
+            Lp.add_constraint m (Lp.sub inflow (Lp.var tp)) Lp.Eq R.zero
+          end
+          else begin
+            let inflow =
+              List.map (fun e -> Lp.term R.one fv.(e)) (P.in_edges p i)
+            in
+            let outflow =
+              List.map (fun e -> Lp.term R.minus_one fv.(e)) (P.out_edges p i)
+            in
+            Lp.add_constraint m (Lp.sum (inflow @ outflow)) Lp.Eq R.zero
+          end)
+        (P.nodes p))
+    f_v;
+  Lp.set_objective m Lp.Maximize (Lp.var tp);
+  match Lp.solve ?rule m with
+  | Lp.Infeasible | Lp.Unbounded ->
+    failwith "All_to_all.solve: LP not optimal (cannot happen)"
+  | Lp.Optimal sol ->
+    let flows =
+      List.map
+        (fun (pair, fv) ->
+          (pair, Flow.cancel_cycles p (Array.map sol.Lp.values fv)))
+        f_v
+    in
+    {
+      platform = p;
+      participants;
+      throughput = sol.Lp.objective;
+      flows;
+    }
+
+let check_invariants sol =
+  let p = sol.platform in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let result = ref (Ok ()) in
+  let set_err e = if !result = Ok () then result := e in
+  List.iter
+    (fun ((s, t), flow) ->
+      List.iter
+        (fun i ->
+          let b = Flow.balance p flow i in
+          if i = t then begin
+            if not (R.equal b sol.throughput) then
+              set_err
+                (err "pair %s->%s delivers %s" (P.name p s) (P.name p t)
+                   (R.to_string b))
+          end
+          else if i = s then begin
+            if R.sign b > 0 then
+              set_err (err "source %s absorbs its own commodity" (P.name p s))
+          end
+          else if not (R.is_zero b) then
+            set_err
+              (err "pair %s->%s unbalanced at %s" (P.name p s) (P.name p t)
+                 (P.name p i)))
+        (P.nodes p))
+    sol.flows;
+  (* port budgets from the summed flows *)
+  let load edges =
+    R.sum
+      (List.concat_map
+         (fun e ->
+           List.map
+             (fun (_, flow) -> R.mul flow.(e) (P.edge_cost p e))
+             sol.flows)
+         edges)
+  in
+  List.iter
+    (fun i ->
+      if R.Infix.(load (P.out_edges p i) > R.one) then
+        set_err (err "out-port overload at %s" (P.name p i));
+      if R.Infix.(load (P.in_edges p i) > R.one) then
+        set_err (err "in-port overload at %s" (P.name p i)))
+    (P.nodes p);
+  !result

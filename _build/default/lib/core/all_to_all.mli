@@ -1,0 +1,33 @@
+(** Pipelined personalised all-to-all (§4.2, [12]).
+
+    Every participant repeatedly sends a {e distinct} message to every
+    other participant; the steady-state LP maximises the common rate
+    [TP] at which complete exchange rounds are sustained.
+
+    One commodity per ordered pair [(s, t)] of distinct participants —
+    the natural generalisation of the scatter LP (one commodity per
+    target) to many simultaneous sources.  Like scatter it uses the
+    [Sum] law (messages are distinct), so the bound is achievable by the
+    usual reconstruction. *)
+
+type solution = {
+  platform : Platform.t;
+  participants : Platform.node list;
+  throughput : Rat.t;
+      (** messages per time unit on every (source, target) pair *)
+  flows : ((Platform.node * Platform.node) * Rat.t array) list;
+      (** per ordered pair: cycle-free per-edge flow *)
+}
+
+val solve :
+  ?rule:Simplex.pivot_rule ->
+  Platform.t ->
+  participants:Platform.node list ->
+  solution
+(** @raise Invalid_argument on fewer than two participants or
+    duplicates.  Beware: the LP has [|participants|^2 * |E|] variables —
+    exact rational simplex keeps this practical only for small
+    exemplars. *)
+
+val check_invariants : solution -> (unit, string) result
+(** Conservation per commodity, sink rates, port budgets. *)

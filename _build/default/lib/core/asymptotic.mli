@@ -1,0 +1,30 @@
+(** Asymptotic optimality of steady-state master–slave schedules (§4.2).
+
+    For a finite collection of [n] tasks the wrapper runs the periodic
+    schedule until [n] tasks are done.  The ramp-up (pipeline delays)
+    wastes a constant amount of work, so
+
+    {v T(n) / Topt(n) <= 1 + O(1/n) v}
+
+    with [Topt(n) >= n / ntask(G)] the steady-state lower bound. *)
+
+type point = {
+  tasks : int;
+  periods : int; (** full periods until [n] tasks are complete *)
+  makespan : Rat.t; (** periods * period length *)
+  lower_bound : Rat.t; (** n / ntask *)
+  ratio : float; (** makespan / lower_bound, for display *)
+}
+
+val makespan_for : Master_slave.solution -> tasks:int -> point
+(** @raise Invalid_argument if [tasks <= 0] or the platform has zero
+    throughput. *)
+
+val ratio_series : Master_slave.solution -> task_counts:int list -> point list
+(** One {!point} per requested [n]; the experiment E3/E8 series. *)
+
+val simulate_point : Master_slave.solution -> tasks:int -> point * Rat.t
+(** Like {!makespan_for} but also strictly executes the schedule on the
+    simulator and returns the measured task count after [periods]
+    periods (it must be [>= tasks]; the executor is the feasibility
+    proof). *)

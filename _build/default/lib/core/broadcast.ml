@@ -1,0 +1,18 @@
+module R = Rat
+module P = Platform
+
+let targets_of p ~source =
+  List.filter (fun i -> i <> source) (P.nodes p)
+
+let lp_bound ?rule p ~source =
+  Collective.solve ?rule Collective.Max p ~source
+    ~targets:(targets_of p ~source)
+
+let tree_packing ?rule p ~source =
+  Multicast.best_tree_packing ?rule p ~source
+    ~targets:(targets_of p ~source)
+
+let bound_met ?rule p ~source =
+  let bound = (lp_bound ?rule p ~source).Collective.throughput in
+  let achieved = (tree_packing ?rule p ~source).Multicast.throughput in
+  (R.equal bound achieved, bound, achieved)

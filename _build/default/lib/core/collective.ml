@@ -1,0 +1,227 @@
+module R = Rat
+module P = Platform
+
+type mode = Sum | Max
+
+type solution = {
+  platform : P.t;
+  source : P.node;
+  targets : P.node list;
+  mode : mode;
+  throughput : R.t;
+  flows : R.t array array;
+  send_frac : R.t array;
+}
+
+let message_size = R.one
+
+let validate_spec p ~source ~targets =
+  if targets = [] then invalid_arg "Collective.solve: no targets";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      if k < 0 || k >= P.num_nodes p then
+        invalid_arg "Collective.solve: target out of range";
+      if k = source then invalid_arg "Collective.solve: source is a target";
+      if Hashtbl.mem seen k then invalid_arg "Collective.solve: duplicate target";
+      Hashtbl.replace seen k ())
+    targets
+
+let solve ?rule mode p ~source ~targets =
+  validate_spec p ~source ~targets;
+  let nk = List.length targets in
+  let target = Array.of_list targets in
+  let m = Lp.create () in
+  let tp = Lp.add_var m "TP" in
+  let unit_iv = Some R.one in
+  let s_v =
+    Array.init (P.num_edges p) (fun e ->
+        Lp.add_var ~ub:unit_iv m (Printf.sprintf "s_%s" (P.edge_name p e)))
+  in
+  let f_v =
+    Array.init nk (fun k ->
+        Array.init (P.num_edges p) (fun e ->
+            Lp.add_var m
+              (Printf.sprintf "f%d_%s" k (P.edge_name p e))))
+  in
+  (* mode law linking s and f *)
+  (match mode with
+  | Sum ->
+    Array.iteri
+      (fun e sv ->
+        let c = P.edge_cost p e in
+        let total =
+          Lp.sum (List.init nk (fun k -> Lp.term c f_v.(k).(e)))
+        in
+        Lp.add_constraint
+          ~name:(Printf.sprintf "sumlaw_%s" (P.edge_name p e))
+          m
+          (Lp.sub (Lp.var sv) total)
+          Lp.Eq R.zero)
+      s_v
+  | Max ->
+    Array.iteri
+      (fun e sv ->
+        let c = P.edge_cost p e in
+        for k = 0 to nk - 1 do
+          Lp.add_constraint
+            ~name:(Printf.sprintf "maxlaw%d_%s" k (P.edge_name p e))
+            m
+            (Lp.sub (Lp.var sv) (Lp.term c f_v.(k).(e)))
+            Lp.Ge R.zero
+        done)
+      s_v);
+  (* one-port *)
+  List.iter
+    (fun i ->
+      let outs = P.out_edges p i and ins = P.in_edges p i in
+      if outs <> [] then
+        Lp.add_constraint
+          ~name:(Printf.sprintf "outport_%s" (P.name p i))
+          m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) outs))
+          Lp.Le R.one;
+      if ins <> [] then
+        Lp.add_constraint
+          ~name:(Printf.sprintf "inport_%s" (P.name p i))
+          m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) ins))
+          Lp.Le R.one)
+    (P.nodes p);
+  (* hygiene: nothing flows back into the source; targets do not
+     re-emit their own messages (both are pure waste, forbidding them
+     loses no throughput and keeps flows clean for reconstruction) *)
+  for k = 0 to nk - 1 do
+    List.iter
+      (fun e ->
+        Lp.add_constraint m (Lp.var f_v.(k).(e)) Lp.Eq R.zero)
+      (P.in_edges p source);
+    List.iter
+      (fun e ->
+        Lp.add_constraint m (Lp.var f_v.(k).(e)) Lp.Eq R.zero)
+      (P.out_edges p target.(k))
+  done;
+  (* conservation per commodity at relay nodes; sink law at targets *)
+  for k = 0 to nk - 1 do
+    List.iter
+      (fun i ->
+        if i = source then ()
+        else if i = target.(k) then begin
+          let inflow =
+            Lp.sum
+              (List.map (fun e -> Lp.var f_v.(k).(e)) (P.in_edges p i))
+          in
+          Lp.add_constraint
+            ~name:(Printf.sprintf "sink%d" k)
+            m
+            (Lp.sub inflow (Lp.var tp))
+            Lp.Eq R.zero
+        end
+        else begin
+          let inflow =
+            List.map (fun e -> Lp.term R.one f_v.(k).(e)) (P.in_edges p i)
+          in
+          let outflow =
+            List.map
+              (fun e -> Lp.term R.minus_one f_v.(k).(e))
+              (P.out_edges p i)
+          in
+          Lp.add_constraint
+            ~name:(Printf.sprintf "conserve%d_%s" k (P.name p i))
+            m
+            (Lp.sum (inflow @ outflow))
+            Lp.Eq R.zero
+        end)
+      (P.nodes p)
+  done;
+  Lp.set_objective m Lp.Maximize (Lp.var tp);
+  match Lp.solve ?rule m with
+  | Lp.Infeasible | Lp.Unbounded ->
+    failwith "Collective.solve: LP not optimal (cannot happen)"
+  | Lp.Optimal sol ->
+    let flows =
+      Array.init nk (fun k ->
+          let raw = Array.map (fun v -> sol.Lp.values v) f_v.(k) in
+          Flow.cancel_cycles p raw)
+    in
+    (* recompute busy fractions from the cleaned flows *)
+    let send_frac =
+      Array.init (P.num_edges p) (fun e ->
+          let c = P.edge_cost p e in
+          match mode with
+          | Sum ->
+            R.mul c
+              (R.sum (List.init nk (fun k -> flows.(k).(e))))
+          | Max ->
+            R.mul c
+              (List.fold_left
+                 (fun acc k -> R.max acc flows.(k).(e))
+                 R.zero
+                 (List.init nk Fun.id)))
+    in
+    {
+      platform = p;
+      source;
+      targets;
+      mode;
+      throughput = sol.Lp.objective;
+      flows;
+      send_frac;
+    }
+
+let per_edge_flow sol ~kind = sol.flows.(kind)
+
+let check_invariants sol =
+  let p = sol.platform in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let nk = List.length sol.targets in
+  let target = Array.of_list sol.targets in
+  let result = ref (Ok ()) in
+  let set_err e = if !result = Ok () then result := e in
+  (* conservation and sinks *)
+  for k = 0 to nk - 1 do
+    List.iter
+      (fun i ->
+        let b = Flow.balance p sol.flows.(k) i in
+        if i = sol.source then begin
+          if R.sign b > 0 then set_err (err "source absorbs commodity %d" k)
+        end
+        else if i = target.(k) then begin
+          if not (R.equal b sol.throughput) then
+            set_err
+              (err "target %d receives %s, expected %s" k (R.to_string b)
+                 (R.to_string sol.throughput))
+        end
+        else if not (R.is_zero b) then
+          set_err (err "commodity %d unbalanced at %s" k (P.name p i)))
+      (P.nodes p)
+  done;
+  (* mode law *)
+  List.iter
+    (fun e ->
+      let c = P.edge_cost p e in
+      let lhs = sol.send_frac.(e) in
+      let ok =
+        match sol.mode with
+        | Sum ->
+          R.equal lhs
+            (R.mul c (R.sum (List.init nk (fun k -> sol.flows.(k).(e)))))
+        | Max ->
+          List.for_all
+            (fun k -> R.Infix.(lhs >= R.mul c sol.flows.(k).(e)))
+            (List.init nk Fun.id)
+      in
+      if not ok then set_err (err "mode law broken on %s" (P.edge_name p e)))
+    (P.edges p);
+  (* ports *)
+  List.iter
+    (fun i ->
+      let load es =
+        R.sum (List.map (fun e -> sol.send_frac.(e)) es)
+      in
+      if R.Infix.(load (P.out_edges p i) > R.one) then
+        set_err (err "out-port overload at %s" (P.name p i));
+      if R.Infix.(load (P.in_edges p i) > R.one) then
+        set_err (err "in-port overload at %s" (P.name p i)))
+    (P.nodes p);
+  !result

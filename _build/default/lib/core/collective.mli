@@ -1,0 +1,50 @@
+(** Multi-commodity steady-state flow LPs — the common core of the
+    pipelined collective operations of §3.2–§3.3.
+
+    One commodity per target processor: [flows.(k).(e)] is
+    [send(i,j,k)], the (fractional) number of messages bound for target
+    [k] crossing edge [e = (i,j)] per time unit.  All targets receive at
+    the common rate [throughput].
+
+    The [mode] selects how simultaneous commodities pay for an edge:
+    - [Sum]: [s_ij = sum_k send(i,j,k) * c_ij] — distinct messages, the
+      {e scatter} law; the bound is achievable (§4.1);
+    - [Max]: [s_ij >= send(i,j,k) * c_ij] for each [k] — identical
+      messages may share a transfer, the {e multicast/broadcast}
+      relaxation of §3.3; an upper bound that is {b not} always
+      achievable (§4.3, Figure 2/3 — reproduced in the test-suite and
+      experiments). *)
+
+type mode = Sum | Max
+
+type solution = {
+  platform : Platform.t;
+  source : Platform.node;
+  targets : Platform.node list;
+  mode : mode;
+  throughput : Rat.t; (** messages per time unit, per target *)
+  flows : Rat.t array array; (** [flows.(k).(e)], cycle-free per kind *)
+  send_frac : Rat.t array; (** per edge: busy fraction [s_ij] *)
+}
+
+val solve :
+  ?rule:Simplex.pivot_rule ->
+  mode ->
+  Platform.t ->
+  source:Platform.node ->
+  targets:Platform.node list ->
+  solution
+(** @raise Invalid_argument if [targets] is empty, contains the source,
+    or contains duplicates.  (Zero throughput is always feasible, so the
+    LP is never infeasible.) *)
+
+val message_size : Rat.t
+(** Messages are unit-size: a message on edge [e] busies it for [c_e]. *)
+
+val per_edge_flow : solution -> kind:int -> Flow.t
+(** The flow of one commodity (alias into [flows]). *)
+
+val check_invariants : solution -> (unit, string) result
+(** Independent audit: conservation per commodity, sink rates equal to
+    the throughput, port occupancies within 1, and mode law between
+    [flows] and [send_frac]. *)

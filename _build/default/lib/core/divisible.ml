@@ -1,0 +1,112 @@
+module R = Rat
+module P = Platform
+
+let greedy_port_allocation children =
+  let sorted =
+    List.sort (fun (_, c1) (_, c2) -> R.compare c1 c2) children
+  in
+  let rec go port acc = function
+    | [] -> acc
+    | (cap, c) :: rest ->
+      if R.sign port <= 0 then acc
+      else begin
+        let n = R.min cap (R.div port c) in
+        let n = R.max n R.zero in
+        go (R.sub port (R.mul n c)) (R.add acc n) rest
+      end
+  in
+  go R.one R.zero sorted
+
+let tree_throughput p ~root =
+  let n = P.num_nodes p in
+  let visited = Array.make n false in
+  (* capability of the subtree rooted at [i]: own speed + greedy
+     allocation to children, each child capped by its in-link *)
+  let rec capability parent i =
+    visited.(i) <- true;
+    let children =
+      List.filter_map
+        (fun e ->
+          let j = P.edge_dst p e in
+          if j = parent then None
+          else if visited.(j) then
+            invalid_arg "Divisible.tree_throughput: not a tree (cycle)"
+          else begin
+            let c = P.edge_cost p e in
+            let cap = capability i j in
+            (* the child's receive port also limits it to 1/c *)
+            Some (R.min cap (R.inv c), c)
+          end)
+        (P.out_edges p i)
+    in
+    R.add (P.speed p i) (greedy_port_allocation children)
+  in
+  capability (-1) root
+
+type divisible_split = { makespan : R.t; chunks : (P.node * R.t) list }
+
+(* Every participant finishes at T.  Writing chunk_k = a_k * T + b_k
+   with exact rationals:
+     master:   a_0 = speed(master),                    b_0 = 0
+     slave 1:  chunk_1 (c_1 + w_1) = T                 (starts at 0)
+     slave k:  chunk_k (c_k + w_k) = T - sum_{j<k} chunk_j c_j
+   so the a_k, b_k follow by forward substitution, and
+   sum chunks = load pins T. *)
+let star_divisible p ~master ~load ~order =
+  if R.sign load <= 0 then
+    invalid_arg "Divisible.star_divisible: non-positive load";
+  let edges =
+    List.map
+      (fun s ->
+        match P.find_edge p master s with
+        | Some e -> (s, P.edge_cost p e)
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Divisible.star_divisible: %s is not a direct neighbour"
+               (P.name p s)))
+      order
+  in
+  List.iter
+    (fun s ->
+      if Ext_rat.is_inf (P.weight p s) then
+        invalid_arg
+          (Printf.sprintf "Divisible.star_divisible: %s cannot compute"
+             (P.name p s)))
+    order;
+  let master_a = P.speed p master in
+  if R.is_zero master_a && order = [] then
+    invalid_arg "Divisible.star_divisible: nobody can compute";
+  (* forward substitution on the a-coefficients: chunk_k = a_k * T;
+     sent_prefix = (sum_{j<=k} a_j c_j) * T *)
+  let slaves_a = ref [] in
+  let prefix = ref R.zero in
+  List.iter
+    (fun (s, c) ->
+      let w = Ext_rat.fin_exn (P.weight p s) in
+      let a = R.div (R.sub R.one !prefix) (R.add c w) in
+      let a = R.max a R.zero in
+      slaves_a := (s, a) :: !slaves_a;
+      prefix := R.add !prefix (R.mul a c))
+    edges;
+  let slaves_a = List.rev !slaves_a in
+  let total_a =
+    R.add master_a (R.sum (List.map snd slaves_a))
+  in
+  if R.sign total_a <= 0 then
+    invalid_arg "Divisible.star_divisible: zero aggregate speed";
+  let makespan = R.div load total_a in
+  let chunks =
+    (master, R.mul master_a makespan)
+    :: List.map (fun (s, a) -> (s, R.mul a makespan)) slaves_a
+  in
+  { makespan; chunks }
+
+let star_divisible_best_order p ~master ~load =
+  let order =
+    P.out_edges p master
+    |> List.filter (fun e -> Ext_rat.is_finite (P.weight p (P.edge_dst p e)))
+    |> List.sort (fun e1 e2 -> R.compare (P.edge_cost p e1) (P.edge_cost p e2))
+    |> List.map (fun e -> P.edge_dst p e)
+  in
+  star_divisible p ~master ~load ~order

@@ -1,0 +1,57 @@
+(** Bandwidth-centric allocation on trees ([3,11], cited in §4.2/§6).
+
+    On a tree platform the optimal master–slave steady state has a
+    closed form: each node serves its children greedily by ascending
+    link cost — bandwidth, not speed, decides who gets work.  A subtree
+    collapses into a single virtual slave whose consumption capability
+    is its root's own speed plus what it can greedily feed its
+    children through its out-port.
+
+    This is an independent oracle against the general LP: on trees both
+    must agree exactly (cross-checked in the tests and experiment
+    E15). *)
+
+val tree_throughput : Platform.t -> root:Platform.node -> Rat.t
+(** Optimal steady-state tasks/time on a tree rooted at [root].  The
+    platform's link structure must be a tree when links are viewed
+    undirected (mirrored links welcome — only downward edges are used;
+    a missing downward edge simply prunes that subtree).
+    @raise Invalid_argument if the undirected structure has a cycle. *)
+
+val greedy_port_allocation :
+  (Rat.t * Rat.t) list -> Rat.t
+(** [greedy_port_allocation [(capability, link_cost); ...]] solves
+    [max sum n_k] s.t. [n_k <= capability_k] and [sum n_k c_k <= 1]
+    greedily by ascending cost — the single-level bandwidth-centric
+    rule.  Exposed for direct unit testing. *)
+
+(** {1 Divisible load, single installment ([8], cited in §5.2/§6)}
+
+    A perfectly divisible workload of [load] units is split once: the
+    master keeps a chunk and sends one chunk to each slave in the given
+    order, sequentially (one-port); a slave computes only after its
+    whole chunk has arrived.  In the optimal split every participant
+    finishes at the same instant, which yields a linear system solved
+    here in exact rationals. *)
+
+type divisible_split = {
+  makespan : Rat.t;
+  chunks : (Platform.node * Rat.t) list;
+      (** load assigned to each participant (master first) *)
+}
+
+val star_divisible :
+  Platform.t ->
+  master:Platform.node ->
+  load:Rat.t ->
+  order:Platform.node list ->
+  divisible_split
+(** [order] lists the slaves in service order; each must be a direct
+    neighbour of the master.  @raise Invalid_argument otherwise, or on a
+    non-positive load, or if the master cannot compute and [order] is
+    empty. *)
+
+val star_divisible_best_order :
+  Platform.t -> master:Platform.node -> load:Rat.t -> divisible_split
+(** Serves slaves by ascending link cost — the provably optimal order
+    for single-installment divisible load on a star. *)

@@ -1,0 +1,216 @@
+module R = Rat
+module P = Platform
+
+type strategy = Static | Reactive | Oracle
+
+type scenario = {
+  platform : P.t;
+  master : P.node;
+  cpu_traces : (P.node * Event_sim.trace) list;
+  bw_traces : (P.edge * Event_sim.trace) list;
+  phase : R.t;
+  phases : int;
+}
+
+let validate_scenario sc =
+  if R.sign sc.phase <= 0 then
+    invalid_arg "Dynamic_sched: non-positive phase length";
+  if sc.phases <= 0 then invalid_arg "Dynamic_sched: no phases";
+  let check (_, tr) =
+    List.iter
+      (fun (_, m) ->
+        if R.sign m <= 0 then
+          invalid_arg "Dynamic_sched: multipliers must stay positive")
+      tr
+  in
+  List.iter check sc.cpu_traces;
+  List.iter
+    (fun (e, tr) -> check (e, tr))
+    sc.bw_traces
+
+(* multiplier of a trace at a given time (implicit 1 before the first
+   breakpoint) *)
+let mult_at trace time =
+  List.fold_left
+    (fun acc (tb, m) -> if R.compare tb time <= 0 then m else acc)
+    R.one trace
+
+let cpu_mult sc i time =
+  match List.assoc_opt i sc.cpu_traces with
+  | Some tr -> mult_at tr time
+  | None -> R.one
+
+let bw_mult sc e time =
+  match List.assoc_opt e sc.bw_traces with
+  | Some tr -> mult_at tr time
+  | None -> R.one
+
+(* platform scaled by per-node / per-edge multipliers: a multiplier m
+   divides the time per unit, i.e. w' = w/m and c' = c/m *)
+let scaled_platform sc node_mult edge_mult =
+  let p = sc.platform in
+  P.create
+    ~names:(Array.of_list (List.map (P.name p) (P.nodes p)))
+    ~weights:
+      (Array.of_list
+         (List.map
+            (fun i ->
+              match P.weight p i with
+              | Ext_rat.Inf -> Ext_rat.Inf
+              | Ext_rat.Fin w -> Ext_rat.Fin (R.div w (node_mult i)))
+            (P.nodes p)))
+    ~edges:
+      (List.map
+         (fun e ->
+           ( P.edge_src p e,
+             P.edge_dst p e,
+             R.div (P.edge_cost p e) (edge_mult e) ))
+         (P.edges p))
+
+(* plan for one phase, at single-task granularity so that a slave only
+   computes what has actually been delivered (a stalled link therefore
+   stalls the dependent computation, as it would in reality):
+   - per master out-edge: an integral number of unit task files;
+   - master's own work: an integral number of unit tasks.
+   Edge indices carry over because scaled_platform preserves edge
+   order. *)
+let phase_plan sol phase =
+  let p = sol.Master_slave.platform in
+  let transfers =
+    List.filter_map
+      (fun e ->
+        let items = R.floor (R.mul phase sol.Master_slave.task_flow.(e)) in
+        let items = R.of_bigint items in
+        if R.sign items > 0 then Some (e, R.to_int_exn items) else None)
+      (P.edges p)
+  in
+  let master_tasks =
+    let i = sol.Master_slave.master in
+    R.to_int_exn
+      (R.of_bigint
+         (R.floor
+            (R.mul phase
+               (R.mul sol.Master_slave.alpha.(i) (P.speed p i)))))
+  in
+  (transfers, master_tasks)
+
+type outcome = {
+  strategy : strategy;
+  completed : R.t;
+  per_phase : R.t list;
+}
+
+let total_work sim p =
+  R.sum (List.map (fun i -> Event_sim.completed_work sim i) (P.nodes p))
+
+(* the data-driven executor below only handles flows that go directly
+   from the master to the consuming slave (stars, or graphs whose LP
+   solution happens to use only master links) *)
+let check_single_hop sc sol =
+  let p = sc.platform in
+  Array.iteri
+    (fun e f ->
+      if R.sign f > 0 && P.edge_src p e <> sc.master then
+        invalid_arg
+          "Dynamic_sched: task flow uses relays; only master-direct flows \
+           are supported by the phase executor")
+    sol.Master_slave.task_flow
+
+let run sc strategy =
+  validate_scenario sc;
+  let p = sc.platform in
+  let sim =
+    Event_sim.create ~cpu_traces:sc.cpu_traces ~bw_traces:sc.bw_traces p
+  in
+  let static_sol = Master_slave.solve p ~master:sc.master in
+  (* one forecaster per node and per edge (reactive strategy) *)
+  let node_fc = Array.init (P.num_nodes p) (fun _ -> Forecast.create ()) in
+  let edge_fc = Array.init (P.num_edges p) (fun _ -> Forecast.create ()) in
+  let marks = ref [] in
+  let plan_for time =
+    match strategy with
+    | Static -> static_sol
+    | Oracle ->
+      let sol =
+        Master_slave.solve
+          (scaled_platform sc (fun i -> cpu_mult sc i time)
+             (fun e -> bw_mult sc e time))
+          ~master:sc.master
+      in
+      sol
+    | Reactive ->
+      (* probe current performance, fold into the forecasters, and plan
+         with the prediction *)
+      List.iter
+        (fun i -> Forecast.observe node_fc.(i) (cpu_mult sc i time))
+        (P.nodes p);
+      List.iter
+        (fun e -> Forecast.observe edge_fc.(e) (bw_mult sc e time))
+        (P.edges p);
+      Master_slave.solve
+        (scaled_platform sc
+           (fun i -> Forecast.predict node_fc.(i))
+           (fun e -> Forecast.predict edge_fc.(e)))
+        ~master:sc.master
+  in
+  check_single_hop sc static_sol;
+  for k = 0 to sc.phases - 1 do
+    let t0 = R.mul (R.of_int k) sc.phase in
+    Event_sim.at sim t0 (fun sim ->
+        marks := total_work sim p :: !marks;
+        let sol = plan_for t0 in
+        check_single_hop sc sol;
+        let transfers, master_tasks = phase_plan sol sc.phase in
+        (* round-robin across slaves: unit task files, each enabling one
+           unit of computation on arrival *)
+        let queues = Array.of_list transfers in
+        let remaining = ref (Array.fold_left (fun a (_, n) -> a + n) 0 queues) in
+        let counts = Array.map snd queues in
+        while !remaining > 0 do
+          Array.iteri
+            (fun idx (e, _) ->
+              if counts.(idx) > 0 then begin
+                counts.(idx) <- counts.(idx) - 1;
+                decr remaining;
+                let dst = P.edge_dst p e in
+                Event_sim.submit sim (Event_sim.Transfer (e, R.one))
+                  ~on_done:(fun sim ->
+                    Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
+              end)
+            queues
+        done;
+        if master_tasks > 0 then
+          Event_sim.submit sim
+            (Event_sim.Compute (sc.master, R.of_int master_tasks)))
+  done;
+  let horizon = R.mul (R.of_int sc.phases) sc.phase in
+  Event_sim.run_until sim horizon;
+  let completed = total_work sim p in
+  let boundaries = List.rev (completed :: !marks) in
+  let per_phase =
+    match boundaries with
+    | [] -> []
+    | first :: rest ->
+      let rec diffs prev = function
+        | [] -> []
+        | x :: xs -> R.sub x prev :: diffs x xs
+      in
+      diffs first rest
+  in
+  { strategy; completed; per_phase }
+
+let oracle_throughput_bound sc =
+  validate_scenario sc;
+  let total = ref R.zero in
+  for k = 0 to sc.phases - 1 do
+    let t0 = R.mul (R.of_int k) sc.phase in
+    let sol =
+      Master_slave.solve
+        (scaled_platform sc
+           (fun i -> cpu_mult sc i t0)
+           (fun e -> bw_mult sc e t0))
+        ~master:sc.master
+    in
+    total := R.add !total (R.mul sc.phase sol.Master_slave.ntask)
+  done;
+  !total

@@ -1,0 +1,48 @@
+(** Dynamic steady-state scheduling (§5.5).
+
+    Work is divided into phases.  At each phase boundary the scheduler
+    observes resource performance, predicts the next phase, re-solves
+    the steady-state LP on the predicted platform, and runs the new plan
+    for one phase.  Three strategies are compared:
+
+    - {!Static}: solve once for nominal speeds, never adapt;
+    - {!Reactive}: probe at each boundary, forecast with an NWS-style
+      adaptive predictor ({!Forecast}), re-solve;
+    - {!Oracle}: re-solve with the {e true} next-phase performance —
+      the reference the reactive strategy chases.
+
+    Plans are executed in queued (non-strict) mode: if reality is slower
+    than the plan assumed, operations stack up and throughput drops —
+    exactly the failure mode adaptation is meant to avoid. *)
+
+type strategy = Static | Reactive | Oracle
+
+type scenario = {
+  platform : Platform.t;
+  master : Platform.node;
+  cpu_traces : (Platform.node * Event_sim.trace) list;
+      (** multipliers must stay strictly positive: dynamic re-planning
+          assumes degraded-but-alive resources (outage handling is the
+          simulator's business, not the planner's) *)
+  bw_traces : (Platform.edge * Event_sim.trace) list;
+  phase : Rat.t; (** phase length; align trace breakpoints with it for
+                     the oracle to be a true per-phase optimum *)
+  phases : int;
+}
+
+val validate_scenario : scenario -> unit
+(** @raise Invalid_argument on non-positive phase/phases or a
+    non-positive multiplier in a trace. *)
+
+type outcome = {
+  strategy : strategy;
+  completed : Rat.t; (** tasks finished within the horizon *)
+  per_phase : Rat.t list; (** tasks finished per phase *)
+}
+
+val run : scenario -> strategy -> outcome
+
+val oracle_throughput_bound : scenario -> Rat.t
+(** Sum over phases of [phase * ntask(platform scaled by the true
+    multipliers at the phase start)] — an upper bound on any
+    phase-planned strategy when breakpoints are phase-aligned. *)

@@ -1,0 +1,216 @@
+module R = Rat
+module P = Platform
+
+type solution = {
+  platform : P.t;
+  master : P.node;
+  ntask : R.t;
+  alpha : R.t array;
+  send_frac : R.t array;
+  task_flow : Flow.t;
+}
+
+let build_lp p ~master =
+  let m = Lp.create () in
+  let n = P.num_nodes p in
+  let unit_iv = Some R.one in
+  let alpha_v =
+    Array.init n (fun i ->
+        Lp.add_var ~ub:unit_iv m (Printf.sprintf "alpha_%s" (P.name p i)))
+  in
+  let s_v =
+    Array.init (P.num_edges p) (fun e ->
+        Lp.add_var ~ub:unit_iv m (Printf.sprintf "s_%s" (P.edge_name p e)))
+  in
+  (* one-port constraints *)
+  List.iter
+    (fun i ->
+      let outs = P.out_edges p i and ins = P.in_edges p i in
+      if outs <> [] then
+        Lp.add_constraint
+          ~name:(Printf.sprintf "outport_%s" (P.name p i))
+          m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) outs))
+          Lp.Le R.one;
+      if ins <> [] then
+        Lp.add_constraint
+          ~name:(Printf.sprintf "inport_%s" (P.name p i))
+          m
+          (Lp.sum (List.map (fun e -> Lp.var s_v.(e)) ins))
+          Lp.Le R.one)
+    (P.nodes p);
+  (* the master receives nothing *)
+  List.iter
+    (fun e ->
+      Lp.add_constraint
+        ~name:(Printf.sprintf "nomaster_%s" (P.edge_name p e))
+        m (Lp.var s_v.(e)) Lp.Eq R.zero)
+    (P.in_edges p master);
+  (* conservation at every non-master node:
+     sum_in s/c = alpha * speed + sum_out s/c *)
+  List.iter
+    (fun i ->
+      if i <> master then begin
+        let inflow =
+          List.map
+            (fun e -> Lp.term (R.inv (P.edge_cost p e)) s_v.(e))
+            (P.in_edges p i)
+        in
+        let outflow =
+          List.map
+            (fun e -> Lp.term (R.neg (R.inv (P.edge_cost p e))) s_v.(e))
+            (P.out_edges p i)
+        in
+        let consumed = Lp.term (R.neg (P.speed p i)) alpha_v.(i) in
+        Lp.add_constraint
+          ~name:(Printf.sprintf "conserve_%s" (P.name p i))
+          m
+          (Lp.sum ((consumed :: inflow) @ outflow))
+          Lp.Eq R.zero
+      end)
+    (P.nodes p);
+  Lp.set_objective m Lp.Maximize
+    (Lp.sum
+       (List.map (fun i -> Lp.term (P.speed p i) alpha_v.(i)) (P.nodes p)));
+  (m, alpha_v, s_v)
+
+let solve_lp_only ?rule p ~master =
+  let m, _, _ = build_lp p ~master in
+  (m, Lp.solve ?rule m)
+
+let solve ?rule p ~master =
+  let m, alpha_v, s_v = build_lp p ~master in
+  match Lp.solve ?rule m with
+  | Lp.Infeasible | Lp.Unbounded ->
+    failwith "Master_slave.solve: LP not optimal (invalid platform?)"
+  | Lp.Optimal sol ->
+    let alpha = Array.map sol.Lp.values alpha_v in
+    let raw_flow =
+      Array.mapi
+        (fun e sv -> R.div (sol.Lp.values sv) (P.edge_cost p e))
+        s_v
+    in
+    let task_flow = Flow.cancel_cycles p raw_flow in
+    let send_frac =
+      Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
+    in
+    {
+      platform = p;
+      master;
+      ntask = sol.Lp.objective;
+      alpha;
+      send_frac;
+      task_flow;
+    }
+
+(* per-node task rate: alpha_i / w_i *)
+let task_rate sol i = R.mul sol.alpha.(i) (P.speed sol.platform i)
+
+let period_of sol =
+  let rates =
+    List.map (fun i -> task_rate sol i) (P.nodes sol.platform)
+    @ Array.to_list sol.task_flow
+  in
+  R.of_bigint (R.lcm_denominators (List.filter (fun r -> not (R.is_zero r)) rates))
+
+let schedule sol =
+  let p = sol.platform in
+  let period = period_of sol in
+  let delays = Flow.delays p sol.task_flow in
+  let transfers =
+    List.filter_map
+      (fun e ->
+        let items = R.mul period sol.task_flow.(e) in
+        if R.sign items > 0 then
+          Some
+            {
+              Schedule.d_edge = e;
+              d_kind = 0;
+              d_items = items;
+              d_item_size = R.one;
+              d_delay = delays.(P.edge_src p e);
+            }
+        else None)
+      (P.edges p)
+  in
+  let compute =
+    List.filter_map
+      (fun i ->
+        let tasks = R.mul period (task_rate sol i) in
+        if R.sign tasks > 0 then Some (i, tasks) else None)
+      (P.nodes p)
+  in
+  Schedule.reconstruct p ~period ~transfers ~compute ~delays
+
+let tasks_per_period sched sol =
+  ignore sol;
+  R.sum (List.map snd sched.Schedule.compute)
+
+type run = {
+  elapsed : R.t;
+  completed : R.t;
+  upper_bound : R.t;
+  expected : R.t;
+}
+
+let simulate ?(periods = 8) sol =
+  let sched = schedule sol in
+  let sim = Event_sim.create sol.platform in
+  Schedule.execute ~sim ~periods sched;
+  Event_sim.run sim;
+  let completed =
+    R.sum
+      (List.map (fun i -> Event_sim.completed_work sim i) (P.nodes sol.platform))
+  in
+  let elapsed = R.mul (R.of_int periods) sched.Schedule.period in
+  let expected =
+    R.sum
+      (List.map
+         (fun (i, per_period) ->
+           let active = periods - sched.Schedule.delays.(i) in
+           if active > 0 then R.mul (R.of_int active) per_period else R.zero)
+         sched.Schedule.compute)
+  in
+  { elapsed; completed; upper_bound = R.mul sol.ntask elapsed; expected }
+
+let check_buffers sched ~master ~periods =
+  let p = sched.Schedule.platform in
+  let n = P.num_nodes p in
+  let buffers = Array.make n R.zero in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* per-period volumes: receives count for the NEXT period's budget *)
+  let result = ref (Ok ()) in
+  for k = 0 to periods - 1 do
+    if !result = Ok () then begin
+      let received = Array.make n R.zero in
+      let spent = Array.make n R.zero in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun tr ->
+              if tr.Schedule.delay <= k then begin
+                let src = P.edge_src p tr.Schedule.edge in
+                let dst = P.edge_dst p tr.Schedule.edge in
+                spent.(src) <- R.add spent.(src) tr.Schedule.items;
+                received.(dst) <- R.add received.(dst) tr.Schedule.items
+              end)
+            s.Schedule.transfers)
+        sched.Schedule.slots;
+      List.iter
+        (fun (i, work) ->
+          if sched.Schedule.delays.(i) <= k then
+            spent.(i) <- R.add spent.(i) work)
+        sched.Schedule.compute;
+      for i = 0 to n - 1 do
+        if i <> master && !result = Ok () then begin
+          if R.compare spent.(i) buffers.(i) > 0 then
+            result :=
+              err "period %d: %s spends %s but only holds %s" k (P.name p i)
+                (R.to_string spent.(i))
+                (R.to_string buffers.(i))
+          else buffers.(i) <- R.add (R.sub buffers.(i) spent.(i)) received.(i)
+        end
+      done
+    end
+  done;
+  !result

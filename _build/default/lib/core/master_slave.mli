@@ -1,0 +1,76 @@
+(** Steady-state master–slave tasking (§3.1, §4).
+
+    A master node holds a large collection of independent identical
+    tasks; each task travels as a unit-size file and costs one
+    computational unit wherever it is executed.  The LP below computes
+    the optimal steady-state throughput [ntask(G)] in tasks per time
+    unit, together with activity variables: [alpha_i] the fraction of
+    time node [i] computes, [s_ij] the fraction of time [i] spends
+    sending task files to [j].
+
+    {v
+      maximize   sum_i alpha_i / w_i
+      subject to 0 <= alpha_i <= 1,  0 <= s_ij <= 1
+                 sum_j s_ij <= 1                    (out-port)
+                 sum_j s_ji <= 1                    (in-port)
+                 s_jm = 0                           (master receives nothing)
+                 sum_j s_ji/c_ji = alpha_i/w_i + sum_j s_ij/c_ij   (i <> m)
+    v}
+
+    The LP value is an upper bound on any schedule's steady-state
+    throughput; {!schedule} reconstructs a periodic schedule that meets
+    it exactly, which {!simulate} then executes (strictly) on the
+    simulator. *)
+
+type solution = {
+  platform : Platform.t;
+  master : Platform.node;
+  ntask : Rat.t; (** optimal throughput, tasks per time unit *)
+  alpha : Rat.t array; (** per node *)
+  send_frac : Rat.t array; (** per edge: s_ij, after cycle cancelling *)
+  task_flow : Flow.t; (** per edge: tasks per time unit = s_ij / c_ij *)
+}
+
+val solve :
+  ?rule:Simplex.pivot_rule -> Platform.t -> master:Platform.node -> solution
+(** @raise Failure if the LP is somehow not optimal (cannot happen on a
+    valid platform: the zero schedule is feasible and throughput is
+    bounded). *)
+
+val solve_lp_only :
+  ?rule:Simplex.pivot_rule ->
+  Platform.t ->
+  master:Platform.node ->
+  Lp.model * Lp.result
+(** The raw model and solver outcome, for inspection and tests. *)
+
+val schedule : solution -> Schedule.t
+(** Periodic schedule with integer task counts: the period is the lcm of
+    the denominators of the per-edge task flows and per-node task rates
+    (§3.1's construction). *)
+
+val tasks_per_period : Schedule.t -> solution -> Rat.t
+(** Equals [ntask * period]. *)
+
+type run = {
+  elapsed : Rat.t;
+  completed : Rat.t; (** tasks finished, from the simulator's counters *)
+  upper_bound : Rat.t; (** ntask * elapsed: no schedule can beat this *)
+  expected : Rat.t;
+      (** analytic prediction [sum_i n_i max(0, K - delay_i)]: the
+          constant-in-K gap of §4.2 *)
+}
+
+val simulate : ?periods:int -> solution -> run
+(** Execute the reconstructed schedule for [periods] periods (default
+    8) in strict mode — raising {!Event_sim.Conflict} if the
+    reconstruction ever violates the one-port model — and report
+    measured versus analytic throughput. *)
+
+val check_buffers : Schedule.t -> master:Platform.node -> periods:int -> (unit, string) result
+(** Logical replay of the task buffers: period by period, every node's
+    sends and computations must be covered by task files received in
+    {e earlier} periods (the master draws from its initial stock).  The
+    pipeline delays attached by {!schedule} make this hold from the very
+    first active period — this check is the causality complement to the
+    simulator's resource-conflict check. *)

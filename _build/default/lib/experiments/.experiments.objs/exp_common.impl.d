@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Buffer List Option Printf Rat String

@@ -1,0 +1,57 @@
+type table = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let rat = Rat.to_string
+let flt f = Printf.sprintf "%.4f" f
+
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render t =
+  let all_rows = t.headers :: t.rows in
+  let ncols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all_rows
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all_rows
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    rstrip
+      (String.concat "  "
+         (List.mapi
+            (fun c w ->
+              let cell = Option.value ~default:"" (List.nth_opt row c) in
+              cell ^ String.make (w - String.length cell) ' ')
+            widths))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.make (List.fold_left ( + ) 0 widths + (2 * (ncols - 1))) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  List.iter
+    (fun note -> Buffer.add_string buf ("  note: " ^ note ^ "\n"))
+    t.notes;
+  Buffer.contents buf

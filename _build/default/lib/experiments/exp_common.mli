@@ -1,0 +1,18 @@
+(** Rendering of experiment tables: every experiment produces one of
+    these so the CLI, the bench harness and EXPERIMENTS.md stay in
+    sync. *)
+
+type table = {
+  id : string; (** "E1" .. "E16" *)
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list; (** paper-vs-measured commentary *)
+}
+
+val render : table -> string
+(** Aligned plain-text rendering, ending with the notes. *)
+
+val rat : Rat.t -> string
+val flt : float -> string
+(** 4-decimal rendering for ratio columns. *)

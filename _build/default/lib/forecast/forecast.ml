@@ -1,0 +1,110 @@
+module R = Rat
+
+type predictor = Last | Mean | Ewma of R.t | Sliding_median of int
+
+let predictor_name = function
+  | Last -> "last"
+  | Mean -> "mean"
+  | Ewma a -> Printf.sprintf "ewma(%s)" (R.to_string a)
+  | Sliding_median w -> Printf.sprintf "median(%d)" w
+
+type state = {
+  spec : predictor;
+  mutable error : R.t; (* cumulative absolute one-step error *)
+  mutable last : R.t option;
+  mutable sum : R.t;
+  mutable ewma : R.t option;
+  mutable window : R.t list; (* newest first, length <= w *)
+}
+
+type t = { mutable count : int; states : state array }
+
+let validate = function
+  | Last | Mean -> ()
+  | Ewma a ->
+    if R.sign a <= 0 || R.compare a R.one > 0 then
+      invalid_arg "Forecast: EWMA gain must be in (0, 1]"
+  | Sliding_median w ->
+    if w < 1 then invalid_arg "Forecast: median window must be >= 1"
+
+let create ?(predictors = [ Last; Mean; Ewma (R.of_ints 1 4); Sliding_median 5 ]) () =
+  if predictors = [] then invalid_arg "Forecast.create: empty battery";
+  List.iter validate predictors;
+  {
+    count = 0;
+    states =
+      Array.of_list
+        (List.map
+           (fun spec ->
+             { spec; error = R.zero; last = None; sum = R.zero;
+               ewma = None; window = [] })
+           predictors);
+  }
+
+let median l =
+  let sorted = List.sort R.compare l in
+  let n = List.length sorted in
+  let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+  R.div_int (R.add a b) 2
+
+(* what this predictor would forecast right now, if it has data *)
+let forecast_of count st =
+  match st.spec with
+  | Last -> st.last
+  | Mean -> if count = 0 then None else Some (R.div_int st.sum count)
+  | Ewma _ -> st.ewma
+  | Sliding_median _ ->
+    if st.window = [] then None else Some (median st.window)
+
+let observe t x =
+  Array.iter
+    (fun st ->
+      (* score first *)
+      (match forecast_of t.count st with
+      | Some f -> st.error <- R.add st.error (R.abs (R.sub x f))
+      | None -> ());
+      (* then update *)
+      st.last <- Some x;
+      st.sum <- R.add st.sum x;
+      (match st.spec with
+      | Ewma a ->
+        st.ewma <-
+          Some
+            (match st.ewma with
+            | None -> x
+            | Some prev -> R.add prev (R.mul a (R.sub x prev)))
+      | Last | Mean | Sliding_median _ -> ());
+      match st.spec with
+      | Sliding_median w ->
+        let cut = List.filteri (fun i _ -> i < w - 1) st.window in
+        st.window <- x :: cut
+      | Last | Mean | Ewma _ -> ())
+    t.states;
+  t.count <- t.count + 1
+
+let best_state t =
+  if t.count = 0 then invalid_arg "Forecast: no observations yet";
+  Array.fold_left
+    (fun best st ->
+      match best with
+      | None -> Some st
+      | Some b -> if R.compare st.error b.error < 0 then Some st else best)
+    None t.states
+  |> Option.get
+
+let predict t =
+  if t.count = 0 then R.one
+  else begin
+    match forecast_of t.count (best_state t) with
+    | Some f -> f
+    | None -> R.one
+  end
+
+let best_predictor t = (best_state t).spec
+
+let cumulative_error t spec =
+  match Array.find_opt (fun st -> st.spec = spec) t.states with
+  | Some st -> st.error
+  | None -> raise Not_found
+
+let observations t = t.count

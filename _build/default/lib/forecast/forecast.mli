@@ -1,0 +1,41 @@
+(** Time-series forecasting of resource performance, NWS-style [18].
+
+    The Network Weather Service keeps a battery of simple predictors
+    running on each measurement series and answers queries with the
+    predictor whose past error is currently lowest ("use the past to
+    predict the future", §5.5).  This module reproduces that adaptive
+    scheme over exact rationals. *)
+
+type predictor =
+  | Last  (** last observed value *)
+  | Mean  (** running mean of all observations *)
+  | Ewma of Rat.t  (** exponential smoothing with gain in (0, 1] *)
+  | Sliding_median of int  (** median over a window of size [>= 1] *)
+
+val predictor_name : predictor -> string
+
+type t
+
+val create : ?predictors:predictor list -> unit -> t
+(** Default battery: [Last; Mean; Ewma 1/4; Sliding_median 5].
+    @raise Invalid_argument on an empty battery or invalid predictor
+    parameters. *)
+
+val observe : t -> Rat.t -> unit
+(** Append a measurement.  Each predictor is first scored on how well it
+    would have predicted this value, then updated. *)
+
+val predict : t -> Rat.t
+(** Forecast of the next value by the currently best predictor (lowest
+    cumulative absolute error).  Before any observation, returns 1 —
+    the nominal multiplier. *)
+
+val best_predictor : t -> predictor
+(** @raise Invalid_argument before the first observation. *)
+
+val cumulative_error : t -> predictor -> Rat.t
+(** Sum of absolute one-step-ahead errors accumulated so far.
+    @raise Not_found if the predictor is not in this forecaster's
+    battery. *)
+
+val observations : t -> int

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Format Hashtbl Int List Map Printf Rat Revised_simplex Simplex

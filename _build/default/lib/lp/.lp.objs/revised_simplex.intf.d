@@ -1,0 +1,1 @@
+lib/lp/revised_simplex.mli: Rat Simplex

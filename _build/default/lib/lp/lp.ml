@@ -1,0 +1,326 @@
+(* Model layer: named variables with bounds, sparse expressions, and the
+   translation to the standard form consumed by Simplex.
+
+   Translation rules:
+   - finite lower bound  l:  x = x' + l  with  x' >= 0 (shift);
+   - free variable:          x = x+ - x-, both >= 0 (split);
+   - finite upper bound  u:  extra row  x <= u  (after shifting);
+   - Le / Ge rows get a slack / surplus column, Eq rows none;
+   phase-1 artificials are Simplex's business. *)
+
+module R = Rat
+
+type var = int
+
+module Imap = Map.Make (Int)
+
+type linexpr = R.t Imap.t
+
+type relation = Le | Ge | Eq
+type sense = Maximize | Minimize
+
+type var_info = { name : string; lb : R.t option; ub : R.t option }
+
+type cons = { cname : string; expr : linexpr; rel : relation; rhs : R.t }
+
+type model = {
+  mutable vars : var_info list; (* reversed *)
+  mutable nvars : int;
+  mutable cons : cons list; (* reversed *)
+  mutable ncons : int;
+  mutable objective : (sense * linexpr) option;
+  names : (string, var) Hashtbl.t;
+}
+
+let create () =
+  { vars = []; nvars = 0; cons = []; ncons = 0; objective = None;
+    names = Hashtbl.create 64 }
+
+let add_var ?(lb = Some R.zero) ?(ub = None) m name =
+  if Hashtbl.mem m.names name then
+    invalid_arg (Printf.sprintf "Lp.add_var: duplicate variable %S" name);
+  (match (lb, ub) with
+  | Some l, Some u when R.compare l u > 0 ->
+    invalid_arg (Printf.sprintf "Lp.add_var: %S has lb > ub" name)
+  | _ -> ());
+  let v = m.nvars in
+  m.vars <- { name; lb; ub } :: m.vars;
+  m.nvars <- m.nvars + 1;
+  Hashtbl.add m.names name v;
+  v
+
+let var_array m = Array.of_list (List.rev m.vars)
+let var_name m v = (List.nth m.vars (m.nvars - 1 - v)).name
+let find_var m name =
+  match Hashtbl.find_opt m.names name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let num_vars m = m.nvars
+let num_constraints m = m.ncons
+
+let add_constraint ?name m expr rel rhs =
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" m.ncons
+  in
+  m.cons <- { cname; expr; rel; rhs } :: m.cons;
+  m.ncons <- m.ncons + 1
+
+let set_objective m sense e = m.objective <- Some (sense, e)
+
+(* --- expressions --- *)
+
+let zero = Imap.empty
+let term c v = if R.is_zero c then Imap.empty else Imap.singleton v c
+let var v = term R.one v
+
+let add a b =
+  Imap.union
+    (fun _ x y ->
+      let s = R.add x y in
+      if R.is_zero s then None else Some s)
+    a b
+
+let scale k e =
+  if R.is_zero k then Imap.empty else Imap.map (fun c -> R.mul k c) e
+
+let neg e = scale R.minus_one e
+let sub a b = add a (neg b)
+let of_terms l = List.fold_left (fun acc (c, v) -> add acc (term c v)) zero l
+let sum l = List.fold_left add zero l
+
+let eval f e =
+  Imap.fold (fun v c acc -> R.add acc (R.mul c (f v))) e R.zero
+
+(* --- solving --- *)
+
+type solution = { objective : R.t; values : var -> R.t }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+type solver = Tableau | Revised
+
+(* how each model variable maps to standard-form columns *)
+type col_map =
+  | Shifted of int * R.t (* column, lower bound:  x = col + l *)
+  | Split of int * int (* x = col+ - col- *)
+
+let solve ?rule ?(solver = Tableau) m =
+  let vars = var_array m in
+  let n = Array.length vars in
+  (* assign columns *)
+  let next_col = ref 0 in
+  let fresh () = let c = !next_col in incr next_col; c in
+  let cmap =
+    Array.map
+      (fun vi ->
+        match vi.lb with
+        | Some l -> Shifted (fresh (), l)
+        | None -> let p = fresh () in let q = fresh () in Split (p, q))
+      vars
+  in
+  (* expression -> (dense row over columns, constant) with x substituted *)
+  let expand expr =
+    let row = Array.make !next_col R.zero in
+    let const = ref R.zero in
+    Imap.iter
+      (fun v c ->
+        match cmap.(v) with
+        | Shifted (col, l) ->
+          row.(col) <- R.add row.(col) c;
+          const := R.add !const (R.mul c l)
+        | Split (p, q) ->
+          row.(p) <- R.add row.(p) c;
+          row.(q) <- R.sub row.(q) c)
+      expr;
+    (row, !const)
+  in
+  (* collect rows: model constraints plus upper-bound rows *)
+  let raw_rows = ref [] in
+  let add_raw row rel rhs = raw_rows := (row, rel, rhs) :: !raw_rows in
+  List.iter
+    (fun c ->
+      let row, const = expand c.expr in
+      add_raw row c.rel (R.sub c.rhs const))
+    (List.rev m.cons);
+  Array.iteri
+    (fun v vi ->
+      match vi.ub with
+      | None -> ()
+      | Some u ->
+        let row = Array.make !next_col R.zero in
+        (match cmap.(v) with
+        | Shifted (col, l) ->
+          row.(col) <- R.one;
+          add_raw row Le (R.sub u l)
+        | Split (p, q) ->
+          row.(p) <- R.one;
+          row.(q) <- R.minus_one;
+          add_raw row Le u))
+    vars;
+  let raw = Array.of_list (List.rev !raw_rows) in
+  let m_rows = Array.length raw in
+  (* count slack columns *)
+  let n_slack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Eq -> acc | Le | Ge -> acc + 1)
+      0 raw
+  in
+  let n_cols = !next_col + n_slack in
+  let a = Array.make_matrix m_rows n_cols R.zero in
+  let b = Array.make m_rows R.zero in
+  let slack = ref !next_col in
+  Array.iteri
+    (fun i (row, rel, rhs) ->
+      Array.blit row 0 a.(i) 0 (Array.length row);
+      b.(i) <- rhs;
+      match rel with
+      | Eq -> ()
+      | Le ->
+        a.(i).(!slack) <- R.one;
+        incr slack
+      | Ge ->
+        a.(i).(!slack) <- R.minus_one;
+        incr slack)
+    raw;
+  (* objective *)
+  let sense, obj_expr =
+    match m.objective with
+    | Some (s, e) -> (s, e)
+    | None -> (Minimize, zero)
+  in
+  let obj_row, obj_const = expand obj_expr in
+  let c = Array.make n_cols R.zero in
+  let flip = sense = Maximize in
+  Array.iteri
+    (fun j v -> c.(j) <- (if flip then R.neg v else v))
+    obj_row;
+  let outcome =
+    match solver with
+    | Tableau -> begin
+      match Simplex.minimize ?rule ~a ~b ~c () with
+      | Simplex.Infeasible -> `Infeasible
+      | Simplex.Unbounded -> `Unbounded
+      | Simplex.Optimal { values; objective; pivots } ->
+        `Optimal (values, objective, pivots)
+    end
+    | Revised -> begin
+      match Revised_simplex.minimize ?rule ~a ~b ~c () with
+      | Revised_simplex.Infeasible -> `Infeasible
+      | Revised_simplex.Unbounded -> `Unbounded
+      | Revised_simplex.Optimal { values; objective; pivots } ->
+        `Optimal (values, objective, pivots)
+    end
+  in
+  match outcome with
+  | `Infeasible -> Infeasible
+  | `Unbounded -> Unbounded
+  | `Optimal (values, objective, _) ->
+    let value v =
+      match cmap.(v) with
+      | Shifted (col, l) -> R.add values.(col) l
+      | Split (p, q) -> R.sub values.(p) values.(q)
+    in
+    let cache = Array.init n value in
+    let objective =
+      let raw = R.add objective (if flip then R.neg obj_const else obj_const) in
+      if flip then R.neg raw else raw
+    in
+    Optimal { objective; values = (fun v -> cache.(v)) }
+
+let value_by_name m sol name = sol.values (find_var m name)
+
+(* --- validation --- *)
+
+let check_solution m f =
+  let vars = var_array m in
+  let violation = ref None in
+  Array.iteri
+    (fun v vi ->
+      if !violation = None then begin
+        let x = f v in
+        (match vi.lb with
+        | Some l when R.compare x l < 0 ->
+          violation :=
+            Some (Printf.sprintf "var %s = %s below lb %s" vi.name
+                    (R.to_string x) (R.to_string l))
+        | _ -> ());
+        match vi.ub with
+        | Some u when R.compare x u > 0 ->
+          violation :=
+            Some (Printf.sprintf "var %s = %s above ub %s" vi.name
+                    (R.to_string x) (R.to_string u))
+        | _ -> ()
+      end)
+    vars;
+  List.iter
+    (fun cns ->
+      if !violation = None then begin
+        let lhs = eval f cns.expr in
+        let ok =
+          match cns.rel with
+          | Le -> R.compare lhs cns.rhs <= 0
+          | Ge -> R.compare lhs cns.rhs >= 0
+          | Eq -> R.equal lhs cns.rhs
+        in
+        if not ok then
+          violation :=
+            Some (Printf.sprintf "constraint %s violated: lhs = %s, rhs = %s"
+                    cns.cname (R.to_string lhs) (R.to_string cns.rhs))
+      end)
+    (List.rev m.cons);
+  match !violation with
+  | Some msg -> Error msg
+  | None ->
+    let obj =
+      match m.objective with
+      | None -> R.zero
+      | Some (_, e) -> eval f e
+    in
+    Ok (R.to_string obj)
+
+(* --- printing --- *)
+
+let pp_linexpr names ppf e =
+  let first = ref true in
+  Imap.iter
+    (fun v c ->
+      let s = R.sign c in
+      if !first then begin
+        first := false;
+        if R.equal c R.one then Format.fprintf ppf "%s" names.(v)
+        else if R.equal c R.minus_one then Format.fprintf ppf "-%s" names.(v)
+        else Format.fprintf ppf "%a %s" R.pp c names.(v)
+      end
+      else if s >= 0 then
+        if R.equal c R.one then Format.fprintf ppf " + %s" names.(v)
+        else Format.fprintf ppf " + %a %s" R.pp c names.(v)
+      else if R.equal c R.minus_one then Format.fprintf ppf " - %s" names.(v)
+      else Format.fprintf ppf " - %a %s" R.pp (R.abs c) names.(v))
+    e;
+  if !first then Format.fprintf ppf "0"
+
+let pp ppf m =
+  let vars = var_array m in
+  let names = Array.map (fun vi -> vi.name) vars in
+  (match m.objective with
+  | None -> Format.fprintf ppf "(no objective)@."
+  | Some (s, e) ->
+    Format.fprintf ppf "%s %a@."
+      (match s with Maximize -> "maximize" | Minimize -> "minimize")
+      (pp_linexpr names) e);
+  Format.fprintf ppf "subject to@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s: %a %s %a@." c.cname (pp_linexpr names) c.expr
+        (match c.rel with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+        R.pp c.rhs)
+    (List.rev m.cons);
+  Format.fprintf ppf "bounds@.";
+  Array.iter
+    (fun vi ->
+      Format.fprintf ppf "  %s <= %s <= %s@."
+        (match vi.lb with None -> "-inf" | Some l -> R.to_string l)
+        vi.name
+        (match vi.ub with None -> "+inf" | Some u -> R.to_string u))
+    vars

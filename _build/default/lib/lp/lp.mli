@@ -1,0 +1,91 @@
+(** Linear-programming model layer.
+
+    Steady-state scheduling reduces every throughput question to a linear
+    program over per-time-unit activity variables (§3 of the paper).  This
+    module provides the model-building DSL — named variables with bounds,
+    sparse linear expressions, constraints, objective — and delegates the
+    solving to the exact rational {!Simplex} underneath.
+
+    All coefficients are exact rationals; the solver returns exact optimal
+    vertices, which is what makes period reconstruction (lcm of
+    denominators) possible at all. *)
+
+type var
+(** Opaque variable handle, valid only for the model that created it. *)
+
+type model
+
+type linexpr
+(** Sparse linear expression: finite map from variables to coefficients. *)
+
+type relation = Le | Ge | Eq
+
+type sense = Maximize | Minimize
+
+(** {1 Model construction} *)
+
+val create : unit -> model
+
+val add_var : ?lb:Rat.t option -> ?ub:Rat.t option -> model -> string -> var
+(** [add_var m name] declares a fresh variable.  Bounds default to
+    [lb = Some 0], [ub = None]; pass [~lb:None] for a free variable.
+    Names are for diagnostics and solution lookup; they must be unique.
+    @raise Invalid_argument on duplicate names or [lb > ub]. *)
+
+val var_name : model -> var -> string
+
+val find_var : model -> string -> var
+(** @raise Not_found if no variable has that name. *)
+
+val num_vars : model -> int
+val num_constraints : model -> int
+
+val add_constraint : ?name:string -> model -> linexpr -> relation -> Rat.t -> unit
+
+val set_objective : model -> sense -> linexpr -> unit
+
+(** {1 Linear expressions} *)
+
+val zero : linexpr
+val var : var -> linexpr
+val term : Rat.t -> var -> linexpr
+val add : linexpr -> linexpr -> linexpr
+val sub : linexpr -> linexpr -> linexpr
+val scale : Rat.t -> linexpr -> linexpr
+val neg : linexpr -> linexpr
+val of_terms : (Rat.t * var) list -> linexpr
+val sum : linexpr list -> linexpr
+val eval : (var -> Rat.t) -> linexpr -> Rat.t
+
+(** {1 Solving} *)
+
+type solution = {
+  objective : Rat.t;
+  values : (var -> Rat.t);
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+type solver =
+  | Tableau  (** the dense tableau {!Simplex} (default) *)
+  | Revised  (** the sparse-column {!Revised_simplex} *)
+
+val solve : ?rule:Simplex.pivot_rule -> ?solver:solver -> model -> result
+
+val value_by_name : model -> solution -> string -> Rat.t
+(** Convenience: look a variable up by name in a solution.
+    @raise Not_found if the name is unknown. *)
+
+(** {1 Validation and printing} *)
+
+val check_solution : model -> (var -> Rat.t) -> (string, string) Stdlib.result
+(** Re-evaluates every bound and constraint under the given assignment.
+    [Ok obj_string] if all hold exactly, [Error msg] naming the first
+    violated constraint otherwise.  Used by the test-suite to certify that
+    solver output is primal feasible, independent of the solver code. *)
+
+val pp : Format.formatter -> model -> unit
+(** Human-readable dump of the model (CPLEX-LP-like). *)

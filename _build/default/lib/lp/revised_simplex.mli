@@ -1,0 +1,27 @@
+(** Revised simplex over exact rationals.
+
+    Functionally equivalent to {!Simplex} (same standard form, same
+    outcomes) but algorithmically independent: the constraint matrix is
+    stored column-sparse and never modified; the algorithm maintains the
+    explicit basis inverse and prices columns through it.  On the sparse
+    LPs steady-state scheduling produces (each conservation row touches
+    a handful of variables) pricing is proportional to the number of
+    non-zeros rather than to [m * n].
+
+    Having two solvers is also a correctness instrument: the test-suite
+    checks they agree on random instances and the model layer can be
+    pointed at either. *)
+
+type outcome =
+  | Optimal of { values : Rat.t array; objective : Rat.t; pivots : int }
+  | Infeasible
+  | Unbounded
+
+val minimize :
+  ?rule:Simplex.pivot_rule ->
+  a:Rat.t array array ->
+  b:Rat.t array ->
+  c:Rat.t array ->
+  unit ->
+  outcome
+(** Same contract as {!Simplex.minimize}. *)

@@ -1,0 +1,241 @@
+(* Two-phase tableau simplex with exact rational arithmetic.
+
+   Phase 1 minimises the sum of one artificial variable per row starting
+   from the all-artificial identity basis; phase 2 re-prices with the true
+   costs, with artificial columns barred from entering.  The tableau
+   invariant maintained throughout: for every row [i], column
+   [basis.(i)] is the [i]-th unit vector, [rhs.(i) >= 0], and [red.(j)]
+   holds the reduced cost of column [j] for the current phase. *)
+
+module R = Rat
+
+type pivot_rule = Bland | Dantzig
+
+type outcome =
+  | Optimal of { values : R.t array; objective : R.t; pivots : int }
+  | Infeasible
+  | Unbounded
+
+type tableau = {
+  mutable rows : R.t array array; (* m x n_total *)
+  mutable rhs : R.t array; (* m *)
+  mutable basis : int array; (* m, column basic in each row *)
+  red : R.t array; (* n_total, reduced costs for current phase *)
+  mutable obj : R.t;
+  (* stored as MINUS the current objective value: with that sign
+     convention the reduced-cost row and the objective cell transform
+     under pivoting by exactly the same elimination rule as any other
+     row, cf. the classical (-z) tableau corner. *)
+  n_struct : int; (* structural columns: 0 .. n_struct-1 *)
+  n_total : int;
+  mutable pivots : int;
+}
+
+let pivot t p q =
+  (* make column q basic in row p *)
+  let row_p = t.rows.(p) in
+  let piv = row_p.(q) in
+  assert (R.sign piv > 0);
+  let inv = R.inv piv in
+  for j = 0 to t.n_total - 1 do
+    row_p.(j) <- R.mul row_p.(j) inv
+  done;
+  t.rhs.(p) <- R.mul t.rhs.(p) inv;
+  let eliminate coeffs rhs_get rhs_set =
+    let f = coeffs.(q) in
+    if not (R.is_zero f) then begin
+      for j = 0 to t.n_total - 1 do
+        coeffs.(j) <- R.sub coeffs.(j) (R.mul f row_p.(j))
+      done;
+      rhs_set (R.sub (rhs_get ()) (R.mul f t.rhs.(p)))
+    end
+  in
+  for i = 0 to Array.length t.rows - 1 do
+    if i <> p then
+      eliminate t.rows.(i) (fun () -> t.rhs.(i)) (fun v -> t.rhs.(i) <- v)
+  done;
+  eliminate t.red (fun () -> t.obj) (fun v -> t.obj <- v);
+  t.basis.(p) <- q;
+  t.pivots <- t.pivots + 1
+
+(* Recompute reduced costs and objective for cost vector [c] (length
+   n_total) given the current basis.  O(m * n). *)
+let reprice t c =
+  let m = Array.length t.rows in
+  Array.blit c 0 t.red 0 t.n_total;
+  t.obj <- R.zero;
+  for i = 0 to m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if not (R.is_zero cb) then begin
+      let row = t.rows.(i) in
+      for j = 0 to t.n_total - 1 do
+        t.red.(j) <- R.sub t.red.(j) (R.mul cb row.(j))
+      done;
+      t.obj <- R.sub t.obj (R.mul cb t.rhs.(i))
+    end
+  done
+
+exception Unbounded_exc
+
+(* One phase of the simplex loop.  [allowed j] filters entering columns
+   (phase 2 bars artificials). *)
+let optimise t rule allowed =
+  let m = Array.length t.rows in
+  let stall_limit = m + t.n_total in
+  let best_seen = ref t.obj in
+  let stall = ref 0 in
+  let bland_mode = ref (rule = Bland) in
+  let entering () =
+    if !bland_mode then begin
+      let rec go j =
+        if j >= t.n_total then None
+        else if allowed j && R.sign t.red.(j) < 0 then Some j
+        else go (j + 1)
+      in
+      go 0
+    end
+    else begin
+      let best = ref None in
+      for j = t.n_total - 1 downto 0 do
+        if allowed j && R.sign t.red.(j) < 0 then
+          match !best with
+          | Some jb when R.compare t.red.(jb) t.red.(j) <= 0 -> ()
+          | _ -> best := Some j
+      done;
+      !best
+    end
+  in
+  let leaving q =
+    (* min ratio rhs_i / rows_i_q over rows_i_q > 0; ties to the smallest
+       basis index (lexicographic safeguard, part of Bland's rule) *)
+    let best = ref None in
+    for i = 0 to m - 1 do
+      let a = t.rows.(i).(q) in
+      if R.sign a > 0 then begin
+        let ratio = R.div t.rhs.(i) a in
+        match !best with
+        | None -> best := Some (i, ratio)
+        | Some (ib, rb) ->
+          let cmp = R.compare ratio rb in
+          if cmp < 0 || (cmp = 0 && t.basis.(i) < t.basis.(ib)) then
+            best := Some (i, ratio)
+      end
+    done;
+    !best
+  in
+  let continue = ref true in
+  while !continue do
+    match entering () with
+    | None -> continue := false
+    | Some q ->
+      (match leaving q with
+      | None -> raise Unbounded_exc
+      | Some (p, _) ->
+        pivot t p q;
+        if (not !bland_mode) && rule = Dantzig then begin
+          (* t.obj = -z grows strictly whenever z improves *)
+          if R.compare t.obj !best_seen > 0 then begin
+            best_seen := t.obj;
+            stall := 0
+          end
+          else begin
+            incr stall;
+            if !stall > stall_limit then bland_mode := true
+          end
+        end)
+  done
+
+let minimize ?(rule = Dantzig) ~a ~b ~c () =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Simplex.minimize: |b| <> rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.minimize: ragged matrix")
+    a;
+  let n_total = n + m in
+  (* copy rows, flip signs so rhs >= 0, append artificial identity *)
+  let rows =
+    Array.init m (fun i ->
+        let flip = R.sign b.(i) < 0 in
+        let row = Array.make n_total R.zero in
+        for j = 0 to n - 1 do
+          row.(j) <- (if flip then R.neg a.(i).(j) else a.(i).(j))
+        done;
+        row.(n + i) <- R.one;
+        row)
+  in
+  let rhs = Array.init m (fun i -> R.abs b.(i)) in
+  let t =
+    {
+      rows;
+      rhs;
+      basis = Array.init m (fun i -> n + i);
+      red = Array.make n_total R.zero;
+      obj = R.zero;
+      n_struct = n;
+      n_total;
+      pivots = 0;
+    }
+  in
+  (* phase 1: minimise the sum of artificials *)
+  let c1 = Array.make n_total R.zero in
+  for j = n to n_total - 1 do
+    c1.(j) <- R.one
+  done;
+  reprice t c1;
+  (try optimise t rule (fun _ -> true)
+   with Unbounded_exc ->
+     (* phase-1 objective is bounded below by 0: cannot happen *)
+     assert false);
+  if R.sign t.obj < 0 then Infeasible (* phase-1 optimum z = -obj > 0 *)
+  else begin
+    (* drive remaining artificials out of the basis *)
+    let m_cur = Array.length t.rows in
+    let keep = Array.make m_cur true in
+    for i = 0 to m_cur - 1 do
+      if t.basis.(i) >= n then begin
+        (* basic artificial, necessarily at value 0 *)
+        let rec find j =
+          if j >= n then None
+          else if not (R.is_zero t.rows.(i).(j)) then Some j
+          else find (j + 1)
+        in
+        match find 0 with
+        | Some j ->
+          (* pivot on (i, j); the pivot may be negative, which is fine
+             here because rhs_i = 0 keeps the tableau feasible *)
+          if R.sign t.rows.(i).(j) < 0 then begin
+            for k = 0 to t.n_total - 1 do
+              t.rows.(i).(k) <- R.neg t.rows.(i).(k)
+            done;
+            t.rhs.(i) <- R.neg t.rhs.(i)
+          end;
+          pivot t i j
+        | None -> keep.(i) <- false (* redundant row *)
+      end
+    done;
+    if Array.exists not keep then begin
+      let filter arr =
+        let out = ref [] in
+        Array.iteri (fun i x -> if keep.(i) then out := x :: !out) arr;
+        Array.of_list (List.rev !out)
+      in
+      t.rows <- filter t.rows;
+      t.rhs <- filter t.rhs;
+      t.basis <- filter t.basis
+    end;
+    (* phase 2 *)
+    let c2 = Array.make n_total R.zero in
+    Array.blit c 0 c2 0 n;
+    reprice t c2;
+    match optimise t rule (fun j -> j < n) with
+    | () ->
+      let values = Array.make n R.zero in
+      Array.iteri
+        (fun i bj -> if bj < n then values.(bj) <- t.rhs.(i))
+        t.basis;
+      Optimal { values; objective = R.neg t.obj; pivots = t.pivots }
+    | exception Unbounded_exc -> Unbounded
+  end

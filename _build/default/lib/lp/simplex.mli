@@ -1,0 +1,36 @@
+(** Exact two-phase primal simplex over rationals.
+
+    Solves the standard form
+
+    {v minimize c.x   subject to   A x = b,  x >= 0 v}
+
+    with every coefficient an exact {!Rat.t}.  Degeneracy is handled by
+    pivot rules, not perturbation: {!Bland} never cycles; {!Dantzig}
+    (steepest reduced cost) is usually faster and falls back to Bland's
+    rule after a stall, so it terminates too.  The pivot-rule choice is an
+    ablation axis in the benchmark suite. *)
+
+type pivot_rule =
+  | Bland  (** smallest-index entering/leaving: provably cycle-free *)
+  | Dantzig
+      (** most-negative reduced cost, switching to Bland after
+          [rows + cols] pivots without objective improvement *)
+
+type outcome =
+  | Optimal of { values : Rat.t array; objective : Rat.t; pivots : int }
+      (** [values] has one entry per column of [a]. *)
+  | Infeasible
+  | Unbounded
+
+val minimize :
+  ?rule:pivot_rule ->
+  a:Rat.t array array ->
+  b:Rat.t array ->
+  c:Rat.t array ->
+  unit ->
+  outcome
+(** [minimize ~a ~b ~c ()] solves the standard form above.  [a] is an
+    array of [m] rows, each of length [n]; [b] has length [m]; [c] has
+    length [n].  Rows with negative [b] are negated internally (they are
+    equalities).  Inputs are not mutated.
+    @raise Invalid_argument on dimension mismatch. *)

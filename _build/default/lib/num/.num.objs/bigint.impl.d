@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Array Buffer Format List Printf Stdlib String

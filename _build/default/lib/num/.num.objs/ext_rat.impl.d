@@ -1,0 +1,1 @@
+lib/num/ext_rat.ml: Format Rat String

@@ -1,0 +1,1 @@
+lib/num/ext_rat.mli: Format Rat

@@ -1,0 +1,139 @@
+(* Normalised rationals over Bigint: den > 0, gcd(num, den) = 1, zero is
+   0/1.  Normalisation at construction keeps every operation canonical, so
+   structural equality of the representation coincides with numeric
+   equality. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make_raw num den = { num; den }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero
+  else if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.is_negative den then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den }
+    else { num = B.div num g; den = B.div den g }
+  end
+
+let zero = make_raw B.zero B.one
+let one = make_raw B.one B.one
+let two = make_raw B.two B.one
+let minus_one = make_raw B.minus_one B.one
+
+let of_bigint n = make_raw n B.one
+let of_int i = of_bigint (B.of_int i)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.is_one t.den
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators are positive) *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let hash t = (B.hash t.num * 65599) lxor B.hash t.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if B.is_negative t.num then make_raw (B.neg t.den) (B.neg t.num)
+  else make_raw t.den t.num
+
+let add a b =
+  if B.equal a.den b.den then make (B.add a.num b.num) a.den
+  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-reduce before multiplying to keep intermediates small *)
+  let g1 = B.gcd a.num b.den and g2 = B.gcd b.num a.den in
+  let g1 = if B.is_zero g1 then B.one else g1 in
+  let g2 = if B.is_zero g2 then B.one else g2 in
+  let n = B.mul (B.div a.num g1) (B.div b.num g2) in
+  let d = B.mul (B.div a.den g2) (B.div b.den g1) in
+  make n d
+
+let div a b = mul a (inv b)
+
+let mul_int t i = mul t (of_int i)
+let div_int t i = div t (of_int i)
+
+let floor t =
+  let q, r = B.divmod t.num t.den in
+  ignore r;
+  (* Bigint.divmod is Euclidean (0 <= r < den), so q is already the floor. *)
+  q
+
+let ceil t =
+  let q, r = B.divmod t.num t.den in
+  if B.is_zero r then q else B.succ q
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_int_exn t =
+  if is_integer t then B.to_int t.num
+  else failwith "Rat.to_int_exn: not an integer"
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = B.of_string (String.sub s 0 i) in
+    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    match String.index_opt s '.' with
+    | None -> of_bigint (B.of_string s)
+    | Some i ->
+      let whole = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      if frac = "" then invalid_arg "Rat.of_string: trailing dot"
+      else begin
+        let negative = String.length whole > 0 && whole.[0] = '-' in
+        let wpart = if whole = "" || whole = "-" || whole = "+" then B.zero
+          else B.of_string whole in
+        let scale = B.pow (B.of_int 10) (String.length frac) in
+        let fpart = make (B.of_string frac) scale in
+        let fpart = if negative then neg fpart else fpart in
+        add (of_bigint wpart) fpart
+      end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end
+
+let sum l = List.fold_left add zero l
+
+let lcm_denominators l =
+  List.fold_left (fun acc r -> B.lcm acc r.den) B.one l

@@ -1,0 +1,1 @@
+lib/platform/dot.ml: Buffer Ext_rat List Platform Printf Rat

@@ -1,0 +1,1 @@
+lib/platform/dot.mli: Platform

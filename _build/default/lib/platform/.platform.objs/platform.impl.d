@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Array Ext_rat Format Fun Hashtbl List Printf Queue Rat

@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Ext_rat Format Rat

@@ -1,0 +1,1 @@
+lib/platform/platform_gen.ml: Array Ext_rat Hashtbl List Platform Printf Random Rat

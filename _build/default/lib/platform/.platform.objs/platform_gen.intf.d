@@ -1,0 +1,1 @@
+lib/platform/platform_gen.mli: Ext_rat Platform Rat

@@ -1,0 +1,1 @@
+lib/platform/platform_parse.ml: Array Buffer Ext_rat Hashtbl List Platform Printf Rat String

@@ -1,0 +1,1 @@
+lib/platform/platform_parse.mli: Platform

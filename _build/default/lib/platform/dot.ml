@@ -1,0 +1,25 @@
+let of_platform ?(edge_labels = fun _ -> None) p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph platform {\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\\nw=%s\"];\n" (Platform.name p i)
+           (Platform.name p i)
+           (Ext_rat.to_string (Platform.weight p i))))
+    (Platform.nodes p);
+  List.iter
+    (fun e ->
+      let label =
+        match edge_labels e with
+        | Some l -> l
+        | None -> "c=" ^ Rat.to_string (Platform.edge_cost p e)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n"
+           (Platform.name p (Platform.edge_src p e))
+           (Platform.name p (Platform.edge_dst p e))
+           label))
+    (Platform.edges p);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

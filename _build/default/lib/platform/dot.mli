@@ -1,0 +1,8 @@
+(** Graphviz export of platforms, optionally annotated with per-edge
+    values (LP flows, schedule loads) for visual inspection of
+    reproduced figures. *)
+
+val of_platform :
+  ?edge_labels:(Platform.edge -> string option) -> Platform.t -> string
+(** DOT digraph; default edge labels are the costs, node labels carry the
+    weights.  [edge_labels] overrides the label of selected edges. *)

@@ -1,0 +1,253 @@
+module R = Rat
+module E = Ext_rat
+
+type node = int
+type edge = int
+
+type t = {
+  names : string array;
+  weights : E.t array;
+  srcs : int array;
+  dsts : int array;
+  costs : R.t array;
+  out_adj : edge list array; (* edge indices, ascending *)
+  in_adj : edge list array;
+  by_name : (string, node) Hashtbl.t;
+}
+
+let create ~names ~weights ~edges =
+  let p = Array.length names in
+  if Array.length weights <> p then
+    invalid_arg "Platform.create: |names| <> |weights|";
+  let by_name = Hashtbl.create (2 * p) in
+  Array.iteri
+    (fun i n ->
+      if n = "" then invalid_arg "Platform.create: empty node name";
+      if Hashtbl.mem by_name n then
+        invalid_arg (Printf.sprintf "Platform.create: duplicate name %S" n);
+      Hashtbl.add by_name n i)
+    names;
+  Array.iteri
+    (fun i w ->
+      match w with
+      | E.Inf -> ()
+      | E.Fin r ->
+        if R.sign r <= 0 then
+          invalid_arg
+            (Printf.sprintf "Platform.create: node %s has weight <= 0"
+               names.(i)))
+    weights;
+  let m = List.length edges in
+  let srcs = Array.make m 0 and dsts = Array.make m 0 in
+  let costs = Array.make m R.zero in
+  let seen = Hashtbl.create (2 * m) in
+  List.iteri
+    (fun k (i, j, c) ->
+      if i < 0 || i >= p || j < 0 || j >= p then
+        invalid_arg "Platform.create: edge endpoint out of range";
+      if i = j then invalid_arg "Platform.create: self-loop";
+      if R.sign c <= 0 then
+        invalid_arg
+          (Printf.sprintf "Platform.create: edge %s->%s has cost <= 0"
+             names.(i) names.(j));
+      if Hashtbl.mem seen (i, j) then
+        invalid_arg
+          (Printf.sprintf "Platform.create: duplicate edge %s->%s" names.(i)
+             names.(j));
+      Hashtbl.add seen (i, j) ();
+      srcs.(k) <- i;
+      dsts.(k) <- j;
+      costs.(k) <- c)
+    edges;
+  let out_adj = Array.make p [] and in_adj = Array.make p [] in
+  for k = m - 1 downto 0 do
+    out_adj.(srcs.(k)) <- k :: out_adj.(srcs.(k));
+    in_adj.(dsts.(k)) <- k :: in_adj.(dsts.(k))
+  done;
+  { names; weights; srcs; dsts; costs; out_adj; in_adj; by_name }
+
+let num_nodes t = Array.length t.names
+let num_edges t = Array.length t.srcs
+
+let name t i = t.names.(i)
+let weight t i = t.weights.(i)
+
+let speed t i =
+  match t.weights.(i) with E.Inf -> R.zero | E.Fin w -> R.inv w
+
+let find_node t n =
+  match Hashtbl.find_opt t.by_name n with
+  | Some i -> i
+  | None -> raise Not_found
+
+let nodes t = List.init (num_nodes t) Fun.id
+let edges t = List.init (num_edges t) Fun.id
+
+let edge_src t e = t.srcs.(e)
+let edge_dst t e = t.dsts.(e)
+let edge_cost t e = t.costs.(e)
+let out_edges t i = t.out_adj.(i)
+let in_edges t i = t.in_adj.(i)
+
+let find_edge t i j =
+  List.find_opt (fun e -> t.dsts.(e) = j) t.out_adj.(i)
+
+let edge_name t e =
+  Printf.sprintf "%s->%s" t.names.(t.srcs.(e)) t.names.(t.dsts.(e))
+
+let reachable_from t start =
+  let seen = Array.make (num_nodes t) false in
+  let rec go = function
+    | [] -> ()
+    | i :: rest ->
+      let next =
+        List.fold_left
+          (fun acc e ->
+            let j = t.dsts.(e) in
+            if seen.(j) then acc
+            else begin
+              seen.(j) <- true;
+              j :: acc
+            end)
+          rest t.out_adj.(i)
+      in
+      go next
+  in
+  seen.(start) <- true;
+  go [ start ];
+  seen
+
+let depth_from t start =
+  let dist = Array.make (num_nodes t) (-1) in
+  dist.(start) <- 0;
+  let q = Queue.create () in
+  Queue.add start q;
+  let maxd = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun e ->
+        let j = t.dsts.(e) in
+        if dist.(j) < 0 then begin
+          dist.(j) <- dist.(i) + 1;
+          if dist.(j) > !maxd then maxd := dist.(j);
+          Queue.add j q
+        end)
+      t.out_adj.(i)
+  done;
+  !maxd
+
+let is_spanning_from t start =
+  Array.for_all Fun.id (reachable_from t start)
+
+(* Dijkstra from a set of sources; returns per-node predecessor edge *)
+let dijkstra t sources =
+  let n = num_nodes t in
+  let dist = Array.make n None in
+  let via = Array.make n None in
+  let visited = Array.make n false in
+  List.iter (fun s -> dist.(s) <- Some R.zero) sources;
+  let rec pick () =
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if not visited.(i) then begin
+        match (dist.(i), !best) with
+        | Some d, Some (_, bd) when R.compare d bd < 0 -> best := Some (i, d)
+        | Some d, None -> best := Some (i, d)
+        | Some _, Some _ | None, _ -> ()
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some (u, du) ->
+      visited.(u) <- true;
+      List.iter
+        (fun e ->
+          let v = t.dsts.(e) in
+          let nd = R.add du t.costs.(e) in
+          match dist.(v) with
+          | Some old when R.compare old nd <= 0 -> ()
+          | Some _ | None ->
+            dist.(v) <- Some nd;
+            via.(v) <- Some e)
+        t.out_adj.(u);
+      pick ()
+  in
+  pick ();
+  (dist, via)
+
+let path_via t via sources dst =
+  let rec walk v acc =
+    if List.mem v sources then Some acc
+    else begin
+      match via.(v) with
+      | None -> None
+      | Some e -> walk t.srcs.(e) (e :: acc)
+    end
+  in
+  walk dst []
+
+let multi_source_shortest_path t ~sources dst =
+  if sources = [] then invalid_arg "Platform.multi_source_shortest_path: no sources";
+  if List.mem dst sources then Some []
+  else begin
+    let dist, via = dijkstra t sources in
+    match dist.(dst) with
+    | None -> None
+    | Some _ -> path_via t via sources dst
+  end
+
+let shortest_path t src dst = multi_source_shortest_path t ~sources:[ src ] dst
+
+let transpose t =
+  create ~names:(Array.copy t.names) ~weights:(Array.copy t.weights)
+    ~edges:
+      (List.init (num_edges t) (fun e -> (t.dsts.(e), t.srcs.(e), t.costs.(e))))
+
+let restrict_nodes t ~keep =
+  let old_of_new = ref [] in
+  let new_of_old = Array.make (num_nodes t) (-1) in
+  let count = ref 0 in
+  for i = 0 to num_nodes t - 1 do
+    if keep i then begin
+      new_of_old.(i) <- !count;
+      old_of_new := i :: !old_of_new;
+      incr count
+    end
+  done;
+  let old_of_new = Array.of_list (List.rev !old_of_new) in
+  let edges =
+    List.filter_map
+      (fun e ->
+        let i = t.srcs.(e) and j = t.dsts.(e) in
+        if new_of_old.(i) >= 0 && new_of_old.(j) >= 0 then
+          Some (new_of_old.(i), new_of_old.(j), t.costs.(e))
+        else None)
+      (edges t)
+  in
+  let sub =
+    create
+      ~names:(Array.map (fun i -> t.names.(i)) old_of_new)
+      ~weights:(Array.map (fun i -> t.weights.(i)) old_of_new)
+      ~edges
+  in
+  (sub, old_of_new)
+
+let pp ppf t =
+  Format.fprintf ppf "platform: %d nodes, %d edges@." (num_nodes t)
+    (num_edges t);
+  Array.iteri
+    (fun i n -> Format.fprintf ppf "  node %s w=%a@." n E.pp t.weights.(i))
+    t.names;
+  for e = 0 to num_edges t - 1 do
+    Format.fprintf ppf "  edge %s c=%a@." (edge_name t e) R.pp t.costs.(e)
+  done
+
+let equal a b =
+  num_nodes a = num_nodes b
+  && num_edges a = num_edges b
+  && a.names = b.names
+  && Array.for_all2 E.equal a.weights b.weights
+  && a.srcs = b.srcs
+  && a.dsts = b.dsts
+  && Array.for_all2 R.equal a.costs b.costs

@@ -1,0 +1,102 @@
+(** The platform model of §2.
+
+    A platform is a node-weighted edge-weighted directed graph
+    [G = (V, E, w, c)]: node [Pi] needs [w_i] time units per computational
+    unit ([w_i = +oo] for a node that can only forward data), and edge
+    [e_ij] needs [c_ij] time units per data unit.  Edges are oriented; a
+    full-duplex physical link is two edges.  All [c_ij] are finite and
+    positive — a missing link is simply an absent edge.
+
+    The operation mode is the {e full-overlap, single-port} model: a node
+    can simultaneously receive from at most one neighbour, send to at most
+    one neighbour, and compute. *)
+
+type t
+
+type node = int
+(** Dense indices [0 .. num_nodes-1]. *)
+
+type edge = int
+(** Dense indices [0 .. num_edges-1]. *)
+
+(** {1 Construction} *)
+
+val create :
+  names:string array ->
+  weights:Ext_rat.t array ->
+  edges:(int * int * Rat.t) list ->
+  t
+(** [create ~names ~weights ~edges] builds a platform.  [weights.(i)] is
+    [w_i]; each [(i, j, c)] in [edges] is an oriented link with cost
+    [c > 0].  Validation: array lengths agree, names unique and non-empty,
+    no finite non-positive weight, costs positive, endpoints in range, no
+    self-loops, no duplicate [(i, j)] edges.
+    @raise Invalid_argument if any check fails. *)
+
+(** {1 Size} *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+(** {1 Nodes} *)
+
+val name : t -> node -> string
+val weight : t -> node -> Ext_rat.t
+
+val speed : t -> node -> Rat.t
+(** [1 / w_i]; zero when [w_i = +oo].  This is the rate at which the node
+    processes computational units, the form in which [w_i] enters LPs. *)
+
+val find_node : t -> string -> node
+(** @raise Not_found on unknown name. *)
+
+val nodes : t -> node list
+
+(** {1 Edges} *)
+
+val edge_src : t -> edge -> node
+val edge_dst : t -> edge -> node
+val edge_cost : t -> edge -> Rat.t
+val edges : t -> edge list
+val out_edges : t -> node -> edge list
+val in_edges : t -> node -> edge list
+val find_edge : t -> node -> node -> edge option
+val edge_name : t -> edge -> string
+(** ["src->dst"] using node names; for diagnostics and LP variable names. *)
+
+(** {1 Graph queries} *)
+
+val reachable_from : t -> node -> bool array
+(** Nodes reachable by directed paths (including the start node). *)
+
+val depth_from : t -> node -> int
+(** Eccentricity of [node] over its reachable set (BFS hop count): the
+    number of periods needed to ramp into steady state is bounded by this
+    (§4.2). *)
+
+val is_spanning_from : t -> node -> bool
+(** All nodes reachable from [node]? *)
+
+val shortest_path : t -> node -> node -> edge list option
+(** Minimum-cost directed path under the edge costs (Dijkstra); [None]
+    if unreachable, [Some []] when source = destination. *)
+
+val multi_source_shortest_path :
+  t -> sources:node list -> node -> edge list option
+(** Cheapest path from {e any} of the sources to the destination — the
+    building block of cheapest-insertion Steiner heuristics. *)
+
+val transpose : t -> t
+(** Platform with every edge reversed (costs kept) — reduce operations
+    are scatters on the transposed platform (§4.2). *)
+
+val restrict_nodes : t -> keep:(node -> bool) -> t * node array
+(** Induced sub-platform on the kept nodes; also returns the array
+    mapping new indices to old ones. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+(** Structural equality (same names, weights, edges and costs, in the
+    same index order). *)

@@ -1,0 +1,172 @@
+module R = Rat
+module E = Ext_rat
+
+let mirror edges = List.concat_map (fun (i, j, c) -> [ (i, j, c); (j, i, c) ]) edges
+
+(* Figure 1: P1..P6 with drawn links 1-2, 1-3, 2-4, 2-5, 3-6, 4-5, 5-6.
+   Numeric values are ours (the figure is symbolic); chosen heterogeneous
+   and small so periods stay readable. *)
+let figure1 () =
+  let names = [| "P1"; "P2"; "P3"; "P4"; "P5"; "P6" |] in
+  let w = List.map E.of_int [ 3; 2; 3; 1; 4; 2 ] in
+  let weights = Array.of_list w in
+  let c = R.of_int in
+  let links =
+    [
+      (0, 1, c 1); (* c12 *)
+      (0, 2, c 2); (* c13 *)
+      (1, 3, c 1); (* c24 *)
+      (1, 4, c 3); (* c25 *)
+      (2, 5, c 2); (* c36 *)
+      (3, 4, c 1); (* c45 *)
+      (4, 5, c 1); (* c56 *)
+    ]
+  in
+  Platform.create ~names ~weights ~edges:(mirror links)
+
+(* Figure 2: oriented edges, unit costs except c(P3->P4) = 2.  The edge
+   set is recovered from Figures 3(a)-(d): the per-target flows use
+   routes P0->P1->P5, P0->P2->P3->P4->P5 (target P5) and
+   P0->P1->P3->P4->P6, P0->P2->P6 (target P6); edge P3->P4 is the one
+   carrying one [a] and one [b] message per period. *)
+let multicast_fig2 () =
+  let names = [| "P0"; "P1"; "P2"; "P3"; "P4"; "P5"; "P6" |] in
+  (* pure routers: computation plays no role in the multicast problem *)
+  let weights = Array.make 7 E.inf in
+  let one = R.one and two = R.two in
+  let edges =
+    [
+      (0, 1, one);
+      (0, 2, one);
+      (1, 5, one);
+      (1, 3, one);
+      (2, 3, one);
+      (2, 6, one);
+      (3, 4, two);
+      (4, 5, one);
+      (4, 6, one);
+    ]
+  in
+  (Platform.create ~names ~weights ~edges, 0, [ 5; 6 ])
+
+let star ~master_weight ~slaves () =
+  let k = List.length slaves in
+  let names =
+    Array.init (k + 1) (fun i -> if i = 0 then "M" else Printf.sprintf "S%d" i)
+  in
+  let weights =
+    Array.of_list (master_weight :: List.map fst slaves)
+  in
+  let links = List.mapi (fun i (_, c) -> (0, i + 1, c)) slaves in
+  Platform.create ~names ~weights ~edges:(mirror links)
+
+let chain ~weights ~cost () =
+  let n = List.length weights in
+  if n < 2 then invalid_arg "Platform_gen.chain: need >= 2 nodes";
+  let names = Array.init n (fun i -> Printf.sprintf "P%d" i) in
+  let links = List.init (n - 1) (fun i -> (i, i + 1, cost)) in
+  Platform.create ~names ~weights:(Array.of_list weights)
+    ~edges:(mirror links)
+
+let rand_rat st lo hi den =
+  (* rational in [lo, hi] with denominator dividing den *)
+  let span = (hi - lo) * den in
+  R.of_ints ((lo * den) + Random.State.int st (span + 1)) den
+
+let random_tree ~seed ~nodes () =
+  if nodes < 1 then invalid_arg "Platform_gen.random_tree: need >= 1 node";
+  let st = Random.State.make [| seed; nodes |] in
+  let names = Array.init nodes (fun i -> Printf.sprintf "P%d" i) in
+  let weights =
+    Array.init nodes (fun _ -> E.of_rat (rand_rat st 1 10 2))
+  in
+  let links =
+    List.init (nodes - 1) (fun i ->
+        let child = i + 1 in
+        let parent = Random.State.int st child in
+        (parent, child, rand_rat st 1 5 2))
+  in
+  Platform.create ~names ~weights ~edges:(mirror links)
+
+let random_graph ~seed ~nodes ~extra_edges () =
+  if nodes < 2 then invalid_arg "Platform_gen.random_graph: need >= 2 nodes";
+  let st = Random.State.make [| seed; nodes; extra_edges; 17 |] in
+  let names = Array.init nodes (fun i -> Printf.sprintf "P%d" i) in
+  let weights =
+    Array.init nodes (fun _ -> E.of_rat (rand_rat st 1 10 2))
+  in
+  let seen = Hashtbl.create 64 in
+  let links = ref [] in
+  let add i j =
+    if i <> j && not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      Hashtbl.add seen (j, i) ();
+      links := (i, j, rand_rat st 1 5 2) :: !links;
+      true
+    end
+    else false
+  in
+  for child = 1 to nodes - 1 do
+    ignore (add (Random.State.int st child) child)
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 50 * (extra_edges + 1) do
+    incr attempts;
+    let i = Random.State.int st nodes and j = Random.State.int st nodes in
+    if add i j then incr added
+  done;
+  Platform.create ~names ~weights ~edges:(mirror !links)
+
+let mesh ~seed ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Platform_gen.mesh: bad dims";
+  let st = Random.State.make [| seed; rows; cols; 31 |] in
+  let idx i j = (i * cols) + j in
+  let names =
+    Array.init (rows * cols) (fun k ->
+        Printf.sprintf "G%d_%d" (k / cols) (k mod cols))
+  in
+  let weights =
+    Array.init (rows * cols) (fun _ -> E.of_rat (rand_rat st 1 6 2))
+  in
+  let links = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if i + 1 < rows then
+        links := (idx i j, idx (i + 1) j, rand_rat st 1 3 4) :: !links;
+      if j + 1 < cols then
+        links := (idx i j, idx i (j + 1), rand_rat st 1 3 4) :: !links
+    done
+  done;
+  Platform.create ~names ~weights ~edges:(mirror !links)
+
+let clusters ~seed ~clusters ~per_cluster () =
+  if clusters < 1 then invalid_arg "Platform_gen.clusters: need >= 1";
+  let st = Random.State.make [| seed; clusters; per_cluster; 23 |] in
+  let total = clusters * (per_cluster + 1) in
+  let head c = c * (per_cluster + 1) in
+  let names =
+    Array.init total (fun i ->
+        let c = i / (per_cluster + 1) and r = i mod (per_cluster + 1) in
+        if r = 0 then Printf.sprintf "H%d" c else Printf.sprintf "N%d_%d" c r)
+  in
+  let weights =
+    Array.init total (fun i ->
+        let r = i mod (per_cluster + 1) in
+        if r = 0 then E.inf (* heads route, they do not compute *)
+        else E.of_rat (rand_rat st 1 8 2))
+  in
+  let links = ref [] in
+  (* slow backbone ring between heads *)
+  if clusters = 2 then links := (head 0, head 1, rand_rat st 4 8 1) :: !links
+  else if clusters > 2 then
+    for c = 0 to clusters - 1 do
+      links := (head c, head ((c + 1) mod clusters), rand_rat st 4 8 1) :: !links
+    done;
+  (* fast local links *)
+  for c = 0 to clusters - 1 do
+    for r = 1 to per_cluster do
+      links := (head c, head c + r, rand_rat st 1 2 4) :: !links
+    done
+  done;
+  Platform.create ~names ~weights ~edges:(mirror !links)

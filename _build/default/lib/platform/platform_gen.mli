@@ -1,0 +1,54 @@
+(** Platform generators: the paper's exemplar platforms plus synthetic
+    families used by the experiments and benches.
+
+    All random generators are deterministic in their [seed]; every edge
+    they emit is mirrored (two oriented edges per physical link) unless
+    stated otherwise. *)
+
+val figure1 : unit -> Platform.t
+(** The 6-node platform of Figure 1.  The paper labels nodes and edges
+    symbolically ([w_i], [c_ij]) without numeric values; we fix concrete
+    heterogeneous values (documented in EXPERIMENTS.md) with [P1] as the
+    master.  Links are full duplex: each drawn edge becomes two oriented
+    edges.  Node names ["P1" .. "P6"]. *)
+
+val multicast_fig2 : unit -> Platform.t * Platform.node * Platform.node list
+(** The 7-node multicast counterexample platform of Figure 2, with unit
+    edge costs except [c(P3->P4) = 2], reconstructed from the flows in
+    Figures 3(a)-(d).  Returns [(platform, source P0, targets [P5; P6])].
+    Edges are oriented exactly as in the figure (no mirrors): this is the
+    platform on which the max-based multicast LP reaches throughput 1
+    while no actual schedule does. *)
+
+val star :
+  master_weight:Ext_rat.t ->
+  slaves:(Ext_rat.t * Rat.t) list ->
+  unit ->
+  Platform.t
+(** Single-level master–slave star: [slaves] gives each slave's weight
+    and its (full-duplex) link cost.  Node 0 is the master ["M"]; slaves
+    are ["S1" .. "Sk"]. *)
+
+val chain : weights:Ext_rat.t list -> cost:Rat.t -> unit -> Platform.t
+(** Linear chain [P0 -> P1 -> ... ] with uniform full-duplex link cost. *)
+
+val random_tree : seed:int -> nodes:int -> unit -> Platform.t
+(** Random heterogeneous tree rooted at node 0: weights in [1, 10],
+    costs in [1, 5] (rationals with small denominators), full duplex. *)
+
+val random_graph :
+  seed:int -> nodes:int -> extra_edges:int -> unit -> Platform.t
+(** Random connected platform: a random spanning tree plus [extra_edges]
+    random chords, heterogeneous weights and costs, full duplex.
+    Cycles and multiple routes exercise the general-graph code paths. *)
+
+val mesh : seed:int -> rows:int -> cols:int -> unit -> Platform.t
+(** 2D mesh (grid) of computing nodes with full-duplex nearest-neighbour
+    links — the classic regular-topology stress test for the relaying
+    machinery.  Heterogeneous weights, mildly varying link costs. *)
+
+val clusters :
+  seed:int -> clusters:int -> per_cluster:int -> unit -> Platform.t
+(** Two-level grid-like platform: cluster heads connected in a ring by
+    slow backbone links, each head serving [per_cluster] local nodes over
+    fast links — the "cluster of clusters" shape of actual grids. *)

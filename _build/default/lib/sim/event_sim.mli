@@ -1,0 +1,93 @@
+(** Discrete-event simulator of the full-overlap one-port platform model
+    (§2 of the paper).
+
+    The simulator is the stand-in for the heterogeneous testbed the paper
+    assumes: schedules — reconstructed periodic ones and online baselines
+    alike — are executed against it, and measured throughput is compared
+    with LP bounds.  Time is an exact rational, so "the schedule meets
+    the bound" is an equality test.
+
+    Each node owns three unit-capacity resources: a send port, a receive
+    port and a CPU.  A transfer over edge [e : Pi -> Pj] occupies
+    [Send Pi] and [Recv Pj] for [size * c_e] time units; a computation
+    occupies [Cpu Pi] for [work * w_i].  Resource speeds can follow
+    piecewise-constant traces (multiplier 1 = nominal, 0 = outage), which
+    is how dynamic-platform experiments (§5.5) inject load variation.
+
+    Two submission modes:
+    - {b queued} (default): operations wait until their resources free
+      up (FIFO by submission time, work-conserving) — for demand-driven
+      controllers;
+    - {b strict}: submitting while a needed resource is busy raises
+      {!Conflict} — executing a reconstructed schedule in strict mode is
+      a machine-checked proof that it respects the one-port model. *)
+
+type t
+
+type op_kind =
+  | Compute of Platform.node * Rat.t (** node, work in computational units *)
+  | Transfer of Platform.edge * Rat.t (** edge, size in data units *)
+
+type resource =
+  | Cpu of Platform.node
+  | Send of Platform.node
+  | Recv of Platform.node
+
+exception Conflict of string
+(** Raised by strict submissions that violate the one-port (or
+    CPU-exclusivity) model. *)
+
+type trace = (Rat.t * Rat.t) list
+(** Piecewise-constant speed multiplier: [(t, m)] means "multiplier [m]
+    from time [t] on".  Implicit start is multiplier 1 at time 0.  Times
+    must be non-negative and strictly increasing; multipliers must be
+    non-negative ([0] = outage). *)
+
+val create :
+  ?cpu_traces:(Platform.node * trace) list ->
+  ?bw_traces:(Platform.edge * trace) list ->
+  ?log:(Rat.t -> string -> unit) ->
+  Platform.t ->
+  t
+
+val platform : t -> Platform.t
+val now : t -> Rat.t
+
+val submit :
+  ?strict:bool -> ?on_done:(t -> unit) -> t -> op_kind -> unit
+(** Submit an operation.  [on_done] fires when it completes (and may
+    submit further operations).  Zero-work operations complete at the
+    current time, still through the event queue.
+    @raise Conflict in strict mode if a needed resource is busy.
+    @raise Invalid_argument on negative work/size. *)
+
+val at : t -> Rat.t -> (t -> unit) -> unit
+(** Run a callback at an absolute time ([>= now]).
+    @raise Invalid_argument on times in the past. *)
+
+val run_until : t -> Rat.t -> unit
+(** Process events up to and including the given time; [now] afterwards
+    equals that time. *)
+
+val run : t -> unit
+(** Process events until the queue is empty (queued operations that can
+    never start, e.g. after an outage with no recovery, are reported via
+    {!pending_ops}). *)
+
+(** {1 Measurements} *)
+
+val completed_work : t -> Platform.node -> Rat.t
+(** Total computational units finished on this node so far. *)
+
+val completed_compute_count : t -> Platform.node -> int
+val transferred : t -> Platform.edge -> Rat.t
+(** Total data units whose transfer over this edge has completed. *)
+
+val busy_time : t -> resource -> Rat.t
+(** Total time this resource has been occupied (outage time while an
+    operation is stalled on it counts as busy). *)
+
+val pending_ops : t -> int
+(** Operations submitted but not yet started. *)
+
+val running_ops : t -> int

@@ -1,0 +1,5 @@
+  $ steady-cli solve-ms demo.platform --master M --periods 4
+  $ steady-cli solve-scatter demo.platform -m M -t A,B --periods 4
+  $ steady-cli solve-multicast demo.platform -m M -t A,B
+  $ steady-cli solve-ms demo.platform --master Z
+  $ steady-cli dot demo.platform | head -3

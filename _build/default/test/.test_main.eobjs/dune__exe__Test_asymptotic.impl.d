@@ -1,0 +1,1 @@
+test/test_asymptotic.ml: Alcotest Array Asymptotic Lazy List Master_slave Platform_gen Printf Rat Schedule Startup_costs

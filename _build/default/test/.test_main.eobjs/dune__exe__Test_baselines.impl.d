@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Ext_rat Platform Platform_gen Rat

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Bytes Char List Printf QCheck QCheck_alcotest Random

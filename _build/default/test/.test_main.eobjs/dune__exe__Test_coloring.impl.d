@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Bipartite_coloring List Printf QCheck QCheck_alcotest Rat String

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag_sched Lazy List Master_slave Platform Platform_gen Printf QCheck QCheck_alcotest Rat

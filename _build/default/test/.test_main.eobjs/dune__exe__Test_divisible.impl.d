@@ -1,0 +1,1 @@
+test/test_divisible.ml: Alcotest Divisible Ext_rat List Master_slave Platform Platform_gen Printf QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dynamic_sched Ext_rat List Platform_gen Rat

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest All_to_all Array Bipartite_coloring Collective Divisible Ext_rat Fun List Master_slave Multiport Option Platform Platform_gen Printf Rat Scatter

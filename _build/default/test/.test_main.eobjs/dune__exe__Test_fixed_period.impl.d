@@ -1,0 +1,1 @@
+test/test_fixed_period.ml: Alcotest Array Event_sim Fixed_period Lazy List Master_slave Platform Platform_gen Printf QCheck QCheck_alcotest Rat Schedule

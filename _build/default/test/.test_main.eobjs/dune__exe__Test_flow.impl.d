@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Ext_rat Flow List Platform Platform_gen QCheck QCheck_alcotest Random Rat

@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Forecast List QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_master_slave.ml: Alcotest Array Ext_rat Flow List Lp Master_slave Platform Platform_gen Printf QCheck QCheck_alcotest Rat Schedule

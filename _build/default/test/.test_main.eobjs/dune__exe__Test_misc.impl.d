@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bigint Event_sim Exp_common Experiments Ext_rat Filename Format List Lp Platform Platform_gen Platform_parse Rat String Sys

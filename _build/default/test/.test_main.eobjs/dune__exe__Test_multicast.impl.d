@@ -1,0 +1,1 @@
+test/test_multicast.ml: Alcotest Array Broadcast Collective Ext_rat Hashtbl List Multicast Platform Platform_gen Printf QCheck QCheck_alcotest Rat Schedule

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Dot Ext_rat List Platform Platform_gen Platform_parse QCheck QCheck_alcotest Rat String

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Ext_rat List QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_reduce.ml: Alcotest Collective Ext_rat Platform Platform_gen Rat Reduce_op

@@ -1,0 +1,1 @@
+test/test_scatter.ml: Alcotest Array Collective Ext_rat List Platform Platform_gen Printf QCheck QCheck_alcotest Rat Reduce_op Scatter Schedule

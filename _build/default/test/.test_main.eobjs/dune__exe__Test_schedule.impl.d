@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Event_sim Ext_rat List Platform Platform_gen QCheck QCheck_alcotest Random Rat Schedule String

@@ -1,0 +1,1 @@
+test/test_send_receive.ml: Alcotest Array Ext_rat List Master_slave Platform Platform_gen Rat Send_receive

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Event_sim Ext_rat List Platform Printf QCheck QCheck_alcotest Rat String

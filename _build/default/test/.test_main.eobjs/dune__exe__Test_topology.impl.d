@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Ext_rat List Master_slave Option Platform Platform_gen Rat Topology_probe

@@ -1,0 +1,43 @@
+The CLI solves master-slave tasking end to end:
+
+  $ steady-cli solve-ms demo.platform --master M --periods 4
+  ntask(G) = 3/2 tasks per time unit
+  
+    M          alpha = 1        tasks/time = 1/2
+    A          alpha = 1        tasks/time = 1
+    B          alpha = 0        tasks/time = 0
+  
+  period 2, 1 slot(s)
+    [0, 2): M->A kind=0 items=2
+    compute M: 1 per period
+    compute A: 2 per period
+    delays: M:0 A:1 B:0
+  
+  simulated 4 periods: 10 tasks (bound 12, strict one-port: ok)
+
+Scatter throughput and deliveries:
+
+  $ steady-cli solve-scatter demo.platform -m M -t A,B --periods 4
+  scatter throughput TP = 1/3 messages per time unit
+    delivered to A over 12 time units: 4
+    delivered to B over 12 time units: 4
+
+The multicast bracket warns when the bound is out of reach:
+
+  $ steady-cli solve-multicast demo.platform -m M -t A,B
+  max-LP upper bound : 1/3
+  scatter lower bound: 1/3
+  best tree packing  : 1/3  (1 trees)
+
+Unknown nodes are reported cleanly:
+
+  $ steady-cli solve-ms demo.platform --master Z
+  error: unknown node "Z"
+  [1]
+
+Platform files round-trip through the DOT exporter:
+
+  $ steady-cli dot demo.platform | head -3
+  digraph platform {
+    M [label="M\nw=2"];
+    A [label="A\nw=1"];

@@ -1,0 +1,151 @@
+(* Tests for §4.2 asymptotic optimality wrappers. *)
+
+module R = Rat
+module A = Asymptotic
+
+let rat = Alcotest.testable R.pp R.equal
+
+let fig1_sol = lazy (Master_slave.solve (Platform_gen.figure1 ()) ~master:0)
+
+let test_monotone_ratio () =
+  let sol = Lazy.force fig1_sol in
+  let pts = A.ratio_series sol ~task_counts:[ 16; 64; 256; 1024; 4096 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ratio non-increasing" true
+        (a.A.ratio >= b.A.ratio -. 1e-12);
+      decreasing rest
+    | [ _ ] | [] -> ()
+  in
+  decreasing pts;
+  let last = List.nth pts (List.length pts - 1) in
+  Alcotest.(check bool) "close to 1 at n=4096" true (last.A.ratio < 1.02)
+
+let test_ratio_above_one () =
+  let sol = Lazy.force fig1_sol in
+  List.iter
+    (fun n ->
+      let pt = A.makespan_for sol ~tasks:n in
+      Alcotest.(check bool) "makespan >= lower bound" true
+        R.Infix.(pt.A.makespan >= pt.A.lower_bound))
+    [ 1; 7; 50; 333 ]
+
+let test_periods_consistent () =
+  let sol = Lazy.force fig1_sol in
+  let sched = Master_slave.schedule sol in
+  let pt = A.makespan_for sol ~tasks:100 in
+  Alcotest.check rat "makespan = periods * T"
+    (R.mul (R.of_int pt.A.periods) sched.Schedule.period)
+    pt.A.makespan
+
+let test_simulated_point () =
+  let sol = Lazy.force fig1_sol in
+  let pt, completed = A.simulate_point sol ~tasks:40 in
+  Alcotest.(check bool) "simulator finished at least n tasks" true
+    R.Infix.(completed >= R.of_int 40);
+  Alcotest.(check bool) "not absurdly many periods" true (pt.A.periods < 100)
+
+let test_invalid_args () =
+  let sol = Lazy.force fig1_sol in
+  Alcotest.(check bool) "zero tasks rejected" true
+    (try ignore (A.makespan_for sol ~tasks:0); false
+     with Invalid_argument _ -> true)
+
+let test_closed_form_matches_scan () =
+  (* the linear-regime shortcut must agree with naive counting *)
+  let sol = Lazy.force fig1_sol in
+  let sched = Master_slave.schedule sol in
+  let naive n =
+    let rec go k =
+      let done_ =
+        R.sum
+          (List.map
+             (fun (i, per) ->
+               let a = k - sched.Schedule.delays.(i) in
+               if a > 0 then R.mul (R.of_int a) per else R.zero)
+             sched.Schedule.compute)
+      in
+      if R.compare done_ (R.of_int n) >= 0 then k else go (k + 1)
+    in
+    go 1
+  in
+  List.iter
+    (fun n ->
+      let pt = A.makespan_for sol ~tasks:n in
+      Alcotest.(check int) (Printf.sprintf "periods for n=%d" n) (naive n)
+        pt.A.periods)
+    [ 1; 5; 17; 100; 1000 ]
+
+(* --- startup costs (§5.2) --- *)
+
+module SC = Startup_costs
+
+let startup_two _ = R.two
+
+let test_recommended_m_grows () =
+  let sol = Lazy.force fig1_sol in
+  let m1 = SC.recommended_m sol ~tasks:100 in
+  let m2 = SC.recommended_m sol ~tasks:10000 in
+  Alcotest.(check bool) "m grows with n" true (m2 > m1);
+  (* m = ceil(sqrt(n/ntask)): check the defining inequalities *)
+  let q = R.div (R.of_int 10000) sol.Master_slave.ntask in
+  let sq = R.of_int (m2 * m2) in
+  let sq_prev = R.of_int ((m2 - 1) * (m2 - 1)) in
+  Alcotest.(check bool) "m^2 >= n/ntask" true R.Infix.(sq >= q);
+  Alcotest.(check bool) "(m-1)^2 < n/ntask" true R.Infix.(sq_prev < q)
+
+let test_startup_ratio_decreases () =
+  let sol = Lazy.force fig1_sol in
+  let pts = SC.ratio_series sol ~startup:startup_two ~task_counts:[ 100; 1000; 10000; 100000 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "startup ratio decreasing" true
+        (a.SC.ratio >= b.SC.ratio);
+      decreasing rest
+    | [ _ ] | [] -> ()
+  in
+  decreasing pts
+
+let test_startup_worse_than_free () =
+  (* with start-ups the makespan can only grow *)
+  let sol = Lazy.force fig1_sol in
+  let plain = A.makespan_for sol ~tasks:500 in
+  let with_startup = SC.makespan_for sol ~startup:startup_two ~tasks:500 in
+  Alcotest.(check bool) "startups cost time" true
+    R.Infix.(with_startup.SC.makespan >= plain.A.makespan)
+
+let test_grouped_simulation_feasible () =
+  (* strict execution of the grouped schedule must not conflict, and
+     must deliver the analytic number of tasks *)
+  let sol = Lazy.force fig1_sol in
+  let g = SC.group sol ~startup:startup_two ~m:3 in
+  let completed = SC.simulate_grouped g ~startup:startup_two ~mega_periods:4 in
+  Alcotest.(check bool) "some work done" true R.Infix.(completed > R.zero);
+  (* mega-period holds m periods of work after ramp-up *)
+  Alcotest.(check bool) "at most the steady-state volume" true
+    R.Infix.(completed <= R.mul (R.of_int 4) g.SC.tasks_per_mega)
+
+let test_group_validation () =
+  let sol = Lazy.force fig1_sol in
+  Alcotest.(check bool) "m=0 rejected" true
+    (try ignore (SC.group sol ~startup:startup_two ~m:0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative startup rejected" true
+    (try ignore (SC.group sol ~startup:(fun _ -> R.minus_one) ~m:1); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "asymptotic",
+    [
+      Alcotest.test_case "ratio decreases to 1" `Quick test_monotone_ratio;
+      Alcotest.test_case "ratio above 1" `Quick test_ratio_above_one;
+      Alcotest.test_case "periods consistent" `Quick test_periods_consistent;
+      Alcotest.test_case "simulated point" `Quick test_simulated_point;
+      Alcotest.test_case "invalid args" `Quick test_invalid_args;
+      Alcotest.test_case "closed form = scan" `Quick test_closed_form_matches_scan;
+      Alcotest.test_case "recommended m" `Quick test_recommended_m_grows;
+      Alcotest.test_case "startup ratio decreases" `Quick test_startup_ratio_decreases;
+      Alcotest.test_case "startups cost time" `Quick test_startup_worse_than_free;
+      Alcotest.test_case "grouped sim feasible" `Quick test_grouped_simulation_feasible;
+      Alcotest.test_case "group validation" `Quick test_group_validation;
+    ] )

@@ -1,0 +1,109 @@
+(* Tests for the online baselines and the motivation gap (E16). *)
+
+module R = Rat
+module B = Baselines
+
+let ri = R.of_int
+
+let hetero_star () =
+  Platform_gen.star ~master_weight:(Ext_rat.of_int 2)
+    ~slaves:
+      [
+        (Ext_rat.of_int 1, ri 1);
+        (Ext_rat.of_int 1, ri 4);
+        (Ext_rat.of_int 4, ri 1);
+      ]
+    ()
+
+let test_baselines_below_bound () =
+  let p = hetero_star () in
+  let h = ri 100 in
+  let bound = B.steady_state_bound p ~master:0 h in
+  let dd = B.demand_driven p ~master:0 ~horizon:h in
+  let rr = B.round_robin p ~master:0 ~horizon:h in
+  Alcotest.(check bool) "demand-driven below bound" true
+    R.Infix.(dd.B.completed <= bound);
+  Alcotest.(check bool) "round-robin below bound" true
+    R.Infix.(rr.B.completed <= bound);
+  (* the heterogeneity gap the paper motivates: naive protocols lose a
+     significant fraction on this platform *)
+  Alcotest.(check bool) "steady state wins clearly" true
+    R.Infix.(R.mul (ri 5) dd.B.completed <= R.mul (ri 4) bound)
+
+let test_homogeneous_near_optimal () =
+  (* on a homogeneous star with cheap links, demand-driven is close to
+     the optimum: heterogeneity is what kills it *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 4, R.one); (Ext_rat.of_int 4, R.one) ]
+      ()
+  in
+  let h = ri 100 in
+  let bound = B.steady_state_bound p ~master:0 h in
+  let dd = B.demand_driven ~outstanding:2 p ~master:0 ~horizon:h in
+  (* within 10% of the bound *)
+  Alcotest.(check bool) "near-optimal when homogeneous" true
+    R.Infix.(R.mul (ri 10) dd.B.completed >= R.mul (ri 9) bound)
+
+let test_outstanding_pipelines () =
+  (* on a single slave, prefetch overlaps the transfer with the
+     computation: outstanding=2 roughly doubles the rate when transfer
+     and compute times are equal.  (Across several slaves deeper
+     prefetch can backfire: slow-link transfers hog the master's port —
+     head-of-line blocking — so no general monotonicity is asserted.) *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 1, ri 1) ]
+      ()
+  in
+  let h = ri 60 in
+  let d1 = B.demand_driven ~outstanding:1 p ~master:0 ~horizon:h in
+  let d2 = B.demand_driven ~outstanding:2 p ~master:0 ~horizon:h in
+  Alcotest.(check bool) "prefetch overlaps phases" true
+    R.Infix.(d2.B.completed > d1.B.completed)
+
+let test_master_computes () =
+  (* a master alone still processes its own tasks *)
+  let p =
+    Platform.create ~names:[| "M" |] ~weights:[| Ext_rat.of_int 2 |] ~edges:[]
+  in
+  let dd = B.demand_driven p ~master:0 ~horizon:(ri 10) in
+  Alcotest.(check bool) "5 tasks alone" true (R.equal dd.B.completed (ri 5))
+
+let test_routing_master () =
+  (* a routing-only master distributes but does not compute *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 1, ri 1) ]
+      ()
+  in
+  let dd = B.demand_driven ~outstanding:2 p ~master:0 ~horizon:(ri 50) in
+  Alcotest.(check bool) "slave fed by routing master" true
+    R.Infix.(dd.B.completed > R.zero)
+
+let test_throughput_definition () =
+  let p = hetero_star () in
+  let h = ri 40 in
+  let dd = B.demand_driven p ~master:0 ~horizon:h in
+  Alcotest.(check bool) "throughput = completed/horizon" true
+    (R.equal dd.B.throughput (R.div dd.B.completed h))
+
+let test_invalid_outstanding () =
+  let p = hetero_star () in
+  Alcotest.(check bool) "outstanding >= 1" true
+    (try
+       ignore (B.demand_driven ~outstanding:0 p ~master:0 ~horizon:(ri 10));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "below the bound" `Quick test_baselines_below_bound;
+      Alcotest.test_case "homogeneous near-optimal" `Quick test_homogeneous_near_optimal;
+      Alcotest.test_case "prefetch pipelines" `Quick test_outstanding_pipelines;
+      Alcotest.test_case "master computes" `Quick test_master_computes;
+      Alcotest.test_case "routing master" `Quick test_routing_master;
+      Alcotest.test_case "throughput definition" `Quick test_throughput_definition;
+      Alcotest.test_case "invalid outstanding" `Quick test_invalid_outstanding;
+    ] )

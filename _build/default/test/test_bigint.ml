@@ -1,0 +1,297 @@
+(* Unit and property tests for the bignum substrate.  Everything else in
+   the repository (LP pivots, periods, simulated time) rests on the
+   correctness of [Bigint.divmod], so it is hammered hard here. *)
+
+module B = Bigint
+
+let b = B.of_int
+let bs = B.of_string
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg (B.to_string expected) (B.to_string actual)
+
+(* --- unit tests --- *)
+
+let test_constants () =
+  check_b "zero" (b 0) B.zero;
+  check_b "one" (b 1) B.one;
+  check_b "two" (b 2) B.two;
+  check_b "minus_one" (b (-1)) B.minus_one;
+  Alcotest.(check bool) "is_zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "is_one" true (B.is_one B.one);
+  Alcotest.(check bool) "one not zero" false (B.is_zero B.one)
+
+let test_of_to_int () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "roundtrip %d" i)
+        i
+        (B.to_int (b i)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; 1 lsl 30; (1 lsl 30) - 1;
+      -(1 lsl 30); 1 lsl 60; max_int - 1; min_int + 1 ]
+
+let test_to_int_overflow () =
+  let huge = B.mul (b max_int) (b 2) in
+  Alcotest.(check (option int)) "overflow" None (B.to_int_opt huge);
+  Alcotest.check_raises "to_int raises" (Failure "Bigint.to_int: overflow")
+    (fun () -> ignore (B.to_int huge))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (bs s)))
+    [ "0"; "1"; "-1"; "123456789123456789123456789";
+      "-999999999999999999999999999999999";
+      "1000000000000000000000000000000000000000000" ]
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try ignore (bs s); false with Invalid_argument _ -> true))
+    [ ""; "-"; "+"; "12a3"; " 12"; "1 2"; "--3" ]
+
+let test_add_sub () =
+  check_b "1+1" (b 2) (B.add B.one B.one);
+  check_b "big+big"
+    (bs "246913578246913578246913578")
+    (B.add (bs "123456789123456789123456789") (bs "123456789123456789123456789"));
+  check_b "x-x" B.zero (B.sub (bs "987654321987654321") (bs "987654321987654321"));
+  check_b "carry chain" (bs "1000000000000000000000")
+    (B.add (bs "999999999999999999999") B.one);
+  check_b "borrow chain" (bs "999999999999999999999")
+    (B.sub (bs "1000000000000000000000") B.one);
+  check_b "neg result" (b (-5)) (B.sub (b 5) (b 10))
+
+let test_mul () =
+  check_b "3*4" (b 12) (B.mul (b 3) (b 4));
+  check_b "neg*pos" (b (-12)) (B.mul (b (-3)) (b 4));
+  check_b "neg*neg" (b 12) (B.mul (b (-3)) (b (-4)));
+  check_b "by zero" B.zero (B.mul (bs "123456789012345678901234567890") B.zero);
+  check_b "big square"
+    (bs "15241578753238836750495351342783114345526596755677489")
+    (B.mul (bs "123456789012345678901234567")
+       (bs "123456789012345678901234567"))
+
+let test_divmod_exact () =
+  let q, r = B.divmod (bs "15241578753238836750495351342783114345526596755677489")
+      (bs "123456789012345678901234567") in
+  check_b "exact quotient" (bs "123456789012345678901234567") q;
+  check_b "exact rem" B.zero r
+
+let test_divmod_euclidean () =
+  (* Euclidean convention: 0 <= r < |b| for every sign combination *)
+  let cases = [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (-6, 3); (6, -3); (-6, -3) ] in
+  List.iter
+    (fun (x, y) ->
+      let q, r = B.divmod (b x) (b y) in
+      let qi = B.to_int q and ri = B.to_int r in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d = %d*%d + %d" x qi y ri)
+        true
+        (x = (qi * y) + ri && ri >= 0 && ri < abs y))
+    cases
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_pow () =
+  check_b "2^10" (b 1024) (B.pow B.two 10);
+  check_b "x^0" B.one (B.pow (b 12345) 0);
+  check_b "10^30" (bs "1000000000000000000000000000000") (B.pow (b 10) 30);
+  Alcotest.check_raises "neg exponent"
+    (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (B.pow B.two (-1)))
+
+let test_gcd_lcm () =
+  check_b "gcd 12 18" (b 6) (B.gcd (b 12) (b 18));
+  check_b "gcd neg" (b 6) (B.gcd (b (-12)) (b 18));
+  check_b "gcd 0 x" (b 5) (B.gcd B.zero (b 5));
+  check_b "gcd 0 0" B.zero (B.gcd B.zero B.zero);
+  check_b "lcm 4 6" (b 12) (B.lcm (b 4) (b 6));
+  check_b "lcm 0 x" B.zero (B.lcm B.zero (b 7));
+  check_b "big gcd" (bs "123456789")
+    (B.gcd (B.mul (bs "123456789") (bs "1000000007"))
+       (B.mul (bs "123456789") (bs "998244353")))
+
+let test_compare () =
+  Alcotest.(check bool) "1 < 2" true (B.compare B.one B.two < 0);
+  Alcotest.(check bool) "-1 < 1" true (B.compare B.minus_one B.one < 0);
+  Alcotest.(check bool) "-2 < -1" true (B.compare (b (-2)) B.minus_one < 0);
+  Alcotest.(check bool) "longer bigger" true
+    (B.compare (bs "100000000000000000000") (bs "99999999999999999999") > 0);
+  check_b "min" B.one (B.min B.one B.two);
+  check_b "max" B.two (B.max B.one B.two)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "42." 42. (B.to_float (b 42));
+  Alcotest.(check (float 1e6)) "1e20" 1e20 (B.to_float (bs "100000000000000000000"))
+
+(* --- property tests --- *)
+
+let arb_small = QCheck.int_range (-1_000_000) 1_000_000
+
+(* Random bigints with up to ~120 bits, built from native ints. *)
+let gen_big =
+  QCheck.Gen.(
+    map2
+      (fun hi lo -> B.add (B.mul (b hi) (b (1 lsl 60))) (b lo))
+      (int_range (-(1 lsl 59)) (1 lsl 59))
+      (int_range (-(1 lsl 59)) (1 lsl 59)))
+
+let arb_big = QCheck.make ~print:(fun x -> B.to_string x) gen_big
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add agrees with int" ~count:500
+    (QCheck.pair arb_small arb_small) (fun (x, y) ->
+      B.to_int (B.add (b x) (b y)) = x + y)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul agrees with int" ~count:500
+    (QCheck.pair arb_small arb_small) (fun (x, y) ->
+      B.to_int (B.mul (b x) (b y)) = x * y)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string ∘ to_string = id" ~count:500 arb_big
+    (fun x -> B.equal x (bs (B.to_string x)))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:500
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      B.equal (B.add x y) (B.add y x))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"add associative" ~count:300
+    (QCheck.triple arb_big arb_big arb_big) (fun (x, y, z) ->
+      B.equal (B.add (B.add x y) z) (B.add x (B.add y z)))
+
+let prop_mul_distrib =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:300
+    (QCheck.triple arb_big arb_big arb_big) (fun (x, y, z) ->
+      B.equal (B.mul x (B.add y z)) (B.add (B.mul x y) (B.mul x z)))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"(x+y)-y = x" ~count:500
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      B.equal x (B.sub (B.add x y) y))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = q*b + r, 0 <= r < |b|" ~count:1000
+    (QCheck.pair arb_big arb_big) (fun (a, d) ->
+      QCheck.assume (not (B.is_zero d));
+      let q, r = B.divmod a d in
+      B.equal a (B.add (B.mul q d) r)
+      && B.compare r B.zero >= 0
+      && B.compare r (B.abs d) < 0)
+
+(* Stress Knuth division specifically: multi-limb divisors with structured
+   limb patterns that trigger the qhat-correction and add-back paths. *)
+let prop_divmod_big_divisor =
+  QCheck.Test.make ~name:"divmod with huge operands" ~count:300
+    (QCheck.triple arb_big arb_big arb_big) (fun (x, y, z) ->
+      let a = B.mul x y in
+      let a = B.add (B.mul a a) z in
+      let d = B.add (B.mul x x) B.one in
+      let q, r = B.divmod a d in
+      B.equal a (B.add (B.mul q d) r)
+      && B.compare r B.zero >= 0
+      && B.compare r (B.abs d) < 0)
+
+let prop_div_exact_recovers =
+  QCheck.Test.make ~name:"(x*y)/y = x" ~count:500
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      QCheck.assume (not (B.is_zero y));
+      B.equal x (B.div (B.mul x y) y))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      QCheck.assume (not (B.is_zero x) || not (B.is_zero y));
+      let g = B.gcd x y in
+      B.is_zero (B.rem x g) && B.is_zero (B.rem y g))
+
+let prop_gcd_lcm_product =
+  QCheck.Test.make ~name:"gcd*lcm = |x*y|" ~count:300
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      QCheck.assume (not (B.is_zero x) && not (B.is_zero y));
+      B.equal (B.mul (B.gcd x y) (B.lcm x y)) (B.abs (B.mul x y)))
+
+(* big operands exercise the Karatsuba path (threshold 32 limbs) *)
+let gen_huge =
+  QCheck.Gen.(
+    let* digits = int_range 300 900 in
+    let* seed = int_range 0 1_000_000 in
+    let st = Random.State.make [| seed; digits |] in
+    let buf = Bytes.create digits in
+    Bytes.set buf 0 (Char.chr (Char.code '1' + Random.State.int st 9));
+    for i = 1 to digits - 1 do
+      Bytes.set buf i (Char.chr (Char.code '0' + Random.State.int st 10))
+    done;
+    return (B.of_string (Bytes.to_string buf)))
+
+let arb_huge = QCheck.make ~print:B.to_string gen_huge
+
+let prop_karatsuba_matches_schoolbook =
+  QCheck.Test.make ~name:"karatsuba = schoolbook on huge operands" ~count:30
+    (QCheck.pair arb_huge arb_huge) (fun (x, y) ->
+      B.equal (B.mul x y) (B.mul_schoolbook x y))
+
+let prop_karatsuba_div_roundtrip =
+  QCheck.Test.make ~name:"(x*y)/y = x on huge operands" ~count:20
+    (QCheck.pair arb_huge arb_huge) (fun (x, y) ->
+      B.equal x (B.div (B.mul x y) y))
+
+let prop_karatsuba_asymmetric =
+  QCheck.Test.make ~name:"karatsuba with very unbalanced operands" ~count:30
+    (QCheck.pair arb_huge arb_small) (fun (x, y) ->
+      QCheck.assume (y <> 0);
+      B.equal (B.mul x (b y)) (B.mul_schoolbook x (b y)))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair arb_big arb_big) (fun (x, y) ->
+      B.compare x y = -B.compare y x)
+
+let prop_pow_matches_mul =
+  QCheck.Test.make ~name:"pow = iterated mul" ~count:100
+    (QCheck.pair arb_small (QCheck.int_range 0 8)) (fun (x, e) ->
+      let rec iter acc n = if n = 0 then acc else iter (B.mul acc (b x)) (n - 1) in
+      B.equal (B.pow (b x) e) (iter B.one e))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "bigint",
+    [
+      Alcotest.test_case "constants" `Quick test_constants;
+      Alcotest.test_case "of/to int" `Quick test_of_to_int;
+      Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+      Alcotest.test_case "add/sub" `Quick test_add_sub;
+      Alcotest.test_case "mul" `Quick test_mul;
+      Alcotest.test_case "divmod exact" `Quick test_divmod_exact;
+      Alcotest.test_case "divmod euclidean" `Quick test_divmod_euclidean;
+      Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+      Alcotest.test_case "pow" `Quick test_pow;
+      Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "to_float" `Quick test_to_float;
+      q prop_add_matches_int;
+      q prop_mul_matches_int;
+      q prop_string_roundtrip;
+      q prop_add_comm;
+      q prop_add_assoc;
+      q prop_mul_distrib;
+      q prop_sub_inverse;
+      q prop_divmod_invariant;
+      q prop_divmod_big_divisor;
+      q prop_div_exact_recovers;
+      q prop_gcd_divides;
+      q prop_gcd_lcm_product;
+      q prop_compare_antisym;
+      q prop_pow_matches_mul;
+      q prop_karatsuba_matches_schoolbook;
+      q prop_karatsuba_div_roundtrip;
+      q prop_karatsuba_asymmetric;
+    ] )

@@ -1,0 +1,171 @@
+(* Tests for §4.2 DAG-collection steady state. *)
+
+module R = Rat
+module D = Dag_sched
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let fig1 = lazy (Platform_gen.figure1 ())
+
+let test_master_slave_reduction () =
+  (* the two-task DAG is exactly §3.1 master-slave: same LP value *)
+  List.iter
+    (fun seed ->
+      let p = Platform_gen.random_graph ~seed ~nodes:6 ~extra_edges:3 () in
+      let ms = (Master_slave.solve p ~master:0).Master_slave.ntask in
+      let dag = D.master_slave_dag ~master:0 in
+      let ds = (D.solve p dag).D.throughput in
+      Alcotest.check rat (Printf.sprintf "reduction seed=%d" seed) ms ds)
+    [ 0; 1; 2; 3 ]
+
+let test_pipeline_on_figure1 () =
+  let p = Lazy.force fig1 in
+  let dag = D.pipeline_dag ~master:0 ~stages:[ R.one; R.two ] () in
+  let sol = D.solve p dag in
+  (match D.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* golden value from the initial run; the pipeline costs more than
+     plain master-slave tasking of 3-unit tasks *)
+  Alcotest.check rat "pipeline throughput" (r 35 36) sol.D.throughput
+
+let test_heavier_stages_slower () =
+  let p = Lazy.force fig1 in
+  let tp stages =
+    (D.solve p (D.pipeline_dag ~master:0 ~stages ())).D.throughput
+  in
+  Alcotest.(check bool) "heavier pipeline is slower" true
+    R.Infix.(tp [ R.one; ri 4 ] < tp [ R.one; R.one ])
+
+let test_fork_join () =
+  let p = Lazy.force fig1 in
+  let dag = D.fork_join_dag ~master:0 ~branches:[ R.one; R.one; R.two ] () in
+  let sol = D.solve p dag in
+  (match D.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "positive throughput" true
+    R.Infix.(sol.D.throughput > R.zero);
+  (* the join is pinned at the master: all join executions live there *)
+  let join = Array.length dag.D.tasks - 1 in
+  Alcotest.check rat "join rate at master" sol.D.throughput
+    sol.D.cons.(join).(0)
+
+let test_pinning_respected () =
+  let p = Lazy.force fig1 in
+  let dag =
+    {
+      D.tasks =
+        [|
+          { D.t_name = "src"; work = R.zero; pin = Some 0 };
+          { D.t_name = "work"; work = R.one; pin = Some 3 };
+        |];
+      files = [| { D.f_name = "f"; producer = 0; consumer = 1; size = R.one } |];
+    }
+  in
+  let sol = D.solve p dag in
+  (match D.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* all work on node 3 (w=1): rate bounded by its speed and the routing *)
+  Alcotest.(check bool) "pinned throughput positive" true
+    R.Infix.(sol.D.throughput > R.zero);
+  Alcotest.check rat "everything on P4" sol.D.throughput sol.D.cons.(1).(3)
+
+let test_bigger_files_hurt () =
+  let p = Lazy.force fig1 in
+  let tp size =
+    (D.solve p (D.pipeline_dag ~file_size:size ~master:0 ~stages:[ R.one ] ()))
+      .D.throughput
+  in
+  Alcotest.(check bool) "big files lower throughput" true
+    R.Infix.(tp (ri 4) < tp R.one)
+
+let test_validation () =
+  let p = Lazy.force fig1 in
+  let bad dag =
+    try ignore (D.validate p dag); false with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty dag" true
+    (bad { D.tasks = [||]; files = [||] });
+  Alcotest.(check bool) "cyclic dag" true
+    (bad
+       {
+         D.tasks =
+           [|
+             { D.t_name = "a"; work = R.one; pin = None };
+             { D.t_name = "b"; work = R.one; pin = None };
+           |];
+         files =
+           [|
+             { D.f_name = "ab"; producer = 0; consumer = 1; size = R.one };
+             { D.f_name = "ba"; producer = 1; consumer = 0; size = R.one };
+           |];
+       });
+  Alcotest.(check bool) "self file" true
+    (bad
+       {
+         D.tasks = [| { D.t_name = "a"; work = R.one; pin = None } |];
+         files = [| { D.f_name = "aa"; producer = 0; consumer = 0; size = R.one } |];
+       })
+
+let test_no_files_dag () =
+  (* a single unpinned task with no files: pure compute spread over all
+     nodes, bounded by total speed *)
+  let p = Lazy.force fig1 in
+  let dag = { D.tasks = [| { D.t_name = "t"; work = R.one; pin = None } |]; files = [||] } in
+  let sol = D.solve p dag in
+  let total_speed =
+    R.sum (List.map (fun i -> Platform.speed p i) (Platform.nodes p))
+  in
+  Alcotest.check rat "free tasks saturate all CPUs" total_speed sol.D.throughput
+
+let test_laplace_grid () =
+  (* §6's open problem: exponentially many paths, yet the rate LP
+     bounds the throughput in polynomial time *)
+  let p = Lazy.force fig1 in
+  let dag = D.grid_dag ~master:0 ~rows:3 ~cols:3 () in
+  Alcotest.(check int) "10 tasks" 10 (Array.length dag.D.tasks);
+  Alcotest.(check int) "13 files" 13 (Array.length dag.D.files);
+  let sol = D.solve p dag in
+  (match D.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "positive bound" true
+    R.Infix.(sol.D.throughput > R.zero);
+  (* more stages can only slow the instance rate down *)
+  let small = D.solve p (D.grid_dag ~master:0 ~rows:2 ~cols:2 ()) in
+  Alcotest.(check bool) "bigger grid slower" true
+    R.Infix.(sol.D.throughput <= small.D.throughput);
+  Alcotest.(check bool) "bad dims rejected" true
+    (try ignore (D.grid_dag ~master:0 ~rows:0 ~cols:3 ()); false
+     with Invalid_argument _ -> true)
+
+let prop_invariants_random =
+  QCheck.Test.make ~name:"dag invariants on random platforms" ~count:20
+    (QCheck.pair (QCheck.int_range 0 100) (QCheck.int_range 3 6))
+    (fun (seed, n) ->
+      let p = Platform_gen.random_graph ~seed ~nodes:n ~extra_edges:2 () in
+      let dag = D.pipeline_dag ~master:0 ~stages:[ R.one; r 1 2 ] () in
+      let sol = D.solve p dag in
+      match D.check_invariants sol with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "dag",
+    [
+      Alcotest.test_case "master-slave reduction" `Quick test_master_slave_reduction;
+      Alcotest.test_case "pipeline on figure1" `Quick test_pipeline_on_figure1;
+      Alcotest.test_case "heavier stages slower" `Quick test_heavier_stages_slower;
+      Alcotest.test_case "fork-join" `Quick test_fork_join;
+      Alcotest.test_case "pinning respected" `Quick test_pinning_respected;
+      Alcotest.test_case "bigger files hurt" `Quick test_bigger_files_hurt;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "no-files dag" `Quick test_no_files_dag;
+      Alcotest.test_case "laplace grid (§6)" `Quick test_laplace_grid;
+      q prop_invariants_random;
+    ] )

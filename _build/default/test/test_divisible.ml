@@ -1,0 +1,96 @@
+(* Tests for the bandwidth-centric tree oracle ([3,11]). *)
+
+module R = Rat
+module Dv = Divisible
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let test_greedy_allocation () =
+  (* capabilities/costs (1/3,1), (1/2,2), (1,3): greedy by cost:
+     n1 = 1/3 (port 1/3), n2 = 1/3 (port 2/3 left), n3 = 0 -> 2/3 *)
+  Alcotest.check rat "textbook greedy" (r 2 3)
+    (Dv.greedy_port_allocation [ (r 1 3, ri 1); (r 1 2, ri 2); (ri 1, ri 3) ]);
+  Alcotest.check rat "empty children" R.zero (Dv.greedy_port_allocation []);
+  (* one cheap fast child saturates alone *)
+  Alcotest.check rat "single saturating child" (ri 2)
+    (Dv.greedy_port_allocation [ (ri 5, r 1 2) ]);
+  (* order independence: greedy must sort by cost itself *)
+  Alcotest.check rat "unsorted input" (r 2 3)
+    (Dv.greedy_port_allocation [ (ri 1, ri 3); (r 1 3, ri 1); (r 1 2, ri 2) ])
+
+let test_star_matches_lp () =
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        [
+          (Ext_rat.of_int 3, ri 1);
+          (Ext_rat.of_int 2, ri 2);
+          (Ext_rat.of_int 1, ri 3);
+        ]
+      ()
+  in
+  let lp = (Master_slave.solve p ~master:0).Master_slave.ntask in
+  let bc = Dv.tree_throughput p ~root:0 in
+  Alcotest.check rat "star closed form = LP" lp bc;
+  Alcotest.check rat "known value" (r 2 3) bc
+
+let test_multi_level_matches_lp () =
+  List.iter
+    (fun (seed, n) ->
+      let p = Platform_gen.random_tree ~seed ~nodes:n () in
+      let lp = (Master_slave.solve p ~master:0).Master_slave.ntask in
+      let bc = Dv.tree_throughput p ~root:0 in
+      Alcotest.check rat
+        (Printf.sprintf "tree seed=%d n=%d" seed n)
+        lp bc)
+    [ (11, 4); (12, 6); (13, 9); (14, 12); (15, 15) ]
+
+let test_single_node () =
+  let p =
+    Platform.create ~names:[| "M" |] ~weights:[| Ext_rat.of_int 4 |] ~edges:[]
+  in
+  Alcotest.check rat "lonely master" (r 1 4) (Dv.tree_throughput p ~root:0)
+
+let test_cycle_detected () =
+  let p =
+    Platform.create ~names:[| "A"; "B"; "C" |]
+      ~weights:[| Ext_rat.of_int 1; Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+      ~edges:[ (0, 1, ri 1); (1, 2, ri 1); (2, 0, ri 1) ]
+  in
+  Alcotest.(check bool) "cycle rejected" true
+    (try ignore (Dv.tree_throughput p ~root:0); false
+     with Invalid_argument _ -> true)
+
+let prop_trees_match_lp =
+  QCheck.Test.make ~name:"bandwidth-centric = LP on random trees" ~count:25
+    (QCheck.pair (QCheck.int_range 0 500) (QCheck.int_range 2 12))
+    (fun (seed, n) ->
+      let p = Platform_gen.random_tree ~seed ~nodes:n () in
+      let lp = (Master_slave.solve p ~master:0).Master_slave.ntask in
+      R.equal lp (Dv.tree_throughput p ~root:0))
+
+let prop_lp_beats_trees_on_graphs =
+  QCheck.Test.make ~name:"extra links only help the LP" ~count:20
+    (QCheck.pair (QCheck.int_range 0 200) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      (* same tree + chords: LP on the graph >= closed form on a
+         spanning tree of it (the generator grows the tree first) *)
+      let tree = Platform_gen.random_tree ~seed:(seed * 2 + 1) ~nodes:n () in
+      let bc = Dv.tree_throughput tree ~root:0 in
+      let lp = (Master_slave.solve tree ~master:0).Master_slave.ntask in
+      R.Infix.(lp >= bc))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "divisible",
+    [
+      Alcotest.test_case "greedy allocation" `Quick test_greedy_allocation;
+      Alcotest.test_case "star matches LP" `Quick test_star_matches_lp;
+      Alcotest.test_case "multi-level matches LP" `Quick test_multi_level_matches_lp;
+      Alcotest.test_case "single node" `Quick test_single_node;
+      Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+      q prop_trees_match_lp;
+      q prop_lp_beats_trees_on_graphs;
+    ] )

@@ -1,0 +1,101 @@
+(* Tests for §5.5 dynamic phase-based rescheduling. *)
+
+module R = Rat
+module Dy = Dynamic_sched
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+(* heterogeneous star, slave 1 slows to 1/4 during phases 2-4 *)
+let scenario () =
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 1, ri 1); (Ext_rat.of_int 2, ri 2) ]
+      ()
+  in
+  {
+    Dy.platform = p;
+    master = 0;
+    cpu_traces = [ (1, [ (ri 20, r 1 4); (ri 50, R.one) ]) ];
+    bw_traces = [];
+    phase = ri 10;
+    phases = 8;
+  }
+
+let test_stable_platform_all_equal () =
+  (* without perturbations all three strategies coincide *)
+  let sc = { (scenario ()) with Dy.cpu_traces = [] } in
+  let s = (Dy.run sc Dy.Static).Dy.completed in
+  let rctv = (Dy.run sc Dy.Reactive).Dy.completed in
+  let o = (Dy.run sc Dy.Oracle).Dy.completed in
+  Alcotest.check rat "static = reactive" s rctv;
+  Alcotest.check rat "static = oracle" s o;
+  (* the integral-task plans floor the rational rates, so the bound is
+     approached from below *)
+  Alcotest.(check bool) "within oracle bound" true
+    R.Infix.(s <= Dy.oracle_throughput_bound sc)
+
+let test_adaptation_beats_static () =
+  let sc = scenario () in
+  let s = (Dy.run sc Dy.Static).Dy.completed in
+  let rctv = (Dy.run sc Dy.Reactive).Dy.completed in
+  let o = (Dy.run sc Dy.Oracle).Dy.completed in
+  Alcotest.(check bool) "reactive beats static" true R.Infix.(rctv > s);
+  Alcotest.(check bool) "oracle at least reactive" true R.Infix.(o >= rctv);
+  Alcotest.(check bool) "oracle within its own bound" true
+    R.Infix.(o <= Dy.oracle_throughput_bound sc)
+
+let test_phase_accounting () =
+  let sc = scenario () in
+  let o = Dy.run sc Dy.Oracle in
+  Alcotest.(check int) "one entry per phase" sc.Dy.phases
+    (List.length o.Dy.per_phase);
+  Alcotest.check rat "phases sum to total" o.Dy.completed
+    (R.sum o.Dy.per_phase)
+
+let test_oracle_tracks_slowdown () =
+  let sc = scenario () in
+  let o = Dy.run sc Dy.Oracle in
+  (* during the degraded phases the oracle plans less work *)
+  (* phase 0 ramps up (first transfers precede the first computes), so
+     steady full-rate phases are compared against phase 1 *)
+  let arr = Array.of_list o.Dy.per_phase in
+  Alcotest.(check bool) "degraded phases do less" true
+    R.Infix.(arr.(3) < arr.(1));
+  Alcotest.(check bool) "recovery restores rate" true
+    (R.equal arr.(6) arr.(1))
+
+let test_bandwidth_perturbation () =
+  (* link 0 (M->S1) degraded: reactive should shift work to slave 2 *)
+  let sc =
+    {
+      (scenario ()) with
+      Dy.cpu_traces = [];
+      bw_traces = [ (0, [ (ri 20, r 1 4); (ri 50, R.one) ]) ];
+    }
+  in
+  let s = (Dy.run sc Dy.Static).Dy.completed in
+  let rctv = (Dy.run sc Dy.Reactive).Dy.completed in
+  Alcotest.(check bool) "adapts to bandwidth loss" true R.Infix.(rctv >= s)
+
+let test_validation () =
+  let sc = scenario () in
+  let bad sc =
+    try Dy.validate_scenario sc; false with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero phase" true (bad { sc with Dy.phase = R.zero });
+  Alcotest.(check bool) "zero phases" true (bad { sc with Dy.phases = 0 });
+  Alcotest.(check bool) "outage rejected" true
+    (bad { sc with Dy.cpu_traces = [ (1, [ (ri 5, R.zero) ]) ] })
+
+let suite =
+  ( "dynamic",
+    [
+      Alcotest.test_case "stable platform" `Quick test_stable_platform_all_equal;
+      Alcotest.test_case "adaptation beats static" `Quick test_adaptation_beats_static;
+      Alcotest.test_case "phase accounting" `Quick test_phase_accounting;
+      Alcotest.test_case "oracle tracks slowdown" `Quick test_oracle_tracks_slowdown;
+      Alcotest.test_case "bandwidth perturbation" `Quick test_bandwidth_perturbation;
+      Alcotest.test_case "validation" `Quick test_validation;
+    ] )

@@ -1,0 +1,132 @@
+(* Tests for §5.4 fixed-length periods. *)
+
+module R = Rat
+module FP = Fixed_period
+
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let fig1_sol = lazy (Master_slave.solve (Platform_gen.figure1 ()) ~master:0)
+
+let test_throughput_increases_to_optimum () =
+  let sol = Lazy.force fig1_sol in
+  let s = FP.series sol ~periods:(List.map ri [ 2; 4; 8; 16; 32; 64 ]) in
+  let rec check prev = function
+    | [] -> ()
+    | (_, q) :: rest ->
+      Alcotest.(check bool) "within optimum" true
+        R.Infix.(q.FP.throughput <= sol.Master_slave.ntask);
+      (match prev with
+      | Some tp ->
+        Alcotest.(check bool) "roughly monotone" true
+          (* not strictly monotone (number theory of floors), but never
+             collapsing: allow a slack of |E|+|V| items per period *)
+          R.Infix.(q.FP.throughput >= R.sub tp R.one)
+      | None -> ());
+      check (Some q.FP.throughput) rest
+  in
+  check None s
+
+let test_natural_period_is_exact () =
+  (* at the lcm period the quantization is lossless *)
+  let sol = Lazy.force fig1_sol in
+  let sched = Master_slave.schedule sol in
+  let q = FP.quantize sol ~period:sched.Schedule.period in
+  Alcotest.check rat "exact at natural period" sol.Master_slave.ntask
+    q.FP.throughput
+
+let test_loss_bound () =
+  (* throughput(T) >= ntask - (|E|+|V|)/T *)
+  let sol = Lazy.force fig1_sol in
+  let p = sol.Master_slave.platform in
+  let slack t =
+    R.div_int (ri (Platform.num_edges p + Platform.num_nodes p)) t
+  in
+  List.iter
+    (fun t ->
+      let q = FP.quantize sol ~period:(ri t) in
+      Alcotest.(check bool)
+        (Printf.sprintf "loss bound at T=%d" t)
+        true
+        R.Infix.(q.FP.throughput >= R.sub sol.Master_slave.ntask (slack t)))
+    [ 4; 8; 16; 64; 256 ]
+
+let test_integrality () =
+  let sol = Lazy.force fig1_sol in
+  let q = FP.quantize sol ~period:(ri 20) in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "integer edge items" true (R.is_integer v))
+    q.FP.edge_items;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "integer node tasks" true (R.is_integer v))
+    q.FP.node_tasks
+
+let test_conservation () =
+  let sol = Lazy.force fig1_sol in
+  let p = sol.Master_slave.platform in
+  let q = FP.quantize sol ~period:(ri 24) in
+  (* inflow = compute + outflow at every non-master node *)
+  List.iter
+    (fun i ->
+      if i <> 0 then begin
+        let inflow =
+          R.sum (List.map (fun e -> q.FP.edge_items.(e)) (Platform.in_edges p i))
+        in
+        let outflow =
+          R.sum (List.map (fun e -> q.FP.edge_items.(e)) (Platform.out_edges p i))
+        in
+        Alcotest.check rat
+          ("integral conservation at " ^ Platform.name p i)
+          inflow
+          (R.add q.FP.node_tasks.(i) outflow)
+      end)
+    (Platform.nodes p)
+
+let test_schedule_executes () =
+  let sol = Lazy.force fig1_sol in
+  let q = FP.quantize sol ~period:(ri 24) in
+  let sched = FP.schedule_of sol q in
+  (match Schedule.check_well_formed sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let sim = Event_sim.create sol.Master_slave.platform in
+  Schedule.execute ~sim ~periods:3 sched;
+  Event_sim.run sim (* strict: would raise on any one-port violation *)
+
+let test_bad_period () =
+  let sol = Lazy.force fig1_sol in
+  Alcotest.(check bool) "zero period rejected" true
+    (try ignore (FP.quantize sol ~period:R.zero); false
+     with Invalid_argument _ -> true)
+
+let prop_quantized_feasible =
+  QCheck.Test.make ~name:"quantization feasible on random platforms"
+    ~count:25
+    (QCheck.pair (QCheck.int_range 0 200) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      let p = Platform_gen.random_graph ~seed ~nodes:n ~extra_edges:3 () in
+      let sol = Master_slave.solve p ~master:0 in
+      if R.is_zero sol.Master_slave.ntask then true
+      else begin
+        let q = FP.quantize sol ~period:(ri 30) in
+        R.Infix.(q.FP.throughput <= sol.Master_slave.ntask)
+        && (R.is_zero q.FP.tasks_per_period
+           ||
+           match Schedule.check_well_formed (FP.schedule_of sol q) with
+           | Ok () -> true
+           | Error e -> QCheck.Test.fail_report e)
+      end)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "fixed_period",
+    [
+      Alcotest.test_case "converges to optimum" `Quick test_throughput_increases_to_optimum;
+      Alcotest.test_case "exact at natural period" `Quick test_natural_period_is_exact;
+      Alcotest.test_case "loss bound" `Quick test_loss_bound;
+      Alcotest.test_case "integrality" `Quick test_integrality;
+      Alcotest.test_case "conservation" `Quick test_conservation;
+      Alcotest.test_case "schedule executes" `Quick test_schedule_executes;
+      Alcotest.test_case "bad period" `Quick test_bad_period;
+      q prop_quantized_feasible;
+    ] )

@@ -1,0 +1,104 @@
+(* Tests for the NWS-style adaptive forecaster. *)
+
+module R = Rat
+module F = Forecast
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let feed fc values = List.iter (fun v -> F.observe fc v) values
+
+let test_default_before_data () =
+  let fc = F.create () in
+  Alcotest.check rat "nominal multiplier" R.one (F.predict fc);
+  Alcotest.(check bool) "no best yet" true
+    (try ignore (F.best_predictor fc); false with Invalid_argument _ -> true)
+
+let test_constant_series () =
+  let fc = F.create () in
+  feed fc (List.init 10 (fun _ -> r 3 4));
+  Alcotest.check rat "constant is learned" (r 3 4) (F.predict fc);
+  (* all predictors have zero error after the first observation *)
+  Alcotest.check rat "last has zero error" R.zero
+    (F.cumulative_error fc F.Last)
+
+let test_last_wins_on_steps () =
+  (* a step function: last-value tracks it best *)
+  let fc = F.create () in
+  feed fc (List.init 8 (fun _ -> ri 1));
+  feed fc (List.init 8 (fun _ -> ri 5));
+  Alcotest.check rat "prediction follows the step" (ri 5) (F.predict fc);
+  let e_last = F.cumulative_error fc F.Last in
+  let e_mean = F.cumulative_error fc F.Mean in
+  Alcotest.(check bool) "last beats mean on steps" true
+    R.Infix.(e_last < e_mean)
+
+let test_median_ignores_spikes () =
+  let fc = F.create ~predictors:[ F.Sliding_median 5; F.Last ] () in
+  feed fc [ ri 2; ri 2; ri 100; ri 2; ri 2 ];
+  (* median of the window {2,2,100,2,2} is 2 *)
+  let med = F.Sliding_median 5 in
+  ignore med;
+  Alcotest.check rat "median unimpressed by spike" (ri 2) (F.predict fc)
+
+let test_ewma_smooths () =
+  let fc = F.create ~predictors:[ F.Ewma (r 1 2) ] () in
+  feed fc [ ri 0; ri 4 ];
+  (* ewma: 0, then 0 + 1/2*(4-0) = 2 *)
+  Alcotest.check rat "ewma value" (ri 2) (F.predict fc)
+
+let test_best_predictor_switches () =
+  let fc = F.create ~predictors:[ F.Last; F.Mean ] () in
+  (* alternating series: mean is the better predictor *)
+  feed fc [ ri 0; ri 2; ri 0; ri 2; ri 0; ri 2; ri 0; ri 2 ];
+  (match F.best_predictor fc with
+  | F.Mean -> ()
+  | F.Last | F.Ewma _ | F.Sliding_median _ ->
+    Alcotest.fail "mean should win on alternating series")
+
+let test_validation () =
+  Alcotest.(check bool) "empty battery" true
+    (try ignore (F.create ~predictors:[] ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad gain" true
+    (try ignore (F.create ~predictors:[ F.Ewma (ri 2) ] ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad window" true
+    (try ignore (F.create ~predictors:[ F.Sliding_median 0 ] ()); false
+     with Invalid_argument _ -> true);
+  let fc = F.create ~predictors:[ F.Last ] () in
+  Alcotest.(check bool) "unknown predictor" true
+    (try ignore (F.cumulative_error fc F.Mean); false
+     with Not_found -> true)
+
+let test_observation_count () =
+  let fc = F.create () in
+  feed fc [ R.one; R.two; R.one ];
+  Alcotest.(check int) "count" 3 (F.observations fc)
+
+let prop_prediction_in_range =
+  QCheck.Test.make ~name:"prediction within observed range" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range 1 100))
+    (fun values ->
+      let fc = F.create () in
+      List.iter (fun v -> F.observe fc (ri v)) values;
+      let lo = ri (List.fold_left min (List.hd values) values) in
+      let hi = ri (List.fold_left max (List.hd values) values) in
+      let pr = F.predict fc in
+      R.Infix.(lo <= pr) && R.Infix.(pr <= hi))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "forecast",
+    [
+      Alcotest.test_case "default before data" `Quick test_default_before_data;
+      Alcotest.test_case "constant series" `Quick test_constant_series;
+      Alcotest.test_case "last wins on steps" `Quick test_last_wins_on_steps;
+      Alcotest.test_case "median ignores spikes" `Quick test_median_ignores_spikes;
+      Alcotest.test_case "ewma smooths" `Quick test_ewma_smooths;
+      Alcotest.test_case "best predictor switches" `Quick test_best_predictor_switches;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "observation count" `Quick test_observation_count;
+      q prop_prediction_in_range;
+    ] )

@@ -1,0 +1,360 @@
+(* Tests for the exact-rational LP layer: textbook instances with known
+   optima, degenerate/cycling-prone instances, and randomised
+   cross-checks (feasibility certificates, Bland vs Dantzig agreement). *)
+
+module R = Rat
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let solve_get m =
+  match Lp.solve m with
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18; opt = 36 at (2,6) *)
+let test_textbook_max () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m (Lp.var x) Lp.Le (ri 4);
+  Lp.add_constraint m (Lp.term (ri 2) y) Lp.Le (ri 12);
+  Lp.add_constraint m (Lp.of_terms [ (ri 3, x); (ri 2, y) ]) Lp.Le (ri 18);
+  Lp.set_objective m Lp.Maximize (Lp.of_terms [ (ri 3, x); (ri 5, y) ]);
+  let s = solve_get m in
+  Alcotest.check rat "objective" (ri 36) s.objective;
+  Alcotest.check rat "x" (ri 2) (s.values x);
+  Alcotest.check rat "y" (ri 6) (s.values y)
+
+(* min x + y st x + 2y >= 4, 3x + y >= 6; opt at intersection (8/5, 6/5) -> 14/5 *)
+let test_textbook_min () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m (Lp.of_terms [ (ri 1, x); (ri 2, y) ]) Lp.Ge (ri 4);
+  Lp.add_constraint m (Lp.of_terms [ (ri 3, x); (ri 1, y) ]) Lp.Ge (ri 6);
+  Lp.set_objective m Lp.Minimize (Lp.add (Lp.var x) (Lp.var y));
+  let s = solve_get m in
+  Alcotest.check rat "objective" (r 14 5) s.objective;
+  Alcotest.check rat "x" (r 8 5) (s.values x);
+  Alcotest.check rat "y" (r 6 5) (s.values y)
+
+let test_equality_constraint () =
+  (* max x st x + y = 5, y >= 2  ->  x = 3 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var ~lb:(Some (ri 2)) m "y" in
+  Lp.add_constraint m (Lp.add (Lp.var x) (Lp.var y)) Lp.Eq (ri 5);
+  Lp.set_objective m Lp.Maximize (Lp.var x);
+  let s = solve_get m in
+  Alcotest.check rat "objective" (ri 3) s.objective;
+  Alcotest.check rat "y at lb" (ri 2) (s.values y)
+
+let test_upper_bounds () =
+  (* max x + y with x <= 3/2 (bound), x + y <= 2 *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~ub:(Some (r 3 2)) m "x" in
+  let y = Lp.add_var ~ub:(Some (r 1 4)) m "y" in
+  Lp.add_constraint m (Lp.add (Lp.var x) (Lp.var y)) Lp.Le (ri 2);
+  Lp.set_objective m Lp.Maximize (Lp.add (Lp.var x) (Lp.var y));
+  let s = solve_get m in
+  Alcotest.check rat "objective" (r 7 4) s.objective
+
+let test_free_variable () =
+  (* min y st y >= x - 4, y >= -x; x free. opt y = -2 at x = 2 *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~lb:None m "x" in
+  let y = Lp.add_var ~lb:None m "y" in
+  Lp.add_constraint m (Lp.sub (Lp.var y) (Lp.var x)) Lp.Ge (ri (-4));
+  Lp.add_constraint m (Lp.add (Lp.var y) (Lp.var x)) Lp.Ge (ri 0);
+  Lp.set_objective m Lp.Minimize (Lp.var y);
+  let s = solve_get m in
+  Alcotest.check rat "objective" (ri (-2)) s.objective;
+  Alcotest.check rat "x" (ri 2) (s.values x)
+
+let test_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m (Lp.var x) Lp.Ge (ri 3);
+  Lp.add_constraint m (Lp.var x) Lp.Le (ri 2);
+  Lp.set_objective m Lp.Maximize (Lp.var x);
+  (match Lp.solve m with
+  | Lp.Infeasible -> ()
+  | Lp.Optimal _ | Lp.Unbounded -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.set_objective m Lp.Maximize (Lp.var x);
+  (match Lp.solve m with
+  | Lp.Unbounded -> ()
+  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded")
+
+let test_degenerate_beale () =
+  (* Beale's cycling example: Dantzig without safeguards cycles forever.
+     min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7
+     st  1/4 x4 - 60 x5 - 1/25 x6 + 9 x7 <= 0
+         1/2 x4 - 90 x5 - 1/50 x6 + 3 x7 <= 0
+         x6 <= 1
+     optimum: -1/20 *)
+  let m = Lp.create () in
+  let x4 = Lp.add_var m "x4" and x5 = Lp.add_var m "x5" in
+  let x6 = Lp.add_var m "x6" and x7 = Lp.add_var m "x7" in
+  Lp.add_constraint m
+    (Lp.of_terms [ (r 1 4, x4); (ri (-60), x5); (r (-1) 25, x6); (ri 9, x7) ])
+    Lp.Le R.zero;
+  Lp.add_constraint m
+    (Lp.of_terms [ (r 1 2, x4); (ri (-90), x5); (r (-1) 50, x6); (ri 3, x7) ])
+    Lp.Le R.zero;
+  Lp.add_constraint m (Lp.var x6) Lp.Le (ri 1);
+  Lp.set_objective m Lp.Minimize
+    (Lp.of_terms [ (r (-3) 4, x4); (ri 150, x5); (r (-1) 50, x6); (ri 6, x7) ]);
+  List.iter
+    (fun rule ->
+      match Lp.solve ~rule m with
+      | Lp.Optimal s -> Alcotest.check rat "beale optimum" (r (-1) 20) s.objective
+      | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "beale: not optimal")
+    [ Simplex.Bland; Simplex.Dantzig ]
+
+let test_empty_objective () =
+  (* pure feasibility problem *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m (Lp.var x) Lp.Ge (ri 1);
+  (match Lp.solve m with
+  | Lp.Optimal s -> Alcotest.check rat "zero objective" R.zero s.objective
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "feasibility failed")
+
+let test_negative_rhs () =
+  (* constraints with negative rhs exercise the row-flip path *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var m "y" in
+  Lp.add_constraint m (Lp.sub (Lp.neg (Lp.var x)) (Lp.var y)) Lp.Ge (ri (-10));
+  Lp.set_objective m Lp.Maximize (Lp.add (Lp.var x) (Lp.term (ri 2) y));
+  let s = solve_get m in
+  Alcotest.check rat "objective" (ri 20) s.objective
+
+let test_duplicate_name () =
+  let m = Lp.create () in
+  let _ = Lp.add_var m "x" in
+  Alcotest.(check bool) "duplicate rejected" true
+    (try ignore (Lp.add_var m "x"); false with Invalid_argument _ -> true)
+
+let test_check_solution_detects () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m (Lp.var x) Lp.Le (ri 1);
+  (match Lp.check_solution m (fun _ -> ri 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "violation not detected");
+  (match Lp.check_solution m (fun _ -> r 1 2) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("false violation: " ^ e))
+
+let test_value_by_name () =
+  let m = Lp.create () in
+  let x = Lp.add_var ~ub:(Some (ri 7)) m "throughput" in
+  Lp.set_objective m Lp.Maximize (Lp.var x);
+  let s = solve_get m in
+  Alcotest.check rat "by name" (ri 7) (Lp.value_by_name m s "throughput");
+  Alcotest.(check bool) "unknown name" true
+    (try ignore (Lp.value_by_name m s "nope"); false with Not_found -> true)
+
+(* --- randomised cross-checks --- *)
+
+(* Random bounded LP: maximize a nonneg objective over constraints
+   sum a_ij x_j <= b_i with a_ij, b_i >= 0 plus x_j <= 10.  Always
+   feasible (x = 0) and bounded (box).  Check: reported optimum is
+   feasible per check_solution, identical under both pivot rules, and at
+   least as good as any random feasible point we can scale into the
+   polytope. *)
+let gen_lp_instance =
+  QCheck.Gen.(
+    let small = map (fun n -> R.of_ints n 4) (int_range 0 20) in
+    let* nv = int_range 1 5 in
+    let* nc = int_range 1 5 in
+    let* rows = list_repeat nc (list_repeat nv small) in
+    let* rhs = list_repeat nc (map (fun n -> R.of_ints n 3) (int_range 1 30)) in
+    let* obj = list_repeat nv small in
+    return (nv, rows, rhs, obj))
+
+let arb_lp =
+  QCheck.make
+    ~print:(fun (nv, rows, rhs, obj) ->
+      Printf.sprintf "nv=%d rows=%s rhs=%s obj=%s" nv
+        (String.concat ";"
+           (List.map (fun row -> String.concat "," (List.map R.to_string row)) rows))
+        (String.concat "," (List.map R.to_string rhs))
+        (String.concat "," (List.map R.to_string obj)))
+    gen_lp_instance
+
+let build_lp (nv, rows, rhs, obj) =
+  let m = Lp.create () in
+  let xs =
+    Array.init nv (fun i -> Lp.add_var ~ub:(Some (ri 10)) m (Printf.sprintf "x%d" i))
+  in
+  List.iter2
+    (fun row b ->
+      let e = Lp.of_terms (List.mapi (fun j c -> (c, xs.(j))) row) in
+      Lp.add_constraint m e Lp.Le b)
+    rows rhs;
+  Lp.set_objective m Lp.Maximize
+    (Lp.of_terms (List.mapi (fun j c -> (c, xs.(j))) obj));
+  (m, xs)
+
+let prop_optimal_is_feasible =
+  QCheck.Test.make ~name:"optimum is primal feasible" ~count:200 arb_lp
+    (fun inst ->
+      let m, _ = build_lp inst in
+      match Lp.solve m with
+      | Lp.Optimal s ->
+        (match Lp.check_solution m s.values with
+        | Ok _ -> true
+        | Error e -> QCheck.Test.fail_report e)
+      | Lp.Infeasible | Lp.Unbounded -> false)
+
+let prop_rules_agree =
+  QCheck.Test.make ~name:"Bland and Dantzig agree on the optimum" ~count:100
+    arb_lp (fun inst ->
+      let m1, _ = build_lp inst in
+      let m2, _ = build_lp inst in
+      match (Lp.solve ~rule:Simplex.Bland m1, Lp.solve ~rule:Simplex.Dantzig m2) with
+      | Lp.Optimal s1, Lp.Optimal s2 -> R.equal s1.objective s2.objective
+      | _, _ -> false)
+
+let prop_dominates_feasible_points =
+  QCheck.Test.make ~name:"optimum dominates sampled feasible points" ~count:100
+    (QCheck.pair arb_lp (QCheck.int_range 0 10)) (fun (inst, seed) ->
+      let m, xs = build_lp inst in
+      match Lp.solve m with
+      | Lp.Optimal s ->
+        let nv, rows, rhs, obj = inst in
+        (* deterministic pseudo-random candidate, scaled into the polytope *)
+        let cand =
+          Array.init nv (fun i -> R.of_ints (((seed + 1) * (i + 3)) mod 7) 3)
+        in
+        let scale =
+          List.fold_left2
+            (fun acc row b ->
+              let lhs =
+                List.fold_left2
+                  (fun t c x -> R.add t (R.mul c x))
+                  R.zero row (Array.to_list cand)
+              in
+              if R.compare lhs b <= 0 then acc
+              else R.min acc (R.div b lhs))
+            R.one rows rhs
+        in
+        let scale =
+          Array.fold_left
+            (fun acc x ->
+              if R.compare x (ri 10) > 0 then R.min acc (R.div (ri 10) x) else acc)
+            scale cand
+        in
+        let cand = Array.map (R.mul scale) cand in
+        let cand_obj =
+          List.fold_left2
+            (fun t c x -> R.add t (R.mul c x))
+            R.zero obj (Array.to_list cand)
+        in
+        ignore xs;
+        R.compare s.objective cand_obj >= 0
+      | Lp.Infeasible | Lp.Unbounded -> false)
+
+(* --- revised simplex cross-checks --- *)
+
+let test_revised_textbook () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+  Lp.add_constraint m (Lp.var x) Lp.Le (ri 4);
+  Lp.add_constraint m (Lp.term (ri 2) y) Lp.Le (ri 12);
+  Lp.add_constraint m (Lp.of_terms [ (ri 3, x); (ri 2, y) ]) Lp.Le (ri 18);
+  Lp.set_objective m Lp.Maximize (Lp.of_terms [ (ri 3, x); (ri 5, y) ]);
+  (match Lp.solve ~solver:Lp.Revised m with
+  | Lp.Optimal s ->
+    Alcotest.check rat "revised objective" (ri 36) s.Lp.objective;
+    Alcotest.check rat "revised x" (ri 2) (s.Lp.values x)
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "revised: not optimal")
+
+let test_revised_infeasible_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m (Lp.var x) Lp.Ge (ri 3);
+  Lp.add_constraint m (Lp.var x) Lp.Le (ri 2);
+  (match Lp.solve ~solver:Lp.Revised m with
+  | Lp.Infeasible -> ()
+  | Lp.Optimal _ | Lp.Unbounded -> Alcotest.fail "expected infeasible");
+  let m2 = Lp.create () in
+  let y = Lp.add_var m2 "y" in
+  Lp.set_objective m2 Lp.Maximize (Lp.var y);
+  match Lp.solve ~solver:Lp.Revised m2 with
+  | Lp.Unbounded -> ()
+  | Lp.Optimal _ | Lp.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_revised_beale () =
+  let m = Lp.create () in
+  let x4 = Lp.add_var m "x4" and x5 = Lp.add_var m "x5" in
+  let x6 = Lp.add_var m "x6" and x7 = Lp.add_var m "x7" in
+  Lp.add_constraint m
+    (Lp.of_terms [ (r 1 4, x4); (ri (-60), x5); (r (-1) 25, x6); (ri 9, x7) ])
+    Lp.Le R.zero;
+  Lp.add_constraint m
+    (Lp.of_terms [ (r 1 2, x4); (ri (-90), x5); (r (-1) 50, x6); (ri 3, x7) ])
+    Lp.Le R.zero;
+  Lp.add_constraint m (Lp.var x6) Lp.Le (ri 1);
+  Lp.set_objective m Lp.Minimize
+    (Lp.of_terms [ (r (-3) 4, x4); (ri 150, x5); (r (-1) 50, x6); (ri 6, x7) ]);
+  List.iter
+    (fun rule ->
+      match Lp.solve ~rule ~solver:Lp.Revised m with
+      | Lp.Optimal s -> Alcotest.check rat "revised beale" (r (-1) 20) s.Lp.objective
+      | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "beale: not optimal")
+    [ Simplex.Bland; Simplex.Dantzig ]
+
+let prop_solvers_agree =
+  QCheck.Test.make ~name:"tableau and revised simplex agree" ~count:150
+    arb_lp (fun inst ->
+      let m1, _ = build_lp inst in
+      let m2, _ = build_lp inst in
+      match (Lp.solve ~solver:Lp.Tableau m1, Lp.solve ~solver:Lp.Revised m2) with
+      | Lp.Optimal s1, Lp.Optimal s2 -> R.equal s1.Lp.objective s2.Lp.objective
+      | _, _ -> false)
+
+let prop_revised_feasible =
+  QCheck.Test.make ~name:"revised optimum is primal feasible" ~count:100
+    arb_lp (fun inst ->
+      let m, _ = build_lp inst in
+      match Lp.solve ~solver:Lp.Revised m with
+      | Lp.Optimal s ->
+        (match Lp.check_solution m s.Lp.values with
+        | Ok _ -> true
+        | Error e -> QCheck.Test.fail_report e)
+      | Lp.Infeasible | Lp.Unbounded -> false)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "lp",
+    [
+      Alcotest.test_case "textbook max" `Quick test_textbook_max;
+      Alcotest.test_case "textbook min" `Quick test_textbook_min;
+      Alcotest.test_case "equality" `Quick test_equality_constraint;
+      Alcotest.test_case "upper bounds" `Quick test_upper_bounds;
+      Alcotest.test_case "free variable" `Quick test_free_variable;
+      Alcotest.test_case "infeasible" `Quick test_infeasible;
+      Alcotest.test_case "unbounded" `Quick test_unbounded;
+      Alcotest.test_case "Beale degeneracy" `Quick test_degenerate_beale;
+      Alcotest.test_case "empty objective" `Quick test_empty_objective;
+      Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+      Alcotest.test_case "duplicate names" `Quick test_duplicate_name;
+      Alcotest.test_case "check_solution" `Quick test_check_solution_detects;
+      Alcotest.test_case "value_by_name" `Quick test_value_by_name;
+      Alcotest.test_case "revised: textbook" `Quick test_revised_textbook;
+      Alcotest.test_case "revised: infeasible/unbounded" `Quick test_revised_infeasible_unbounded;
+      Alcotest.test_case "revised: Beale" `Quick test_revised_beale;
+      q prop_optimal_is_feasible;
+      q prop_rules_agree;
+      q prop_dominates_feasible_points;
+      q prop_solvers_agree;
+      q prop_revised_feasible;
+    ] )

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "steady"
+    [
+      Test_bigint.suite;
+      Test_rat.suite;
+      Test_lp.suite;
+      Test_platform.suite;
+      Test_coloring.suite;
+      Test_sim.suite;
+      Test_master_slave.suite;
+      Test_scatter.suite;
+      Test_multicast.suite;
+      Test_asymptotic.suite;
+      Test_fixed_period.suite;
+      Test_send_receive.suite;
+      Test_dag.suite;
+      Test_divisible.suite;
+      Test_dynamic.suite;
+      Test_baselines.suite;
+      Test_forecast.suite;
+      Test_topology.suite;
+      Test_reduce.suite;
+      Test_extensions.suite;
+      Test_flow.suite;
+      Test_schedule.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the platform graph, generators, parser and DOT export. *)
+
+module R = Rat
+module E = Ext_rat
+module P = Platform
+
+let r = R.of_ints
+let ri = R.of_int
+
+let simple () =
+  P.create
+    ~names:[| "A"; "B"; "C" |]
+    ~weights:[| E.of_int 2; E.inf; E.of_ints 1 2 |]
+    ~edges:[ (0, 1, ri 1); (1, 2, r 3 2); (2, 0, ri 4) ]
+
+let test_basic_accessors () =
+  let p = simple () in
+  Alcotest.(check int) "nodes" 3 (P.num_nodes p);
+  Alcotest.(check int) "edges" 3 (P.num_edges p);
+  Alcotest.(check string) "name" "B" (P.name p 1);
+  Alcotest.(check int) "find_node" 2 (P.find_node p "C");
+  Alcotest.(check bool) "weight inf" true (E.is_inf (P.weight p 1));
+  Alcotest.(check string) "speed of 2 is 1/2" "1/2" (R.to_string (P.speed p 0));
+  Alcotest.(check string) "speed of inf is 0" "0" (R.to_string (P.speed p 1));
+  Alcotest.(check string) "speed of 1/2 is 2" "2" (R.to_string (P.speed p 2));
+  Alcotest.(check bool) "unknown node" true
+    (try ignore (P.find_node p "Z"); false with Not_found -> true)
+
+let test_edges () =
+  let p = simple () in
+  Alcotest.(check int) "src" 1 (P.edge_src p 1);
+  Alcotest.(check int) "dst" 2 (P.edge_dst p 1);
+  Alcotest.(check string) "cost" "3/2" (R.to_string (P.edge_cost p 1));
+  Alcotest.(check string) "edge_name" "B->C" (P.edge_name p 1);
+  Alcotest.(check (list int)) "out_edges" [ 1 ] (P.out_edges p 1);
+  Alcotest.(check (list int)) "in_edges" [ 0 ] (P.in_edges p 1);
+  (match P.find_edge p 0 1 with
+  | Some e -> Alcotest.(check int) "find_edge" 0 e
+  | None -> Alcotest.fail "edge 0->1 missing");
+  Alcotest.(check bool) "absent edge" true (P.find_edge p 0 2 = None)
+
+let test_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "dup names" true
+    (bad (fun () ->
+         P.create ~names:[| "A"; "A" |]
+           ~weights:[| E.of_int 1; E.of_int 1 |]
+           ~edges:[]));
+  Alcotest.(check bool) "zero weight" true
+    (bad (fun () ->
+         P.create ~names:[| "A" |] ~weights:[| E.zero |] ~edges:[]));
+  Alcotest.(check bool) "negative cost" true
+    (bad (fun () ->
+         P.create ~names:[| "A"; "B" |]
+           ~weights:[| E.of_int 1; E.of_int 1 |]
+           ~edges:[ (0, 1, ri (-1)) ]));
+  Alcotest.(check bool) "self loop" true
+    (bad (fun () ->
+         P.create ~names:[| "A" |] ~weights:[| E.of_int 1 |]
+           ~edges:[ (0, 0, ri 1) ]));
+  Alcotest.(check bool) "duplicate edge" true
+    (bad (fun () ->
+         P.create ~names:[| "A"; "B" |]
+           ~weights:[| E.of_int 1; E.of_int 1 |]
+           ~edges:[ (0, 1, ri 1); (0, 1, ri 2) ]));
+  Alcotest.(check bool) "range" true
+    (bad (fun () ->
+         P.create ~names:[| "A" |] ~weights:[| E.of_int 1 |]
+           ~edges:[ (0, 3, ri 1) ]))
+
+let test_reachability () =
+  let p = simple () in
+  Alcotest.(check bool) "spanning" true (P.is_spanning_from p 0);
+  Alcotest.(check int) "depth" 2 (P.depth_from p 0);
+  let chain_only =
+    P.create ~names:[| "A"; "B"; "C" |]
+      ~weights:[| E.of_int 1; E.of_int 1; E.of_int 1 |]
+      ~edges:[ (0, 1, ri 1) ]
+  in
+  let reach = P.reachable_from chain_only 0 in
+  Alcotest.(check bool) "reach A" true reach.(0);
+  Alcotest.(check bool) "reach B" true reach.(1);
+  Alcotest.(check bool) "not reach C" false reach.(2);
+  Alcotest.(check bool) "not spanning" false (P.is_spanning_from chain_only 0)
+
+let test_shortest_path () =
+  let p =
+    P.create ~names:[| "A"; "B"; "C" |]
+      ~weights:[| E.inf; E.inf; E.inf |]
+      ~edges:[ (0, 2, ri 10); (0, 1, ri 1); (1, 2, ri 2) ]
+  in
+  (match P.shortest_path p 0 2 with
+  | Some [ e1; e2 ] ->
+    Alcotest.(check string) "via B" "A->B" (P.edge_name p e1);
+    Alcotest.(check string) "then C" "B->C" (P.edge_name p e2)
+  | Some _ | None -> Alcotest.fail "expected the relayed route");
+  Alcotest.(check bool) "self path empty" true (P.shortest_path p 0 0 = Some []);
+  Alcotest.(check bool) "unreachable" true (P.shortest_path p 2 0 = None);
+  (match P.multi_source_shortest_path p ~sources:[ 1; 0 ] 2 with
+  | Some [ e ] -> Alcotest.(check string) "from closest source" "B->C" (P.edge_name p e)
+  | Some _ | None -> Alcotest.fail "expected one hop from B")
+
+let test_transpose () =
+  let p = simple () in
+  let q = P.transpose p in
+  Alcotest.(check int) "same edges" (P.num_edges p) (P.num_edges q);
+  Alcotest.(check int) "reversed src" (P.edge_dst p 0) (P.edge_src q 0);
+  Alcotest.(check int) "reversed dst" (P.edge_src p 0) (P.edge_dst q 0);
+  Alcotest.(check bool) "involution" true (P.equal p (P.transpose q))
+
+let test_restrict () =
+  let p = simple () in
+  let sub, mapping = P.restrict_nodes p ~keep:(fun i -> i <> 1) in
+  Alcotest.(check int) "2 nodes kept" 2 (P.num_nodes sub);
+  Alcotest.(check int) "1 edge kept (C->A)" 1 (P.num_edges sub);
+  Alcotest.(check string) "names kept" "C" (P.name sub 1);
+  Alcotest.(check (array int)) "mapping" [| 0; 2 |] mapping
+
+let test_figure1 () =
+  let p = Platform_gen.figure1 () in
+  Alcotest.(check int) "6 nodes" 6 (P.num_nodes p);
+  Alcotest.(check int) "14 oriented edges" 14 (P.num_edges p);
+  Alcotest.(check bool) "spanning from master" true (P.is_spanning_from p 0);
+  (* full duplex: edge i->j implies j->i with equal cost *)
+  List.iter
+    (fun e ->
+      match P.find_edge p (P.edge_dst p e) (P.edge_src p e) with
+      | Some e' ->
+        Alcotest.(check bool) "mirror cost" true
+          (R.equal (P.edge_cost p e) (P.edge_cost p e'))
+      | None -> Alcotest.fail "missing mirror edge")
+    (P.edges p)
+
+let test_multicast_fig2 () =
+  let p, src, targets = Platform_gen.multicast_fig2 () in
+  Alcotest.(check int) "7 nodes" 7 (P.num_nodes p);
+  Alcotest.(check int) "9 edges" 9 (P.num_edges p);
+  Alcotest.(check string) "source" "P0" (P.name p src);
+  Alcotest.(check (list string)) "targets" [ "P5"; "P6" ]
+    (List.map (P.name p) targets);
+  (* the one expensive edge *)
+  (match P.find_edge p 3 4 with
+  | Some e -> Alcotest.(check string) "c(P3->P4)=2" "2" (R.to_string (P.edge_cost p e))
+  | None -> Alcotest.fail "edge P3->P4 missing");
+  (* every other edge has cost 1 *)
+  let n_unit =
+    List.length
+      (List.filter (fun e -> R.equal (P.edge_cost p e) R.one) (P.edges p))
+  in
+  Alcotest.(check int) "8 unit edges" 8 n_unit;
+  Alcotest.(check bool) "targets reachable" true (P.is_spanning_from p src)
+
+let test_star_chain () =
+  let p =
+    Platform_gen.star ~master_weight:E.inf
+      ~slaves:[ (E.of_int 1, ri 1); (E.of_int 2, ri 2); (E.of_int 3, ri 1) ]
+      ()
+  in
+  Alcotest.(check int) "4 nodes" 4 (P.num_nodes p);
+  Alcotest.(check int) "6 edges" 6 (P.num_edges p);
+  Alcotest.(check int) "star depth" 1 (P.depth_from p 0);
+  let c = Platform_gen.chain ~weights:[ E.of_int 1; E.of_int 2; E.of_int 1 ] ~cost:R.one () in
+  Alcotest.(check int) "chain depth" 2 (P.depth_from c 0)
+
+let test_generators_valid () =
+  (* generators produce valid spanning platforms for a range of sizes *)
+  List.iter
+    (fun n ->
+      let t = Platform_gen.random_tree ~seed:7 ~nodes:n () in
+      Alcotest.(check bool) "tree spanning" true (P.is_spanning_from t 0);
+      Alcotest.(check int) "tree edges" (2 * (n - 1)) (P.num_edges t);
+      let g = Platform_gen.random_graph ~seed:11 ~nodes:n ~extra_edges:n () in
+      Alcotest.(check bool) "graph spanning" true (P.is_spanning_from g 0))
+    [ 2; 5; 12; 30 ];
+  let cl = Platform_gen.clusters ~seed:3 ~clusters:3 ~per_cluster:4 () in
+  Alcotest.(check int) "cluster nodes" 15 (P.num_nodes cl);
+  Alcotest.(check bool) "cluster spanning" true (P.is_spanning_from cl 0);
+  let cl2 = Platform_gen.clusters ~seed:3 ~clusters:2 ~per_cluster:2 () in
+  Alcotest.(check bool) "2-cluster spanning" true (P.is_spanning_from cl2 0)
+
+let test_generator_determinism () =
+  let a = Platform_gen.random_graph ~seed:5 ~nodes:10 ~extra_edges:5 () in
+  let b = Platform_gen.random_graph ~seed:5 ~nodes:10 ~extra_edges:5 () in
+  Alcotest.(check bool) "same seed, same platform" true (P.equal a b);
+  let c = Platform_gen.random_graph ~seed:6 ~nodes:10 ~extra_edges:5 () in
+  Alcotest.(check bool) "different seed differs" false (P.equal a c)
+
+let test_parse_roundtrip () =
+  let p = simple () in
+  let q = Platform_parse.of_string (Platform_parse.to_string p) in
+  Alcotest.(check bool) "roundtrip" true (P.equal p q);
+  let f1 = Platform_gen.figure1 () in
+  Alcotest.(check bool) "figure1 roundtrip" true
+    (P.equal f1 (Platform_parse.of_string (Platform_parse.to_string f1)))
+
+let test_parse_format () =
+  let p =
+    Platform_parse.of_string
+      "# a comment\n\
+       node A w=2\n\
+       node B w=inf\n\
+       node C w=1/3\n\
+       \n\
+       edge A B c=3/2  # trailing comment\n\
+       link B C c=0.5\n"
+  in
+  Alcotest.(check int) "nodes" 3 (P.num_nodes p);
+  Alcotest.(check int) "edges (1 + 2 from link)" 3 (P.num_edges p);
+  Alcotest.(check string) "decimal cost" "1/2"
+    (R.to_string (P.edge_cost p 1))
+
+let test_parse_errors () =
+  let bad s =
+    try ignore (Platform_parse.of_string s); false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown decl" true (bad "frob A w=1");
+  Alcotest.(check bool) "undeclared node" true (bad "node A w=1\nedge A B c=1");
+  Alcotest.(check bool) "bad attr" true (bad "node A weight=1");
+  Alcotest.(check bool) "inf cost rejected" true
+    (bad "node A w=1\nnode B w=1\nedge A B c=inf")
+
+let test_dot () =
+  let p = simple () in
+  let dot = Dot.of_platform p in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let has_sub needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edge line" true (has_sub "A -> B" dot);
+  Alcotest.(check bool) "weight label" true (has_sub "w=inf" dot);
+  let dot2 =
+    Dot.of_platform ~edge_labels:(fun e -> if e = 0 then Some "flow=1/2" else None) p
+  in
+  Alcotest.(check bool) "custom label" true (has_sub "flow=1/2" dot2)
+
+(* property: random platforms always round-trip through the parser *)
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"parser roundtrip on random platforms" ~count:50
+    (QCheck.pair (QCheck.int_range 2 20) (QCheck.int_range 0 15))
+    (fun (n, extra) ->
+      let p = Platform_gen.random_graph ~seed:(n * 31 + extra) ~nodes:n ~extra_edges:extra () in
+      P.equal p (Platform_parse.of_string (Platform_parse.to_string p)))
+
+let prop_depth_bounded =
+  QCheck.Test.make ~name:"depth < nodes" ~count:50 (QCheck.int_range 2 25)
+    (fun n ->
+      let p = Platform_gen.random_tree ~seed:n ~nodes:n () in
+      P.depth_from p 0 < P.num_nodes p)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "platform",
+    [
+      Alcotest.test_case "accessors" `Quick test_basic_accessors;
+      Alcotest.test_case "edges" `Quick test_edges;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "reachability" `Quick test_reachability;
+      Alcotest.test_case "shortest path" `Quick test_shortest_path;
+      Alcotest.test_case "transpose" `Quick test_transpose;
+      Alcotest.test_case "restrict" `Quick test_restrict;
+      Alcotest.test_case "figure 1 platform" `Quick test_figure1;
+      Alcotest.test_case "figure 2 platform" `Quick test_multicast_fig2;
+      Alcotest.test_case "star/chain" `Quick test_star_chain;
+      Alcotest.test_case "generators valid" `Quick test_generators_valid;
+      Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+      Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+      Alcotest.test_case "parse format" `Quick test_parse_format;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "dot export" `Quick test_dot;
+      q prop_parse_roundtrip;
+      q prop_depth_bounded;
+    ] )

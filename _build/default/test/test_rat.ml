@@ -1,0 +1,177 @@
+(* Tests for exact rationals and extended rationals. *)
+
+module R = Rat
+module B = Bigint
+module E = Ext_rat
+
+let r = R.of_ints
+let ri = R.of_int
+
+let rat = Alcotest.testable R.pp R.equal
+
+let test_normalisation () =
+  Alcotest.check rat "6/4 = 3/2" (r 3 2) (r 6 4);
+  Alcotest.check rat "-6/4 = -3/2" (r (-3) 2) (r 6 (-4));
+  Alcotest.check rat "0/5 = 0" R.zero (r 0 5);
+  Alcotest.(check string) "den positive" "1/2" (R.to_string (r (-1) (-2)));
+  Alcotest.(check string) "num carries sign" "-1/2" (R.to_string (r 1 (-2)))
+
+let test_make_zero_den () =
+  Alcotest.check_raises "0 denominator" Division_by_zero (fun () ->
+      ignore (R.make B.one B.zero))
+
+let test_arith () =
+  Alcotest.check rat "1/2+1/3" (r 5 6) (R.add (r 1 2) (r 1 3));
+  Alcotest.check rat "1/2-1/3" (r 1 6) (R.sub (r 1 2) (r 1 3));
+  Alcotest.check rat "2/3*3/4" (r 1 2) (R.mul (r 2 3) (r 3 4));
+  Alcotest.check rat "(1/2)/(1/4)" (ri 2) (R.div (r 1 2) (r 1 4));
+  Alcotest.check rat "neg" (r (-1) 2) (R.neg (r 1 2));
+  Alcotest.check rat "abs" (r 1 2) (R.abs (r (-1) 2));
+  Alcotest.check rat "inv" (r 3 2) (R.inv (r 2 3));
+  Alcotest.check rat "inv neg" (r (-3) 2) (R.inv (r (-2) 3));
+  Alcotest.check rat "mul_int" (r 3 2) (R.mul_int (r 1 2) 3);
+  Alcotest.check rat "div_int" (r 1 6) (R.div_int (r 1 2) 3)
+
+let test_inv_zero () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (R.inv R.zero));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (R.div R.one R.zero))
+
+let test_floor_ceil () =
+  let check_fc name x f c =
+    Alcotest.(check string) (name ^ " floor") f (B.to_string (R.floor x));
+    Alcotest.(check string) (name ^ " ceil") c (B.to_string (R.ceil x))
+  in
+  check_fc "7/2" (r 7 2) "3" "4";
+  check_fc "-7/2" (r (-7) 2) "-4" "-3";
+  check_fc "4/2" (ri 2) "2" "2";
+  check_fc "-2" (ri (-2)) "-2" "-2";
+  check_fc "0" R.zero "0" "0"
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true R.Infix.(r 1 3 < r 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true R.Infix.(r (-1) 2 < r 1 3);
+  Alcotest.(check bool) "2/4 = 1/2" true R.Infix.(r 2 4 = r 1 2);
+  Alcotest.check rat "min" (r 1 3) (R.min (r 1 3) (r 1 2));
+  Alcotest.check rat "max" (r 1 2) (R.max (r 1 3) (r 1 2))
+
+let test_of_string () =
+  Alcotest.check rat "plain" (ri 5) (R.of_string "5");
+  Alcotest.check rat "fraction" (r 3 4) (R.of_string "3/4");
+  Alcotest.check rat "decimal" (r 5 2) (R.of_string "2.5");
+  Alcotest.check rat "neg decimal" (r (-5) 2) (R.of_string "-2.5");
+  Alcotest.check rat "neg frac below 1" (r (-1) 4) (R.of_string "-0.25");
+  Alcotest.check rat "neg fraction" (r (-3) 4) (R.of_string "-3/4")
+
+let test_to_string () =
+  Alcotest.(check string) "int" "5" (R.to_string (ri 5));
+  Alcotest.(check string) "frac" "3/4" (R.to_string (r 3 4));
+  Alcotest.(check string) "neg" "-3/4" (R.to_string (r (-3) 4))
+
+let test_sum_lcm () =
+  Alcotest.check rat "sum" (r 11 6) (R.sum [ r 1 2; r 1 3; ri 1 ]);
+  Alcotest.check rat "sum empty" R.zero (R.sum []);
+  Alcotest.(check string) "lcm dens" "12"
+    (B.to_string (R.lcm_denominators [ r 1 4; r 1 6; ri 2 ]));
+  Alcotest.(check string) "lcm empty" "1" (B.to_string (R.lcm_denominators []))
+
+let test_to_float_int () =
+  Alcotest.(check (float 1e-12)) "3/4" 0.75 (R.to_float (r 3 4));
+  Alcotest.(check int) "int exn" 7 (R.to_int_exn (ri 7));
+  Alcotest.(check bool) "not int" true
+    (try ignore (R.to_int_exn (r 1 2)); false with Failure _ -> true)
+
+(* --- Ext_rat --- *)
+
+let test_ext_basic () =
+  Alcotest.(check bool) "inf is inf" true (E.is_inf E.inf);
+  Alcotest.(check bool) "fin not inf" true (E.is_finite (E.of_int 3));
+  Alcotest.(check bool) "inf > all" true (E.compare E.inf (E.of_int max_int) > 0);
+  Alcotest.(check bool) "inf = inf" true (E.equal E.inf E.inf);
+  Alcotest.(check string) "x+inf" "inf" (E.to_string (E.add (E.of_int 1) E.inf));
+  Alcotest.(check string) "inv inf = 0" "0" (E.to_string (E.inv E.inf));
+  Alcotest.(check string) "3*inf" "inf" (E.to_string (E.mul (E.of_int 3) E.inf));
+  Alcotest.(check bool) "0*inf raises" true
+    (try ignore (E.mul E.zero E.inf); false with Invalid_argument _ -> true);
+  Alcotest.(check string) "parse inf" "inf" (E.to_string (E.of_string "inf"));
+  Alcotest.(check string) "parse 3/4" "3/4" (E.to_string (E.of_string "3/4"));
+  Alcotest.(check bool) "fin_exn raises" true
+    (try ignore (E.fin_exn E.inf); false with Invalid_argument _ -> true)
+
+(* --- properties --- *)
+
+let gen_rat =
+  QCheck.Gen.(
+    map2
+      (fun n d -> R.of_ints n (if d = 0 then 1 else d))
+      (int_range (-10000) 10000)
+      (int_range 1 10000))
+
+let arb_rat = QCheck.make ~print:R.to_string gen_rat
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"rat add commutative" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+      R.equal (R.add x y) (R.add y x))
+
+let prop_field =
+  QCheck.Test.make ~name:"x * inv x = 1" ~count:500 arb_rat (fun x ->
+      QCheck.assume (not (R.is_zero x));
+      R.equal R.one (R.mul x (R.inv x)))
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"(x+y)-y = x" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+      R.equal x (R.sub (R.add x y) y))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"distributivity" ~count:300
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (x, y, z) ->
+      R.equal (R.mul x (R.add y z)) (R.add (R.mul x y) (R.mul x z)))
+
+let prop_normalised =
+  QCheck.Test.make ~name:"results are normalised" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (x, y) ->
+      let z = R.add (R.mul x y) (R.sub x y) in
+      B.is_one (B.gcd (R.num z) (R.den z)) || R.is_zero z)
+
+let prop_floor_le =
+  QCheck.Test.make ~name:"floor <= x < floor+1" ~count:500 arb_rat (fun x ->
+      let f = R.of_bigint (R.floor x) in
+      R.Infix.(f <= x) && R.Infix.(x < R.add f R.one))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"rat of_string ∘ to_string" ~count:500 arb_rat
+    (fun x -> R.equal x (R.of_string (R.to_string x)))
+
+let prop_lcm_clears =
+  QCheck.Test.make ~name:"lcm of denominators clears fractions" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb_rat) (fun l ->
+      let m = R.lcm_denominators l in
+      List.for_all (fun x -> R.is_integer (R.mul x (R.of_bigint m))) l)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "rat",
+    [
+      Alcotest.test_case "normalisation" `Quick test_normalisation;
+      Alcotest.test_case "zero denominator" `Quick test_make_zero_den;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "inv zero" `Quick test_inv_zero;
+      Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "of_string" `Quick test_of_string;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      Alcotest.test_case "sum/lcm" `Quick test_sum_lcm;
+      Alcotest.test_case "to_float/int" `Quick test_to_float_int;
+      Alcotest.test_case "ext_rat" `Quick test_ext_basic;
+      q prop_add_comm;
+      q prop_field;
+      q prop_add_sub_inverse;
+      q prop_distrib;
+      q prop_normalised;
+      q prop_floor_le;
+      q prop_string_roundtrip;
+      q prop_lcm_clears;
+    ] )

@@ -1,0 +1,142 @@
+(* Tests for §5.3 probe-based topology inference. *)
+
+module R = Rat
+module T = Topology_probe
+module P = Platform
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+(* M -> {S1, S2} switches (fast backbone), hosts behind slow local
+   links: the shape simultaneous probes can discriminate *)
+let two_switches () =
+  P.create
+    ~names:[| "M"; "S1"; "S2"; "A1"; "A2"; "B1"; "B2" |]
+    ~weights:
+      [| Ext_rat.inf; Ext_rat.inf; Ext_rat.inf;
+         Ext_rat.of_int 1; Ext_rat.of_int 1; Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+    ~edges:
+      [
+        (0, 1, ri 1); (0, 2, ri 1);
+        (1, 3, ri 4); (1, 4, ri 4);
+        (2, 5, ri 4); (2, 6, ri 4);
+      ]
+
+let test_route () =
+  let p = two_switches () in
+  (match T.route p 0 3 with
+  | Some [ e1; e2 ] ->
+    Alcotest.(check string) "hop1" "M->S1" (P.edge_name p e1);
+    Alcotest.(check string) "hop2" "S1->A1" (P.edge_name p e2)
+  | Some _ | None -> Alcotest.fail "expected 2-hop route");
+  Alcotest.(check bool) "unreachable" true (T.route p 3 0 = None)
+
+let test_route_prefers_cheap () =
+  let p =
+    P.create ~names:[| "A"; "B"; "C" |]
+      ~weights:[| Ext_rat.inf; Ext_rat.inf; Ext_rat.inf |]
+      ~edges:[ (0, 2, ri 10); (0, 1, ri 1); (1, 2, ri 2) ]
+  in
+  match T.route p 0 2 with
+  | Some route -> Alcotest.(check int) "relay route" 2 (List.length route)
+  | None -> Alcotest.fail "no route"
+
+let test_probe_time_alone () =
+  let p = two_switches () in
+  (match T.route p 0 3 with
+  | Some route ->
+    Alcotest.check rat "store-and-forward time" (ri 5) (T.probe_time p [ route ])
+  | None -> Alcotest.fail "no route");
+  Alcotest.check rat "bandwidth" (r 1 5) (T.measure_bandwidth p 0 3);
+  Alcotest.check rat "unreachable bw" R.zero (T.measure_bandwidth p 3 0)
+
+let test_probe_interference_levels () =
+  let p = two_switches () in
+  let route h = Option.get (T.route p 0 h) in
+  (* same switch: both second hops serialise at the switch *)
+  let same = T.probe_time p [ route 3; route 4 ] in
+  (* different switches: only the master's first hops serialise *)
+  let cross = T.probe_time p [ route 3; route 5 ] in
+  Alcotest.(check bool) "same switch interferes more" true
+    R.Infix.(same > cross)
+
+let test_infer_clusters () =
+  let p = two_switches () in
+  let rep = T.infer p ~master:0 ~hosts:[ 3; 4; 5; 6 ] in
+  let normalized = List.sort compare (List.map (List.sort compare) rep.T.clusters) in
+  Alcotest.(check (list (list int))) "two clusters recovered"
+    [ [ 3; 4 ]; [ 5; 6 ] ]
+    normalized
+
+let test_infer_flat_star () =
+  (* no internal structure: all hosts one cluster *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 1, ri 1); (Ext_rat.of_int 1, ri 1); (Ext_rat.of_int 1, ri 1) ]
+      ()
+  in
+  let rep = T.infer p ~master:0 ~hosts:[ 1; 2; 3 ] in
+  Alcotest.(check int) "single cluster" 1 (List.length rep.T.clusters)
+
+let test_infer_validation () =
+  let p = two_switches () in
+  Alcotest.(check bool) "needs two hosts" true
+    (try ignore (T.infer p ~master:0 ~hosts:[ 3 ]); false
+     with Invalid_argument _ -> true);
+  let disconnected =
+    P.create ~names:[| "M"; "X"; "Y" |]
+      ~weights:[| Ext_rat.inf; Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+      ~edges:[ (0, 1, ri 1) ]
+  in
+  Alcotest.(check bool) "unreachable host" true
+    (try ignore (T.infer disconnected ~master:0 ~hosts:[ 1; 2 ]); false
+     with Invalid_argument _ -> true)
+
+let test_probe_validation () =
+  let p = two_switches () in
+  Alcotest.(check bool) "empty route" true
+    (try ignore (T.probe_time p [ [] ]); false
+     with Invalid_argument _ -> true);
+  (* broken chain: two edges that do not connect *)
+  Alcotest.(check bool) "broken route" true
+    (try ignore (T.probe_time p [ [ 0; 1 ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_throughput_on_inferred_model () =
+  (* the macroscopic view suffices: master-slave throughput computed on
+     the true platform vs a collapsed 2-level model built from probes *)
+  let p = two_switches () in
+  let true_tp = (Master_slave.solve p ~master:0).Master_slave.ntask in
+  (* inferred model: hosts attached via their measured end-to-end
+     bandwidth (path collapsed to one link) *)
+  let inferred =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        (List.map
+           (fun h -> (P.weight p h, R.inv (T.measure_bandwidth p 0 h)))
+           [ 3; 4; 5; 6 ])
+      ()
+  in
+  let approx_tp = (Master_slave.solve inferred ~master:0).Master_slave.ntask in
+  (* the collapsed model charges each task the full store-and-forward
+     path time on the master's port, ignoring the pipelining that the
+     real platform allows: it is conservative here.  (It can also be
+     optimistic on other shapes, by hiding shared internal links —
+     exactly the caveat of §5.3.) *)
+  Alcotest.(check bool) "flat model is conservative here" true
+    R.Infix.(approx_tp <= true_tp)
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "route" `Quick test_route;
+      Alcotest.test_case "route prefers cheap" `Quick test_route_prefers_cheap;
+      Alcotest.test_case "probe time" `Quick test_probe_time_alone;
+      Alcotest.test_case "interference levels" `Quick test_probe_interference_levels;
+      Alcotest.test_case "infer clusters" `Quick test_infer_clusters;
+      Alcotest.test_case "infer flat star" `Quick test_infer_flat_star;
+      Alcotest.test_case "infer validation" `Quick test_infer_validation;
+      Alcotest.test_case "probe validation" `Quick test_probe_validation;
+      Alcotest.test_case "inferred model throughput" `Quick test_throughput_on_inferred_model;
+    ] )
