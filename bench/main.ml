@@ -8,8 +8,19 @@
      paper's polynomiality claim;
    - the pivot-rule ablation (Bland vs Dantzig) called out in DESIGN.md;
    - the matching-peeling (edge colouring) cost;
-   - substrate costs: bignum arithmetic, simulator event processing,
-     tree enumeration. *)
+   - substrate costs: bignum arithmetic, rational arithmetic on both
+     representation paths, simulator event processing, tree enumeration.
+
+   Part 3 is the Domain-pool sweep: the independent E13 LP solves and
+   the E1-E16 battery, each run once on a sequential pool and once on
+   the shared default pool, so the parallel speedup (or lack of it, on a
+   single-core box) is measured rather than assumed.
+
+   Every timed row also lands in a machine-readable snapshot
+   (BENCH_steady.json by default, [--json PATH] to override) so the perf
+   trajectory is trackable across PRs.  [--tables-only] prints part 1
+   plus the colouring ablation and exits — that mode is what the
+   [@bench-tables] dune alias runs. *)
 
 open Bechamel
 open Toolkit
@@ -114,7 +125,16 @@ let bench_schoolbook =
 
 let bench_rat =
   let x = R.of_ints 355 113 and y = R.of_ints 103993 33102 in
-  Test.make ~name:"substrate/rat mul+add"
+  Test.make ~name:"substrate/rat mul+add (small path)"
+    (Staged.stage (fun () -> ignore (R.add (R.mul x y) (R.div x y))))
+
+let bench_rat_big =
+  (* denominators past 2^62 pin both operands to the Bigint path *)
+  let big = R.make Bigint.one (Bigint.pow Bigint.two 80) in
+  let x = R.add (R.of_ints 355 113) big
+  and y = R.add (R.of_ints 103993 33102) big in
+  assert ((not (R.fits_small x)) && not (R.fits_small y));
+  Test.make ~name:"substrate/rat mul+add (bigint path)"
     (Staged.stage (fun () -> ignore (R.add (R.mul x y) (R.div x y))))
 
 let bench_trees =
@@ -134,7 +154,7 @@ let all_tests =
        bench_solver Lp.Revised "revised";
      ]
     @ [ bench_coloring; bench_simulator; bench_bigint; bench_karatsuba;
-        bench_schoolbook; bench_rat; bench_trees ])
+        bench_schoolbook; bench_rat; bench_rat_big; bench_trees ])
 
 let run_benchmarks () =
   print_endline "########## timing suite (bechamel) ##########\n";
@@ -158,12 +178,84 @@ let run_benchmarks () =
         (name, time_ns) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, t) ->
       if t >= 1e6 then Printf.printf "%-48s %10.3f ms/run\n" name (t /. 1e6)
       else if t >= 1e3 then Printf.printf "%-48s %10.3f us/run\n" name (t /. 1e3)
       else Printf.printf "%-48s %10.0f ns/run\n" name t)
-    (List.sort compare rows)
+    rows;
+  rows
+
+(* --- part 3: Domain-pool sweep --- *)
+
+let wall_ns f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+let sweep_sizes = [ 6; 8; 10; 12; 14 ]
+
+let e13_sweep pool =
+  Pool.iter pool
+    (fun n -> ignore (Master_slave.solve (sized_platform n) ~master:0))
+    sweep_sizes
+
+let run_pool_sweep () =
+  print_endline "\n########## Domain-pool sweep ##########\n";
+  let pool = Pool.default () in
+  let width = Pool.size pool in
+  let rows = ref [] in
+  let record name ns =
+    rows := (name, ns) :: !rows;
+    if ns >= 1e6 then Printf.printf "%-48s %10.3f ms wall\n" name (ns /. 1e6)
+    else Printf.printf "%-48s %10.3f us wall\n" name (ns /. 1e3)
+  in
+  Pool.with_pool ~domains:0 (fun seq ->
+      (* warm up (first run pays platform-RNG and allocator churn) *)
+      e13_sweep seq;
+      let (), ns = wall_ns (fun () -> e13_sweep seq) in
+      record "sweep/E13 LP sweep n=6..14 (sequential)" ns;
+      let _, ns = wall_ns (fun () -> Experiments.all ~pool:seq ()) in
+      record "sweep/experiments E1-E16 (sequential)" ns);
+  let (), ns = wall_ns (fun () -> e13_sweep pool) in
+  record (Printf.sprintf "sweep/E13 LP sweep n=6..14 (pool x%d)" width) ns;
+  let _, ns = wall_ns (fun () -> Experiments.all ~pool ()) in
+  record (Printf.sprintf "sweep/experiments E1-E16 (pool x%d)" width) ns;
+  List.rev !rows
+
+(* --- machine-readable snapshot --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/1\",\n";
+  Printf.fprintf oc "  \"unit\": \"ns\",\n";
+  Printf.fprintf oc "  \"pool_width\": %d,\n" (Pool.size (Pool.default ()));
+  Printf.fprintf oc "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d rows)\n" path n
 
 (* ablation: how tight is the <= |E| + 2|V| matching bound in practice? *)
 let print_coloring_stats () =
@@ -198,6 +290,25 @@ let print_coloring_stats () =
   print_newline ()
 
 let () =
+  let tables_only = ref false in
+  let json_path = ref "BENCH_steady.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--tables-only" :: rest ->
+      tables_only := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse rest
+    | arg :: _ ->
+      prerr_endline ("usage: main.exe [--tables-only] [--json PATH]; got " ^ arg);
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   print_tables ();
   print_coloring_stats ();
-  run_benchmarks ()
+  if not !tables_only then begin
+    let bench_rows = run_benchmarks () in
+    let sweep_rows = run_pool_sweep () in
+    write_json !json_path (bench_rows @ sweep_rows)
+  end

@@ -27,7 +27,9 @@ let validate_spec p ~source ~targets =
       Hashtbl.replace seen k ())
     targets
 
-let solve ?rule mode p ~source ~targets =
+(* The LP shared by solve and the kernel-equality tests: returns the
+   model plus the handles needed to read a solution back. *)
+let build_model mode p ~source ~targets =
   validate_spec p ~source ~targets;
   let nk = List.length targets in
   let target = Array.of_list targets in
@@ -135,6 +137,15 @@ let solve ?rule mode p ~source ~targets =
       (P.nodes p)
   done;
   Lp.set_objective m Lp.Maximize (Lp.var tp);
+  (m, tp, f_v)
+
+let model mode p ~source ~targets =
+  let m, _, _ = build_model mode p ~source ~targets in
+  m
+
+let solve ?rule mode p ~source ~targets =
+  let nk = List.length targets in
+  let m, _tp, f_v = build_model mode p ~source ~targets in
   match Lp.solve ?rule m with
   | Lp.Infeasible | Lp.Unbounded ->
     failwith "Collective.solve: LP not optimal (cannot happen)"

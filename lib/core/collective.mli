@@ -38,6 +38,16 @@ val solve :
     or contains duplicates.  (Zero throughput is always feasible, so the
     LP is never infeasible.) *)
 
+val model :
+  mode ->
+  Platform.t ->
+  source:Platform.node ->
+  targets:Platform.node list ->
+  Lp.model
+(** The exact LP model that {!solve} builds and solves (same variables,
+    constraints and objective, in the same order), for inspection and
+    for the kernel-equality tests. *)
+
 val message_size : Rat.t
 (** Messages are unit-size: a message on edge [e] busies it for [c_e]. *)
 

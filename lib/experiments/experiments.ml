@@ -566,21 +566,29 @@ let e16_baselines () =
       ];
   }
 
-let all () =
-  [
-    e1_master_slave_lp ();
-    e2_reconstruction ();
-    e3_asymptotic ();
-    e4_scatter ();
-    e5_multicast_counterexample ();
-    e6_broadcast ();
-    e7_send_receive ();
-    e8_startup_costs ();
-    e9_fixed_period ();
-    e10_dynamic ();
-    e11_dag_collections ();
-    e12_reduce ();
-    e14_topology ();
-    e15_tree_crosscheck ();
-    e16_baselines ();
-  ]
+let all ?pool () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  (* Force the shared Figure-1 fixtures once, sequentially: concurrent
+     [Lazy.force] of the same suspension from several domains is not
+     safe in OCaml 5, and every other piece of experiment state is
+     task-local, so this is the only ordering the sweep needs. *)
+  ignore (Lazy.force fig1_sol);
+  Pool.map pool
+    (fun e -> e ())
+    [
+      e1_master_slave_lp;
+      e2_reconstruction;
+      e3_asymptotic;
+      e4_scatter;
+      e5_multicast_counterexample;
+      e6_broadcast;
+      e7_send_receive;
+      e8_startup_costs;
+      e9_fixed_period;
+      e10_dynamic;
+      e11_dag_collections;
+      e12_reduce;
+      e14_topology;
+      e15_tree_crosscheck;
+      e16_baselines;
+    ]

@@ -54,6 +54,9 @@ val e15_tree_crosscheck : unit -> Exp_common.table
 val e16_baselines : unit -> Exp_common.table
 (** §1 motivation: steady state vs demand-driven and round-robin. *)
 
-val all : unit -> Exp_common.table list
+val all : ?pool:Pool.t -> unit -> Exp_common.table list
 (** All of the above, in order (E13, the polynomial-scaling microbench,
-    lives in bench/main.exe where timing belongs). *)
+    lives in bench/main.exe where timing belongs).  The experiments are
+    independent, so they fan out across [pool] (default
+    {!Pool.default}); the table list is identical whatever the pool
+    width. *)

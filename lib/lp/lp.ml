@@ -105,9 +105,13 @@ type col_map =
   | Shifted of int * R.t (* column, lower bound:  x = col + l *)
   | Split of int * int (* x = col+ - col- *)
 
-let solve ?rule ?(solver = Tableau) m =
+(* Translate a model to the standard form min c.x, Ax = b, x >= 0 that
+   both simplex kernels consume.  Also returns what [solve] needs to map
+   a standard-form solution back to model variables: the column map, the
+   objective constant picked up while substituting bounds, and whether
+   the objective sign was flipped (Maximize). *)
+let translate m =
   let vars = var_array m in
-  let n = Array.length vars in
   (* assign columns *)
   let next_col = ref 0 in
   let fresh () = let c = !next_col in incr next_col; c in
@@ -195,6 +199,15 @@ let solve ?rule ?(solver = Tableau) m =
   Array.iteri
     (fun j v -> c.(j) <- (if flip then R.neg v else v))
     obj_row;
+  (a, b, c, cmap, obj_const, flip)
+
+let standard_form m =
+  let a, b, c, _, _, _ = translate m in
+  (a, b, c)
+
+let solve ?rule ?(solver = Tableau) m =
+  let n = num_vars m in
+  let a, b, c, cmap, obj_const, flip = translate m in
   let outcome =
     match solver with
     | Tableau -> begin

@@ -75,6 +75,13 @@ type solver =
 
 val solve : ?rule:Simplex.pivot_rule -> ?solver:solver -> model -> result
 
+val standard_form : model -> Rat.t array array * Rat.t array * Rat.t array
+(** [standard_form m] is the exact [(a, b, c)] instance — min [c.x]
+    s.t. [a x = b], [x >= 0], after bound shifting/splitting, slack
+    columns and objective sign normalisation — that {!solve} hands to
+    the simplex kernels.  Exposed so tests can replay the very same
+    instance through independent solver implementations. *)
+
 val value_by_name : model -> solution -> string -> Rat.t
 (** Convenience: look a variable up by name in a solution.
     @raise Not_found if the name is unknown. *)

@@ -1,98 +1,283 @@
-(* Normalised rationals over Bigint: den > 0, gcd(num, den) = 1, zero is
-   0/1.  Normalisation at construction keeps every operation canonical, so
-   structural equality of the representation coincides with numeric
-   equality. *)
+(* Normalised rationals with a tagged small-integer fast path.
+
+   Representation invariant (canonical form):
+   - [S (n, d)]: den [d > 0], [gcd (|n|, d) = 1], zero is [S (0, 1)], and
+     both components lie in [(min_int, max_int]] — [min_int] is excluded so
+     that negation and [abs] can never overflow.
+   - [Big b]: same normalisation ([b.den > 0], coprime), used if and only
+     if the value does NOT satisfy the [S] constraints.
+
+   Because the representation is canonical — every rational value has
+   exactly one representation — structural equality of the representation
+   coincides with numeric equality, exactly as in the all-bignum seed.
+
+   The small path does plain native-int arithmetic with zarith-style
+   overflow checks; any overflow falls back to the [Bigint] path, whose
+   result is re-canonicalised (and so may shrink back to [S]).  LP
+   coefficients in the steady-state models are overwhelmingly tiny, so
+   simplex pivots stay on the int path and stop allocating limb arrays. *)
 
 module B = Bigint
 
-type t = { num : B.t; den : B.t }
+type t =
+  | S of int * int
+  | Big of { num : B.t; den : B.t }
 
-let make_raw num den = { num; den }
+exception Overflow
+
+(* --- overflow-checked native-int helpers --------------------------------
+   All operands obey the [S] range invariant (never [min_int]); every
+   helper also guarantees its result is not [min_int]. *)
+
+let add_chk a b =
+  let s = a + b in
+  if (a lxor s) land (b lxor s) < 0 || s = min_int then raise_notrace Overflow;
+  s
+
+let mul_chk a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    (* [p / b = a] certifies the product: operands are never [min_int], and
+       a wrapped product differs from the true one by 2^63, which shifts
+       the quotient by >= 2 — truncation cannot mask it. *)
+    if p = min_int || p / b <> a then raise_notrace Overflow;
+    p
+  end
+
+(* gcd on non-negative ints *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* --- constructors ------------------------------------------------------- *)
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let two = S (2, 1)
+let minus_one = S (-1, 1)
+
+(* [n/d] with [d > 0], both in range; reduces to lowest terms. *)
+let make_small n d =
+  if n = 0 then zero
+  else begin
+    let g = gcd_int (abs n) d in
+    if g = 1 then S (n, d) else S (n / g, d / g)
+  end
+
+(* Canonicalise a normalised bigint pair ([den > 0], coprime). *)
+let of_big num den =
+  match (B.to_int_opt num, B.to_int_opt den) with
+  | Some n, Some d when n <> min_int && d <> min_int -> S (n, d)
+  | _ -> Big { num; den }
 
 let make num den =
   if B.is_zero den then raise Division_by_zero
-  else if B.is_zero num then { num = B.zero; den = B.one }
+  else if B.is_zero num then zero
   else begin
-    let num, den = if B.is_negative den then (B.neg num, B.neg den) else (num, den) in
+    let num, den =
+      if B.is_negative den then (B.neg num, B.neg den) else (num, den)
+    in
     let g = B.gcd num den in
-    if B.is_one g then { num; den }
-    else { num = B.div num g; den = B.div den g }
+    if B.is_one g then of_big num den
+    else of_big (B.div num g) (B.div den g)
   end
 
-let zero = make_raw B.zero B.one
-let one = make_raw B.one B.one
-let two = make_raw B.two B.one
-let minus_one = make_raw B.minus_one B.one
+let of_bigint n =
+  match B.to_int_opt n with
+  | Some i when i <> min_int -> S (i, 1)
+  | _ -> Big { num = n; den = B.one }
 
-let of_bigint n = make_raw n B.one
-let of_int i = of_bigint (B.of_int i)
-let of_ints a b = make (B.of_int a) (B.of_int b)
+let of_int i = if i = min_int then Big { num = B.of_int i; den = B.one } else S (i, 1)
 
-let num t = t.num
-let den t = t.den
+let of_ints a b =
+  if b = 0 then raise Division_by_zero
+  else if a = min_int || b = min_int then make (B.of_int a) (B.of_int b)
+  else begin
+    let a, b = if b < 0 then (-a, -b) else (a, b) in
+    make_small a b
+  end
 
-let sign t = B.sign t.num
-let is_zero t = B.is_zero t.num
-let is_integer t = B.is_one t.den
+(* Widen to a bigint pair (num, den) regardless of representation. *)
+let big_num = function S (n, _) -> B.of_int n | Big b -> b.num
+let big_den = function S (_, d) -> B.of_int d | Big b -> b.den
 
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let num = big_num
+let den = big_den
 
-let compare a b =
+let fits_small = function S _ -> true | Big _ -> false
+
+(* --- tests and comparisons ---------------------------------------------- *)
+
+let sign = function
+  | S (n, _) -> Stdlib.compare n 0
+  | Big b -> B.sign b.num
+
+let is_zero = function S (0, _) -> true | S _ | Big _ -> false
+
+let is_integer = function
+  | S (_, d) -> d = 1
+  | Big b -> B.is_one b.den
+
+let equal a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> n1 = n2 && d1 = d2
+  | Big x, Big y -> B.equal x.num y.num && B.equal x.den y.den
+  | S _, Big _ | Big _, S _ -> false (* canonical: never numerically equal *)
+
+let compare_big a b =
   (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
      (both denominators are positive) *)
-  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  B.compare (B.mul (big_num a) (big_den b)) (B.mul (big_num b) (big_den a))
 
-let hash t = (B.hash t.num * 65599) lxor B.hash t.den
+let compare a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+    if d1 = d2 then Stdlib.compare n1 n2 (* common denominator: no products *)
+    else begin
+      let s1 = Stdlib.compare n1 0 and s2 = Stdlib.compare n2 0 in
+      if s1 <> s2 then Stdlib.compare s1 s2 (* opposite signs: no products *)
+      else begin
+        match Stdlib.compare (mul_chk n1 d2) (mul_chk n2 d1) with
+        | c -> c
+        | exception Overflow -> compare_big a b
+      end
+    end
+  | _ ->
+    let s1 = sign a and s2 = sign b in
+    if s1 <> s2 then Stdlib.compare s1 s2 else compare_big a b
+
+let hash = function
+  | S (n, d) -> (n * 65599) lxor d
+  | Big b -> (B.hash b.num * 65599) lxor B.hash b.den
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let neg t = { t with num = B.neg t.num }
-let abs t = { t with num = B.abs t.num }
+(* --- arithmetic --------------------------------------------------------- *)
+
+let neg = function
+  | S (n, d) -> S (-n, d)
+  | Big b -> Big { b with num = B.neg b.num }
+
+let abs = function
+  | S (n, d) -> if n < 0 then S (-n, d) else S (n, d)
+  | Big b -> if B.is_negative b.num then Big { b with num = B.neg b.num } else Big b
 
 let inv t =
-  if is_zero t then raise Division_by_zero
-  else if B.is_negative t.num then make_raw (B.neg t.den) (B.neg t.num)
-  else make_raw t.den t.num
+  match t with
+  | S (0, _) -> raise Division_by_zero
+  | S (n, d) -> if n < 0 then S (-d, -n) else S (d, n)
+  | Big b ->
+    if B.is_zero b.num then raise Division_by_zero
+    else if B.is_negative b.num then of_big (B.neg b.den) (B.neg b.num)
+    else of_big b.den b.num
+
+let add_big a b =
+  let an = big_num a and ad = big_den a in
+  let bn = big_num b and bd = big_den b in
+  if B.equal ad bd then make (B.add an bn) ad
+  else make (B.add (B.mul an bd) (B.mul bn ad)) (B.mul ad bd)
+
+(* small + small, Knuth-style: with g = gcd(d1,d2) the candidate numerator
+   is t = n1*(d2/g) + n2*(d1/g) over d1*(d2/g), and the only common factor
+   left to remove is gcd(t, g). *)
+let add_small n1 d1 n2 d2 =
+  if d1 = d2 then begin
+    if d1 = 1 then S (add_chk n1 n2, 1) (* integers: nothing to reduce *)
+    else make_small (add_chk n1 n2) d1
+  end
+  else begin
+    let g = gcd_int d1 d2 in
+    if g = 1 then
+      (* coprime denominators: the result is already in lowest terms *)
+      S (add_chk (mul_chk n1 d2) (mul_chk n2 d1), mul_chk d1 d2)
+    else begin
+      let t = add_chk (mul_chk n1 (d2 / g)) (mul_chk n2 (d1 / g)) in
+      if t = 0 then zero
+      else begin
+        let g2 = gcd_int (Stdlib.abs t) g in
+        S (t / g2, mul_chk (d1 / g2) (d2 / g))
+      end
+    end
+  end
 
 let add a b =
-  if B.equal a.den b.den then make (B.add a.num b.num) a.den
-  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  match (a, b) with
+  | S (0, _), _ -> b
+  | _, S (0, _) -> a
+  | S (n1, d1), S (n2, d2) -> (
+    try add_small n1 d1 n2 d2 with Overflow -> add_big a b)
+  | _ -> add_big a b
 
-let sub a b = add a (neg b)
+let sub a b = if is_zero b then a else add a (neg b)
 
-let mul a b =
+let mul_big a b =
+  let an = big_num a and ad = big_den a in
+  let bn = big_num b and bd = big_den b in
   (* cross-reduce before multiplying to keep intermediates small *)
-  let g1 = B.gcd a.num b.den and g2 = B.gcd b.num a.den in
+  let g1 = B.gcd an bd and g2 = B.gcd bn ad in
   let g1 = if B.is_zero g1 then B.one else g1 in
   let g2 = if B.is_zero g2 then B.one else g2 in
-  let n = B.mul (B.div a.num g1) (B.div b.num g2) in
-  let d = B.mul (B.div a.den g2) (B.div b.den g1) in
+  let n = B.mul (B.div an g1) (B.div bn g2) in
+  let d = B.mul (B.div ad g2) (B.div bd g1) in
   make n d
+
+let mul a b =
+  match (a, b) with
+  | S (0, _), _ | _, S (0, _) -> zero
+  | S (1, 1), _ -> b
+  | _, S (1, 1) -> a
+  | S (n1, d1), S (n2, d2) -> (
+    try
+      (* cross-reduce: gcd(n1,d2) and gcd(n2,d1) strip every common factor,
+         so the products below are already in lowest terms *)
+      let g1 = gcd_int (Stdlib.abs n1) d2 and g2 = gcd_int (Stdlib.abs n2) d1 in
+      S (mul_chk (n1 / g1) (n2 / g2), mul_chk (d1 / g2) (d2 / g1))
+    with Overflow -> mul_big a b)
+  | _ -> mul_big a b
 
 let div a b = mul a (inv b)
 
 let mul_int t i = mul t (of_int i)
 let div_int t i = div t (of_int i)
 
-let floor t =
-  let q, r = B.divmod t.num t.den in
-  ignore r;
-  (* Bigint.divmod is Euclidean (0 <= r < den), so q is already the floor. *)
-  q
+let floor = function
+  | S (n, d) ->
+    if n >= 0 then B.of_int (n / d)
+    else begin
+      let q = n / d in
+      B.of_int (if n mod d = 0 then q else q - 1)
+    end
+  | Big b ->
+    (* Bigint.divmod is Euclidean (0 <= r < den), so q is already the
+       floor. *)
+    fst (B.divmod b.num b.den)
 
-let ceil t =
-  let q, r = B.divmod t.num t.den in
-  if B.is_zero r then q else B.succ q
+let ceil = function
+  | S (n, d) ->
+    if n <= 0 then B.of_int (n / d)
+    else begin
+      let q = n / d in
+      B.of_int (if n mod d = 0 then q else q + 1)
+    end
+  | Big b ->
+    let q, r = B.divmod b.num b.den in
+    if B.is_zero r then q else B.succ q
 
-let to_float t = B.to_float t.num /. B.to_float t.den
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | Big b -> B.to_float b.num /. B.to_float b.den
 
-let to_int_exn t =
-  if is_integer t then B.to_int t.num
-  else failwith "Rat.to_int_exn: not an integer"
+let to_int_exn = function
+  | S (n, 1) -> n
+  | Big b when B.is_one b.den -> B.to_int b.num
+  | S _ | Big _ -> failwith "Rat.to_int_exn: not an integer"
 
-let to_string t =
-  if is_integer t then B.to_string t.num
-  else B.to_string t.num ^ "/" ^ B.to_string t.den
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | Big b ->
+    if B.is_one b.den then B.to_string b.num
+    else B.to_string b.num ^ "/" ^ B.to_string b.den
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -136,4 +321,4 @@ end
 let sum l = List.fold_left add zero l
 
 let lcm_denominators l =
-  List.fold_left (fun acc r -> B.lcm acc r.den) B.one l
+  List.fold_left (fun acc r -> B.lcm acc (big_den r)) B.one l

@@ -4,7 +4,14 @@
     obtained as lcm of denominators, simulated time — runs on exact
     rationals so that feasibility checks are equalities, never epsilon
     comparisons.  Values are normalised: the denominator is positive and
-    coprime with the numerator; zero is [0/1]. *)
+    coprime with the numerator; zero is [0/1].
+
+    The representation is a tagged union with a small-integer fast path:
+    when both numerator and denominator fit a native [int] the value is
+    stored untagged and all arithmetic runs on overflow-checked native
+    ints, falling back to the {!Bigint} substrate only on overflow.  The
+    representation is canonical (small whenever it fits), so structural
+    equality still coincides with numeric equality. *)
 
 type t
 
@@ -41,6 +48,12 @@ val den : t -> Bigint.t
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool
+
+val fits_small : t -> bool
+(** [true] iff the value is carried by the native-int fast path.  The
+    representation is canonical, so this is a property of the value, not
+    of how it was computed — useful for tests and diagnostics. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -1,0 +1,191 @@
+(* Fixed pool of worker domains, OCaml 5 stdlib only (the sealed build
+   environment has no domainslib).
+
+   Design: a job is an array of tasks claimed cooperatively through an
+   atomic cursor.  [submit] enqueues one help token per worker and then
+   the *caller* joins the claiming loop too, so a pool of [w] workers
+   gives [w + 1]-way parallelism and a zero-worker pool degrades to
+   plain sequential execution with no synchronisation at all.  Workers
+   that pop a token for an already-drained job see the cursor past the
+   end and go back to sleep — stale tokens are harmless.
+
+   The first exception raised by any task is captured and re-raised in
+   the caller once the job has fully drained (every other task still
+   runs; results are per-index, so partial completion never aliases). *)
+
+type job = {
+  run : int -> unit;
+  count : int;
+  next : int Atomic.t; (* next unclaimed task index *)
+  unfinished : int Atomic.t; (* tasks not yet completed *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  job_mutex : Mutex.t; (* protects [failure] and the done signal *)
+  done_cond : Condition.t;
+}
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tokens : job Queue.t;
+  mutable live : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.workers + 1
+
+(* Claim and run tasks until the job's cursor runs off the end. *)
+let help job =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.count then continue := false
+    else begin
+      (try job.run i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock job.job_mutex;
+         if job.failure = None then job.failure <- Some (e, bt);
+         Mutex.unlock job.job_mutex);
+      let left = Atomic.fetch_and_add job.unfinished (-1) - 1 in
+      if left = 0 then begin
+        (* taking the mutex orders this broadcast after the caller's
+           check-then-wait, so the wakeup cannot be lost *)
+        Mutex.lock job.job_mutex;
+        Condition.broadcast job.done_cond;
+        Mutex.unlock job.job_mutex
+      end
+    end
+  done
+
+let worker_loop pool () =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.tokens && pool.live do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    let token = Queue.take_opt pool.tokens in
+    Mutex.unlock pool.mutex;
+    match token with
+    | Some job -> help job
+    | None -> continue := false (* shutdown with an empty queue *)
+  done
+
+let create ?domains () =
+  let workers =
+    match domains with
+    | Some d ->
+      if d < 0 then invalid_arg "Pool.create: negative domain count";
+      d
+    | None -> Stdlib.max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      workers;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      tokens = Queue.create ();
+      live = true;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_live = pool.live in
+  pool.live <- false;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  if was_live then begin
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let run pool ~count ~body =
+  if count < 0 then invalid_arg "Pool.run: negative count";
+  if count > 0 then begin
+    if pool.workers = 0 || count = 1 then begin
+      (* same drain-then-reraise semantics as the parallel path, so
+         behaviour does not depend on the pool width *)
+      let failure = ref None in
+      for i = 0 to count - 1 do
+        try body i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if !failure = None then failure := Some (e, bt)
+      done;
+      match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+    else begin
+      let job =
+        {
+          run = body;
+          count;
+          next = Atomic.make 0;
+          unfinished = Atomic.make count;
+          failure = None;
+          job_mutex = Mutex.create ();
+          done_cond = Condition.create ();
+        }
+      in
+      Mutex.lock pool.mutex;
+      for _ = 1 to Stdlib.min pool.workers (count - 1) do
+        Queue.push job pool.tokens
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      help job;
+      Mutex.lock job.job_mutex;
+      while Atomic.get job.unfinished > 0 do
+        Condition.wait job.done_cond job.job_mutex
+      done;
+      Mutex.unlock job.job_mutex;
+      match job.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let iteri pool f xs =
+  let arr = Array.of_list xs in
+  run pool ~count:(Array.length arr) ~body:(fun i -> f i arr.(i))
+
+let iter pool f xs = iteri pool (fun _ x -> f x) xs
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  run pool ~count:n ~body:(fun i -> out.(i) <- Some (f xs.(i)));
+  Array.map
+    (function Some v -> v | None -> assert false (* every index ran *))
+    out
+
+let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+
+(* --- shared default pool ------------------------------------------------ *)
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create () in
+      default_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,54 @@
+(** A small fixed pool of worker domains for parallel sweeps.
+
+    Built on the OCaml 5 stdlib only ([Domain], [Atomic], [Mutex],
+    [Condition]) — the sealed build environment provides no domainslib.
+    Typical use is fanning independent exact-LP solves out across cores:
+    each solve touches only its own inputs, so no locking is needed
+    beyond the pool's own scheduling.
+
+    The calling domain always participates in the work, so a pool with
+    [w] worker domains executes a job with [w + 1]-way parallelism, and
+    a pool created with [~domains:0] runs everything sequentially in the
+    caller — same results, no synchronisation.  Nested [run]/[map] calls
+    from inside tasks are safe (the inner caller drains its own job), at
+    the cost of transient oversubscription. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains.  Defaults to
+    [Domain.recommended_domain_count () - 1] (so pool + caller saturate
+    the machine); [0] means fully sequential.
+    @raise Invalid_argument on a negative count. *)
+
+val size : t -> int
+(** Parallel width of a job: worker domains plus the calling domain. *)
+
+val run : t -> count:int -> body:(int -> unit) -> unit
+(** [run pool ~count ~body] executes [body 0 .. body (count - 1)],
+    spread over the pool, returning when all have finished.  If any task
+    raises, the first exception (by completion order) is re-raised in
+    the caller — after every remaining task has still run. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; output order matches input order. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; output order matches input order. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+val iteri : t -> (int -> 'a -> unit) -> 'a list -> unit
+
+val shutdown : t -> unit
+(** Joins the workers.  Idempotent.  Jobs already submitted finish
+    first; calling any job-submitting function afterwards runs it
+    sequentially in the caller (the token queue wakes nobody). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val default : unit -> t
+(** A process-wide shared pool, created on first use with the default
+    width and shut down via [at_exit].  This is what the experiment
+    driver and the benches use, so they compose instead of each
+    spawning their own domains. *)

@@ -1,3 +1,7 @@
+(* SEED SNAPSHOT — do not edit.  Verbatim copy of the pre-optimisation
+   kernel (git show <seed>:lib/lp/revised_simplex.ml), kept as the reference
+   implementation for the bit-identity tests in test_kernels.ml. *)
+
 (* Revised simplex: the constraint matrix lives in immutable sparse
    columns; the working state is the explicit basis inverse [binv], the
    basic solution [xb = B^-1 b] and the basis column indices.
@@ -28,7 +32,6 @@ type state = {
   basis : int array;
   in_basis : bool array;
   mutable pivots : int;
-  supp : int array; (* scratch: support of the pivot row of binv *)
 }
 
 let objective_of st c =
@@ -39,21 +42,15 @@ let objective_of st c =
   done;
   !obj
 
-(* Accumulate row-by-row so each inner loop walks one binv row and skips
-   its zero entries; per-entry sums happen in the same k order as the
-   dense column-by-column version, so the exact rational results are
-   unchanged. *)
 let pricing_vector st c =
   let y = Array.make st.m R.zero in
-  for k = 0 to st.m - 1 do
-    let cb = c.(st.basis.(k)) in
-    if not (R.is_zero cb) then begin
-      let row = st.binv.(k) in
-      for i = 0 to st.m - 1 do
-        let v = row.(i) in
-        if not (R.is_zero v) then y.(i) <- R.add y.(i) (R.mul cb v)
-      done
-    end
+  for i = 0 to st.m - 1 do
+    let acc = ref R.zero in
+    for k = 0 to st.m - 1 do
+      let cb = c.(st.basis.(k)) in
+      if not (R.is_zero cb) then acc := R.add !acc (R.mul cb st.binv.(k).(i))
+    done;
+    y.(i) <- !acc
   done;
   y
 
@@ -65,41 +62,27 @@ let reduced_cost st c y j =
 
 let direction st j =
   let u = Array.make st.m R.zero in
-  let col = st.cols.(j) in
-  for k = 0 to st.m - 1 do
-    let row = st.binv.(k) in
-    let acc = ref R.zero in
-    List.iter
-      (fun (i, a) ->
-        let v = row.(i) in
-        if not (R.is_zero v) then acc := R.add !acc (R.mul v a))
-      col;
-    u.(k) <- !acc
-  done;
+  List.iter
+    (fun (i, a) ->
+      for k = 0 to st.m - 1 do
+        if not (R.is_zero st.binv.(k).(i)) then
+          u.(k) <- R.add u.(k) (R.mul st.binv.(k).(i) a)
+      done)
+    st.cols.(j);
   u
 
 let pivot st p j u =
   let inv = R.inv u.(p) in
   let row_p = st.binv.(p) in
-  (* scale the pivot row of the basis inverse, collecting its support *)
-  let supp = st.supp in
-  let nsupp = ref 0 in
   for i = 0 to st.m - 1 do
-    let v = row_p.(i) in
-    if not (R.is_zero v) then begin
-      row_p.(i) <- R.mul v inv;
-      supp.(!nsupp) <- i;
-      incr nsupp
-    end
+    row_p.(i) <- R.mul row_p.(i) inv
   done;
-  let nsupp = !nsupp in
   st.xb.(p) <- R.mul st.xb.(p) inv;
   for k = 0 to st.m - 1 do
     if k <> p && not (R.is_zero u.(k)) then begin
       let f = u.(k) in
       let row_k = st.binv.(k) in
-      for s = 0 to nsupp - 1 do
-        let i = supp.(s) in
+      for i = 0 to st.m - 1 do
         row_k.(i) <- R.sub row_k.(i) (R.mul f row_p.(i))
       done;
       st.xb.(k) <- R.sub st.xb.(k) (R.mul f st.xb.(p))
@@ -219,7 +202,6 @@ let minimize ?(rule = Simplex.Dantzig) ~a ~b ~c () =
       in_basis =
         Array.init n_total (fun j -> j >= n);
       pivots = 0;
-      supp = Array.make m 0;
     }
   in
   (* phase 1 *)
@@ -249,8 +231,7 @@ let minimize ?(rule = Simplex.Dantzig) ~a ~b ~c () =
             (* negate the row so the pivot element is positive; xb_p is
                zero so feasibility is untouched *)
             for i = 0 to m - 1 do
-              let v = st.binv.(p).(i) in
-              if not (R.is_zero v) then st.binv.(p).(i) <- R.neg v
+              st.binv.(p).(i) <- R.neg st.binv.(p).(i)
             done;
             st.xb.(p) <- R.neg st.xb.(p);
             let u = direction st j in

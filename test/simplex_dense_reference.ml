@@ -1,3 +1,7 @@
+(* SEED SNAPSHOT — do not edit.  Verbatim copy of the pre-optimisation
+   kernel (git show <seed>:lib/lp/simplex.ml), kept as the reference
+   implementation for the bit-identity tests in test_kernels.ml. *)
+
 (* Two-phase tableau simplex with exact rational arithmetic.
 
    Phase 1 minimises the sum of one artificial variable per row starting
@@ -5,16 +9,7 @@
    costs, with artificial columns barred from entering.  The tableau
    invariant maintained throughout: for every row [i], column
    [basis.(i)] is the [i]-th unit vector, [rhs.(i) >= 0], and [red.(j)]
-   holds the reduced cost of column [j] for the current phase.
-
-   The elimination kernels are zero-skipping: steady-state tableaux are
-   sparse (a one-port constraint touches O(degree) columns), so a pivot
-   first collects the support of the pivot row into a reusable index
-   buffer and then updates only those columns in every other row,
-   instead of walking all [n_total] columns.  Entries outside the
-   support are untouched — since eliminating with a zero multiplier is
-   the identity, the resulting tableau is bit-identical to the dense
-   seed kernel's (asserted against a vendored copy in the test suite). *)
+   holds the reduced cost of column [j] for the current phase. *)
 
 module R = Rat
 
@@ -38,7 +33,6 @@ type tableau = {
   n_struct : int; (* structural columns: 0 .. n_struct-1 *)
   n_total : int;
   mutable pivots : int;
-  supp : int array; (* scratch: support (nonzero columns) of the pivot row *)
 }
 
 let pivot t p q =
@@ -47,27 +41,14 @@ let pivot t p q =
   let piv = row_p.(q) in
   assert (R.sign piv > 0);
   let inv = R.inv piv in
-  (* scale the pivot row, collecting its support as we go; zero entries
-     stay zero, so skipping them leaves the row unchanged *)
-  let supp = t.supp in
-  let nsupp = ref 0 in
   for j = 0 to t.n_total - 1 do
-    let v = row_p.(j) in
-    if not (R.is_zero v) then begin
-      row_p.(j) <- R.mul v inv;
-      supp.(!nsupp) <- j;
-      incr nsupp
-    end
+    row_p.(j) <- R.mul row_p.(j) inv
   done;
-  let nsupp = !nsupp in
   t.rhs.(p) <- R.mul t.rhs.(p) inv;
   let eliminate coeffs rhs_get rhs_set =
     let f = coeffs.(q) in
     if not (R.is_zero f) then begin
-      (* columns outside the pivot row's support are unchanged by the
-         elimination — only walk the support *)
-      for k = 0 to nsupp - 1 do
-        let j = supp.(k) in
+      for j = 0 to t.n_total - 1 do
         coeffs.(j) <- R.sub coeffs.(j) (R.mul f row_p.(j))
       done;
       rhs_set (R.sub (rhs_get ()) (R.mul f t.rhs.(p)))
@@ -82,7 +63,7 @@ let pivot t p q =
   t.pivots <- t.pivots + 1
 
 (* Recompute reduced costs and objective for cost vector [c] (length
-   n_total) given the current basis.  O(m * nnz). *)
+   n_total) given the current basis.  O(m * n). *)
 let reprice t c =
   let m = Array.length t.rows in
   Array.blit c 0 t.red 0 t.n_total;
@@ -92,8 +73,7 @@ let reprice t c =
     if not (R.is_zero cb) then begin
       let row = t.rows.(i) in
       for j = 0 to t.n_total - 1 do
-        let v = row.(j) in
-        if not (R.is_zero v) then t.red.(j) <- R.sub t.red.(j) (R.mul cb v)
+        t.red.(j) <- R.sub t.red.(j) (R.mul cb row.(j))
       done;
       t.obj <- R.sub t.obj (R.mul cb t.rhs.(i))
     end
@@ -201,7 +181,6 @@ let minimize ?(rule = Dantzig) ~a ~b ~c () =
       n_struct = n;
       n_total;
       pivots = 0;
-      supp = Array.make n_total 0;
     }
   in
   (* phase 1: minimise the sum of artificials *)
@@ -233,8 +212,7 @@ let minimize ?(rule = Dantzig) ~a ~b ~c () =
              here because rhs_i = 0 keeps the tableau feasible *)
           if R.sign t.rows.(i).(j) < 0 then begin
             for k = 0 to t.n_total - 1 do
-              let v = t.rows.(i).(k) in
-              if not (R.is_zero v) then t.rows.(i).(k) <- R.neg v
+              t.rows.(i).(k) <- R.neg t.rows.(i).(k)
             done;
             t.rhs.(i) <- R.neg t.rhs.(i)
           end;

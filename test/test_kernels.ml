@@ -1,0 +1,113 @@
+(* Kernel-equality and exact-optimum regression tests for the
+   zero-skipping simplex kernels.
+
+   [Simplex_dense_reference] and [Revised_dense_reference] are verbatim
+   snapshots of the seed (pre-optimisation) kernels.  The optimised
+   kernels claim to skip exact zeros only, so on any instance they must
+   be *bit-identical* to the seed: same optimal values array, same
+   objective, same pivot count — not merely equal optima.  We replay the
+   exact standard-form instances ([Lp.standard_form]) that the paper's
+   Figure 1-3 LPs and some random general graphs produce. *)
+
+module R = Rat
+module P = Platform
+
+let rat = Alcotest.testable R.pp R.equal
+
+(* (display name, current-kernel rule, seed-snapshot rule) *)
+let rules =
+  [
+    ("bland", Simplex.Bland, Simplex_dense_reference.Bland);
+    ("dantzig", Simplex.Dantzig, Simplex_dense_reference.Dantzig);
+  ]
+
+(* (name, model, expected exact optimum if it is a paper value) *)
+let instances () =
+  let fig1 = Platform_gen.figure1 () in
+  let fig2, src, tgts = Platform_gen.multicast_fig2 () in
+  let everyone = List.filter (fun i -> i <> src) (P.nodes fig2) in
+  let ms p = fst (Master_slave.solve_lp_only p ~master:0) in
+  [
+    ("fig1 master-slave", ms fig1, Some (R.of_ints 4 3));
+    ( "fig2 scatter sum-LP",
+      Collective.model Collective.Sum fig2 ~source:src ~targets:tgts,
+      Some (R.of_ints 1 2) );
+    ( "fig2 multicast max-LP",
+      Collective.model Collective.Max fig2 ~source:src ~targets:tgts,
+      Some R.one );
+    ( "fig2 broadcast max-LP",
+      Collective.model Collective.Max fig2 ~source:src ~targets:everyone,
+      Some (R.of_ints 1 2) );
+    ( "random graph (seed 13)",
+      ms (Platform_gen.random_graph ~seed:13 ~nodes:8 ~extra_edges:5 ()),
+      None );
+    ( "random graph (seed 99)",
+      ms (Platform_gen.random_graph ~seed:99 ~nodes:10 ~extra_edges:8 ()),
+      None );
+  ]
+
+let check_tableau name m =
+  let a, b, c = Lp.standard_form m in
+  List.iter
+    (fun (rname, rule, seed_rule) ->
+      let label what = Printf.sprintf "%s/%s tableau %s" name rname what in
+      match
+        ( Simplex_dense_reference.minimize ~rule:seed_rule ~a ~b ~c (),
+          Simplex.minimize ~rule ~a ~b ~c () )
+      with
+      | ( Simplex_dense_reference.Optimal r,
+          Simplex.Optimal { values; objective; pivots } ) ->
+        Alcotest.(check (array rat)) (label "values") r.values values;
+        Alcotest.check rat (label "objective") r.objective objective;
+        Alcotest.(check int) (label "pivots") r.pivots pivots
+      | _ -> Alcotest.fail (label "both Optimal"))
+    rules
+
+let check_revised name m =
+  let a, b, c = Lp.standard_form m in
+  List.iter
+    (fun (rname, rule, _) ->
+      let label what = Printf.sprintf "%s/%s revised %s" name rname what in
+      match
+        ( Revised_dense_reference.minimize ~rule ~a ~b ~c (),
+          Revised_simplex.minimize ~rule ~a ~b ~c () )
+      with
+      | ( Revised_dense_reference.Optimal r,
+          Revised_simplex.Optimal { values; objective; pivots } ) ->
+        Alcotest.(check (array rat)) (label "values") r.values values;
+        Alcotest.check rat (label "objective") r.objective objective;
+        Alcotest.(check int) (label "pivots") r.pivots pivots
+      | _ -> Alcotest.fail (label "both Optimal"))
+    rules
+
+(* the model-level optimum is the paper's exact rational, via both
+   solver backends — the seed's golden values must survive the
+   optimisations unchanged *)
+let check_optimum name m expected =
+  match expected with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun (sname, solver) ->
+        match Lp.solve ~solver m with
+        | Lp.Optimal sol ->
+          Alcotest.check rat
+            (Printf.sprintf "%s %s optimum" name sname)
+            v sol.Lp.objective
+        | _ -> Alcotest.fail (name ^ ": not optimal"))
+      [ ("tableau", Lp.Tableau); ("revised", Lp.Revised) ]
+
+let test_bit_identical () =
+  List.iter
+    (fun (name, m, expected) ->
+      check_tableau name m;
+      check_revised name m;
+      check_optimum name m expected)
+    (instances ())
+
+let suite =
+  ( "kernels",
+    [
+      Alcotest.test_case "sparse kernels bit-identical to seed" `Quick
+        test_bit_identical;
+    ] )

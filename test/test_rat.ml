@@ -151,6 +151,133 @@ let prop_lcm_clears =
       let m = R.lcm_denominators l in
       List.for_all (fun x -> R.is_integer (R.mul x (R.of_bigint m))) l)
 
+(* --- small-int fast path vs Bigint ground truth ---
+
+   [Rat.t] carries small-int rationals on a tagged native-int fast path
+   with overflow-checked arithmetic and a Bigint fallback.  These
+   properties recompute every operation through [Bigint] cross products
+   (no fast path involved: [R.make] reduces a raw bigint pair) and
+   demand identical results, on operands whose components are drawn
+   right up to [max_int] so the overflow certification and the fallback
+   both get exercised. *)
+
+let ref_add x y =
+  R.make
+    (B.add (B.mul (R.num x) (R.den y)) (B.mul (R.num y) (R.den x)))
+    (B.mul (R.den x) (R.den y))
+
+let ref_sub x y =
+  R.make
+    (B.sub (B.mul (R.num x) (R.den y)) (B.mul (R.num y) (R.den x)))
+    (B.mul (R.den x) (R.den y))
+
+let ref_mul x y =
+  R.make (B.mul (R.num x) (R.num y)) (B.mul (R.den x) (R.den y))
+
+let ref_div x y =
+  R.make (B.mul (R.num x) (R.den y)) (B.mul (R.den x) (R.num y))
+
+let ref_compare x y =
+  B.compare (B.mul (R.num x) (R.den y)) (B.mul (R.num y) (R.den x))
+
+(* ints spanning the whole native range, weighted toward the overflow
+   boundaries: tiny values, values within a few units of +-max_int,
+   square-root-of-max_int magnitudes (the multiply boundary), and
+   uniform bits *)
+let gen_boundary_int =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range (-100) 100;
+        map (fun k -> max_int - k) (int_range 0 3);
+        map (fun k -> -max_int + k) (int_range 0 3);
+        (let sq = 1 lsl 31 in
+         map2 (fun s k -> if s then sq + k else -sq - k) bool
+           (int_range (-50) 50));
+        map (fun b -> b lor 1) (int_bound max_int);
+        map (fun b -> -(b lor 1)) (int_bound max_int);
+      ])
+
+let gen_rat_wide =
+  QCheck.Gen.(
+    map2
+      (fun n d -> R.of_ints n (if d = 0 then 1 else d))
+      gen_boundary_int gen_boundary_int)
+
+let arb_rat_wide = QCheck.make ~print:R.to_string gen_rat_wide
+
+let prop_wide_ops_match_bigint =
+  QCheck.Test.make ~name:"small path = Bigint ground truth (ops)" ~count:1000
+    (QCheck.pair arb_rat_wide arb_rat_wide) (fun (x, y) ->
+      R.equal (R.add x y) (ref_add x y)
+      && R.equal (R.sub x y) (ref_sub x y)
+      && R.equal (R.mul x y) (ref_mul x y)
+      && (R.is_zero y || R.equal (R.div x y) (ref_div x y)))
+
+let prop_wide_compare_matches_bigint =
+  QCheck.Test.make ~name:"small path = Bigint ground truth (compare)"
+    ~count:1000
+    (QCheck.pair arb_rat_wide arb_rat_wide) (fun (x, y) ->
+      R.compare x y = ref_compare x y
+      && R.equal x y = (ref_compare x y = 0))
+
+(* same-denominator and opposite-sign pairs hit the dedicated compare
+   fast paths; the ground truth must not notice *)
+let prop_compare_fast_paths =
+  QCheck.Test.make ~name:"compare fast paths (equal den, opposite sign)"
+    ~count:1000
+    (QCheck.triple (QCheck.make gen_boundary_int) (QCheck.make gen_boundary_int)
+       (QCheck.make QCheck.Gen.(int_range 1 1000)))
+    (fun (n1, n2, d) ->
+      let x = R.of_ints n1 d and y = R.of_ints n2 d in
+      R.compare x y = ref_compare x y
+      && R.compare (R.neg (R.abs x)) (R.abs y)
+         = ref_compare (R.neg (R.abs x)) (R.abs y))
+
+(* every result must be canonical: small representation whenever both
+   reduced components fit a native int (min_int excluded), so that
+   structural equality keeps coinciding with numeric equality *)
+let prop_canonical_representation =
+  QCheck.Test.make ~name:"results canonically small" ~count:1000
+    (QCheck.pair arb_rat_wide arb_rat_wide) (fun (x, y) ->
+      let canonical z =
+        let small_possible =
+          match (B.to_int_opt (R.num z), B.to_int_opt (R.den z)) with
+          | Some n, Some d -> n <> min_int && d <> min_int
+          | _ -> false
+        in
+        R.fits_small z = small_possible
+      in
+      canonical (R.add x y) && canonical (R.mul x y) && canonical (R.sub x y))
+
+let test_overflow_boundaries () =
+  let big = ri max_int in
+  (* additions that overflow native ints take the Bigint path... *)
+  let s = R.add big R.one in
+  Alcotest.(check bool) "max_int+1 overflows to Big" false (R.fits_small s);
+  Alcotest.(check string) "max_int+1 value" "4611686018427387904"
+    (R.to_string s);
+  (* ...and shrink back to the small representation when they cancel *)
+  let back = R.sub s R.one in
+  Alcotest.(check bool) "back to small" true (R.fits_small back);
+  Alcotest.check rat "round trip" big back;
+  Alcotest.check rat "big/big = 1" R.one (R.div s s);
+  (* min_int never inhabits the small arm: its negation/abs would
+     overflow *)
+  let m = R.of_ints min_int 1 in
+  Alcotest.(check bool) "min_int is Big" false (R.fits_small m);
+  Alcotest.check rat "neg min_int" (R.neg m) (R.add big R.one);
+  Alcotest.check rat "min_int via make" m (R.make (B.of_int min_int) B.one);
+  (* multiply across the 62-bit boundary (max_int = 2^62 - 1) *)
+  Alcotest.(check bool) "2^30 * 2^30 stays small" true
+    (R.fits_small (R.mul (ri (1 lsl 30)) (ri (1 lsl 30))));
+  let sq = ri (1 lsl 31) in
+  Alcotest.(check bool) "2^31 * 2^31 overflows" false
+    (R.fits_small (R.mul sq sq));
+  Alcotest.check rat "overflowed product exact"
+    (R.make (B.mul (B.of_int (1 lsl 31)) (B.of_int (1 lsl 31))) B.one)
+    (R.mul sq sq)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "rat",
@@ -174,4 +301,9 @@ let suite =
       q prop_floor_le;
       q prop_string_roundtrip;
       q prop_lcm_clears;
+      Alcotest.test_case "overflow boundaries" `Quick test_overflow_boundaries;
+      q prop_wide_ops_match_bigint;
+      q prop_wide_compare_matches_bigint;
+      q prop_compare_fast_paths;
+      q prop_canonical_representation;
     ] )
