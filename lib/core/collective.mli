@@ -29,12 +29,17 @@ type solution = {
 
 val solve :
   ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   mode ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
   solution
-(** @raise Invalid_argument if [targets] is empty, contains the source,
+(** [?warm]/[?cache] thread an optimal basis / memoised results between
+    structurally identical solves, exactly as in {!Master_slave.solve}.
+    @raise Invalid_argument if [targets] is empty, contains the source,
     or contains duplicates.  (Zero throughput is always feasible, so the
     LP is never infeasible.) *)
 

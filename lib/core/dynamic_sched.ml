@@ -28,22 +28,61 @@ let validate_scenario sc =
     (fun (e, tr) -> check (e, tr))
     sc.bw_traces
 
-(* multiplier of a trace at a given time (implicit 1 before the first
-   breakpoint) *)
-let mult_at trace time =
-  List.fold_left
-    (fun acc (tb, m) -> if R.compare tb time <= 0 then m else acc)
-    R.one trace
+(* Traces are compiled once per run into breakpoint-sorted arrays and
+   queried by binary search — [plan_for] asks for every node and every
+   edge at every phase boundary, so the per-query cost matters.  Sorting
+   also fixes a semantic trap: folding over the raw list makes the
+   *textually last* matching entry win, so an out-of-order trace
+   silently answers with the wrong segment.  Here the breakpoint with
+   the largest time <= t wins, whatever the list order; among equal
+   times the last entry wins (the sorted-input behaviour of the old
+   fold). *)
+type compiled = { bp_times : R.t array; bp_mults : R.t array }
 
-let cpu_mult sc i time =
-  match List.assoc_opt i sc.cpu_traces with
-  | Some tr -> mult_at tr time
-  | None -> R.one
+let empty_compiled = { bp_times = [||]; bp_mults = [||] }
 
-let bw_mult sc e time =
-  match List.assoc_opt e sc.bw_traces with
-  | Some tr -> mult_at tr time
-  | None -> R.one
+let compile_trace tr =
+  let sorted = List.stable_sort (fun (t1, _) (t2, _) -> R.compare t1 t2) tr in
+  let rec dedup = function
+    | (t1, _) :: ((t2, _) :: _ as rest) when R.equal t1 t2 -> dedup rest
+    | x :: rest -> x :: dedup rest
+    | [] -> []
+  in
+  let l = dedup sorted in
+  {
+    bp_times = Array.of_list (List.map fst l);
+    bp_mults = Array.of_list (List.map snd l);
+  }
+
+(* rightmost breakpoint <= time; implicit multiplier 1 before the first *)
+let compiled_at ct time =
+  let lo = ref 0 and hi = ref (Array.length ct.bp_times) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if R.compare ct.bp_times.(mid) time <= 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = 0 then R.one else ct.bp_mults.(!lo - 1)
+
+let multiplier_at trace time = compiled_at (compile_trace trace) time
+
+(* sorted/deduplicated assoc form, for handing to the simulator *)
+let normalize_trace tr =
+  let ct = compile_trace tr in
+  Array.to_list (Array.map2 (fun t m -> (t, m)) ct.bp_times ct.bp_mults)
+
+(* per-node / per-edge compiled traces; first assoc entry wins, like
+   [List.assoc_opt] did *)
+let compile_scenario sc =
+  let p = sc.platform in
+  let node_cts = Array.make (P.num_nodes p) empty_compiled in
+  let edge_cts = Array.make (P.num_edges p) empty_compiled in
+  List.iter
+    (fun (i, tr) -> node_cts.(i) <- compile_trace tr)
+    (List.rev sc.cpu_traces);
+  List.iter
+    (fun (e, tr) -> edge_cts.(e) <- compile_trace tr)
+    (List.rev sc.bw_traces);
+  (node_cts, edge_cts)
 
 (* platform scaled by per-node / per-edge multipliers: a multiplier m
    divides the time per unit, i.e. w' = w/m and c' = c/m *)
@@ -116,13 +155,32 @@ let check_single_hop sc sol =
            are supported by the phase executor")
     sol.Master_slave.task_flow
 
-let run sc strategy =
+let run ?cache ?(reuse = true) sc strategy =
   validate_scenario sc;
   let p = sc.platform in
+  let node_cts, edge_cts = compile_scenario sc in
   let sim =
-    Event_sim.create ~cpu_traces:sc.cpu_traces ~bw_traces:sc.bw_traces p
+    Event_sim.create
+      ~cpu_traces:(List.map (fun (i, tr) -> (i, normalize_trace tr)) sc.cpu_traces)
+      ~bw_traces:(List.map (fun (e, tr) -> (e, normalize_trace tr)) sc.bw_traces)
+      p
   in
-  let static_sol = Master_slave.solve p ~master:sc.master in
+  (* the per-phase re-solves differ only in scaled weights, so the
+     previous basis warm-starts the next solve and flat trace segments
+     (repeated multipliers) hit the cache outright; [~reuse:false]
+     restores the cold per-phase solves for baseline measurements *)
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None -> if reuse then Some (Lp.Cache.create ()) else None
+  in
+  let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  let solve_scaled node_mult edge_mult =
+    Master_slave.solve ?warm ?cache
+      (scaled_platform sc node_mult edge_mult)
+      ~master:sc.master
+  in
+  let static_sol = Master_slave.solve ?warm ?cache p ~master:sc.master in
   (* one forecaster per node and per edge (reactive strategy) *)
   let node_fc = Array.init (P.num_nodes p) (fun _ -> Forecast.create ()) in
   let edge_fc = Array.init (P.num_edges p) (fun _ -> Forecast.create ()) in
@@ -131,27 +189,21 @@ let run sc strategy =
     match strategy with
     | Static -> static_sol
     | Oracle ->
-      let sol =
-        Master_slave.solve
-          (scaled_platform sc (fun i -> cpu_mult sc i time)
-             (fun e -> bw_mult sc e time))
-          ~master:sc.master
-      in
-      sol
+      solve_scaled
+        (fun i -> compiled_at node_cts.(i) time)
+        (fun e -> compiled_at edge_cts.(e) time)
     | Reactive ->
       (* probe current performance, fold into the forecasters, and plan
          with the prediction *)
       List.iter
-        (fun i -> Forecast.observe node_fc.(i) (cpu_mult sc i time))
+        (fun i -> Forecast.observe node_fc.(i) (compiled_at node_cts.(i) time))
         (P.nodes p);
       List.iter
-        (fun e -> Forecast.observe edge_fc.(e) (bw_mult sc e time))
+        (fun e -> Forecast.observe edge_fc.(e) (compiled_at edge_cts.(e) time))
         (P.edges p);
-      Master_slave.solve
-        (scaled_platform sc
-           (fun i -> Forecast.predict node_fc.(i))
-           (fun e -> Forecast.predict edge_fc.(e)))
-        ~master:sc.master
+      solve_scaled
+        (fun i -> Forecast.predict node_fc.(i))
+        (fun e -> Forecast.predict edge_fc.(e))
   in
   check_single_hop sc static_sol;
   for k = 0 to sc.phases - 1 do
@@ -199,16 +251,23 @@ let run sc strategy =
   in
   { strategy; completed; per_phase }
 
-let oracle_throughput_bound sc =
+let oracle_throughput_bound ?cache ?(reuse = true) sc =
   validate_scenario sc;
+  let node_cts, edge_cts = compile_scenario sc in
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None -> if reuse then Some (Lp.Cache.create ()) else None
+  in
+  let warm = if reuse then Some (Lp.Warm.create ()) else None in
   let total = ref R.zero in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
     let sol =
-      Master_slave.solve
+      Master_slave.solve ?warm ?cache
         (scaled_platform sc
-           (fun i -> cpu_mult sc i t0)
-           (fun e -> bw_mult sc e t0))
+           (fun i -> compiled_at node_cts.(i) t0)
+           (fun e -> compiled_at edge_cts.(e) t0))
         ~master:sc.master
     in
     total := R.add !total (R.mul sc.phase sol.Master_slave.ntask)

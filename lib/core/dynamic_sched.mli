@@ -34,15 +34,35 @@ val validate_scenario : scenario -> unit
 (** @raise Invalid_argument on non-positive phase/phases or a
     non-positive multiplier in a trace. *)
 
+val multiplier_at : Event_sim.trace -> Rat.t -> Rat.t
+(** Multiplier of a trace at a time: the entry with the largest
+    breakpoint [<= t] wins (implicit 1 before the first breakpoint),
+    regardless of the order the entries are listed in; among equal
+    breakpoints the last entry wins.  This is the interpretation used
+    for planning and for the traces handed to the simulator — traces
+    need not be pre-sorted.  Internally {!run} compiles every trace
+    into a sorted array once and binary-searches it per query. *)
+
 type outcome = {
   strategy : strategy;
   completed : Rat.t; (** tasks finished within the horizon *)
   per_phase : Rat.t list; (** tasks finished per phase *)
 }
 
-val run : scenario -> strategy -> outcome
+val run : ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> strategy -> outcome
+(** Per-phase LP re-solves reuse the previous phase's optimal basis
+    (warm start) and memoise exactly repeated instances — flat trace
+    segments and the nominal platform cost one solve for the whole run.
+    [?cache] shares the memo across runs (e.g. between strategies of the
+    same scenario); [~reuse:false] disables both accelerators and
+    restores cold per-phase solves (baseline measurements).  Completed
+    work is unaffected by [reuse] up to the choice among optimal
+    vertices; throughputs and bounds are bit-identical. *)
 
-val oracle_throughput_bound : scenario -> Rat.t
+val oracle_throughput_bound :
+  ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> Rat.t
 (** Sum over phases of [phase * ntask(platform scaled by the true
     multipliers at the phase start)] — an upper bound on any
-    phase-planned strategy when breakpoints are phase-aligned. *)
+    phase-planned strategy when breakpoints are phase-aligned.
+    [?cache]/[?reuse] as in {!run}; the bound itself is bit-identical
+    either way. *)

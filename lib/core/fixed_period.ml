@@ -152,3 +152,7 @@ let schedule_of sol q =
 
 let series sol ~periods =
   List.map (fun t -> (t, quantize sol ~period:t)) periods
+
+let sweep ?rule ?solver ?warm ?cache p ~master ~periods =
+  let sol = Master_slave.solve ?rule ?solver ?warm ?cache p ~master in
+  (sol, series sol ~periods)

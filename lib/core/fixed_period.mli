@@ -31,3 +31,17 @@ val schedule_of : Master_slave.solution -> quantized -> Schedule.t
 val series :
   Master_slave.solution -> periods:Rat.t list -> (Rat.t * quantized) list
 (** Throughput as a function of the period length — experiment E9. *)
+
+val sweep :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
+  Platform.t ->
+  master:Platform.node ->
+  periods:Rat.t list ->
+  Master_slave.solution * (Rat.t * quantized) list
+(** Platform-level convenience for the E9 workload: solve the
+    steady-state LP (threading [?warm]/[?cache], so repeated sweeps of
+    the same platform re-use the basis or memoised solve) and quantize
+    at every requested period. *)

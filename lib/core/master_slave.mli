@@ -32,13 +32,27 @@ type solution = {
 }
 
 val solve :
-  ?rule:Simplex.pivot_rule -> Platform.t -> master:Platform.node -> solution
-(** @raise Failure if the LP is somehow not optimal (cannot happen on a
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
+  Platform.t ->
+  master:Platform.node ->
+  solution
+(** [?warm] and [?cache] accelerate repeated solves of structurally
+    identical platforms (same nodes/edges, perturbed weights — the §5.5
+    phase workload): the previous optimal basis is repaired in a few
+    exact pivots, and exactly repeated instances return memoised.  Both
+    are exact: the throughput is bit-identical to a cold solve.
+    @raise Failure if the LP is somehow not optimal (cannot happen on a
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
 
 val solve_lp_only :
   ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   master:Platform.node ->
   Lp.model * Lp.result

@@ -117,11 +117,11 @@ let enumerate_trees ?pool p ~source ~targets =
     Array.fold_left (fun whole part -> part @ whole) [] results
   end
 
-let max_lp_bound ?rule p ~source ~targets =
-  Collective.solve ?rule Collective.Max p ~source ~targets
+let max_lp_bound ?rule ?warm ?cache p ~source ~targets =
+  Collective.solve ?rule ?warm ?cache Collective.Max p ~source ~targets
 
-let scatter_lower_bound ?rule p ~source ~targets =
-  Collective.solve ?rule Collective.Sum p ~source ~targets
+let scatter_lower_bound ?rule ?warm ?cache p ~source ~targets =
+  Collective.solve ?rule ?warm ?cache Collective.Sum p ~source ~targets
 
 type packing = {
   platform : P.t;
@@ -145,7 +145,7 @@ let port_loads p tree =
     tree;
   (out_load, in_load)
 
-let packing_of_trees ?rule p ~source ~targets trees =
+let packing_of_trees ?rule ?warm ?cache p ~source ~targets trees =
   if trees = [] then
     { platform = p; source; targets; trees = []; rates = []; throughput = R.zero }
   else begin
@@ -172,7 +172,7 @@ let packing_of_trees ?rule p ~source ~targets trees =
         Lp.add_constraint m (Lp.sum in_terms.(i)) Lp.Le R.one
     done;
     Lp.set_objective m Lp.Maximize (Lp.sum (List.map Lp.var xs));
-    match Lp.solve ?rule m with
+    match Lp.solve ?rule ?warm ?cache m with
     | Lp.Infeasible | Lp.Unbounded ->
       failwith "Multicast.best_tree_packing: LP not optimal (cannot happen)"
     | Lp.Optimal sol ->
@@ -193,8 +193,9 @@ let packing_of_trees ?rule p ~source ~targets trees =
       }
   end
 
-let best_tree_packing ?rule p ~source ~targets =
-  packing_of_trees ?rule p ~source ~targets (enumerate_trees p ~source ~targets)
+let best_tree_packing ?rule ?warm ?cache p ~source ~targets =
+  packing_of_trees ?rule ?warm ?cache p ~source ~targets
+    (enumerate_trees p ~source ~targets)
 
 (* Cheapest-insertion Steiner tree under a cost inflation map: connect
    each still-uncovered target by the cheapest (inflated) path from any
@@ -262,8 +263,8 @@ let heuristic_trees ?(count = 4) p ~source ~targets =
   in
   go count []
 
-let heuristic_packing ?count ?rule p ~source ~targets =
-  packing_of_trees ?rule p ~source ~targets
+let heuristic_packing ?count ?rule ?warm ?cache p ~source ~targets =
+  packing_of_trees ?rule ?warm ?cache p ~source ~targets
     (heuristic_trees ?count p ~source ~targets)
 
 let best_single_tree p ~source ~targets =

@@ -32,6 +32,8 @@ val enumerate_trees :
 
 val max_lp_bound :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
@@ -39,6 +41,8 @@ val max_lp_bound :
 
 val scatter_lower_bound :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
@@ -55,6 +59,8 @@ type packing = {
 
 val best_tree_packing :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
@@ -64,13 +70,17 @@ val best_tree_packing :
 
 val packing_of_trees :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
   tree list ->
   packing
 (** Optimal time-sharing of a {e given} tree set (LP over the trees);
-    {!best_tree_packing} is this applied to the full enumeration. *)
+    {!best_tree_packing} is this applied to the full enumeration.
+    Repeated packings over the same tree-set shape (per-phase sum-LPs)
+    can thread [?warm]/[?cache] exactly as in {!Master_slave.solve}. *)
 
 val heuristic_trees :
   ?count:int ->
@@ -88,6 +98,8 @@ val heuristic_trees :
 val heuristic_packing :
   ?count:int ->
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->

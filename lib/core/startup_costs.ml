@@ -92,6 +92,10 @@ let makespan_for sol ~startup ~tasks =
 let ratio_series sol ~startup ~task_counts =
   List.map (fun tasks -> makespan_for sol ~startup ~tasks) task_counts
 
+let sweep ?rule ?solver ?warm ?cache p ~master ~startup ~task_counts =
+  let sol = Master_slave.solve ?rule ?solver ?warm ?cache p ~master in
+  (sol, ratio_series sol ~startup ~task_counts)
+
 let simulate_grouped g ~startup ~mega_periods =
   let p = g.base.Schedule.platform in
   let sim = Event_sim.create p in

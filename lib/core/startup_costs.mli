@@ -48,6 +48,21 @@ val ratio_series :
   task_counts:int list ->
   point list
 
+val sweep :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
+  Platform.t ->
+  master:Platform.node ->
+  startup:(Platform.edge -> Rat.t) ->
+  task_counts:int list ->
+  Master_slave.solution * point list
+(** Platform-level convenience for the E8 workload: solve the
+    steady-state LP (threading [?warm]/[?cache], so repeated sweeps of
+    the same platform re-use the basis or memoised solve) and compute
+    the makespan ratio at every requested task count. *)
+
 val simulate_grouped :
   grouped -> startup:(Platform.edge -> Rat.t) -> mega_periods:int -> Rat.t
 (** Strictly executes the grouped schedule with affine transfer times on

@@ -247,10 +247,10 @@ let e7_send_receive () =
 (* --- E8 --- *)
 
 let e8_startup_costs () =
-  let sol = Lazy.force fig1_sol in
   let startup _ = R.two in
-  let pts =
-    Startup_costs.ratio_series sol ~startup
+  let _sol, pts =
+    Startup_costs.sweep ~cache:(Lp.Cache.create ()) (Lazy.force fig1)
+      ~master:0 ~startup
       ~task_counts:[ 100; 1000; 10000; 100000; 1000000 ]
   in
   {
@@ -278,9 +278,9 @@ let e8_startup_costs () =
 (* --- E9 --- *)
 
 let e9_fixed_period () =
-  let sol = Lazy.force fig1_sol in
-  let series =
-    Fixed_period.series sol
+  let sol, series =
+    Fixed_period.sweep ~cache:(Lp.Cache.create ()) (Lazy.force fig1)
+      ~master:0
       ~periods:(List.map R.of_int [ 3; 6; 12; 24; 48; 96; 192 ])
   in
   {
@@ -326,11 +326,15 @@ let e10_dynamic () =
       phases = 8;
     }
   in
-  let run s = Dynamic_sched.run sc s in
+  (* one memo shared by all three strategies and the bound: the static
+     plan, every oracle phase and the bound's per-phase solves all draw
+     from the same few distinct scaled platforms *)
+  let cache = Lp.Cache.create () in
+  let run s = Dynamic_sched.run ~cache sc s in
   let st = run Dynamic_sched.Static in
   let re = run Dynamic_sched.Reactive in
   let o = run Dynamic_sched.Oracle in
-  let bound = Dynamic_sched.oracle_throughput_bound sc in
+  let bound = Dynamic_sched.oracle_throughput_bound ~cache sc in
   let row label (out : Dynamic_sched.outcome) =
     [
       label;

@@ -205,41 +205,204 @@ let standard_form m =
   let a, b, c, _, _, _ = translate m in
   (a, b, c)
 
-let solve ?rule ?(solver = Tableau) m =
-  let n = num_vars m in
-  let a, b, c, cmap, obj_const, flip = translate m in
-  let outcome =
-    match solver with
-    | Tableau -> begin
-      match Simplex.minimize ?rule ~a ~b ~c () with
-      | Simplex.Infeasible -> `Infeasible
-      | Simplex.Unbounded -> `Unbounded
-      | Simplex.Optimal { values; objective; pivots } ->
-        `Optimal (values, objective, pivots)
-    end
-    | Revised -> begin
-      match Revised_simplex.minimize ?rule ~a ~b ~c () with
-      | Revised_simplex.Infeasible -> `Infeasible
-      | Revised_simplex.Unbounded -> `Unbounded
-      | Revised_simplex.Optimal { values; objective; pivots } ->
-        `Optimal (values, objective, pivots)
-    end
+(* --- warm starts and the solve cache --- *)
+
+(* Structural signature of a model: variable names and bound *shapes*
+   (which decide the column map and the extra upper-bound rows) plus
+   constraint names and relations (which decide row order and slack
+   columns).  Two models with equal signatures translate to standard
+   forms with identical dimensions and identical column/row meanings —
+   only the coefficient *values* may differ — which is exactly the
+   condition under which a basis (a set of column indices) can be
+   re-interpreted against the new instance. *)
+let signature m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int m.nvars);
+  List.iter
+    (fun vi ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf vi.name;
+      Buffer.add_char buf (match vi.lb with Some _ -> 's' | None -> 'f');
+      Buffer.add_char buf (match vi.ub with Some _ -> 'u' | None -> '-'))
+    (List.rev m.vars);
+  Buffer.add_char buf '#';
+  List.iter
+    (fun c ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf c.cname;
+      Buffer.add_char buf (match c.rel with Le -> 'L' | Ge -> 'G' | Eq -> 'E'))
+    (List.rev m.cons);
+  Buffer.contents buf
+
+type basis = { bsig : string; bcols : int array }
+
+let basis_size bs = Array.length bs.bcols
+
+module Warm = struct
+  type t = {
+    mutable basis : basis option;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { basis = None; hits = 0; misses = 0 }
+  let clear t = t.basis <- None
+  let basis t = t.basis
+  let hits t = t.hits
+  let misses t = t.misses
+end
+
+module Cache = struct
+  type entry = { e_res : result; e_basis : basis option }
+
+  type t = {
+    tbl : (string, entry) Hashtbl.t;
+    capacity : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(capacity = 512) () =
+    if capacity <= 0 then invalid_arg "Lp.Cache.create: capacity <= 0";
+    { tbl = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+
+  let clear t = Hashtbl.reset t.tbl
+  let hits t = t.hits
+  let misses t = t.misses
+  let length t = Hashtbl.length t.tbl
+end
+
+(* Exact cache key: the structural signature plus every coefficient of
+   the *model* — objective sense and terms, constraint terms and
+   right-hand sides, and both bound values.  The standard form is a
+   deterministic function of exactly these, so equal keys translate to
+   identical instances and a hit returns a result bit-identical to what
+   re-solving would produce — while the lookup itself stays sparse and
+   never pays for the dense translation (which is what makes a hit
+   cheaper than a solve in the first place).  Rationals are kept in
+   canonical form, so exact decimal dumps compare exactly. *)
+let cache_key sg solver rule (m : model) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf sg;
+  Buffer.add_char buf (match solver with Tableau -> 'T' | Revised -> 'R');
+  Buffer.add_char buf
+    (match rule with Simplex.Dantzig -> 'D' | Simplex.Bland -> 'B');
+  let dump v =
+    Buffer.add_string buf (R.to_string v);
+    Buffer.add_char buf ','
   in
-  match outcome with
-  | `Infeasible -> Infeasible
-  | `Unbounded -> Unbounded
-  | `Optimal (values, objective, _) ->
-    let value v =
-      match cmap.(v) with
-      | Shifted (col, l) -> R.add values.(col) l
-      | Split (p, q) -> R.sub values.(p) values.(q)
+  let dump_expr e =
+    Imap.iter
+      (fun v coeff ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ':';
+        dump coeff)
+      e;
+    Buffer.add_char buf ';'
+  in
+  (match m.objective with
+  | None -> Buffer.add_char buf 'n'
+  | Some (sense, e) ->
+    Buffer.add_char buf (match sense with Minimize -> 'm' | Maximize -> 'M');
+    dump_expr e);
+  List.iter
+    (fun cns ->
+      dump_expr cns.expr;
+      dump cns.rhs)
+    (List.rev m.cons);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun vi ->
+      (match vi.lb with Some l -> dump l | None -> Buffer.add_char buf 'n');
+      match vi.ub with Some u -> dump u | None -> Buffer.add_char buf 'n')
+    (List.rev m.vars);
+  Buffer.contents buf
+
+let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau) ?warm ?cache m =
+  let n = num_vars m in
+  let sg =
+    if warm <> None || cache <> None then signature m else ""
+  in
+  let cached =
+    match cache with
+    | None -> None
+    | Some cc ->
+      let key = cache_key sg solver rule m in
+      Some (cc, key, Hashtbl.find_opt cc.Cache.tbl key)
+  in
+  match cached with
+  | Some (cc, _, Some entry) ->
+    cc.Cache.hits <- cc.Cache.hits + 1;
+    (* a hit also refreshes the warm slot, so a later near-identical
+       solve that misses the cache can still warm-start *)
+    (match (warm, entry.Cache.e_basis) with
+    | Some w, Some bs -> w.Warm.basis <- Some bs
+    | _ -> ());
+    entry.Cache.e_res
+  | _ ->
+    (match cached with
+    | Some (cc, _, None) -> cc.Cache.misses <- cc.Cache.misses + 1
+    | _ -> ());
+    let a, b, c, cmap, obj_const, flip = translate m in
+    let import =
+      match warm with
+      | Some { Warm.basis = Some bs; _ } when String.equal bs.bsig sg ->
+        Some bs.bcols
+      | _ -> None
     in
-    let cache = Array.init n value in
-    let objective =
-      let raw = R.add objective (if flip then R.neg obj_const else obj_const) in
-      if flip then R.neg raw else raw
+    let outcome =
+      match solver with
+      | Tableau -> begin
+        match Simplex.minimize ~rule ?basis:import ~a ~b ~c () with
+        | Simplex.Infeasible -> `Infeasible
+        | Simplex.Unbounded -> `Unbounded
+        | Simplex.Optimal { values; objective; basis; warm; _ } ->
+          `Optimal (values, objective, basis, warm)
+      end
+      | Revised -> begin
+        match Revised_simplex.minimize ~rule ?basis:import ~a ~b ~c () with
+        | Revised_simplex.Infeasible -> `Infeasible
+        | Revised_simplex.Unbounded -> `Unbounded
+        | Revised_simplex.Optimal { values; objective; basis; warm; _ } ->
+          `Optimal (values, objective, basis, warm)
+      end
     in
-    Optimal { objective; values = (fun v -> cache.(v)) }
+    let res, exported =
+      match outcome with
+      | `Infeasible -> (Infeasible, None)
+      | `Unbounded -> (Unbounded, None)
+      | `Optimal (values, objective, std_basis, warm_used) ->
+        (match warm with
+        | Some w ->
+          if warm_used then w.Warm.hits <- w.Warm.hits + 1
+          else w.Warm.misses <- w.Warm.misses + 1
+        | None -> ());
+        let value v =
+          match cmap.(v) with
+          | Shifted (col, l) -> R.add values.(col) l
+          | Split (p, q) -> R.sub values.(p) values.(q)
+        in
+        let varcache = Array.init n value in
+        let objective =
+          let raw =
+            R.add objective (if flip then R.neg obj_const else obj_const)
+          in
+          if flip then R.neg raw else raw
+        in
+        ( Optimal { objective; values = (fun v -> varcache.(v)) },
+          Some { bsig = sg; bcols = std_basis } )
+    in
+    (match warm, exported with
+    | Some w, Some bs -> w.Warm.basis <- Some bs
+    | _ -> ());
+    (match cached with
+    | Some (cc, key, None) ->
+      if Hashtbl.length cc.Cache.tbl >= cc.Cache.capacity then
+        Hashtbl.reset cc.Cache.tbl;
+      Hashtbl.replace cc.Cache.tbl key
+        { Cache.e_res = res; e_basis = exported }
+    | _ -> ());
+    res
 
 let value_by_name m sol name = sol.values (find_var m name)
 

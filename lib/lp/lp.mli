@@ -73,7 +73,82 @@ type solver =
   | Tableau  (** the dense tableau {!Simplex} (default) *)
   | Revised  (** the sparse-column {!Revised_simplex} *)
 
-val solve : ?rule:Simplex.pivot_rule -> ?solver:solver -> model -> result
+type basis
+(** An optimal basis exported by {!solve}, tied to the model's
+    structural signature: its variable names and bound shapes, and its
+    constraint names and relations.  A basis is re-usable against any
+    model with the same signature — i.e. the same standard-form layout —
+    even when coefficient values differ (scaled platform weights); a
+    signature mismatch makes the import a silent no-op. *)
+
+val basis_size : basis -> int
+(** Number of rows (basic columns) the basis carries. *)
+
+module Warm : sig
+  (** A mutable warm-start slot.  Pass the same slot to successive
+      {!solve} calls on structurally identical models: each optimal
+      solve deposits its basis, and the next solve imports it — skipping
+      phase 1 when the basis is still primal feasible, repairing it with
+      exact dual-simplex pivots (Revised solver) when only feasibility
+      was lost, and falling back to a cold solve otherwise.  Results are
+      exact in all cases; only the pivot counts change.
+
+      Not thread-safe: use one slot per domain/task. *)
+
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val basis : t -> basis option
+  (** Basis deposited by the last optimal solve, if any. *)
+
+  val hits : t -> int
+  (** Optimal solves that ran warm (imported basis accepted, no cold
+      fallback). *)
+
+  val misses : t -> int
+  (** Optimal solves that ran cold while this slot was supplied (empty
+      slot, stale signature, or kernel fallback). *)
+end
+
+module Cache : sig
+  (** Exact memo of solved instances.  The key is the structural
+      signature plus every standard-form coefficient (exact decimal
+      dumps — no hashing collisions, no rounding), the lower-bound
+      values, the solver and the pivot rule; the value is the final
+      {!result}.  Identical re-solves (flat trace segments, repeated
+      oracle queries) therefore return the very same answer without
+      touching the simplex.  When full, the table is reset wholesale.
+
+      Not thread-safe: use one cache per domain/task. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] bounds the number of stored instances (default 512).
+      @raise Invalid_argument if [capacity <= 0]. *)
+
+  val clear : t -> unit
+  val hits : t -> int
+  val misses : t -> int
+  val length : t -> int
+end
+
+val solve :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:solver ->
+  ?warm:Warm.t ->
+  ?cache:Cache.t ->
+  model ->
+  result
+(** [solve m] translates the model to standard form and runs the chosen
+    simplex kernel.  [?warm] threads an optimal basis between
+    structurally identical solves; [?cache] short-circuits exactly
+    repeated instances.  Both are pure accelerators: for any
+    combination of [?warm]/[?cache] the returned objective value is
+    bit-identical to a cold [solve m] (warm-started solves may sit at a
+    different optimal vertex of the same face, which every certified
+    feasibility check still accepts). *)
 
 val standard_form : model -> Rat.t array array * Rat.t array * Rat.t array
 (** [standard_form m] is the exact [(a, b, c)] instance — min [c.x]

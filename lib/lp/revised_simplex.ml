@@ -15,7 +15,13 @@
 module R = Rat
 
 type outcome =
-  | Optimal of { values : R.t array; objective : R.t; pivots : int }
+  | Optimal of {
+      values : R.t array;
+      objective : R.t;
+      pivots : int;
+      basis : int array;
+      warm : bool;
+    }
   | Infeasible
   | Unbounded
 
@@ -182,39 +188,198 @@ let optimise st rule c allowed =
         end)
   done
 
-let minimize ?(rule = Simplex.Dantzig) ~a ~b ~c () =
-  let m = Array.length a in
-  let n = Array.length c in
-  if Array.length b <> m then
-    invalid_arg "Revised_simplex.minimize: |b| <> rows";
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then
-        invalid_arg "Revised_simplex.minimize: ragged matrix")
-    a;
-  let n_total = n + m in
-  (* build sparse columns, flipping rows with negative b *)
-  let flip = Array.init m (fun i -> R.sign b.(i) < 0) in
-  let cols = Array.make n_total [] in
-  for j = 0 to n - 1 do
-    let col = ref [] in
-    for i = m - 1 downto 0 do
-      let v = a.(i).(j) in
-      if not (R.is_zero v) then
-        col := (i, (if flip.(i) then R.neg v else v)) :: !col
-    done;
-    cols.(j) <- !col
-  done;
+exception Warm_failed
+
+(* Invert the basis matrix B (columns [bas] of the flipped constraint
+   matrix) by Gauss-Jordan elimination on [B | I] with row pivoting.
+   Raises [Warm_failed] when B is singular against the current matrix —
+   the caller then falls back to a cold solve. *)
+let invert_basis ~m cols bas =
+  let mat = Array.make_matrix m (2 * m) R.zero in
+  Array.iteri
+    (fun k j -> List.iter (fun (i, v) -> mat.(i).(k) <- v) cols.(j))
+    bas;
   for i = 0 to m - 1 do
-    cols.(n + i) <- [ (i, R.one) ]
+    mat.(i).(m + i) <- R.one
   done;
+  for k = 0 to m - 1 do
+    let p = ref (-1) in
+    let r = ref k in
+    while !p < 0 && !r < m do
+      if not (R.is_zero mat.(!r).(k)) then p := !r;
+      incr r
+    done;
+    if !p < 0 then raise Warm_failed;
+    if !p <> k then begin
+      let tmp = mat.(k) in
+      mat.(k) <- mat.(!p);
+      mat.(!p) <- tmp
+    end;
+    let inv = R.inv mat.(k).(k) in
+    for j = 0 to (2 * m) - 1 do
+      let v = mat.(k).(j) in
+      if not (R.is_zero v) then mat.(k).(j) <- R.mul v inv
+    done;
+    for i = 0 to m - 1 do
+      if i <> k then begin
+        let f = mat.(i).(k) in
+        if not (R.is_zero f) then
+          for j = 0 to (2 * m) - 1 do
+            let v = mat.(k).(j) in
+            if not (R.is_zero v) then
+              mat.(i).(j) <- R.sub mat.(i).(j) (R.mul f v)
+          done
+      end
+    done
+  done;
+  Array.init m (fun k -> Array.init m (fun i -> mat.(k).(m + i)))
+
+(* Dual simplex repair: from a dual-feasible basis (no structural
+   non-basic column with negative reduced cost) whose vertex has some
+   xb < 0, pick a negative basic variable to leave and the min-ratio
+   column d_j / -u_{pj} over u_{pj} < 0 to enter.  Each pivot preserves
+   dual feasibility and exactness; when no entering candidate exists the
+   row certifies primal infeasibility of the whole program (y = -(row p
+   of B^-1) satisfies y.A_j <= 0 for every structural j and y.b > 0).
+   A pivot cap bounds degenerate cycling — the caller falls back to the
+   cold two-phase solve when it trips. *)
+let dual_repair st rule c =
+  let n_total = Array.length st.cols in
+  let max_pivots = (4 * (st.m + n_total)) + 16 in
+  let count = ref 0 in
+  let verdict = ref None in
+  while !verdict = None do
+    let p = ref (-1) in
+    (match rule with
+    | Simplex.Bland ->
+      for k = st.m - 1 downto 0 do
+        if
+          R.sign st.xb.(k) < 0
+          && (!p < 0 || st.basis.(k) < st.basis.(!p))
+        then p := k
+      done
+    | Simplex.Dantzig ->
+      for k = 0 to st.m - 1 do
+        if
+          R.sign st.xb.(k) < 0
+          && (!p < 0 || R.compare st.xb.(k) st.xb.(!p) < 0)
+        then p := k
+      done);
+    if !p < 0 then verdict := Some `Repaired
+    else if !count >= max_pivots then verdict := Some `Stalled
+    else begin
+      incr count;
+      let p = !p in
+      let y = pricing_vector st c in
+      let row = st.binv.(p) in
+      let best = ref None in
+      for j = 0 to st.n - 1 do
+        if not st.in_basis.(j) then begin
+          let aj =
+            List.fold_left
+              (fun acc (i, a) -> R.add acc (R.mul row.(i) a))
+              R.zero st.cols.(j)
+          in
+          if R.sign aj < 0 then begin
+            let ratio = R.div (reduced_cost st c y j) (R.neg aj) in
+            match !best with
+            | Some (_, rb) when R.compare rb ratio <= 0 -> ()
+            | Some _ | None -> best := Some (j, ratio)
+          end
+        end
+      done;
+      match !best with
+      | None -> verdict := Some `Primal_infeasible
+      | Some (j, _) ->
+        let u = direction st j in
+        pivot st p j u
+    end
+  done;
+  match !verdict with Some v -> v | None -> assert false
+
+(* Warm start: refactorise the basis inverse from the imported column
+   indices against the *current* matrix (only b/c reuse would be wrong —
+   scaled platforms perturb A too), then either resume phase 2 directly
+   (vertex still feasible), run the dual repair loop (vertex infeasible
+   but reduced costs still non-negative), or give up and let the caller
+   fall back cold. *)
+let warm_solve rule ~c ~m ~n cols bflip bas =
+  let n_total = Array.length cols in
+  let binv = invert_basis ~m cols bas in
+  let xb =
+    Array.init m (fun k ->
+        let row = binv.(k) in
+        let acc = ref R.zero in
+        for i = 0 to m - 1 do
+          let v = row.(i) in
+          if not (R.is_zero v) then acc := R.add !acc (R.mul v bflip.(i))
+        done;
+        !acc)
+  in
+  let in_basis = Array.make n_total false in
+  Array.iter (fun j -> in_basis.(j) <- true) bas;
+  let st =
+    {
+      m;
+      n;
+      cols;
+      binv;
+      xb;
+      basis = Array.copy bas;
+      in_basis;
+      pivots = 0;
+      supp = Array.make m 0;
+    }
+  in
+  let c2 = Array.make n_total R.zero in
+  Array.blit c 0 c2 0 n;
+  let primal_infeasible = Array.exists (fun v -> R.sign v < 0) st.xb in
+  let repaired =
+    if not primal_infeasible then `Repaired
+    else begin
+      let y = pricing_vector st c2 in
+      let dual_ok = ref true in
+      let j = ref 0 in
+      while !dual_ok && !j < n do
+        if
+          (not st.in_basis.(!j))
+          && R.sign (reduced_cost st c2 y !j) < 0
+        then dual_ok := false;
+        incr j
+      done;
+      if not !dual_ok then raise Warm_failed;
+      dual_repair st rule c2
+    end
+  in
+  match repaired with
+  | `Primal_infeasible -> Infeasible
+  | `Stalled -> raise Warm_failed
+  | `Repaired -> (
+    match optimise st rule c2 (fun j -> j < n) with
+    | () ->
+      let values = Array.make n R.zero in
+      Array.iteri
+        (fun k bj -> if bj < n then values.(bj) <- st.xb.(k))
+        st.basis;
+      Optimal
+        {
+          values;
+          objective = objective_of st c2;
+          pivots = st.pivots;
+          basis = Array.copy st.basis;
+          warm = true;
+        }
+    | exception Unbounded_exc -> Unbounded)
+
+let cold_solve rule ~c ~m ~n cols bflip =
+  let n_total = Array.length cols in
   let st =
     {
       m;
       n;
       cols;
       binv = Array.init m (fun k -> Array.init m (fun i -> if i = k then R.one else R.zero));
-      xb = Array.init m (fun i -> R.abs b.(i));
+      xb = Array.copy bflip;
       basis = Array.init m (fun i -> n + i);
       in_basis =
         Array.init n_total (fun j -> j >= n);
@@ -269,6 +434,57 @@ let minimize ?(rule = Simplex.Dantzig) ~a ~b ~c () =
       Array.iteri
         (fun k bj -> if bj < n then values.(bj) <- st.xb.(k))
         st.basis;
-      Optimal { values; objective = objective_of st c2; pivots = st.pivots }
+      Optimal
+        {
+          values;
+          objective = objective_of st c2;
+          pivots = st.pivots;
+          basis = Array.copy st.basis;
+          warm = false;
+        }
     | exception Unbounded_exc -> Unbounded
   end
+
+let minimize ?(rule = Simplex.Dantzig) ?basis ~a ~b ~c () =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then
+    invalid_arg "Revised_simplex.minimize: |b| <> rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Revised_simplex.minimize: ragged matrix")
+    a;
+  let n_total = n + m in
+  (* build sparse columns, flipping rows with negative b *)
+  let flip = Array.init m (fun i -> R.sign b.(i) < 0) in
+  let cols = Array.make n_total [] in
+  for j = 0 to n - 1 do
+    let col = ref [] in
+    for i = m - 1 downto 0 do
+      let v = a.(i).(j) in
+      if not (R.is_zero v) then
+        col := (i, (if flip.(i) then R.neg v else v)) :: !col
+    done;
+    cols.(j) <- !col
+  done;
+  for i = 0 to m - 1 do
+    cols.(n + i) <- [ (i, R.one) ]
+  done;
+  let bflip = Array.init m (fun i -> R.abs b.(i)) in
+  (* a usable import picks one distinct structural column per row;
+     anything else is stale and goes straight to the cold path *)
+  let basis_ok bas =
+    Array.length bas = m
+    && Array.for_all (fun q -> q >= 0 && q < n) bas
+    &&
+    let seen = Array.make (max n 1) false in
+    Array.for_all
+      (fun q -> if seen.(q) then false else (seen.(q) <- true; true))
+      bas
+  in
+  match basis with
+  | Some bas when basis_ok bas -> (
+    try warm_solve rule ~c ~m ~n cols bflip bas
+    with Warm_failed -> cold_solve rule ~c ~m ~n cols bflip)
+  | _ -> cold_solve rule ~c ~m ~n cols bflip

@@ -13,15 +13,38 @@
     pointed at either. *)
 
 type outcome =
-  | Optimal of { values : Rat.t array; objective : Rat.t; pivots : int }
+  | Optimal of {
+      values : Rat.t array;
+      objective : Rat.t;
+      pivots : int;
+      basis : int array;
+          (** basic standard-form column per row.  Unlike the tableau
+              solver, redundant rows are kept with their artificial
+              basic at level zero, so entries may index artificial
+              columns [>= n]; warm imports reject those. *)
+      warm : bool;
+          (** [true] iff the supplied [?basis] was accepted (possibly
+              after dual-simplex repair) with no cold fallback. *)
+    }
   | Infeasible
   | Unbounded
 
 val minimize :
   ?rule:Simplex.pivot_rule ->
+  ?basis:int array ->
   a:Rat.t array array ->
   b:Rat.t array ->
   c:Rat.t array ->
   unit ->
   outcome
-(** Same contract as {!Simplex.minimize}. *)
+(** Same contract as {!Simplex.minimize}, including [?basis] warm
+    starts.  This solver additionally repairs a basis that is no longer
+    primal feasible but still prices dual feasible — the common case
+    when only the right-hand side or mild coefficient scalings changed —
+    with exact dual-simplex pivots (leaving row: most negative basic
+    value, or smallest index under {!Simplex.Bland}; entering column:
+    minimum ratio [d_j / -u_pj] over negative [u_pj]), instead of
+    restarting the two-phase method.  Every repaired solve finishes with
+    a primal phase-2 pass, so optimality is certified by the same code
+    path as a cold solve; a pivot cap bounds degenerate cycling and
+    falls back cold. *)

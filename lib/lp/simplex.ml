@@ -21,7 +21,13 @@ module R = Rat
 type pivot_rule = Bland | Dantzig
 
 type outcome =
-  | Optimal of { values : R.t array; objective : R.t; pivots : int }
+  | Optimal of {
+      values : R.t array;
+      objective : R.t;
+      pivots : int;
+      basis : int array;
+      warm : bool;
+    }
   | Infeasible
   | Unbounded
 
@@ -169,17 +175,9 @@ let optimise t rule allowed =
         end)
   done
 
-let minimize ?(rule = Dantzig) ~a ~b ~c () =
-  let m = Array.length a in
-  let n = Array.length c in
-  if Array.length b <> m then invalid_arg "Simplex.minimize: |b| <> rows";
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then
-        invalid_arg "Simplex.minimize: ragged matrix")
-    a;
-  let n_total = n + m in
-  (* copy rows, flip signs so rhs >= 0, append artificial identity *)
+(* Fresh tableau in the all-artificial basis: rows copied with signs
+   flipped so rhs >= 0 and the artificial identity appended. *)
+let fresh_tableau ~a ~b ~m ~n ~n_total =
   let rows =
     Array.init m (fun i ->
         let flip = R.sign b.(i) < 0 in
@@ -191,19 +189,74 @@ let minimize ?(rule = Dantzig) ~a ~b ~c () =
         row)
   in
   let rhs = Array.init m (fun i -> R.abs b.(i)) in
-  let t =
-    {
-      rows;
-      rhs;
-      basis = Array.init m (fun i -> n + i);
-      red = Array.make n_total R.zero;
-      obj = R.zero;
-      n_struct = n;
-      n_total;
-      pivots = 0;
-      supp = Array.make n_total 0;
-    }
-  in
+  {
+    rows;
+    rhs;
+    basis = Array.init m (fun i -> n + i);
+    red = Array.make n_total R.zero;
+    obj = R.zero;
+    n_struct = n;
+    n_total;
+    pivots = 0;
+    supp = Array.make n_total 0;
+  }
+
+exception Warm_failed
+
+(* Warm start: rebuild the tableau directly in the supplied structural
+   basis by Gauss-Jordan pivoting each basic column in (row assignment
+   is free — any unplaced row with a nonzero entry works; a row is
+   negated first when that entry is negative, since [pivot] requires a
+   positive pivot element).  If the basis is singular against the new
+   matrix, or the resulting vertex is primal infeasible, the warm
+   attempt raises [Warm_failed] and the caller falls back to the cold
+   two-phase solve — so a stale basis costs one failed elimination, not
+   correctness. *)
+let warm_solve rule ~a ~b ~c ~m ~n ~n_total bas =
+  let t = fresh_tableau ~a ~b ~m ~n ~n_total in
+  let placed = Array.make m false in
+  Array.iter
+    (fun q ->
+      let rec find p =
+        if p >= m then raise Warm_failed
+        else if (not placed.(p)) && not (R.is_zero t.rows.(p).(q)) then p
+        else find (p + 1)
+      in
+      let p = find 0 in
+      if R.sign t.rows.(p).(q) < 0 then begin
+        for k = 0 to t.n_total - 1 do
+          let v = t.rows.(p).(k) in
+          if not (R.is_zero v) then t.rows.(p).(k) <- R.neg v
+        done;
+        t.rhs.(p) <- R.neg t.rhs.(p)
+      end;
+      pivot t p q;
+      placed.(p) <- true)
+    bas;
+  for i = 0 to m - 1 do
+    if R.sign t.rhs.(i) < 0 then raise Warm_failed
+  done;
+  let c2 = Array.make n_total R.zero in
+  Array.blit c 0 c2 0 n;
+  reprice t c2;
+  match optimise t rule (fun j -> j < n) with
+  | () ->
+    let values = Array.make n R.zero in
+    Array.iteri
+      (fun i bj -> if bj < n then values.(bj) <- t.rhs.(i))
+      t.basis;
+    Optimal
+      {
+        values;
+        objective = R.neg t.obj;
+        pivots = t.pivots;
+        basis = Array.copy t.basis;
+        warm = true;
+      }
+  | exception Unbounded_exc -> Unbounded
+
+let cold_solve rule ~a ~b ~c ~m ~n ~n_total =
+  let t = fresh_tableau ~a ~b ~m ~n ~n_total in
   (* phase 1: minimise the sum of artificials *)
   let c1 = Array.make n_total R.zero in
   for j = n to n_total - 1 do
@@ -262,6 +315,41 @@ let minimize ?(rule = Dantzig) ~a ~b ~c () =
       Array.iteri
         (fun i bj -> if bj < n then values.(bj) <- t.rhs.(i))
         t.basis;
-      Optimal { values; objective = R.neg t.obj; pivots = t.pivots }
+      Optimal
+        {
+          values;
+          objective = R.neg t.obj;
+          pivots = t.pivots;
+          basis = Array.copy t.basis;
+          warm = false;
+        }
     | exception Unbounded_exc -> Unbounded
   end
+
+let minimize ?(rule = Dantzig) ?basis ~a ~b ~c () =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Simplex.minimize: |b| <> rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.minimize: ragged matrix")
+    a;
+  let n_total = n + m in
+  (* a usable import must pick one distinct structural column per row;
+     anything else (row count changed, artificial or repeated columns)
+     is stale and goes straight to the cold path *)
+  let basis_ok bas =
+    Array.length bas = m
+    && Array.for_all (fun q -> q >= 0 && q < n) bas
+    &&
+    let seen = Array.make (max n 1) false in
+    Array.for_all
+      (fun q -> if seen.(q) then false else (seen.(q) <- true; true))
+      bas
+  in
+  match basis with
+  | Some bas when basis_ok bas -> (
+    try warm_solve rule ~a ~b ~c ~m ~n ~n_total bas
+    with Warm_failed -> cold_solve rule ~a ~b ~c ~m ~n ~n_total)
+  | _ -> cold_solve rule ~a ~b ~c ~m ~n ~n_total

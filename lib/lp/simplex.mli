@@ -17,13 +17,25 @@ type pivot_rule =
           [rows + cols] pivots without objective improvement *)
 
 type outcome =
-  | Optimal of { values : Rat.t array; objective : Rat.t; pivots : int }
-      (** [values] has one entry per column of [a]. *)
+  | Optimal of {
+      values : Rat.t array;
+      objective : Rat.t;
+      pivots : int;
+      basis : int array;
+          (** basic standard-form column of each remaining tableau row —
+              the seed for a later warm start.  Artificial-free: phase 1
+              drives artificials out and drops redundant rows, so every
+              entry indexes a column of [a]. *)
+      warm : bool;
+          (** [true] iff the supplied [?basis] was accepted and the solve
+              skipped phase 1 (no cold fallback happened). *)
+    }  (** [values] has one entry per column of [a]. *)
   | Infeasible
   | Unbounded
 
 val minimize :
   ?rule:pivot_rule ->
+  ?basis:int array ->
   a:Rat.t array array ->
   b:Rat.t array ->
   c:Rat.t array ->
@@ -33,4 +45,12 @@ val minimize :
     array of [m] rows, each of length [n]; [b] has length [m]; [c] has
     length [n].  Rows with negative [b] are negated internally (they are
     equalities).  Inputs are not mutated.
+
+    [?basis] warm-starts the solve from a previously returned basis: the
+    tableau is rebuilt in that basis by [m] Gauss-Jordan pivots and, when
+    the resulting vertex is feasible, phase 1 is skipped entirely.  Any
+    stale basis — wrong length, repeated or out-of-range columns, singular
+    against the new matrix, or primal infeasible — silently falls back to
+    the cold two-phase solve, so the result is identical in all cases
+    except the [warm] flag and the pivot count.
     @raise Invalid_argument on dimension mismatch. *)

@@ -79,6 +79,59 @@ let test_bandwidth_perturbation () =
   let rctv = (Dy.run sc Dy.Reactive).Dy.completed in
   Alcotest.(check bool) "adapts to bandwidth loss" true R.Infix.(rctv >= s)
 
+let test_multiplier_at () =
+  (* out-of-order breakpoints: the entry with the largest time <= t
+     wins, not the textually last one (the seed's fold returned 3
+     here) *)
+  let tr = [ (ri 10, r 2 1); (ri 5, r 3 1) ] in
+  Alcotest.check rat "largest breakpoint <= t wins" (r 2 1)
+    (Dy.multiplier_at tr (ri 20));
+  Alcotest.check rat "middle of the trace" (r 3 1)
+    (Dy.multiplier_at tr (ri 7));
+  Alcotest.check rat "before the first breakpoint" R.one
+    (Dy.multiplier_at tr (ri 2));
+  Alcotest.check rat "exactly on a breakpoint" (r 2 1)
+    (Dy.multiplier_at tr (ri 10));
+  (* equal breakpoints: the last listed entry wins, as with the seed's
+     left fold over a sorted trace *)
+  let dup = [ (ri 5, r 3 1); (ri 5, r 7 2) ] in
+  Alcotest.check rat "equal breakpoints keep the last" (r 7 2)
+    (Dy.multiplier_at dup (ri 5));
+  Alcotest.check rat "empty trace is nominal" R.one
+    (Dy.multiplier_at [] (ri 42))
+
+let test_trace_order_irrelevant () =
+  (* the planner sorts traces internally, so a permuted trace yields the
+     same oracle bound and the same oracle run *)
+  let sc = scenario () in
+  let shuffled =
+    { sc with Dy.cpu_traces = [ (1, [ (ri 50, R.one); (ri 20, r 1 4) ]) ] }
+  in
+  Alcotest.check rat "bound invariant under trace permutation"
+    (Dy.oracle_throughput_bound sc)
+    (Dy.oracle_throughput_bound shuffled);
+  Alcotest.check rat "oracle run invariant under trace permutation"
+    (Dy.run sc Dy.Oracle).Dy.completed
+    (Dy.run shuffled Dy.Oracle).Dy.completed
+
+let test_reuse_bit_identical () =
+  (* warm starts and the solve cache must not change any reported
+     number: same completed counts per phase, same bound *)
+  let sc = scenario () in
+  let cache = Lp.Cache.create () in
+  List.iter
+    (fun s ->
+      let cold = Dy.run ~reuse:false sc s in
+      let warm = Dy.run ~cache sc s in
+      Alcotest.(check (list rat))
+        "per-phase tasks identical" cold.Dy.per_phase warm.Dy.per_phase)
+    [ Dy.Static; Dy.Reactive; Dy.Oracle ];
+  Alcotest.check rat "bound identical"
+    (Dy.oracle_throughput_bound ~reuse:false sc)
+    (Dy.oracle_throughput_bound ~cache sc);
+  Alcotest.(check bool) "the cache actually got used" true
+    (Lp.Cache.hits cache > 0)
+
 let test_validation () =
   let sc = scenario () in
   let bad sc =
@@ -97,5 +150,8 @@ let suite =
       Alcotest.test_case "phase accounting" `Quick test_phase_accounting;
       Alcotest.test_case "oracle tracks slowdown" `Quick test_oracle_tracks_slowdown;
       Alcotest.test_case "bandwidth perturbation" `Quick test_bandwidth_perturbation;
+      Alcotest.test_case "multiplier_at" `Quick test_multiplier_at;
+      Alcotest.test_case "trace order irrelevant" `Quick test_trace_order_irrelevant;
+      Alcotest.test_case "reuse bit-identical" `Quick test_reuse_bit_identical;
       Alcotest.test_case "validation" `Quick test_validation;
     ] )

@@ -56,7 +56,7 @@ let check_tableau name m =
           Simplex.minimize ~rule ~a ~b ~c () )
       with
       | ( Simplex_dense_reference.Optimal r,
-          Simplex.Optimal { values; objective; pivots } ) ->
+          Simplex.Optimal { values; objective; pivots; _ } ) ->
         Alcotest.(check (array rat)) (label "values") r.values values;
         Alcotest.check rat (label "objective") r.objective objective;
         Alcotest.(check int) (label "pivots") r.pivots pivots
@@ -73,7 +73,7 @@ let check_revised name m =
           Revised_simplex.minimize ~rule ~a ~b ~c () )
       with
       | ( Revised_dense_reference.Optimal r,
-          Revised_simplex.Optimal { values; objective; pivots } ) ->
+          Revised_simplex.Optimal { values; objective; pivots; _ } ) ->
         Alcotest.(check (array rat)) (label "values") r.values values;
         Alcotest.check rat (label "objective") r.objective objective;
         Alcotest.(check int) (label "pivots") r.pivots pivots

@@ -1,0 +1,343 @@
+(* Warm-started re-solving: basis export/import at the kernel layer,
+   dual-simplex repair, the [Lp.Warm] slot and [Lp.Cache] memo, and the
+   property that none of it ever changes an objective value.
+
+   The exactness contract under test: a warm solve may sit at a
+   different optimal vertex than a cold solve, but its objective value
+   is bit-identical, its solution passes every certified check, and a
+   stale or garbage basis degrades to a cold solve — never to a wrong
+   answer. *)
+
+module R = Rat
+module P = Platform
+
+let r = R.of_ints
+let rat = Alcotest.testable R.pp R.equal
+
+(* --- kernel layer: basis export / import --- *)
+
+(* fig1's master-slave standard form, a known-good nondegenerate LP *)
+let fig1_std () =
+  let m, _ = Master_slave.solve_lp_only (Platform_gen.figure1 ()) ~master:0 in
+  Lp.standard_form m
+
+let test_tableau_reimport () =
+  let a, b, c = fig1_std () in
+  match Simplex.minimize ~a ~b ~c () with
+  | Simplex.Optimal { objective; basis; warm; pivots; _ } ->
+    Alcotest.(check bool) "cold solve reports warm=false" false warm;
+    Alcotest.(check bool) "cold solve pivots" true (pivots > 0);
+    (match Simplex.minimize ~basis ~a ~b ~c () with
+    | Simplex.Optimal { objective = o2; warm = w2; _ } ->
+      Alcotest.(check bool) "re-import reports warm=true" true w2;
+      Alcotest.check rat "same objective" objective o2
+    | _ -> Alcotest.fail "re-import not optimal")
+  | _ -> Alcotest.fail "fig1 LP not optimal"
+
+let test_revised_reimport () =
+  let a, b, c = fig1_std () in
+  match Revised_simplex.minimize ~a ~b ~c () with
+  | Revised_simplex.Optimal { objective; basis; warm; _ } ->
+    Alcotest.(check bool) "cold solve reports warm=false" false warm;
+    (match Revised_simplex.minimize ~basis ~a ~b ~c () with
+    | Revised_simplex.Optimal { objective = o2; warm = w2; _ } ->
+      Alcotest.(check bool) "re-import reports warm=true" true w2;
+      Alcotest.check rat "same objective" objective o2
+    | _ -> Alcotest.fail "re-import not optimal")
+  | _ -> Alcotest.fail "fig1 LP not optimal"
+
+let test_garbage_basis_falls_back () =
+  let a, b, c = fig1_std () in
+  let reference =
+    match Simplex.minimize ~a ~b ~c () with
+    | Simplex.Optimal { objective; _ } -> objective
+    | _ -> Alcotest.fail "fig1 LP not optimal"
+  in
+  let m = Array.length a in
+  let garbage =
+    [
+      ("empty", [||]);
+      ("wrong length", [| 0 |]);
+      ("out of range", Array.init m (fun _ -> max_int));
+      ("negative", Array.init m (fun i -> i - 1));
+      ("duplicates", Array.make m 0);
+    ]
+  in
+  List.iter
+    (fun (name, basis) ->
+      (match Simplex.minimize ~basis ~a ~b ~c () with
+      | Simplex.Optimal { objective; warm; _ } ->
+        Alcotest.(check bool) (name ^ " solved cold") false warm;
+        Alcotest.check rat (name ^ " objective intact") reference objective
+      | _ -> Alcotest.fail (name ^ ": not optimal"));
+      match Revised_simplex.minimize ~basis ~a ~b ~c () with
+      | Revised_simplex.Optimal { objective; warm; _ } ->
+        Alcotest.(check bool) (name ^ " revised solved cold") false warm;
+        Alcotest.check rat (name ^ " revised objective") reference objective
+      | _ -> Alcotest.fail (name ^ ": revised not optimal"))
+    garbage
+
+(* --- dual-simplex repair --- *)
+
+(* min x + 2y  s.t.  x + y >= b1,  x <= 4.  At b1 = 3 the optimal basis
+   is {x, slack2}.  Raising b1 to 6 leaves that basis dual-feasible but
+   primal-infeasible (slack2 = 4 - 6 < 0): the revised kernel must
+   repair it with dual-simplex pivots (y enters), reaching the new
+   optimum x = 4, y = 2, objective 8 — and report warm=true.  The
+   tableau kernel has no dual phase, so the same import must fall back
+   cold and still return 8. *)
+let shifting_model b1 =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var m "y" in
+  Lp.add_constraint ~name:"cover" m Lp.(add (var x) (var y)) Lp.Ge (R.of_int b1);
+  Lp.add_constraint ~name:"cap" m (Lp.var x) Lp.Le (R.of_int 4);
+  Lp.set_objective m Lp.Minimize Lp.(add (var x) (scale R.two (var y)));
+  m
+
+let test_dual_repair () =
+  let warm = Lp.Warm.create () in
+  (match Lp.solve ~solver:Lp.Revised ~warm (shifting_model 3) with
+  | Lp.Optimal { objective; _ } ->
+    Alcotest.check rat "b1=3 optimum" (R.of_int 3) objective
+  | _ -> Alcotest.fail "b1=3 not optimal");
+  Alcotest.(check int) "first solve was cold" 1 (Lp.Warm.misses warm);
+  (match Lp.solve ~solver:Lp.Revised ~warm (shifting_model 6) with
+  | Lp.Optimal { objective; _ } ->
+    Alcotest.check rat "b1=6 optimum via dual repair" (R.of_int 8) objective
+  | _ -> Alcotest.fail "b1=6 not optimal");
+  Alcotest.(check int) "repair counted as a warm hit" 1 (Lp.Warm.hits warm)
+
+let test_dual_repair_tableau_fallback () =
+  let warm = Lp.Warm.create () in
+  ignore (Lp.solve ~warm (shifting_model 3));
+  match Lp.solve ~warm (shifting_model 6) with
+  | Lp.Optimal { objective; _ } ->
+    Alcotest.check rat "tableau fallback still exact" (R.of_int 8) objective;
+    Alcotest.(check int) "negative rhs fell back cold" 2 (Lp.Warm.misses warm)
+  | _ -> Alcotest.fail "b1=6 not optimal"
+
+(* --- Lp.Warm across structurally identical platforms --- *)
+
+(* same node and edge structure, weights and costs divided by the
+   multiplier — what Dynamic_sched.scaled_platform produces per phase *)
+let scaled p mult =
+  P.create
+    ~names:(Array.of_list (List.map (P.name p) (P.nodes p)))
+    ~weights:
+      (Array.of_list
+         (List.map
+            (fun i ->
+              match P.weight p i with
+              | Ext_rat.Inf -> Ext_rat.Inf
+              | Ext_rat.Fin w -> Ext_rat.Fin (R.div w mult))
+            (P.nodes p)))
+    ~edges:
+      (List.map
+         (fun e -> (P.edge_src p e, P.edge_dst p e, R.div (P.edge_cost p e) mult))
+         (P.edges p))
+
+let test_warm_slot_falls_back_on_structure_change () =
+  let warm = Lp.Warm.create () in
+  let p1 = Platform_gen.figure1 () in
+  let p2 = Platform_gen.random_graph ~seed:7 ~nodes:5 ~extra_edges:2 () in
+  let cold1 = (Master_slave.solve p1 ~master:0).Master_slave.ntask in
+  let cold2 = (Master_slave.solve p2 ~master:0).Master_slave.ntask in
+  Alcotest.check rat "fig1 with fresh slot" cold1
+    (Master_slave.solve ~warm p1 ~master:0).Master_slave.ntask;
+  (* different structure: the stored basis's signature cannot match *)
+  Alcotest.check rat "structure change falls back" cold2
+    (Master_slave.solve ~warm p2 ~master:0).Master_slave.ntask;
+  Alcotest.(check int) "both solves were cold" 2 (Lp.Warm.misses warm);
+  (* back to fig1: the slot now holds p2's basis, still no false hit *)
+  Alcotest.check rat "switching back stays exact" cold1
+    (Master_slave.solve ~warm p1 ~master:0).Master_slave.ntask
+
+(* --- Lp.Cache --- *)
+
+let test_cache_hits () =
+  let cache = Lp.Cache.create () in
+  let p = Platform_gen.figure1 () in
+  let s1 = (Master_slave.solve ~cache p ~master:0).Master_slave.ntask in
+  let s2 = (Master_slave.solve ~cache p ~master:0).Master_slave.ntask in
+  Alcotest.check rat "memoised result identical" s1 s2;
+  Alcotest.(check int) "one miss" 1 (Lp.Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Lp.Cache.hits cache);
+  Alcotest.(check int) "one entry" 1 (Lp.Cache.length cache);
+  (* a perturbed instance is a different key, not a false hit *)
+  let s3 = (Master_slave.solve ~cache (scaled p R.two) ~master:0).Master_slave.ntask in
+  Alcotest.(check int) "perturbation misses" 2 (Lp.Cache.misses cache);
+  Alcotest.check rat "scaled platform doubles throughput" (R.mul R.two s1) s3
+
+let test_cache_distinguishes_solver_and_rule () =
+  let cache = Lp.Cache.create () in
+  let p = Platform_gen.figure1 () in
+  let solve ?rule ?solver () =
+    (Master_slave.solve ?rule ?solver ~cache p ~master:0).Master_slave.ntask
+  in
+  let a = solve () in
+  let b = solve ~solver:Lp.Revised () in
+  let c = solve ~rule:Simplex.Bland () in
+  Alcotest.check rat "solvers agree" a b;
+  Alcotest.check rat "rules agree" a c;
+  Alcotest.(check int) "three distinct entries" 3 (Lp.Cache.length cache);
+  Alcotest.(check int) "no false hits" 0 (Lp.Cache.hits cache)
+
+let test_cache_capacity () =
+  let cache = Lp.Cache.create ~capacity:2 () in
+  let p = Platform_gen.figure1 () in
+  List.iter
+    (fun k ->
+      ignore (Master_slave.solve ~cache (scaled p (R.of_int k)) ~master:0))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "capacity bounds the table" true
+    (Lp.Cache.length cache <= 2);
+  Alcotest.(check bool) "rejects capacity 0" true
+    (try ignore (Lp.Cache.create ~capacity:0 ()); false
+     with Invalid_argument _ -> true)
+
+(* --- certified checks on warm solutions --- *)
+
+let test_warm_solution_certified () =
+  let warm = Lp.Warm.create () in
+  let p = Platform_gen.figure1 () in
+  ignore (Master_slave.solve ~warm p ~master:0);
+  (* second solve imports the basis; its solution must survive every
+     independent audit the cold path survives *)
+  let sol = Master_slave.solve ~warm p ~master:0 in
+  Alcotest.(check int) "second solve was warm" 1 (Lp.Warm.hits warm);
+  let sched = Master_slave.schedule sol in
+  (match Master_slave.check_buffers sched ~master:0 ~periods:8 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("buffer check: " ^ e));
+  let run = Master_slave.simulate ~periods:6 sol in
+  Alcotest.(check bool) "strict simulation meets the analytic count" true
+    (R.equal run.Master_slave.completed run.Master_slave.expected);
+  let m, res = Master_slave.solve_lp_only ~warm p ~master:0 in
+  match res with
+  | Lp.Optimal { values; _ } -> (
+    match Lp.check_solution m values with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("LP audit: " ^ e))
+  | _ -> Alcotest.fail "solve_lp_only not optimal"
+
+let test_warm_collective_certified () =
+  let p, src, targets = Platform_gen.multicast_fig2 () in
+  List.iter
+    (fun mode ->
+      let warm = Lp.Warm.create () in
+      let cold = Collective.solve mode p ~source:src ~targets in
+      ignore (Collective.solve ~warm mode p ~source:src ~targets);
+      let sol = Collective.solve ~warm mode p ~source:src ~targets in
+      Alcotest.check rat "warm throughput identical"
+        cold.Collective.throughput sol.Collective.throughput;
+      match Collective.check_invariants sol with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("collective audit: " ^ e))
+    [ Collective.Sum; Collective.Max ]
+
+(* --- the property: warm never changes an objective --- *)
+
+let solver_configs =
+  [
+    ("tableau/dantzig", Lp.Tableau, Simplex.Dantzig);
+    ("tableau/bland", Lp.Tableau, Simplex.Bland);
+    ("revised/dantzig", Lp.Revised, Simplex.Dantzig);
+    ("revised/bland", Lp.Revised, Simplex.Bland);
+  ]
+
+let gen_case =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* nodes = int_range 4 7 in
+    let* extra = int_range 0 4 in
+    let* mults = list_size (return 3) (int_range 1 8) in
+    return (seed, nodes, extra, mults))
+
+let print_case (seed, nodes, extra, mults) =
+  Printf.sprintf "seed=%d nodes=%d extra=%d mults=[%s]" seed nodes extra
+    (String.concat ";" (List.map string_of_int mults))
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm objectives equal cold (both solvers, both rules)"
+    ~count:15 arb_case (fun (seed, nodes, extra, mults) ->
+      let base = Platform_gen.random_graph ~seed ~nodes ~extra_edges:extra () in
+      (* positive multiplier perturbations, as scaled_platform applies *)
+      let plats = List.map (fun k -> scaled base (r k 4)) mults in
+      let cold =
+        List.map
+          (fun p -> (Master_slave.solve p ~master:0).Master_slave.ntask)
+          plats
+      in
+      List.for_all
+        (fun (_, solver, rule) ->
+          let warm = Lp.Warm.create () in
+          let objs =
+            List.map
+              (fun p ->
+                (Master_slave.solve ~rule ~solver ~warm p ~master:0)
+                  .Master_slave.ntask)
+              plats
+          in
+          List.for_all2 R.equal cold objs)
+        solver_configs)
+
+let prop_cache_replays =
+  QCheck.Test.make ~name:"cache replays bit-identical results" ~count:15
+    arb_case (fun (seed, nodes, extra, mults) ->
+      let base = Platform_gen.random_graph ~seed ~nodes ~extra_edges:extra () in
+      let plats = List.map (fun k -> scaled base (r k 4)) mults in
+      let cache = Lp.Cache.create () in
+      let pass () =
+        List.map
+          (fun p -> (Master_slave.solve ~cache p ~master:0).Master_slave.ntask)
+          plats
+      in
+      let first = pass () in
+      let second = pass () in
+      Lp.Cache.hits cache >= List.length plats
+      && List.for_all2 R.equal first second)
+
+let prop_stale_basis_safe =
+  QCheck.Test.make ~name:"stale basis across structures falls back" ~count:10
+    (QCheck.pair arb_case arb_case)
+    (fun ((s1, n1, e1, _), (s2, n2, e2, _)) ->
+      (* thread ONE warm slot through solves of unrelated platforms:
+         every result must still equal its own cold solve *)
+      let pa = Platform_gen.random_graph ~seed:s1 ~nodes:n1 ~extra_edges:e1 ()
+      and pb = Platform_gen.random_graph ~seed:s2 ~nodes:n2 ~extra_edges:e2 () in
+      let warm = Lp.Warm.create () in
+      List.for_all
+        (fun p ->
+          let cold = (Master_slave.solve p ~master:0).Master_slave.ntask in
+          let w = (Master_slave.solve ~warm p ~master:0).Master_slave.ntask in
+          R.equal cold w)
+        [ pa; pb; pa; pb ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "warm",
+    [
+      Alcotest.test_case "tableau re-import" `Quick test_tableau_reimport;
+      Alcotest.test_case "revised re-import" `Quick test_revised_reimport;
+      Alcotest.test_case "garbage basis falls back" `Quick
+        test_garbage_basis_falls_back;
+      Alcotest.test_case "dual repair" `Quick test_dual_repair;
+      Alcotest.test_case "dual repair tableau fallback" `Quick
+        test_dual_repair_tableau_fallback;
+      Alcotest.test_case "structure change falls back" `Quick
+        test_warm_slot_falls_back_on_structure_change;
+      Alcotest.test_case "cache hits" `Quick test_cache_hits;
+      Alcotest.test_case "cache keys solver and rule" `Quick
+        test_cache_distinguishes_solver_and_rule;
+      Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
+      Alcotest.test_case "warm solution certified" `Quick
+        test_warm_solution_certified;
+      Alcotest.test_case "warm collective certified" `Quick
+        test_warm_collective_certified;
+      q prop_warm_equals_cold;
+      q prop_cache_replays;
+      q prop_stale_basis_safe;
+    ] )
