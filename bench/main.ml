@@ -62,6 +62,14 @@ let timed_workloads () : (string * (unit -> unit)) list =
     ( Printf.sprintf "E13/master-slave LP n=%d" n,
       fun () -> ignore (Master_slave.solve p ~master:0) )
   in
+  let ms_lp_fact fact fname n =
+    let p = sized_platform n in
+    ( Printf.sprintf "E13/master-slave LP n=%d (revised %s)" n fname,
+      fun () ->
+        ignore
+          (Master_slave.solve ~solver:Lp.Revised ~factorization:fact p
+             ~master:0) )
+  in
   let scatter_lp n =
     let p = sized_platform n in
     let targets = [ 1; n - 1 ] in
@@ -153,7 +161,9 @@ let timed_workloads () : (string * (unit -> unit)) list =
       fun () -> ignore (Multicast.enumerate_trees p ~source:src ~targets) )
   in
   [
-    ms_lp 6; ms_lp 10; ms_lp 14;
+    ms_lp 6; ms_lp 10; ms_lp 14; ms_lp 17; ms_lp 20;
+    ms_lp_fact `Dense "dense" 14; ms_lp_fact `Lu "lu" 14;
+    ms_lp_fact `Dense "dense" 20; ms_lp_fact `Lu "lu" 20;
     scatter_lp 6; scatter_lp 10;
     reconstruction 6; reconstruction 10;
     pivot_rule Simplex.Bland "Bland";
@@ -257,9 +267,11 @@ let perturbed_platforms ~n ~k =
         ~cpu:(R.of_ints (16 + (3 * i)) 16)
         ~bw:(R.of_ints (48 - (5 * i)) 48))
 
-let resolve_all ?solver ?warm plats =
+let resolve_all ?solver ?factorization ?warm plats =
   List.map
-    (fun p -> (Master_slave.solve ?solver ?warm p ~master:0).Master_slave.ntask)
+    (fun p ->
+      (Master_slave.solve ?solver ?factorization ?warm p ~master:0)
+        .Master_slave.ntask)
     plats
 
 (* E10-style dynamic scenario, larger than the E10 exemplar (the phase
@@ -318,6 +330,42 @@ let run_warm_suite ~smoke () =
     (fun () -> resolve_all ~warm:(Lp.Warm.create ()) plats);
   measure (label "warm revised")
     (fun () -> resolve_all ~solver:Lp.Revised ~warm:(Lp.Warm.create ()) plats);
+  (* basis-factorisation ablation on the warm refactorisation path:
+     every warm import rebuilds a factorisation of the deposited basis —
+     Gauss–Jordan O(m³) under [`Dense], sparse LU under [`Lu].  The two
+     sweeps must agree bit for bit with the cold tableau objectives
+     (and hence with each other): a representation bug fails the bench,
+     not just skews a number. *)
+  List.iter
+    (fun n ->
+      let plats = perturbed_platforms ~n ~k in
+      let reference = resolve_all plats in
+      let flabel fact =
+        Printf.sprintf "fact/warm re-solve %dx perturbed n=%d (%s)" k n fact
+      in
+      let sweep fact () =
+        resolve_all ~solver:Lp.Revised ~factorization:fact
+          ~warm:(Lp.Warm.create ()) plats
+      in
+      let guarded fact objs =
+        if not (List.for_all2 R.equal reference objs) then
+          failwith
+            (Printf.sprintf "bench: %s objectives differ from cold at n=%d"
+               fact n)
+      in
+      let dense, dense_ns = best_of ~runs (sweep `Dense) in
+      guarded "dense" dense;
+      record (flabel "dense") dense_ns;
+      let lu, lu_ns = best_of ~runs (sweep `Lu) in
+      guarded "lu" lu;
+      record (flabel "lu") lu_ns;
+      Printf.printf "%-56s %10s\n"
+        (Printf.sprintf "fact/guard n=%d" n)
+        "lu == dense == cold (exact)";
+      Printf.printf "%-56s %10.2fx\n"
+        (Printf.sprintf "fact/warm refactorisation speedup n=%d" n)
+        (dense_ns /. lu_ns))
+    (if smoke then [ 6 ] else [ 14; 20 ]);
   (* E10 dynamic run and oracle bound, cold vs warm+cached *)
   let slaves = if smoke then 4 else 16 and phases = if smoke then 4 else 32 in
   let sc = dynamic_scenario ~slaves ~phases in
@@ -352,7 +400,8 @@ let run_warm_suite ~smoke () =
 
 (* --- part 3: Domain-pool sweep --- *)
 
-let sweep_sizes ~smoke = if smoke then [ 4; 6 ] else [ 6; 8; 10; 12; 14 ]
+let sweep_sizes ~smoke =
+  if smoke then [ 4; 6 ] else [ 6; 8; 10; 12; 14; 17; 20 ]
 
 let e13_sweep ~smoke pool =
   Pool.iter pool
@@ -384,7 +433,41 @@ let run_pool_sweep ~smoke () =
       if not smoke then begin
         let _, ns = wall_ns (fun () -> Experiments.all ~pool ()) in
         record (Printf.sprintf "sweep/experiments E1-E16 (pool x%d)" width) ns
-      end);
+      end;
+      (* warm slots under the pool: a parallel perturbed re-solve sweep
+         with a throwaway slot per task (no reuse at all) vs a
+         [Lp.Warm.Family] of domain-local slots (each worker warm-starts
+         from its own previous task).  Identical objectives required. *)
+      let n = if smoke then 6 else 14 and reps = if smoke then 2 else 6 in
+      let plats =
+        List.concat (List.init reps (fun _ -> perturbed_platforms ~n ~k:8))
+      in
+      let par_sweep warm_of =
+        Pool.map pool
+          (fun p ->
+            (Master_slave.solve ~solver:Lp.Revised ~warm:(warm_of ()) p
+               ~master:0)
+              .Master_slave.ntask)
+          plats
+      in
+      let per_task, ns = wall_ns (fun () -> par_sweep Lp.Warm.create) in
+      record
+        (Printf.sprintf "sweep/warm re-solve %dx n=%d (pool x%d, per-task slot)"
+           (List.length plats) n width)
+        ns;
+      let fam = Lp.Warm.Family.create () in
+      let family, ns =
+        wall_ns (fun () -> par_sweep (fun () -> Lp.Warm.Family.slot fam))
+      in
+      record
+        (Printf.sprintf "sweep/warm re-solve %dx n=%d (pool x%d, family slot)"
+           (List.length plats) n width)
+        ns;
+      if not (List.for_all2 R.equal per_task family) then
+        failwith "bench: family-slot sweep changed an objective";
+      Printf.printf "%-56s %10d domains, %d warm hits\n" "sweep/family slots"
+        (Lp.Warm.Family.domains fam)
+        (Lp.Warm.Family.hits fam));
   List.rev !rows
 
 (* --- machine-readable snapshot --- *)

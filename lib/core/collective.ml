@@ -143,10 +143,10 @@ let model mode p ~source ~targets =
   let m, _, _ = build_model mode p ~source ~targets in
   m
 
-let solve ?rule ?solver ?warm ?cache mode p ~source ~targets =
+let solve ?rule ?solver ?factorization ?warm ?cache mode p ~source ~targets =
   let nk = List.length targets in
   let m, _tp, f_v = build_model mode p ~source ~targets in
-  match Lp.solve ?rule ?solver ?warm ?cache m with
+  match Lp.solve ?rule ?solver ?factorization ?warm ?cache m with
   | Lp.Infeasible | Lp.Unbounded ->
     failwith "Collective.solve: LP not optimal (cannot happen)"
   | Lp.Optimal sol ->

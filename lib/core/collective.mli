@@ -30,6 +30,7 @@ type solution = {
 val solve :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   mode ->

@@ -74,13 +74,13 @@ let build_lp p ~master =
        (List.map (fun i -> Lp.term (P.speed p i) alpha_v.(i)) (P.nodes p)));
   (m, alpha_v, s_v)
 
-let solve_lp_only ?rule ?solver ?warm ?cache p ~master =
+let solve_lp_only ?rule ?solver ?factorization ?warm ?cache p ~master =
   let m, _, _ = build_lp p ~master in
-  (m, Lp.solve ?rule ?solver ?warm ?cache m)
+  (m, Lp.solve ?rule ?solver ?factorization ?warm ?cache m)
 
-let solve ?rule ?solver ?warm ?cache p ~master =
+let solve ?rule ?solver ?factorization ?warm ?cache p ~master =
   let m, alpha_v, s_v = build_lp p ~master in
-  match Lp.solve ?rule ?solver ?warm ?cache m with
+  match Lp.solve ?rule ?solver ?factorization ?warm ?cache m with
   | Lp.Infeasible | Lp.Unbounded ->
     failwith "Master_slave.solve: LP not optimal (invalid platform?)"
   | Lp.Optimal sol ->

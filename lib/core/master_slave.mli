@@ -34,6 +34,7 @@ type solution = {
 val solve :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   Platform.t ->
@@ -51,6 +52,7 @@ val solve :
 val solve_lp_only :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   Platform.t ->

@@ -94,11 +94,24 @@ let eval f e =
 
 (* --- solving --- *)
 
-type solution = { objective : R.t; values : var -> R.t }
+type solution = {
+  objective : R.t;
+  values : var -> R.t;
+  duals : (string * R.t) list;
+}
 
 type result = Optimal of solution | Infeasible | Unbounded
 
 type solver = Tableau | Revised
+type factorization = Revised_simplex.factorization
+
+let duals sol = sol.duals
+
+let constraints m =
+  List.rev_map (fun c -> (c.cname, c.rel, c.rhs)) m.cons
+
+let var_bounds m =
+  List.rev_map (fun vi -> (vi.name, vi.lb, vi.ub)) m.vars
 
 (* how each model variable maps to standard-form columns *)
 type col_map =
@@ -250,6 +263,46 @@ module Warm = struct
   let basis t = t.basis
   let hits t = t.hits
   let misses t = t.misses
+
+  (* Domain-local slot family: each {!Par.Pool} worker domain lazily
+     gets (and keeps, across tasks) its own slot, so parallel sweeps
+     warm-start without locking and without one-throwaway-slot-per-task.
+     The registry only exists for aggregate counters and [clear]. *)
+  module Family = struct
+    type slot = t
+
+    type t = {
+      key : slot Domain.DLS.key;
+      mu : Mutex.t;
+      registry : slot list ref;
+    }
+
+    let create () =
+      let mu = Mutex.create () in
+      let registry = ref [] in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let s = { basis = None; hits = 0; misses = 0 } in
+            Mutex.lock mu;
+            registry := s :: !registry;
+            Mutex.unlock mu;
+            s)
+      in
+      { key; mu; registry }
+
+    let slot f = Domain.DLS.get f.key
+
+    let slots f =
+      Mutex.lock f.mu;
+      let l = !(f.registry) in
+      Mutex.unlock f.mu;
+      l
+
+    let domains f = List.length (slots f)
+    let hits f = List.fold_left (fun a s -> a + s.hits) 0 (slots f)
+    let misses f = List.fold_left (fun a s -> a + s.misses) 0 (slots f)
+    let clear f = List.iter (fun s -> s.basis <- None) (slots f)
+  end
 end
 
 module Cache = struct
@@ -270,6 +323,49 @@ module Cache = struct
   let hits t = t.hits
   let misses t = t.misses
   let length t = Hashtbl.length t.tbl
+
+  (* Same shape as {!Warm.Family}: a per-domain cache, created lazily
+     the first time a worker domain touches the family. *)
+  module Family = struct
+    type cache = t
+
+    type t = {
+      key : cache Domain.DLS.key;
+      mu : Mutex.t;
+      registry : cache list ref;
+    }
+
+    let create ?(capacity = 512) () =
+      if capacity <= 0 then
+        invalid_arg "Lp.Cache.Family.create: capacity <= 0";
+      let mu = Mutex.create () in
+      let registry = ref [] in
+      let key =
+        Domain.DLS.new_key (fun () ->
+            let c =
+              { tbl = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+            in
+            Mutex.lock mu;
+            registry := c :: !registry;
+            Mutex.unlock mu;
+            c)
+      in
+      { key; mu; registry }
+
+    let slot f = Domain.DLS.get f.key
+
+    let caches f =
+      Mutex.lock f.mu;
+      let l = !(f.registry) in
+      Mutex.unlock f.mu;
+      l
+
+    let domains f = List.length (caches f)
+    let hits f = List.fold_left (fun a c -> a + c.hits) 0 (caches f)
+    let misses f = List.fold_left (fun a c -> a + c.misses) 0 (caches f)
+    let length f = List.fold_left (fun a c -> a + length c) 0 (caches f)
+    let clear f = List.iter clear (caches f)
+  end
 end
 
 (* Exact cache key: the structural signature plus every coefficient of
@@ -318,7 +414,29 @@ let cache_key sg solver rule (m : model) =
     (List.rev m.vars);
   Buffer.contents buf
 
-let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau) ?warm ?cache m =
+(* Row names of the standard form, in translate's row order: model
+   constraints first, then one [ub:<var>] row per upper-bounded
+   variable. *)
+let row_names m =
+  let cons = List.rev_map (fun c -> c.cname) m.cons in
+  let ubs =
+    List.rev
+      (List.fold_left
+         (fun acc vi ->
+           match vi.ub with
+           | None -> acc
+           | Some _ -> ("ub:" ^ vi.name) :: acc)
+         []
+         (List.rev m.vars))
+  in
+  List.rev_append (List.rev cons) ubs
+
+(* [?factorization] is absent from the cache key on purpose: the two
+   basis representations produce bit-identical outcomes (exact
+   arithmetic makes every pivot decision the same), so a hit recorded
+   under one is valid for the other. *)
+let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
+    ?(factorization = `Lu) ?warm ?cache m =
   let n = num_vars m in
   let sg =
     if warm <> None || cache <> None then signature m else ""
@@ -356,22 +474,26 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau) ?warm ?cache m =
         match Simplex.minimize ~rule ?basis:import ~a ~b ~c () with
         | Simplex.Infeasible -> `Infeasible
         | Simplex.Unbounded -> `Unbounded
-        | Simplex.Optimal { values; objective; basis; warm; _ } ->
-          `Optimal (values, objective, basis, warm)
+        | Simplex.Optimal { values; objective; duals; basis; warm; _ } ->
+          `Optimal (values, objective, duals, basis, warm)
       end
       | Revised -> begin
-        match Revised_simplex.minimize ~rule ?basis:import ~a ~b ~c () with
+        match
+          Revised_simplex.minimize ~rule ~factorization ?basis:import ~a ~b
+            ~c ()
+        with
         | Revised_simplex.Infeasible -> `Infeasible
         | Revised_simplex.Unbounded -> `Unbounded
-        | Revised_simplex.Optimal { values; objective; basis; warm; _ } ->
-          `Optimal (values, objective, basis, warm)
+        | Revised_simplex.Optimal { values; objective; duals; basis; warm; _ }
+          ->
+          `Optimal (values, objective, duals, basis, warm)
       end
     in
     let res, exported =
       match outcome with
       | `Infeasible -> (Infeasible, None)
       | `Unbounded -> (Unbounded, None)
-      | `Optimal (values, objective, std_basis, warm_used) ->
+      | `Optimal (values, objective, std_duals, std_basis, warm_used) ->
         (match warm with
         | Some w ->
           if warm_used then w.Warm.hits <- w.Warm.hits + 1
@@ -389,7 +511,19 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau) ?warm ?cache m =
           in
           if flip then R.neg raw else raw
         in
-        ( Optimal { objective; values = (fun v -> varcache.(v)) },
+        (* kernel duals are for the standard form [min]; re-orient for
+           the model's sense so that for all-default-lower-bound models
+           (obj_const = 0) strong duality reads
+           [objective = sum_r dual_r * rhs_r] over constraint and
+           [ub:] rows alike *)
+        let duals =
+          List.mapi
+            (fun i name ->
+              let y = std_duals.(i) in
+              (name, if flip then R.neg y else y))
+            (row_names m)
+        in
+        ( Optimal { objective; values = (fun v -> varcache.(v)); duals },
           Some { bsig = sg; bcols = std_basis } )
     in
     (match warm, exported with

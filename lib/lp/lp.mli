@@ -62,6 +62,16 @@ val eval : (var -> Rat.t) -> linexpr -> Rat.t
 type solution = {
   objective : Rat.t;
   values : (var -> Rat.t);
+  duals : (string * Rat.t) list;
+      (** exact dual value (shadow price) per standard-form row, in row
+          order: one entry per model constraint under its name, then one
+          [ub:<var>] entry per upper-bounded variable.  Oriented for the
+          model's sense: a positive dual on a binding [Le] row of a
+          [Maximize] model is the objective gain per unit of extra
+          right-hand side.  For models whose variables all have the
+          default lower bound 0, strong duality holds exactly:
+          [objective = sum_r dual_r * rhs_r] where the rhs of an
+          [ub:<var>] row is that variable's upper bound. *)
 }
 
 type result =
@@ -72,6 +82,24 @@ type result =
 type solver =
   | Tableau  (** the dense tableau {!Simplex} (default) *)
   | Revised  (** the sparse-column {!Revised_simplex} *)
+
+type factorization = Revised_simplex.factorization
+(** Basis representation of the [Revised] solver: [`Lu] (sparse exact
+    LU + product-form eta file, default) or [`Dense] (explicit inverse,
+    kept for differential testing).  Outcomes are bit-identical under
+    either. *)
+
+val duals : solution -> (string * Rat.t) list
+(** [duals sol] is {!solution.duals} — the per-constraint shadow
+    prices. *)
+
+val constraints : model -> (string * relation * Rat.t) list
+(** Constraint names, relations and right-hand sides, in declaration
+    order — the rows {!solution.duals} prices, ahead of the [ub:] rows
+    described by {!var_bounds}. *)
+
+val var_bounds : model -> (string * Rat.t option * Rat.t option) list
+(** Variable names with their (lb, ub), in declaration order. *)
 
 type basis
 (** An optimal basis exported by {!solve}, tied to the model's
@@ -109,6 +137,30 @@ module Warm : sig
   val misses : t -> int
   (** Optimal solves that ran cold while this slot was supplied (empty
       slot, stale signature, or kernel fallback). *)
+
+  (** A family of warm slots, one per domain, for use from {!Par.Pool}
+      workers: [slot family] returns the calling domain's own slot,
+      creating it on first touch and keeping it across tasks, so a
+      parallel sweep warm-starts within each worker without locking on
+      the solve path and without allocating a throwaway slot per task.
+      The aggregate counters fold over every slot the family has
+      created. *)
+  module Family : sig
+    type slot := t
+    type t
+
+    val create : unit -> t
+
+    val slot : t -> slot
+    (** The calling domain's slot (created on first use). *)
+
+    val domains : t -> int
+    (** Number of distinct domains that have touched the family. *)
+
+    val hits : t -> int
+    val misses : t -> int
+    val clear : t -> unit
+  end
 end
 
 module Cache : sig
@@ -132,11 +184,33 @@ module Cache : sig
   val hits : t -> int
   val misses : t -> int
   val length : t -> int
+
+  (** Domain-local cache family, mirroring {!Warm.Family}: each
+      {!Par.Pool} worker domain gets its own cache on first touch and
+      keeps it across tasks. *)
+  module Family : sig
+    type cache := t
+    type t
+
+    val create : ?capacity:int -> unit -> t
+    (** [capacity] applies to each per-domain cache.
+        @raise Invalid_argument if [capacity <= 0]. *)
+
+    val slot : t -> cache
+    (** The calling domain's cache (created on first use). *)
+
+    val domains : t -> int
+    val hits : t -> int
+    val misses : t -> int
+    val length : t -> int
+    val clear : t -> unit
+  end
 end
 
 val solve :
   ?rule:Simplex.pivot_rule ->
   ?solver:solver ->
+  ?factorization:factorization ->
   ?warm:Warm.t ->
   ?cache:Cache.t ->
   model ->
@@ -148,7 +222,13 @@ val solve :
     combination of [?warm]/[?cache] the returned objective value is
     bit-identical to a cold [solve m] (warm-started solves may sit at a
     different optimal vertex of the same face, which every certified
-    feasibility check still accepts). *)
+    feasibility check still accepts).
+
+    [?factorization] (default [`Lu]) selects the [Revised] solver's
+    basis representation and is ignored by [Tableau].  It changes
+    nothing about the result — the representations answer every linear
+    solve with the same exact values, hence identical pivots — so it is
+    deliberately absent from the cache key; only speed differs. *)
 
 val standard_form : model -> Rat.t array array * Rat.t array * Rat.t array
 (** [standard_form m] is the exact [(a, b, c)] instance — min [c.x]

@@ -1,0 +1,293 @@
+(* Exact sparse LU + product-form eta file for the revised simplex.
+
+   Elimination produces, for pivot steps k = 0..m-1 with pivot row
+   pr(k) (original index) and pivot column pc(k) (basis position):
+
+     L: per step a Gauss-transform column [lcols.(k)] of multipliers
+        l_{ik} = W_{i,pc(k)} / W_{pr(k),pc(k)} for the rows i still
+        active at step k (stored by original row index);
+     U: the pivot value [udiag.(k)] plus the pivot row's surviving
+        entries, stored COLUMN-wise as [ucols.(k)] = the above-diagonal
+        entries (j, U_{j,k}) of U's column k with j < k — exactly the
+        layout both triangular solves want.
+
+   FTRAN (B u = a): apply the Gauss transforms in step order to a
+   (indexed by original rows), gather w_{pr(k)} into step space, back
+   substitution through U's columns, scatter x_k to basis position
+   pc(k), then the eta chain oldest -> newest.
+
+   BTRAN (y B = c): eta chain newest -> oldest on c (indexed by basis
+   positions), gather c_{pc(k)} into step space, forward substitution
+   through U^T (row k of U^T is ucols.(k)), scatter z_k to row pr(k),
+   then apply the Gauss transforms transposed in reverse step order.
+
+   Everything is exact Rat arithmetic: zero tests are exact, so
+   zero-skipping never changes a result, and the answers coincide bit
+   for bit with the dense Gauss-Jordan inverse. *)
+
+module R = Rat
+
+exception Singular
+
+type eta = {
+  ep : int; (* basis position of the pivot *)
+  inv_up : R.t; (* 1 / u_p *)
+  terms : (int * R.t) array; (* (k, -u_k / u_p) for k <> ep *)
+}
+
+type t = {
+  m : int;
+  pr : int array; (* step -> original row *)
+  pc : int array; (* step -> basis position *)
+  lcols : (int * R.t) array array; (* step -> Gauss column (orig row, mult) *)
+  udiag : R.t array; (* step -> pivot value U_{kk} *)
+  ucols : (int * R.t) array array; (* step k -> (step j < k, U_{jk}) *)
+  lu_nnz : int;
+  refactor_at : int;
+  mutable etas : eta array;
+  mutable neta : int;
+  mutable eta_nnz : int;
+}
+
+let factor ?refactor_at ~m cols =
+  if Array.length cols <> m then invalid_arg "Lu.factor: |cols| <> m";
+  let w = Array.make_matrix m m R.zero in
+  let rowcnt = Array.make m 0 and colcnt = Array.make m 0 in
+  Array.iteri
+    (fun q col ->
+      List.iter
+        (fun (i, v) ->
+          if not (R.is_zero v) then begin
+            if not (R.is_zero w.(i).(q)) then
+              invalid_arg "Lu.factor: duplicate row entry";
+            w.(i).(q) <- v;
+            rowcnt.(i) <- rowcnt.(i) + 1;
+            colcnt.(q) <- colcnt.(q) + 1
+          end)
+        col)
+    cols;
+  let rdone = Array.make m false and cdone = Array.make m false in
+  let pr = Array.make m (-1) and pc = Array.make m (-1) in
+  let col_step = Array.make m (-1) in
+  let udiag = Array.make m R.zero in
+  let lcols = Array.make m [||] in
+  let urows = Array.make m [||] in (* step -> pivot-row tail by orig column *)
+  for step = 0 to m - 1 do
+    (* Markowitz-lite: sparsest active column, sparsest row within it;
+       ties break to the smallest index so the ordering is
+       deterministic. *)
+    let qbest = ref (-1) in
+    for q = m - 1 downto 0 do
+      if (not cdone.(q)) && (!qbest < 0 || colcnt.(q) <= colcnt.(!qbest))
+      then qbest := q
+    done;
+    let qbest = !qbest in
+    if qbest < 0 || colcnt.(qbest) = 0 then raise Singular;
+    let ibest = ref (-1) in
+    for i = m - 1 downto 0 do
+      if
+        (not rdone.(i))
+        && (not (R.is_zero w.(i).(qbest)))
+        && (!ibest < 0 || rowcnt.(i) <= rowcnt.(!ibest))
+      then ibest := i
+    done;
+    let ibest = !ibest in
+    if ibest < 0 then raise Singular;
+    let piv = w.(ibest).(qbest) in
+    pr.(step) <- ibest;
+    pc.(step) <- qbest;
+    col_step.(qbest) <- step;
+    udiag.(step) <- piv;
+    rdone.(ibest) <- true;
+    cdone.(qbest) <- true;
+    (* pivot row tail over still-active columns: future U entries *)
+    let urow = ref [] in
+    for q = m - 1 downto 0 do
+      if (not cdone.(q)) && not (R.is_zero w.(ibest).(q)) then begin
+        urow := (q, w.(ibest).(q)) :: !urow;
+        colcnt.(q) <- colcnt.(q) - 1
+      end
+    done;
+    let urow = Array.of_list !urow in
+    urows.(step) <- urow;
+    (* pivot column tail over still-active rows: Gauss multipliers *)
+    let lcol = ref [] in
+    for i = m - 1 downto 0 do
+      if (not rdone.(i)) && not (R.is_zero w.(i).(qbest)) then begin
+        lcol := (i, R.div w.(i).(qbest) piv) :: !lcol;
+        w.(i).(qbest) <- R.zero;
+        rowcnt.(i) <- rowcnt.(i) - 1
+      end
+    done;
+    let lcol = Array.of_list !lcol in
+    lcols.(step) <- lcol;
+    (* eliminate, maintaining exact non-zero counts (cancellation is
+       detectable because the arithmetic is exact) *)
+    Array.iter
+      (fun (i, l) ->
+        Array.iter
+          (fun (q, pv) ->
+            let old = w.(i).(q) in
+            let nv = R.submul old l pv in
+            (match (R.is_zero old, R.is_zero nv) with
+            | true, false ->
+              rowcnt.(i) <- rowcnt.(i) + 1;
+              colcnt.(q) <- colcnt.(q) + 1
+            | false, true ->
+              rowcnt.(i) <- rowcnt.(i) - 1;
+              colcnt.(q) <- colcnt.(q) - 1
+            | _ -> ());
+            w.(i).(q) <- nv)
+          urow)
+      lcol
+  done;
+  (* re-key the recorded pivot-row tails by the step at which their
+     column was eventually pivoted: U's above-diagonal columns *)
+  let ucols_l = Array.make m [] in
+  for k = m - 1 downto 0 do
+    Array.iter
+      (fun (q, v) -> ucols_l.(col_step.(q)) <- (k, v) :: ucols_l.(col_step.(q)))
+      urows.(k)
+  done;
+  let ucols = Array.map Array.of_list ucols_l in
+  let nnz = ref m in
+  Array.iter (fun a -> nnz := !nnz + Array.length a) lcols;
+  Array.iter (fun a -> nnz := !nnz + Array.length a) ucols;
+  let refactor_at =
+    match refactor_at with
+    | Some r -> r
+    | None -> Stdlib.max 16 (m / 2)
+  in
+  {
+    m;
+    pr;
+    pc;
+    lcols;
+    udiag;
+    ucols;
+    lu_nnz = !nnz;
+    refactor_at;
+    etas = [||];
+    neta = 0;
+    eta_nnz = 0;
+  }
+
+(* --- eta file ----------------------------------------------------------- *)
+
+let push t e =
+  let cap = Array.length t.etas in
+  if t.neta = cap then begin
+    let etas = Array.make (Stdlib.max 8 (2 * cap)) e in
+    Array.blit t.etas 0 etas 0 t.neta;
+    t.etas <- etas
+  end;
+  t.etas.(t.neta) <- e;
+  t.neta <- t.neta + 1;
+  t.eta_nnz <- t.eta_nnz + 1 + Array.length e.terms
+
+let update t ~p ~u =
+  let up = u.(p) in
+  if R.is_zero up then invalid_arg "Lu.update: zero pivot";
+  let inv_up = R.inv up in
+  let terms = ref [] in
+  for k = t.m - 1 downto 0 do
+    if k <> p && not (R.is_zero u.(k)) then
+      terms := (k, R.neg (R.mul u.(k) inv_up)) :: !terms
+  done;
+  push t { ep = p; inv_up; terms = Array.of_list !terms }
+
+let negate_row t p = push t { ep = p; inv_up = R.minus_one; terms = [||] }
+
+let needs_refactor t =
+  t.neta >= t.refactor_at || t.eta_nnz > (2 * t.lu_nnz) + (4 * t.m)
+
+let eta_count t = t.neta
+let size t = t.lu_nnz + t.eta_nnz
+
+(* --- solves ------------------------------------------------------------- *)
+
+(* B u = a; consumes [work] (dense over original rows). *)
+let ftran_inplace t work =
+  for k = 0 to t.m - 1 do
+    let x = work.(t.pr.(k)) in
+    if not (R.is_zero x) then
+      Array.iter
+        (fun (i, l) -> work.(i) <- R.submul work.(i) l x)
+        t.lcols.(k)
+  done;
+  let xs = Array.init t.m (fun k -> work.(t.pr.(k))) in
+  for k = t.m - 1 downto 0 do
+    let xk = if R.is_zero xs.(k) then R.zero else R.div xs.(k) t.udiag.(k) in
+    if not (R.is_zero xk) then
+      Array.iter (fun (j, uv) -> xs.(j) <- R.submul xs.(j) uv xk) t.ucols.(k);
+    xs.(k) <- xk
+  done;
+  let u = Array.make t.m R.zero in
+  for k = 0 to t.m - 1 do
+    u.(t.pc.(k)) <- xs.(k)
+  done;
+  for e = 0 to t.neta - 1 do
+    let eta = t.etas.(e) in
+    let x = u.(eta.ep) in
+    if not (R.is_zero x) then begin
+      u.(eta.ep) <- R.mul eta.inv_up x;
+      Array.iter (fun (k, w) -> u.(k) <- R.add u.(k) (R.mul w x)) eta.terms
+    end
+  done;
+  u
+
+let ftran_dense t a =
+  if Array.length a <> t.m then invalid_arg "Lu.ftran_dense: bad length";
+  ftran_inplace t (Array.copy a)
+
+let ftran t col =
+  let work = Array.make t.m R.zero in
+  List.iter (fun (i, v) -> work.(i) <- v) col;
+  ftran_inplace t work
+
+(* y B = c; consumes [v] (dense over basis positions). *)
+let btran_inplace t v =
+  for e = t.neta - 1 downto 0 do
+    let eta = t.etas.(e) in
+    let vp = v.(eta.ep) in
+    let acc = ref (if R.is_zero vp then R.zero else R.mul vp eta.inv_up) in
+    Array.iter
+      (fun (k, w) ->
+        let ck = v.(k) in
+        if not (R.is_zero ck) then acc := R.add !acc (R.mul ck w))
+      eta.terms;
+    v.(eta.ep) <- !acc
+  done;
+  let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
+  for k = 0 to t.m - 1 do
+    let acc = ref z.(k) in
+    Array.iter
+      (fun (j, uv) ->
+        let zj = z.(j) in
+        if not (R.is_zero zj) then acc := R.submul !acc zj uv)
+      t.ucols.(k);
+    z.(k) <- (if R.is_zero !acc then R.zero else R.div !acc t.udiag.(k))
+  done;
+  let y = Array.make t.m R.zero in
+  for k = 0 to t.m - 1 do
+    y.(t.pr.(k)) <- z.(k)
+  done;
+  for k = t.m - 1 downto 0 do
+    let acc = ref y.(t.pr.(k)) in
+    Array.iter
+      (fun (i, l) ->
+        let yi = y.(i) in
+        if not (R.is_zero yi) then acc := R.submul !acc yi l)
+      t.lcols.(k);
+    y.(t.pr.(k)) <- !acc
+  done;
+  y
+
+let btran_dense t c =
+  if Array.length c <> t.m then invalid_arg "Lu.btran_dense: bad length";
+  btran_inplace t (Array.copy c)
+
+let btran t terms =
+  let v = Array.make t.m R.zero in
+  List.iter (fun (k, c) -> v.(k) <- c) terms;
+  btran_inplace t v

@@ -1,0 +1,73 @@
+(** Exact sparse LU factorisation of a simplex basis, with a
+    product-form eta file.
+
+    [factor] eliminates the m×m basis matrix B (given column-sparse)
+    into Gauss transforms L and an upper factor U under Markowitz-style
+    pivot ordering — at each step the sparsest active column, then the
+    sparsest row within it — which bounds fill-in on the unit-heavy
+    bases steady-state LPs produce.  All arithmetic is exact over
+    {!Rat}, so FTRAN/BTRAN answers are bit-identical to what the dense
+    Gauss–Jordan basis inverse would give.
+
+    A simplex pivot does not refactorise: {!update} appends a
+    product-form eta vector (the inverse of the rank-one basis change),
+    and {!ftran}/{!btran} solve through L, U and the eta chain.  When
+    the chain passes a length/size threshold ({!needs_refactor}) the
+    caller rebuilds the factorisation from the current basis columns —
+    periodic refactorisation, the classic product-form trade-off. *)
+
+exception Singular
+(** Raised by {!factor} when the supplied columns are linearly
+    dependent (e.g. a stale warm-start basis against a new matrix). *)
+
+type t
+
+val factor : ?refactor_at:int -> m:int -> (int * Rat.t) list array -> t
+(** [factor ~m cols] factorises the m×m matrix whose k-th column is the
+    sparse row list [cols.(k)].  [?refactor_at] overrides the eta-count
+    component of the refactorisation threshold (mainly for tests).
+    @raise Singular if the matrix is singular.
+    @raise Invalid_argument if [Array.length cols <> m] or a column
+    lists the same row twice. *)
+
+val ftran : t -> (int * Rat.t) list -> Rat.t array
+(** [ftran t a] solves [B u = a] for the basis represented by [t]
+    (factorisation plus eta chain).  [a] is sparse over rows; the
+    result is dense over basis positions (columns of B). *)
+
+val ftran_dense : t -> Rat.t array -> Rat.t array
+(** As {!ftran} with a dense right-hand side; the input is not
+    modified. *)
+
+val btran : t -> (int * Rat.t) list -> Rat.t array
+(** [btran t c] solves [y B = c].  [c] is sparse over basis positions;
+    the result is dense over rows.  [btran t [(p, Rat.one)]] is row [p]
+    of B⁻¹. *)
+
+val btran_dense : t -> Rat.t array -> Rat.t array
+(** As {!btran} with a dense left-hand side; the input is not
+    modified. *)
+
+val update : t -> p:int -> u:Rat.t array -> unit
+(** [update t ~p ~u] records a simplex pivot at basis position [p] with
+    entering direction [u = B⁻¹ A_j] (as returned by {!ftran}): appends
+    the product-form eta so subsequent solves address the new basis.
+    @raise Invalid_argument if [u.(p)] is zero. *)
+
+val negate_row : t -> int -> unit
+(** [negate_row t p] multiplies row [p] of B⁻¹ by -1 (appends a
+    diagonal eta); used when the revised simplex flips a row to make a
+    pivot element positive. *)
+
+val needs_refactor : t -> bool
+(** [true] once the eta chain is long or heavy enough that rebuilding
+    the factorisation is cheaper than continuing to solve through it:
+    more than [refactor_at] etas (default [max 16 (m/2)]), or eta
+    non-zeros exceeding twice the L+U non-zeros plus [4m]. *)
+
+val eta_count : t -> int
+(** Number of etas appended since the last factorisation. *)
+
+val size : t -> int
+(** Non-zeros currently stored (L + U + eta chain) — the per-solve
+    work bound. *)

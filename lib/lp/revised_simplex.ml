@@ -1,12 +1,28 @@
 (* Revised simplex: the constraint matrix lives in immutable sparse
-   columns; the working state is the explicit basis inverse [binv], the
-   basic solution [xb = B^-1 b] and the basis column indices.
+   columns; the working state is a factorised representation of the
+   basis inverse, the basic solution [xb = B^-1 b] and the basis column
+   indices.
 
    Per iteration:
-     y   = c_B^T B^-1              (pricing vector, O(m^2))
+     y   = c_B^T B^-1              (pricing vector, BTRAN)
      d_j = c_j - y . A_j           (per candidate column, O(nnz_j))
-     u   = B^-1 A_j                (entering direction, O(m nnz_j))
-     ratio test on xb ./ u, then a rank-one update of binv.
+     u   = B^-1 A_j                (entering direction, FTRAN)
+     ratio test on xb ./ u, then a basis update.
+
+   Two interchangeable basis representations sit behind [repr]:
+
+   - [Dense binv]: the explicit inverse, rank-one updated per pivot
+     (O(m^2)) and refactorised by Gauss-Jordan (O(m^3)) on warm starts —
+     the original kernel, kept for differential testing;
+   - [Lu lu]: exact sparse LU (Markowitz ordering) plus a product-form
+     eta file — each pivot appends an eta vector, FTRAN/BTRAN solve
+     through L, U and the chain, and the factorisation is rebuilt from
+     the basis columns only when {!Lu.needs_refactor} trips.
+
+   All arithmetic is exact rational, and the two representations answer
+   every FTRAN/BTRAN query with bit-identical values, so the pivot
+   sequences — and therefore optima, pivot counts and final bases — are
+   the same under either.
 
    Phase 1 starts from the all-artificial basis; artificials that remain
    basic at level zero are left in place (they can only leave, never
@@ -14,10 +30,13 @@
 
 module R = Rat
 
+type factorization = [ `Dense | `Lu ]
+
 type outcome =
   | Optimal of {
       values : R.t array;
       objective : R.t;
+      duals : R.t array;
       pivots : int;
       basis : int array;
       warm : bool;
@@ -25,11 +44,15 @@ type outcome =
   | Infeasible
   | Unbounded
 
+type repr =
+  | Dense of R.t array array
+  | Lu of Lu.t
+
 type state = {
   m : int;
   n : int; (* structural columns *)
   cols : (int * R.t) list array; (* length n + m, sparse by row *)
-  binv : R.t array array;
+  mutable repr : repr;
   xb : R.t array;
   basis : int array;
   in_basis : bool array;
@@ -45,23 +68,30 @@ let objective_of st c =
   done;
   !obj
 
-(* Accumulate row-by-row so each inner loop walks one binv row and skips
-   its zero entries; per-entry sums happen in the same k order as the
-   dense column-by-column version, so the exact rational results are
-   unchanged. *)
+(* Dense: accumulate row-by-row so each inner loop walks one binv row
+   and skips its zero entries.  Lu: BTRAN of the sparse c_B. *)
 let pricing_vector st c =
-  let y = Array.make st.m R.zero in
-  for k = 0 to st.m - 1 do
-    let cb = c.(st.basis.(k)) in
-    if not (R.is_zero cb) then begin
-      let row = st.binv.(k) in
-      for i = 0 to st.m - 1 do
-        let v = row.(i) in
-        if not (R.is_zero v) then y.(i) <- R.add y.(i) (R.mul cb v)
-      done
-    end
-  done;
-  y
+  match st.repr with
+  | Dense binv ->
+    let y = Array.make st.m R.zero in
+    for k = 0 to st.m - 1 do
+      let cb = c.(st.basis.(k)) in
+      if not (R.is_zero cb) then begin
+        let row = binv.(k) in
+        for i = 0 to st.m - 1 do
+          let v = row.(i) in
+          if not (R.is_zero v) then y.(i) <- R.add y.(i) (R.mul cb v)
+        done
+      end
+    done;
+    y
+  | Lu lu ->
+    let terms = ref [] in
+    for k = st.m - 1 downto 0 do
+      let cb = c.(st.basis.(k)) in
+      if not (R.is_zero cb) then terms := (k, cb) :: !terms
+    done;
+    Lu.btran lu !terms
 
 let reduced_cost st c y j =
   List.fold_left
@@ -70,51 +100,89 @@ let reduced_cost st c y j =
     st.cols.(j)
 
 let direction st j =
-  let u = Array.make st.m R.zero in
-  let col = st.cols.(j) in
-  for k = 0 to st.m - 1 do
-    let row = st.binv.(k) in
-    let acc = ref R.zero in
-    List.iter
-      (fun (i, a) ->
-        let v = row.(i) in
-        if not (R.is_zero v) then acc := R.add !acc (R.mul v a))
-      col;
-    u.(k) <- !acc
-  done;
-  u
+  match st.repr with
+  | Dense binv ->
+    let u = Array.make st.m R.zero in
+    let col = st.cols.(j) in
+    for k = 0 to st.m - 1 do
+      let row = binv.(k) in
+      let acc = ref R.zero in
+      List.iter
+        (fun (i, a) ->
+          let v = row.(i) in
+          if not (R.is_zero v) then acc := R.add !acc (R.mul v a))
+        col;
+      u.(k) <- !acc
+    done;
+    u
+  | Lu lu -> Lu.ftran lu st.cols.(j)
+
+(* Row [p] of the basis inverse, for the dual ratio test. *)
+let binv_row st p =
+  match st.repr with
+  | Dense binv -> binv.(p)
+  | Lu lu -> Lu.btran lu [ (p, R.one) ]
+
+let refactor_lu st =
+  (* mid-solve the basis matrix is nonsingular by construction (every
+     pivot element was nonzero), so factorisation cannot fail *)
+  match Lu.factor ~m:st.m (Array.map (fun j -> st.cols.(j)) st.basis) with
+  | lu -> st.repr <- Lu lu
+  | exception Lu.Singular -> assert false
 
 let pivot st p j u =
   let inv = R.inv u.(p) in
-  let row_p = st.binv.(p) in
-  (* scale the pivot row of the basis inverse, collecting its support *)
-  let supp = st.supp in
-  let nsupp = ref 0 in
-  for i = 0 to st.m - 1 do
-    let v = row_p.(i) in
-    if not (R.is_zero v) then begin
-      row_p.(i) <- R.mul v inv;
-      supp.(!nsupp) <- i;
-      incr nsupp
-    end
-  done;
-  let nsupp = !nsupp in
+  (match st.repr with
+  | Dense binv ->
+    let row_p = binv.(p) in
+    (* scale the pivot row of the basis inverse, collecting its support *)
+    let supp = st.supp in
+    let nsupp = ref 0 in
+    for i = 0 to st.m - 1 do
+      let v = row_p.(i) in
+      if not (R.is_zero v) then begin
+        row_p.(i) <- R.mul v inv;
+        supp.(!nsupp) <- i;
+        incr nsupp
+      end
+    done;
+    let nsupp = !nsupp in
+    for k = 0 to st.m - 1 do
+      if k <> p && not (R.is_zero u.(k)) then begin
+        let f = u.(k) in
+        let row_k = binv.(k) in
+        for s = 0 to nsupp - 1 do
+          let i = supp.(s) in
+          row_k.(i) <- R.submul row_k.(i) f row_p.(i)
+        done
+      end
+    done
+  | Lu lu -> Lu.update lu ~p ~u);
   st.xb.(p) <- R.mul st.xb.(p) inv;
   for k = 0 to st.m - 1 do
-    if k <> p && not (R.is_zero u.(k)) then begin
-      let f = u.(k) in
-      let row_k = st.binv.(k) in
-      for s = 0 to nsupp - 1 do
-        let i = supp.(s) in
-        row_k.(i) <- R.sub row_k.(i) (R.mul f row_p.(i))
-      done;
-      st.xb.(k) <- R.sub st.xb.(k) (R.mul f st.xb.(p))
-    end
+    if k <> p && not (R.is_zero u.(k)) then
+      st.xb.(k) <- R.submul st.xb.(k) u.(k) st.xb.(p)
   done;
   st.in_basis.(st.basis.(p)) <- false;
   st.basis.(p) <- j;
   st.in_basis.(j) <- true;
-  st.pivots <- st.pivots + 1
+  st.pivots <- st.pivots + 1;
+  match st.repr with
+  | Lu lu -> if Lu.needs_refactor lu then refactor_lu st
+  | Dense _ -> ()
+
+(* Negate row [p] of the basis inverse (and of xb): used in phase 1 to
+   make a structural pivot element positive on a degenerate row. *)
+let negate_row st p =
+  (match st.repr with
+  | Dense binv ->
+    let row = binv.(p) in
+    for i = 0 to st.m - 1 do
+      let v = row.(i) in
+      if not (R.is_zero v) then row.(i) <- R.neg v
+    done
+  | Lu lu -> Lu.negate_row lu p);
+  st.xb.(p) <- R.neg st.xb.(p)
 
 exception Unbounded_exc
 
@@ -227,12 +295,19 @@ let invert_basis ~m cols bas =
           for j = 0 to (2 * m) - 1 do
             let v = mat.(k).(j) in
             if not (R.is_zero v) then
-              mat.(i).(j) <- R.sub mat.(i).(j) (R.mul f v)
+              mat.(i).(j) <- R.submul mat.(i).(j) f v
           done
       end
     done
   done;
   Array.init m (fun k -> Array.init m (fun i -> mat.(k).(m + i)))
+
+(* Exact duals of the final basis: one extra BTRAN, un-flipped back to
+   the caller's row orientation (rows with negative b were negated when
+   the sparse columns were built). *)
+let duals_of st c flip =
+  let y = pricing_vector st c in
+  Array.mapi (fun i v -> if flip.(i) then R.neg v else v) y
 
 (* Dual simplex repair: from a dual-feasible basis (no structural
    non-basic column with negative reduced cost) whose vertex has some
@@ -271,7 +346,7 @@ let dual_repair st rule c =
       incr count;
       let p = !p in
       let y = pricing_vector st c in
-      let row = st.binv.(p) in
+      let row = binv_row st p in
       let best = ref None in
       for j = 0 to st.n - 1 do
         if not st.in_basis.(j) then begin
@@ -297,24 +372,34 @@ let dual_repair st rule c =
   done;
   match !verdict with Some v -> v | None -> assert false
 
-(* Warm start: refactorise the basis inverse from the imported column
-   indices against the *current* matrix (only b/c reuse would be wrong —
-   scaled platforms perturb A too), then either resume phase 2 directly
-   (vertex still feasible), run the dual repair loop (vertex infeasible
-   but reduced costs still non-negative), or give up and let the caller
-   fall back cold. *)
-let warm_solve rule ~c ~m ~n cols bflip bas =
+(* Warm start: refactorise the basis against the *current* matrix (only
+   b/c reuse would be wrong — scaled platforms perturb A too), then
+   either resume phase 2 directly (vertex still feasible), run the dual
+   repair loop (vertex infeasible but reduced costs still non-negative),
+   or give up and let the caller fall back cold.  Under [`Lu] the
+   refactorisation is the sparse LU, not the O(m^3) Gauss-Jordan. *)
+let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
   let n_total = Array.length cols in
-  let binv = invert_basis ~m cols bas in
+  let repr =
+    match fact with
+    | `Dense -> Dense (invert_basis ~m cols bas)
+    | `Lu -> (
+      match Lu.factor ~m (Array.map (fun j -> cols.(j)) bas) with
+      | lu -> Lu lu
+      | exception Lu.Singular -> raise Warm_failed)
+  in
   let xb =
-    Array.init m (fun k ->
-        let row = binv.(k) in
-        let acc = ref R.zero in
-        for i = 0 to m - 1 do
-          let v = row.(i) in
-          if not (R.is_zero v) then acc := R.add !acc (R.mul v bflip.(i))
-        done;
-        !acc)
+    match repr with
+    | Dense binv ->
+      Array.init m (fun k ->
+          let row = binv.(k) in
+          let acc = ref R.zero in
+          for i = 0 to m - 1 do
+            let v = row.(i) in
+            if not (R.is_zero v) then acc := R.add !acc (R.mul v bflip.(i))
+          done;
+          !acc)
+    | Lu lu -> Lu.ftran_dense lu bflip
   in
   let in_basis = Array.make n_total false in
   Array.iter (fun j -> in_basis.(j) <- true) bas;
@@ -323,7 +408,7 @@ let warm_solve rule ~c ~m ~n cols bflip bas =
       m;
       n;
       cols;
-      binv;
+      repr;
       xb;
       basis = Array.copy bas;
       in_basis;
@@ -365,20 +450,29 @@ let warm_solve rule ~c ~m ~n cols bflip bas =
         {
           values;
           objective = objective_of st c2;
+          duals = duals_of st c2 flip;
           pivots = st.pivots;
           basis = Array.copy st.basis;
           warm = true;
         }
     | exception Unbounded_exc -> Unbounded)
 
-let cold_solve rule ~c ~m ~n cols bflip =
+let cold_solve fact rule ~c ~m ~n cols bflip flip =
   let n_total = Array.length cols in
+  let repr =
+    match fact with
+    | `Dense ->
+      Dense
+        (Array.init m (fun k ->
+             Array.init m (fun i -> if i = k then R.one else R.zero)))
+    | `Lu -> Lu (Lu.factor ~m (Array.init m (fun i -> [ (i, R.one) ])))
+  in
   let st =
     {
       m;
       n;
       cols;
-      binv = Array.init m (fun k -> Array.init m (fun i -> if i = k then R.one else R.zero));
+      repr;
       xb = Array.copy bflip;
       basis = Array.init m (fun i -> n + i);
       in_basis =
@@ -413,11 +507,7 @@ let cold_solve rule ~c ~m ~n cols bflip =
           if R.sign u.(p) < 0 then begin
             (* negate the row so the pivot element is positive; xb_p is
                zero so feasibility is untouched *)
-            for i = 0 to m - 1 do
-              let v = st.binv.(p).(i) in
-              if not (R.is_zero v) then st.binv.(p).(i) <- R.neg v
-            done;
-            st.xb.(p) <- R.neg st.xb.(p);
+            negate_row st p;
             let u = direction st j in
             pivot st p j u
           end
@@ -438,6 +528,7 @@ let cold_solve rule ~c ~m ~n cols bflip =
         {
           values;
           objective = objective_of st c2;
+          duals = duals_of st c2 flip;
           pivots = st.pivots;
           basis = Array.copy st.basis;
           warm = false;
@@ -445,7 +536,8 @@ let cold_solve rule ~c ~m ~n cols bflip =
     | exception Unbounded_exc -> Unbounded
   end
 
-let minimize ?(rule = Simplex.Dantzig) ?basis ~a ~b ~c () =
+let minimize ?(rule = Simplex.Dantzig) ?(factorization = `Lu) ?basis ~a ~b
+    ~c () =
   let m = Array.length a in
   let n = Array.length c in
   if Array.length b <> m then
@@ -485,6 +577,6 @@ let minimize ?(rule = Simplex.Dantzig) ?basis ~a ~b ~c () =
   in
   match basis with
   | Some bas when basis_ok bas -> (
-    try warm_solve rule ~c ~m ~n cols bflip bas
-    with Warm_failed -> cold_solve rule ~c ~m ~n cols bflip)
-  | _ -> cold_solve rule ~c ~m ~n cols bflip
+    try warm_solve factorization rule ~c ~m ~n cols bflip flip bas
+    with Warm_failed -> cold_solve factorization rule ~c ~m ~n cols bflip flip)
+  | _ -> cold_solve factorization rule ~c ~m ~n cols bflip flip

@@ -2,20 +2,39 @@
 
     Functionally equivalent to {!Simplex} (same standard form, same
     outcomes) but algorithmically independent: the constraint matrix is
-    stored column-sparse and never modified; the algorithm maintains the
-    explicit basis inverse and prices columns through it.  On the sparse
-    LPs steady-state scheduling produces (each conservation row touches
-    a handful of variables) pricing is proportional to the number of
-    non-zeros rather than to [m * n].
+    stored column-sparse and never modified; the algorithm maintains a
+    factorised basis inverse and prices columns through it.  On the
+    sparse LPs steady-state scheduling produces (each conservation row
+    touches a handful of variables) pricing is proportional to the
+    number of non-zeros rather than to [m * n].
 
-    Having two solvers is also a correctness instrument: the test-suite
-    checks they agree on random instances and the model layer can be
-    pointed at either. *)
+    Two basis representations are available and give bit-identical
+    results (exact arithmetic makes every pivot decision identical):
+
+    - [`Lu] (default): exact sparse LU factorisation with
+      Markowitz-style pivot ordering plus a product-form eta file —
+      pivots append an eta vector in O(nnz) instead of rewriting a
+      dense inverse in O(m²), warm starts refactorise in O(m·nnz)
+      instead of O(m³), and the factorisation is rebuilt only when the
+      eta chain passes a length/size threshold (see {!Lu});
+    - [`Dense]: the explicit basis inverse with rank-one updates and
+      Gauss–Jordan refactorisation — kept for differential testing.
+
+    Having two solvers (and two basis representations) is also a
+    correctness instrument: the test-suite checks they agree on random
+    instances and the model layer can be pointed at either. *)
+
+type factorization = [ `Dense | `Lu ]
 
 type outcome =
   | Optimal of {
       values : Rat.t array;
       objective : Rat.t;
+      duals : Rat.t array;
+          (** exact dual value per input row, in the caller's row
+              orientation (the internal sign flip of negative-[b] rows
+              is undone).  Satisfies [c . values = duals . b] — strong
+              duality — at every optimum. *)
       pivots : int;
       basis : int array;
           (** basic standard-form column per row.  Unlike the tableau
@@ -31,6 +50,7 @@ type outcome =
 
 val minimize :
   ?rule:Simplex.pivot_rule ->
+  ?factorization:factorization ->
   ?basis:int array ->
   a:Rat.t array array ->
   b:Rat.t array ->
@@ -47,4 +67,7 @@ val minimize :
     restarting the two-phase method.  Every repaired solve finishes with
     a primal phase-2 pass, so optimality is certified by the same code
     path as a cold solve; a pivot cap bounds degenerate cycling and
-    falls back cold. *)
+    falls back cold.
+
+    [?factorization] selects the basis representation (default [`Lu]);
+    outcomes are bit-identical under either, only speed differs. *)

@@ -24,6 +24,7 @@ type outcome =
   | Optimal of {
       values : R.t array;
       objective : R.t;
+      duals : R.t array;
       pivots : int;
       basis : int array;
       warm : bool;
@@ -201,6 +202,19 @@ let fresh_tableau ~a ~b ~m ~n ~n_total =
     supp = Array.make n_total 0;
   }
 
+(* Exact duals of the final basis, read off the artificial columns:
+   column [n + i] of the tableau is the current row transform applied to
+   the [i]-th unit vector, so its reduced cost under the phase-2 costs
+   (artificials cost 0) is [-y_i] for the simplex multiplier vector [y]
+   of the sign-flipped system.  Rows dropped as redundant keep their
+   artificial column, so the formula needs no row bookkeeping; the flip
+   of negative-[b] rows is undone to return duals in the caller's row
+   orientation. *)
+let duals_of t ~b ~n =
+  Array.init (Array.length b) (fun i ->
+      let r = t.red.(n + i) in
+      if R.sign b.(i) < 0 then r else R.neg r)
+
 exception Warm_failed
 
 (* Warm start: rebuild the tableau directly in the supplied structural
@@ -249,6 +263,7 @@ let warm_solve rule ~a ~b ~c ~m ~n ~n_total bas =
       {
         values;
         objective = R.neg t.obj;
+        duals = duals_of t ~b ~n;
         pivots = t.pivots;
         basis = Array.copy t.basis;
         warm = true;
@@ -319,6 +334,7 @@ let cold_solve rule ~a ~b ~c ~m ~n ~n_total =
         {
           values;
           objective = R.neg t.obj;
+          duals = duals_of t ~b ~n;
           pivots = t.pivots;
           basis = Array.copy t.basis;
           warm = false;

@@ -20,6 +20,14 @@ type outcome =
   | Optimal of {
       values : Rat.t array;
       objective : Rat.t;
+      duals : Rat.t array;
+          (** exact dual value per input row, in the caller's row
+              orientation (the internal sign flip of negative-[b] rows
+              is undone), read off the artificial columns' reduced
+              costs.  Satisfies [c . values = duals . b] — strong
+              duality — at every optimum; rows dropped as redundant
+              during phase 1 still get their (zero-contributing) dual
+              entry. *)
       pivots : int;
       basis : int array;
           (** basic standard-form column of each remaining tableau row —

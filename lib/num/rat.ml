@@ -237,6 +237,28 @@ let mul a b =
 
 let div a b = mul a (inv b)
 
+(* Fused [a - b*c], the elimination row operation of exact LU/eta solves.
+   On the small path the product is cross-reduced and handed straight to
+   the fraction addition, so the intermediate [b*c] value is never
+   materialised (one canonicalisation instead of two, no constructor
+   allocation for the product). *)
+let submul a b c =
+  match (a, b, c) with
+  | _, S (0, _), _ | _, _, S (0, _) -> a
+  | S (0, _), _, _ -> neg (mul b c)
+  | S (an, ad), S (bn, bd), S (cn, cd) -> (
+    try
+      (* cross-reduce b*c as in [mul]: the product pn/pd is in lowest
+         terms, which [add_small] requires of its operands *)
+      let g1 = gcd_int (Stdlib.abs bn) cd
+      and g2 = gcd_int (Stdlib.abs cn) bd in
+      let pn = mul_chk (bn / g1) (cn / g2)
+      and pd = mul_chk (bd / g2) (cd / g1) in
+      (* [mul_chk] never returns [min_int], so [-pn] cannot overflow *)
+      add_small an ad (-pn) pd
+    with Overflow -> sub a (mul b c))
+  | _ -> sub a (mul b c)
+
 let mul_int t i = mul t (of_int i)
 let div_int t i = div t (of_int i)
 

@@ -68,6 +68,32 @@ let chain ~weights ~cost () =
   Platform.create ~names ~weights:(Array.of_list weights)
     ~edges:(mirror links)
 
+(* Adversarial family for the send-or-receive greedy (§5.1.1): a relay
+   path M -> R1 -> ... -> R_{2k-1} -> C (costs 1/2) plus a direct
+   shortcut M -> C (cost 1).  Pure relays force equal activity along the
+   path, the interior port caps pin it at s = 1/2, and the shortcut
+   fills the two end ports to the same 1/2 — so at the unique LP
+   optimum all 2k+1 links are busy exactly half the period and their
+   send-or-receive conflict graph is the odd cycle C_{2k+1}.  An odd
+   cycle has chromatic number 3, so ANY decomposition into independent
+   rounds needs >= 3 rounds of length T/2: the greedy lands at
+   comm_length = 3T/2 and efficiency exactly 2/3, for every k. *)
+let odd_cycle_relay ~k () =
+  if k < 1 then invalid_arg "Platform_gen.odd_cycle_relay: need k >= 1";
+  let n = (2 * k) + 1 in
+  let names =
+    Array.init n (fun i ->
+        if i = 0 then "M"
+        else if i = n - 1 then "C"
+        else Printf.sprintf "R%d" i)
+  in
+  let weights =
+    Array.init n (fun i -> if i = n - 1 then E.of_ints 1 2 else E.inf)
+  in
+  let half = R.of_ints 1 2 in
+  let links = List.init (n - 1) (fun i -> (i, i + 1, half)) in
+  Platform.create ~names ~weights ~edges:(links @ [ (0, n - 1, R.one) ])
+
 let rand_rat st lo hi den =
   (* rational in [lo, hi] with denominator dividing den *)
   let span = (hi - lo) * den in

@@ -32,6 +32,19 @@ val star :
 val chain : weights:Ext_rat.t list -> cost:Rat.t -> unit -> Platform.t
 (** Linear chain [P0 -> P1 -> ... ] with uniform full-duplex link cost. *)
 
+val odd_cycle_relay : k:int -> unit -> Platform.t
+(** Adversarial instance for the §5.1.1 send-or-receive greedy: a relay
+    path ["M" -> "R1" -> ... -> "R2k-1" -> "C"] with link cost 1/2 plus
+    a shortcut ["M" -> "C"] with cost 1; only ["C"] computes (weight
+    1/2), every other node is a pure relay (weight [Inf]).  Oriented
+    edges, no mirrors; node 0 is the master.  At the (unique) LP
+    optimum every link is busy exactly half the period, and the
+    send-or-receive conflict graph of the busy links is the odd cycle
+    [C_{2k+1}] — 3-chromatic, so any round decomposition needs three
+    rounds of half a period and the greedy's efficiency is exactly 2/3,
+    independent of [k].  This pins the implementation's worst case well
+    inside the factor-2 bound of the greedy-matching argument. *)
+
 val random_tree : seed:int -> nodes:int -> unit -> Platform.t
 (** Random heterogeneous tree rooted at node 0: weights in [1, 10],
     costs in [1, 5] (rationals with small denominators), full duplex. *)

@@ -36,6 +36,21 @@ let measure_bandwidth p src dst =
   | None -> R.zero
   | Some r -> R.inv (probe_time p [ r ])
 
+(* Dual-value bottleneck signal: solve the master-slave steady-state LP
+   and rank the constraints by their optimal dual.  The dual of a
+   binding row is the marginal throughput per unit of extra capacity on
+   that resource, so a saturated link shows up as a positive dual on its
+   [outport_]/[inport_] row and a compute-bound host on its conservation
+   row or [ub:alpha_] row — an exact, noise-free complement to the
+   pairwise probe heuristics below. *)
+let bottlenecks ?(solver = Lp.Revised) p ~master =
+  match snd (Master_slave.solve_lp_only ~solver p ~master) with
+  | Lp.Infeasible | Lp.Unbounded -> []
+  | Lp.Optimal sol ->
+    Lp.duals sol
+    |> List.filter (fun (_, y) -> R.sign y <> 0)
+    |> List.stable_sort (fun (_, a) (_, b) -> R.compare (R.abs b) (R.abs a))
+
 type report = {
   hosts : P.node list;
   alone : (P.node * R.t) list;

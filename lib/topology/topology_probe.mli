@@ -37,6 +37,22 @@ type report = {
       (** hosts grouped by shared-bottleneck evidence *)
 }
 
+val bottlenecks :
+  ?solver:Lp.solver ->
+  Platform.t ->
+  master:Platform.node ->
+  (string * Rat.t) list
+(** Dual-value bottleneck ranking, the LP-principled complement to the
+    probe heuristics: solves the master–slave steady-state LP and
+    returns the constraints with non-zero optimal dual value, sorted by
+    decreasing dual.  A dual is the marginal throughput gained per unit
+    of extra capacity on that constraint, so the head of the list names
+    the resource that limits the platform — [outport_<node>] /
+    [inport_<node>] for saturated one-port links, [conserve_<node>] /
+    [ub:alpha_<node>] when a host's compute speed is the binder.  Exact
+    rationals, no probe noise; empty only for a degenerate platform
+    with zero throughput. *)
+
 val infer :
   Platform.t -> master:Platform.node -> hosts:Platform.node list -> report
 (** Pairwise simultaneous probes from the master, then clustering:

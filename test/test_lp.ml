@@ -262,6 +262,134 @@ let prop_dominates_feasible_points =
         R.compare s.objective cand_obj >= 0
       | Lp.Infeasible | Lp.Unbounded -> false)
 
+(* --- exact duals and strong duality --- *)
+
+(* y . b for the model's row order: constraint rows under their names,
+   then one [ub:<var>] row per upper-bounded variable *)
+let dual_objective m s =
+  let rhs_of =
+    List.map (fun (name, _, rhs) -> (name, rhs)) (Lp.constraints m)
+    @ List.filter_map
+        (fun (name, _, ub) -> Option.map (fun u -> ("ub:" ^ name, u)) ub)
+        (Lp.var_bounds m)
+  in
+  List.fold_left
+    (fun acc (name, y) -> R.add acc (R.mul y (List.assoc name rhs_of)))
+    R.zero (Lp.duals s)
+
+let all_kernels =
+  [
+    ("tableau", Lp.Tableau, `Lu);
+    ("revised/lu", Lp.Revised, `Lu);
+    ("revised/dense", Lp.Revised, `Dense);
+  ]
+
+let test_duals_textbook () =
+  (* max 3x + 5y st x <= 4 (c0), 2y <= 12 (c1), 3x + 2y <= 18 (c2).
+     At the optimum (2, 6) the binding rows are c1 and c2; solving the
+     dual gives y = (0, 3/2, 1): one more unit of c1's rhs is worth 3/2,
+     of c2's rhs 1, and the slack row c0 prices at 0. *)
+  let build () =
+    let m = Lp.create () in
+    let x = Lp.add_var m "x" and y = Lp.add_var m "y" in
+    Lp.add_constraint m (Lp.var x) Lp.Le (ri 4);
+    Lp.add_constraint m (Lp.term (ri 2) y) Lp.Le (ri 12);
+    Lp.add_constraint m (Lp.of_terms [ (ri 3, x); (ri 2, y) ]) Lp.Le (ri 18);
+    Lp.set_objective m Lp.Maximize (Lp.of_terms [ (ri 3, x); (ri 5, y) ]);
+    m
+  in
+  List.iter
+    (fun (label, solver, factorization) ->
+      let m = build () in
+      match Lp.solve ~solver ~factorization m with
+      | Lp.Optimal s ->
+        Alcotest.(check (list (pair string rat)))
+          (label ^ " exact duals")
+          [ ("c0", R.zero); ("c1", r 3 2); ("c2", ri 1) ]
+          (Lp.duals s);
+        Alcotest.check rat (label ^ " strong duality") s.Lp.objective
+          (dual_objective m s)
+      | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail (label ^ ": not optimal"))
+    all_kernels
+
+let test_duals_upper_bound_rows () =
+  (* max x + y, x <= 3/2 (bound), y <= 1/4 (bound), x + y <= 2 (c0):
+     both bound rows bind, the constraint row is slack — the whole
+     dual weight sits on the ub: rows *)
+  let build () =
+    let m = Lp.create () in
+    let x = Lp.add_var ~ub:(Some (r 3 2)) m "x" in
+    let y = Lp.add_var ~ub:(Some (r 1 4)) m "y" in
+    Lp.add_constraint m (Lp.add (Lp.var x) (Lp.var y)) Lp.Le (ri 2);
+    Lp.set_objective m Lp.Maximize (Lp.add (Lp.var x) (Lp.var y));
+    m
+  in
+  List.iter
+    (fun (label, solver, factorization) ->
+      let m = build () in
+      match Lp.solve ~solver ~factorization m with
+      | Lp.Optimal s ->
+        Alcotest.(check (list (pair string rat)))
+          (label ^ " bound-row duals")
+          [ ("c0", R.zero); ("ub:x", ri 1); ("ub:y", ri 1) ]
+          (Lp.duals s);
+        Alcotest.check rat (label ^ " strong duality") (r 7 4)
+          (dual_objective m s)
+      | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail (label ^ ": not optimal"))
+    all_kernels
+
+let test_duals_paper_models () =
+  (* strong duality on every solved steady-state model of the regression
+     set, under every kernel: c . x = y . b exactly *)
+  let fig2, src, tgts = Platform_gen.multicast_fig2 () in
+  let models =
+    [
+      ( "fig1 master-slave",
+        fst (Master_slave.solve_lp_only (Platform_gen.figure1 ()) ~master:0) );
+      ( "fig2 scatter",
+        Collective.model Collective.Sum fig2 ~source:src ~targets:tgts );
+      ( "fig2 multicast",
+        Collective.model Collective.Max fig2 ~source:src ~targets:tgts );
+      ( "random graph",
+        fst
+          (Master_slave.solve_lp_only
+             (Platform_gen.random_graph ~seed:42 ~nodes:7 ~extra_edges:4 ())
+             ~master:0) );
+      ( "odd-cycle relay",
+        fst
+          (Master_slave.solve_lp_only
+             (Platform_gen.odd_cycle_relay ~k:2 ())
+             ~master:0) );
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      List.iter
+        (fun (label, solver, factorization) ->
+          List.iter
+            (fun rule ->
+              match Lp.solve ~rule ~solver ~factorization m with
+              | Lp.Optimal s ->
+                Alcotest.check rat
+                  (Printf.sprintf "%s %s strong duality" name label)
+                  s.Lp.objective (dual_objective m s)
+              | Lp.Infeasible | Lp.Unbounded ->
+                Alcotest.fail (name ^ ": not optimal"))
+            [ Simplex.Bland; Simplex.Dantzig ])
+        all_kernels)
+    models
+
+let prop_strong_duality =
+  QCheck.Test.make ~name:"strong duality c.x = y.b on random LPs" ~count:150
+    arb_lp (fun inst ->
+      List.for_all
+        (fun (_, solver, factorization) ->
+          let m, _ = build_lp inst in
+          match Lp.solve ~solver ~factorization m with
+          | Lp.Optimal s -> R.equal s.Lp.objective (dual_objective m s)
+          | Lp.Infeasible | Lp.Unbounded -> false)
+        all_kernels)
+
 (* --- revised simplex cross-checks --- *)
 
 let test_revised_textbook () =
@@ -349,6 +477,10 @@ let suite =
       Alcotest.test_case "duplicate names" `Quick test_duplicate_name;
       Alcotest.test_case "check_solution" `Quick test_check_solution_detects;
       Alcotest.test_case "value_by_name" `Quick test_value_by_name;
+      Alcotest.test_case "duals: textbook" `Quick test_duals_textbook;
+      Alcotest.test_case "duals: upper-bound rows" `Quick
+        test_duals_upper_bound_rows;
+      Alcotest.test_case "duals: paper models" `Quick test_duals_paper_models;
       Alcotest.test_case "revised: textbook" `Quick test_revised_textbook;
       Alcotest.test_case "revised: infeasible/unbounded" `Quick test_revised_infeasible_unbounded;
       Alcotest.test_case "revised: Beale" `Quick test_revised_beale;
@@ -357,4 +489,5 @@ let suite =
       q prop_dominates_feasible_points;
       q prop_solvers_agree;
       q prop_revised_feasible;
+      q prop_strong_duality;
     ] )

@@ -1,0 +1,345 @@
+(* Tests for the exact sparse LU factorisation and product-form eta
+   file behind the [`Lu] basis representation of [Revised_simplex].
+
+   The contract under test is exactness: [Lu] must answer every linear
+   solve with the same rational values as the dense Gauss–Jordan basis
+   inverse, so the revised simplex makes bit-identical pivot decisions
+   under either representation.  We check the factorisation directly
+   (B · ftran(a) = a, btran(c) · B = c, on random permuted-triangular
+   bases with random fill), against an independent dense inverse, across
+   eta updates (chain solve = refactorised solve), and end to end
+   ([`Dense] vs [`Lu] on the kernel-regression instance set). *)
+
+module R = Rat
+
+let rat = Alcotest.testable R.pp R.equal
+
+(* --- random basis generation --- *)
+
+(* Nonsingular by construction: a random permutation supplies the
+   "diagonal" (one nonzero per row and column), and random extra
+   entries are confined to rows of earlier pivots — a permuted upper
+   triangular matrix, so det = product of the diagonal values.  The
+   factorisation does not know the permutation and must rediscover a
+   pivot order. *)
+let gen_basis =
+  QCheck.Gen.(
+    let* m = int_range 1 9 in
+    let* perm =
+      let a = Array.init m Fun.id in
+      let* swaps = list_size (return (2 * m)) (pair (int_bound (m - 1)) (int_bound (m - 1))) in
+      List.iter
+        (fun (i, j) ->
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t)
+        swaps;
+      return a
+    in
+    let rat_entry =
+      let* n = int_range (-9) 9 in
+      let* d = int_range 1 4 in
+      return (R.of_ints n d)
+    in
+    let* diag =
+      array_size (return m)
+        (let* n = oneofl [ -3; -2; -1; 1; 2; 3; 5 ] in
+         let* d = int_range 1 3 in
+         return (R.of_ints n d))
+    in
+    let* fill =
+      array_size (return m) (array_size (return m) (option ~ratio:0.25 rat_entry))
+    in
+    let cols =
+      Array.init m (fun j ->
+          let col = ref [ (perm.(j), diag.(j)) ] in
+          for i = 0 to j - 1 do
+            match fill.(j).(i) with
+            | Some v when not (R.is_zero v) -> col := (perm.(i), v) :: !col
+            | _ -> ()
+          done;
+          !col)
+    in
+    return (m, cols))
+
+let print_basis (m, cols) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "m=%d" m;
+  Array.iteri
+    (fun j col ->
+      Printf.bprintf b " col%d:[%s]" j
+        (String.concat ";"
+           (List.map (fun (i, v) -> Printf.sprintf "%d=%s" i (R.to_string v)) col)))
+    cols;
+  Buffer.contents b
+
+let arb_basis = QCheck.make ~print:print_basis gen_basis
+
+(* dense m×m matrix from sparse columns *)
+let densify m cols =
+  let a = Array.make_matrix m m R.zero in
+  Array.iteri (fun j col -> List.iter (fun (i, v) -> a.(i).(j) <- v) col) cols;
+  a
+
+(* B · x, dense *)
+let mat_vec bm x =
+  let m = Array.length bm in
+  Array.init m (fun i ->
+      let s = ref R.zero in
+      for j = 0 to m - 1 do
+        s := R.add !s (R.mul bm.(i).(j) x.(j))
+      done;
+      !s)
+
+(* y · B, dense *)
+let vec_mat y bm =
+  let m = Array.length bm in
+  Array.init m (fun j ->
+      let s = ref R.zero in
+      for i = 0 to m - 1 do
+        s := R.add !s (R.mul y.(i) bm.(i).(j))
+      done;
+      !s)
+
+(* independent dense Gauss–Jordan inverse — the reference the sparse
+   factorisation must agree with bit for bit *)
+let dense_inverse m bm =
+  let a = Array.map Array.copy bm in
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then R.one else R.zero)) in
+  for k = 0 to m - 1 do
+    let p = ref (-1) in
+    for i = k to m - 1 do
+      if !p < 0 && not (R.is_zero a.(i).(k)) then p := i
+    done;
+    if !p < 0 then failwith "dense_inverse: singular";
+    let swap rows =
+      let t = rows.(k) in
+      rows.(k) <- rows.(!p);
+      rows.(!p) <- t
+    in
+    swap a;
+    swap inv;
+    let d = R.inv a.(k).(k) in
+    for j = 0 to m - 1 do
+      a.(k).(j) <- R.mul d a.(k).(j);
+      inv.(k).(j) <- R.mul d inv.(k).(j)
+    done;
+    for i = 0 to m - 1 do
+      if i <> k && not (R.is_zero a.(i).(k)) then begin
+        let f = a.(i).(k) in
+        for j = 0 to m - 1 do
+          a.(i).(j) <- R.submul a.(i).(j) f a.(k).(j);
+          inv.(i).(j) <- R.submul inv.(i).(j) f inv.(k).(j)
+        done
+      end
+    done
+  done;
+  inv
+
+let gen_rhs m =
+  QCheck.Gen.(
+    array_size (return m)
+      (let* n = int_range (-6) 6 in
+       let* d = int_range 1 3 in
+       return (R.of_ints n d)))
+
+(* --- factor/solve identities --- *)
+
+let prop_solve_identities =
+  QCheck.Test.make ~name:"B . ftran a = a and btran c . B = c" ~count:150
+    arb_basis (fun (m, cols) ->
+      let t = Lu.factor ~m cols in
+      let bm = densify m cols in
+      let rhs = QCheck.Gen.generate1 (gen_rhs m) in
+      let u = Lu.ftran_dense t rhs in
+      let y = Lu.btran_dense t rhs in
+      Array.for_all2 R.equal (mat_vec bm u) rhs
+      && Array.for_all2 R.equal (vec_mat y bm) rhs)
+
+let prop_identity_columns =
+  QCheck.Test.make ~name:"ftran of B's own columns is the identity"
+    ~count:100 arb_basis (fun (m, cols) ->
+      let t = Lu.factor ~m cols in
+      let ok = ref true in
+      Array.iteri
+        (fun j col ->
+          let u = Lu.ftran t col in
+          Array.iteri
+            (fun k v ->
+              let want = if k = j then R.one else R.zero in
+              if not (R.equal v want) then ok := false)
+            u)
+        cols;
+      !ok)
+
+let prop_matches_dense_inverse =
+  QCheck.Test.make ~name:"ftran/btran = dense Gauss-Jordan inverse"
+    ~count:100 arb_basis (fun (m, cols) ->
+      let t = Lu.factor ~m cols in
+      let inv = dense_inverse m (densify m cols) in
+      let ok = ref true in
+      for p = 0 to m - 1 do
+        (* column p of B⁻¹ via FTRAN e_p; row p via BTRAN e_p *)
+        let colp = Lu.ftran t [ (p, R.one) ] in
+        let rowp = Lu.btran t [ (p, R.one) ] in
+        for i = 0 to m - 1 do
+          if not (R.equal colp.(i) inv.(i).(p)) then ok := false;
+          if not (R.equal rowp.(i) inv.(p).(i)) then ok := false
+        done
+      done;
+      !ok)
+
+(* --- eta chain vs refactorisation --- *)
+
+(* replace random basis columns one by one through [Lu.update] (plus the
+   occasional [negate_row]) and check after every step that the
+   eta-chain solves agree with a from-scratch factorisation of the
+   current column set *)
+let prop_eta_chain_equals_refactor =
+  QCheck.Test.make ~name:"eta-chain solve = refactorised solve" ~count:60
+    (QCheck.pair arb_basis (QCheck.make QCheck.Gen.(int_range 0 1_000_000)))
+    (fun ((m, cols0), seed) ->
+      let st = Random.State.make [| seed; m |] in
+      let cols = Array.copy cols0 in
+      let t = Lu.factor ~m cols in
+      let steps = 2 + (2 * m) in
+      let ok = ref true in
+      for _step = 1 to steps do
+        if Random.State.int st 4 = 0 then begin
+          (* negating row p of B⁻¹ = negating column p of B *)
+          let p = Random.State.int st m in
+          Lu.negate_row t p;
+          cols.(p) <- List.map (fun (i, v) -> (i, R.neg v)) cols.(p)
+        end
+        else begin
+          (* entering column: a random sparse vector; retry until the
+             pivot element u.(p) is nonzero so the update is legal *)
+          let p = Random.State.int st m in
+          let a =
+            List.filter
+              (fun (_, v) -> not (R.is_zero v))
+              (List.init m (fun i ->
+                   ( i,
+                     if Random.State.int st 3 = 0 || i = p then
+                       R.of_ints (1 + Random.State.int st 5) (1 + Random.State.int st 2)
+                     else R.zero )))
+          in
+          let u = Lu.ftran t a in
+          if not (R.is_zero u.(p)) then begin
+            Lu.update t ~p ~u;
+            cols.(p) <- a
+          end
+        end;
+        let fresh = Lu.factor ~m cols in
+        let rhs = Array.init m (fun i -> R.of_ints ((i mod 5) - 2) 1) in
+        let u1 = Lu.ftran_dense t rhs and u2 = Lu.ftran_dense fresh rhs in
+        let y1 = Lu.btran_dense t rhs and y2 = Lu.btran_dense fresh rhs in
+        if not (Array.for_all2 R.equal u1 u2 && Array.for_all2 R.equal y1 y2)
+        then ok := false
+      done;
+      !ok && Lu.eta_count t > 0)
+
+let test_singular_detected () =
+  (* duplicate column *)
+  let cols = [| [ (0, R.one); (1, R.one) ]; [ (0, R.one); (1, R.one) ] |] in
+  Alcotest.check_raises "dependent columns" Lu.Singular (fun () ->
+      ignore (Lu.factor ~m:2 cols));
+  (* zero column *)
+  Alcotest.check_raises "zero column" Lu.Singular (fun () ->
+      ignore (Lu.factor ~m:2 [| [ (0, R.one) ]; [] |]))
+
+let test_refactor_threshold () =
+  let cols = [| [ (0, R.one) ]; [ (1, R.one) ] |] in
+  let t = Lu.factor ~refactor_at:3 ~m:2 cols in
+  Alcotest.(check bool) "fresh factorisation" false (Lu.needs_refactor t);
+  Alcotest.(check int) "no etas yet" 0 (Lu.eta_count t);
+  for _ = 1 to 3 do
+    let u = Lu.ftran t [ (0, R.two) ] in
+    Lu.update t ~p:0 ~u
+  done;
+  Alcotest.(check int) "etas counted" 3 (Lu.eta_count t);
+  Alcotest.(check bool) "threshold reached" true (Lu.needs_refactor t);
+  Alcotest.(check bool) "size counts the chain" true (Lu.size t > 2)
+
+(* --- end to end: [`Dense] and [`Lu] bit-identical --- *)
+
+let kernel_instances () =
+  let fig1 = Platform_gen.figure1 () in
+  let fig2, src, tgts = Platform_gen.multicast_fig2 () in
+  let ms p = fst (Master_slave.solve_lp_only p ~master:0) in
+  [
+    ("fig1 master-slave", ms fig1);
+    ( "fig2 scatter sum-LP",
+      Collective.model Collective.Sum fig2 ~source:src ~targets:tgts );
+    ( "fig2 broadcast max-LP",
+      Collective.model Collective.Max fig2 ~source:src
+        ~targets:(List.filter (fun i -> i <> src) (Platform.nodes fig2)) );
+    ("random graph (seed 13)", ms (Platform_gen.random_graph ~seed:13 ~nodes:8 ~extra_edges:5 ()));
+    ("random graph (seed 99)", ms (Platform_gen.random_graph ~seed:99 ~nodes:10 ~extra_edges:8 ()));
+    ("odd-cycle relay k=3", ms (Platform_gen.odd_cycle_relay ~k:3 ()));
+  ]
+
+let test_dense_lu_bit_identical () =
+  List.iter
+    (fun (name, m) ->
+      let a, b, c = Lp.standard_form m in
+      List.iter
+        (fun (rname, rule) ->
+          let label what = Printf.sprintf "%s/%s %s" name rname what in
+          match
+            ( Revised_simplex.minimize ~rule ~factorization:`Dense ~a ~b ~c (),
+              Revised_simplex.minimize ~rule ~factorization:`Lu ~a ~b ~c () )
+          with
+          | Revised_simplex.Optimal d, Revised_simplex.Optimal l ->
+            Alcotest.(check (array rat)) (label "values") d.values l.values;
+            Alcotest.check rat (label "objective") d.objective l.objective;
+            Alcotest.(check (array rat)) (label "duals") d.duals l.duals;
+            Alcotest.(check int) (label "pivots") d.pivots l.pivots;
+            Alcotest.(check (array int)) (label "basis") d.basis l.basis
+          | _ -> Alcotest.fail (label "both Optimal"))
+        [ ("bland", Simplex.Bland); ("dantzig", Simplex.Dantzig) ])
+    (kernel_instances ())
+
+let test_warm_import_across_factorizations () =
+  (* a basis exported under one representation warm-starts the other:
+     the factorisation is an implementation detail of the solve, not of
+     the basis *)
+  let m, _ =
+    Master_slave.solve_lp_only (Platform_gen.figure1 ()) ~master:0
+  in
+  let a, b, c = Lp.standard_form m in
+  let export fact =
+    match Revised_simplex.minimize ~factorization:fact ~a ~b ~c () with
+    | Revised_simplex.Optimal { objective; basis; _ } -> (objective, basis)
+    | _ -> Alcotest.fail "cold solve not optimal"
+  in
+  let obj_d, basis_d = export `Dense in
+  let obj_l, basis_l = export `Lu in
+  Alcotest.check rat "cold objectives agree" obj_d obj_l;
+  List.iter
+    (fun (lbl, fact, basis) ->
+      match Revised_simplex.minimize ~factorization:fact ~basis ~a ~b ~c () with
+      | Revised_simplex.Optimal { objective; warm; _ } ->
+        Alcotest.(check bool) (lbl ^ " ran warm") true warm;
+        Alcotest.check rat (lbl ^ " objective") obj_d objective
+      | _ -> Alcotest.fail (lbl ^ " not optimal"))
+    [
+      ("dense basis into lu", `Lu, basis_d);
+      ("lu basis into dense", `Dense, basis_l);
+    ]
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "lu",
+    [
+      q prop_solve_identities;
+      q prop_identity_columns;
+      q prop_matches_dense_inverse;
+      q prop_eta_chain_equals_refactor;
+      Alcotest.test_case "singular bases detected" `Quick test_singular_detected;
+      Alcotest.test_case "refactor threshold" `Quick test_refactor_threshold;
+      Alcotest.test_case "dense and lu bit-identical" `Quick
+        test_dense_lu_bit_identical;
+      Alcotest.test_case "warm import across factorizations" `Quick
+        test_warm_import_across_factorizations;
+    ] )

@@ -214,6 +214,14 @@ let prop_wide_ops_match_bigint =
       && R.equal (R.mul x y) (ref_mul x y)
       && (R.is_zero y || R.equal (R.div x y) (ref_div x y)))
 
+(* the fused multiply-subtract behind the LU/eta row operations: must
+   equal its two-step spelling on every path (small, overflow, Big) *)
+let prop_submul_fused =
+  QCheck.Test.make ~name:"submul a b c = a - b*c (incl. wide operands)"
+    ~count:1000
+    (QCheck.triple arb_rat_wide arb_rat_wide arb_rat_wide) (fun (a, b, c) ->
+      R.equal (R.submul a b c) (R.sub a (R.mul b c)))
+
 let prop_wide_compare_matches_bigint =
   QCheck.Test.make ~name:"small path = Bigint ground truth (compare)"
     ~count:1000
@@ -303,6 +311,7 @@ let suite =
       q prop_lcm_clears;
       Alcotest.test_case "overflow boundaries" `Quick test_overflow_boundaries;
       q prop_wide_ops_match_bigint;
+      q prop_submul_fused;
       q prop_wide_compare_matches_bigint;
       q prop_compare_fast_paths;
       q prop_canonical_representation;

@@ -87,6 +87,43 @@ let test_efficiency_bounds () =
       end)
     [ 1; 5; 9; 13 ]
 
+let test_adversarial_family () =
+  (* Platform_gen.odd_cycle_relay: every busy link carries exactly half
+     a period and the conflict graph is the odd cycle C_{2k+1}, whose
+     chromatic number 3 forces >= 3 greedy rounds of T/2 — efficiency
+     exactly 2/3, for every k.  This pins the implementation's measured
+     worst case inside the factor-2 guarantee. *)
+  List.iter
+    (fun k ->
+      let p = Platform_gen.odd_cycle_relay ~k () in
+      let sol = SR.solve p ~master:0 in
+      Alcotest.check rat
+        (Printf.sprintf "k=%d LP bound" k)
+        (r 3 2) sol.SR.ntask;
+      (* unique optimum: every link busy exactly T/2 *)
+      List.iter
+        (fun e ->
+          let busy = R.mul sol.SR.task_flow.(e) (Platform.edge_cost p e) in
+          Alcotest.check rat
+            (Printf.sprintf "k=%d link %s busy T/2" k (Platform.edge_name p e))
+            (r 1 2) busy)
+        (Platform.edges p);
+      let g = SR.greedy_reconstruct sol in
+      (match SR.check_rounds p g.SR.rounds with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.check rat
+        (Printf.sprintf "k=%d comm_length 3T/2" k)
+        (R.mul (r 3 2) g.SR.period)
+        g.SR.comm_length;
+      Alcotest.check rat
+        (Printf.sprintf "k=%d efficiency exactly 2/3" k)
+        (r 2 3) g.SR.efficiency;
+      (* and still within the theorem's factor-2 bound *)
+      Alcotest.(check bool) "efficiency >= 1/2" true
+        R.Infix.(g.SR.efficiency >= r 1 2))
+    [ 1; 2; 3; 5 ]
+
 let test_achieved_definition () =
   let p = Platform_gen.figure1 () in
   let sol = SR.solve p ~master:0 in
@@ -104,5 +141,7 @@ let suite =
       Alcotest.test_case "chain relay halved" `Quick test_chain_relay_halved;
       Alcotest.test_case "greedy rounds valid" `Quick test_greedy_rounds_valid;
       Alcotest.test_case "efficiency bounds" `Quick test_efficiency_bounds;
+      Alcotest.test_case "adversarial family hits 2/3" `Quick
+        test_adversarial_family;
       Alcotest.test_case "achieved definition" `Quick test_achieved_definition;
     ] )

@@ -127,6 +127,88 @@ let test_throughput_on_inferred_model () =
   Alcotest.(check bool) "flat model is conservative here" true
     R.Infix.(approx_tp <= true_tp)
 
+(* --- dual-value bottleneck signal --- *)
+
+let has_prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let test_bottlenecks_compute_bound () =
+  (* slow slave behind a fast link: the only priced row is the slave's
+     compute cap — one more unit of alpha_S1's bound is worth its speed
+     1/10, and no port row appears *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_int 10, r 1 10) ]
+      ()
+  in
+  Alcotest.(check (list (pair string rat)))
+    "compute cap is the whole signal"
+    [ ("ub:alpha_S1", r 1 10) ]
+    (T.bottlenecks p ~master:0)
+
+let test_bottlenecks_link_bound () =
+  (* lightning slave behind an expensive link: the conservation row
+     prices tasks at the slave (|dual| = 1, the top entry), the compute
+     cap prices at nothing, and the saturated port/link rows carry the
+     full marginal throughput 1/4 between them *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:[ (Ext_rat.of_ints 1 10, ri 4) ]
+      ()
+  in
+  let bn = T.bottlenecks p ~master:0 in
+  (match bn with
+  | (top, y) :: _ ->
+    Alcotest.(check string) "task value row first" "conserve_S1" top;
+    Alcotest.check rat "task value at S1" (ri (-1)) y
+  | [] -> Alcotest.fail "no bottlenecks on a saturated star");
+  Alcotest.(check bool) "compute cap not priced" true
+    (not (List.mem_assoc "ub:alpha_S1" bn));
+  let port_weight =
+    List.fold_left
+      (fun acc (name, y) ->
+        if has_prefix "outport_" name || has_prefix "inport_" name
+           || has_prefix "ub:s_" name
+        then R.add acc y
+        else acc)
+      R.zero bn
+  in
+  Alcotest.check rat "saturated port rows carry the throughput" (r 1 4)
+    port_weight
+
+let test_bottlenecks_strong_duality () =
+  (* every rhs-1 row class (ports, variable caps) summed against its
+     dual recovers the throughput exactly; conservation and nomaster
+     rows have rhs 0 and drop out — strong duality read through the
+     probe's own output *)
+  List.iter
+    (fun (name, p) ->
+      let sol = Master_slave.solve p ~master:0 in
+      let bn = T.bottlenecks p ~master:0 in
+      Alcotest.(check bool) (name ^ ": signal nonempty") true (bn <> []);
+      (* sorted by |dual|, largest first *)
+      let rec sorted = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+          R.compare (R.abs a) (R.abs b) >= 0 && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (name ^ ": sorted by magnitude") true (sorted bn);
+      let recovered =
+        List.fold_left
+          (fun acc (rname, y) ->
+            if has_prefix "conserve_" rname || has_prefix "nomaster_" rname
+            then acc
+            else R.add acc y)
+          R.zero bn
+      in
+      Alcotest.check rat (name ^ ": duals recover throughput")
+        sol.Master_slave.ntask recovered)
+    [
+      ("fig1", Platform_gen.figure1 ());
+      ("random", Platform_gen.random_graph ~seed:21 ~nodes:7 ~extra_edges:4 ());
+      ("two switches", two_switches ());
+    ]
+
 let suite =
   ( "topology",
     [
@@ -139,4 +221,10 @@ let suite =
       Alcotest.test_case "infer validation" `Quick test_infer_validation;
       Alcotest.test_case "probe validation" `Quick test_probe_validation;
       Alcotest.test_case "inferred model throughput" `Quick test_throughput_on_inferred_model;
+      Alcotest.test_case "bottlenecks: compute bound" `Quick
+        test_bottlenecks_compute_bound;
+      Alcotest.test_case "bottlenecks: link bound" `Quick
+        test_bottlenecks_link_bound;
+      Alcotest.test_case "bottlenecks: strong duality" `Quick
+        test_bottlenecks_strong_duality;
     ] )
