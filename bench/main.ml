@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every experiment table (E1-E16, the paper's
+   Part 1 regenerates every experiment table (E1-E17, the paper's
    figures and claims — see DESIGN.md for the index).
 
    Part 2 is the timing suite (bechamel):
@@ -19,7 +19,7 @@
    its time is recorded — a fast wrong answer never lands in the JSON.
 
    Part 3 is the Domain-pool sweep: the independent E13 LP solves and
-   the E1-E16 battery, each run once on a sequential pool and once on a
+   the E1-E17 battery, each run once on a sequential pool and once on a
    pool of [max 1 (recommended_domain_count - 1)] workers, so the
    parallel speedup (or lack of it, on a single-core box) is measured
    rather than assumed.
@@ -41,7 +41,7 @@ module R = Rat
 (* --- part 1: tables --- *)
 
 let print_tables () =
-  print_endline "########## experiment tables (E1-E16) ##########\n";
+  print_endline "########## experiment tables (E1-E17) ##########\n";
   List.iter
     (fun t ->
       print_string (Exp_common.render t);
@@ -424,7 +424,7 @@ let run_pool_sweep ~smoke () =
       record "sweep/E13 LP sweep (sequential)" ns;
       if not smoke then begin
         let _, ns = wall_ns (fun () -> Experiments.all ~pool:seq ()) in
-        record "sweep/experiments E1-E16 (sequential)" ns
+        record "sweep/experiments E1-E17 (sequential)" ns
       end);
   Pool.with_pool ~domains:(pool_width ()) (fun pool ->
       let width = Pool.size pool in
@@ -432,7 +432,7 @@ let run_pool_sweep ~smoke () =
       record (Printf.sprintf "sweep/E13 LP sweep (pool x%d)" width) ns;
       if not smoke then begin
         let _, ns = wall_ns (fun () -> Experiments.all ~pool ()) in
-        record (Printf.sprintf "sweep/experiments E1-E16 (pool x%d)" width) ns
+        record (Printf.sprintf "sweep/experiments E1-E17 (pool x%d)" width) ns
       end;
       (* warm slots under the pool: a parallel perturbed re-solve sweep
          with a throwaway slot per task (no reuse at all) vs a
@@ -468,6 +468,106 @@ let run_pool_sweep ~smoke () =
       Printf.printf "%-56s %10d domains, %d warm hits\n" "sweep/family slots"
         (Lp.Warm.Family.domains fam)
         (Lp.Warm.Family.hits fam));
+  List.rev !rows
+
+(* --- part 4: fault sweep --- *)
+
+(* Seeded random fault plans over a wide star.  The robustness guards
+   are part of the bench contract: a Robust run that completes less
+   than Static on the same faults, or more than the per-epoch LP bound
+   on the surviving platforms, fails the harness — it does not just
+   skew a number.  Likewise the unsurvivable master-isolation scenario
+   must degrade into a loss report, never raise. *)
+let fault_scenario ~slaves ~phases ~seed =
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        (List.init slaves (fun i ->
+             (Ext_rat.of_ints (3 + (i mod 7)) 2, R.of_ints (2 + (i mod 5)) 3)))
+      ()
+  in
+  let phase = R.of_int 4 in
+  let g = Faults.generator ~seed in
+  let plan =
+    Faults.random_plan g p ~master:0 ~horizon:(R.mul_int phase phases)
+      ~align:phase ~faults:(max 3 (slaves / 2))
+  in
+  let cpu_traces, bw_traces = Faults.traces p plan in
+  { Dynamic_sched.platform = p; master = 0; cpu_traces; bw_traces; phase;
+    phases }
+
+let run_fault_suite ~smoke () =
+  print_endline "\n########## fault sweep (seeded outages) ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let slaves = if smoke then 4 else 8 and phases = if smoke then 4 else 16 in
+  let seeds = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun seed ->
+      let sc = fault_scenario ~slaves ~phases ~seed in
+      let cache = Lp.Cache.create () in
+      let label tail =
+        Printf.sprintf "fault/%s n=%d phases=%d seed=%d" tail slaves phases
+          seed
+      in
+      let st, ns =
+        wall_ns (fun () -> Dynamic_sched.run ~cache sc Dynamic_sched.Static)
+      in
+      record (label "static") ns;
+      let rb, ns =
+        wall_ns (fun () -> Dynamic_sched.run ~cache sc Dynamic_sched.Robust)
+      in
+      record (label "robust") ns;
+      let bound, ns =
+        wall_ns (fun () -> Dynamic_sched.fault_throughput_bound ~cache sc)
+      in
+      record (label "LP bound") ns;
+      let completed (out : Dynamic_sched.outcome) =
+        out.Dynamic_sched.completed
+      in
+      if R.compare (completed rb) (completed st) < 0 then
+        failwith
+          (Printf.sprintf
+             "bench: robust (%s) completed less than static (%s) on fault \
+              seed %d"
+             (R.to_string (completed rb))
+             (R.to_string (completed st))
+             seed);
+      if R.compare (completed rb) bound > 0 then
+        failwith
+          (Printf.sprintf "bench: robust exceeded the fault LP bound on seed %d"
+             seed);
+      Printf.printf "%-56s %10s\n"
+        (Printf.sprintf "fault/guard seed=%d" seed)
+        (Printf.sprintf "robust %s >= static %s, bound %s"
+           (R.to_string (completed rb))
+           (R.to_string (completed st))
+           (R.to_string bound)))
+    seeds;
+  (* the unsurvivable case: isolate the master from t=0 *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:(List.init slaves (fun i -> (Ext_rat.of_int (1 + i), R.one)))
+      ()
+  in
+  let cpu_traces, bw_traces =
+    Faults.traces p (Faults.master_adjacent_cut p ~master:0 ~at:R.zero ())
+  in
+  let sc =
+    { Dynamic_sched.platform = p; master = 0; cpu_traces; bw_traces;
+      phase = R.of_int 4; phases }
+  in
+  let rb, ns =
+    wall_ns (fun () -> Dynamic_sched.run sc Dynamic_sched.Robust)
+  in
+  record (Printf.sprintf "fault/master isolated n=%d phases=%d" slaves phases)
+    ns;
+  if not (R.is_zero rb.Dynamic_sched.completed) then
+    failwith "bench: master-isolated run completed work out of thin air";
+  if rb.Dynamic_sched.losses.Dynamic_sched.degraded_phases <> phases then
+    failwith "bench: master-isolated run did not degrade every phase";
+  Printf.printf "%-56s %10s\n" "fault/guard master isolated"
+    "throughput 0, structured loss report";
   List.rev !rows
 
 (* --- machine-readable snapshot --- *)
@@ -545,11 +645,13 @@ let run_smoke () =
     (timed_workloads ());
   ignore (run_warm_suite ~smoke:true ());
   ignore (run_pool_sweep ~smoke:true ());
+  ignore (run_fault_suite ~smoke:true ());
   print_endline "\nsmoke: all workloads executed"
 
 let () =
   let tables_only = ref false in
   let smoke = ref false in
+  let faults_only = ref false in
   let json_path = ref "BENCH_steady.json" in
   let rec parse = function
     | [] -> ()
@@ -559,16 +661,21 @@ let () =
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
+    | "--faults-only" :: rest ->
+      faults_only := true;
+      parse rest
     | "--json" :: path :: rest ->
       json_path := path;
       parse rest
     | arg :: _ ->
       prerr_endline
-        ("usage: main.exe [--tables-only] [--smoke] [--json PATH]; got " ^ arg);
+        ("usage: main.exe [--tables-only] [--smoke] [--faults-only] [--json \
+          PATH]; got " ^ arg);
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !smoke then run_smoke ()
+  else if !faults_only then ignore (run_fault_suite ~smoke:false ())
   else begin
     print_tables ();
     print_coloring_stats ();
@@ -576,6 +683,7 @@ let () =
       let bench_rows = run_benchmarks () in
       let warm_rows = run_warm_suite ~smoke:false () in
       let sweep_rows = run_pool_sweep ~smoke:false () in
-      write_json !json_path (bench_rows @ warm_rows @ sweep_rows)
+      let fault_rows = run_fault_suite ~smoke:false () in
+      write_json !json_path (bench_rows @ warm_rows @ sweep_rows @ fault_rows)
     end
   end

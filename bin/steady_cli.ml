@@ -186,7 +186,7 @@ let experiments_cmd =
       0
     end
   in
-  let doc = "Reproduce the paper's figures and claims (tables E1-E16)." in
+  let doc = "Reproduce the paper's figures and claims (tables E1-E17)." in
   Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only)
 
 (* --- dot --- *)

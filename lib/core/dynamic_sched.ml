@@ -1,7 +1,7 @@
 module R = Rat
 module P = Platform
 
-type strategy = Static | Reactive | Oracle
+type strategy = Static | Reactive | Oracle | Robust
 
 type scenario = {
   platform : P.t;
@@ -12,14 +12,16 @@ type scenario = {
   phases : int;
 }
 
-let validate_scenario sc =
+let validate_scenario ?(allow_outages = false) sc =
   if R.sign sc.phase <= 0 then
     invalid_arg "Dynamic_sched: non-positive phase length";
   if sc.phases <= 0 then invalid_arg "Dynamic_sched: no phases";
   let check (_, tr) =
     List.iter
       (fun (_, m) ->
-        if R.sign m <= 0 then
+        if R.sign m < 0 then
+          invalid_arg "Dynamic_sched: negative multiplier";
+        if (not allow_outages) && R.is_zero m then
           invalid_arg "Dynamic_sched: multipliers must stay positive")
       tr
   in
@@ -133,30 +135,91 @@ let phase_plan sol phase =
   in
   (transfers, master_tasks)
 
+type loss_report = {
+  timed_out_transfers : int;
+  cancelled_transfers : int;
+  retries : int;
+  lost_tasks : int;
+  degraded_phases : int;
+  dead_nodes : int;
+  dead_edges : int;
+}
+
+let no_losses =
+  {
+    timed_out_transfers = 0;
+    cancelled_transfers = 0;
+    retries = 0;
+    lost_tasks = 0;
+    degraded_phases = 0;
+    dead_nodes = 0;
+    dead_edges = 0;
+  }
+
 type outcome = {
   strategy : strategy;
   completed : R.t;
   per_phase : R.t list;
+  losses : loss_report;
 }
 
 let total_work sim p =
   R.sum (List.map (fun i -> Event_sim.completed_work sim i) (P.nodes p))
 
+(* Surviving subplatform: what the master still reaches over links with a
+   positive multiplier, scaled by the given multipliers; a surviving node
+   whose CPU multiplier is zero keeps relaying but cannot compute
+   (weight +oo).  A non-positive multiplier marks the resource dead. *)
+let surviving_scaled sc ~node_mult ~edge_mult =
+  let p = sc.platform in
+  let dead_bw e = R.sign (edge_mult e) <= 0 in
+  let dead_cpu i = R.sign (node_mult i) <= 0 in
+  let reachable =
+    P.reachable_via p ~alive:(fun e -> not (dead_bw e)) sc.master
+  in
+  let scaled =
+    scaled_platform sc
+      (fun i -> if dead_cpu i then R.one else node_mult i)
+      (fun e -> if dead_bw e then R.one else edge_mult e)
+  in
+  P.restrict scaled
+    ~keep_node:(fun i -> reachable.(i))
+    ~keep_edge:(fun e -> not (dead_bw e))
+    ~weights:(fun i ->
+      if dead_cpu i then Ext_rat.Inf else P.weight scaled i)
+
+let surviving_platform sc ~at =
+  validate_scenario ~allow_outages:true sc;
+  let node_cts, edge_cts = compile_scenario sc in
+  surviving_scaled sc
+    ~node_mult:(fun i -> compiled_at node_cts.(i) at)
+    ~edge_mult:(fun e -> compiled_at edge_cts.(e) at)
+
+let has_compute sub =
+  List.exists
+    (fun i ->
+      match P.weight sub i with Ext_rat.Inf -> false | Ext_rat.Fin _ -> true)
+    (P.nodes sub)
+
 (* the data-driven executor below only handles flows that go directly
    from the master to the consuming slave (stars, or graphs whose LP
    solution happens to use only master links) *)
-let check_single_hop sc sol =
-  let p = sc.platform in
+let check_single_hop sol =
+  let p = sol.Master_slave.platform in
   Array.iteri
     (fun e f ->
-      if R.sign f > 0 && P.edge_src p e <> sc.master then
+      if R.sign f > 0 && P.edge_src p e <> sol.Master_slave.master then
         invalid_arg
           "Dynamic_sched: task flow uses relays; only master-direct flows \
            are supported by the phase executor")
     sol.Master_slave.task_flow
 
-let run ?cache ?(reuse = true) sc strategy =
-  validate_scenario sc;
+let make_cache cache reuse =
+  match cache with
+  | Some _ as c -> c
+  | None -> if reuse then Some (Lp.Cache.create ()) else None
+
+let run_classic ?cache ?(reuse = true) sc strategy =
   let p = sc.platform in
   let node_cts, edge_cts = compile_scenario sc in
   let sim =
@@ -169,11 +232,7 @@ let run ?cache ?(reuse = true) sc strategy =
      previous basis warm-starts the next solve and flat trace segments
      (repeated multipliers) hit the cache outright; [~reuse:false]
      restores the cold per-phase solves for baseline measurements *)
-  let cache =
-    match cache with
-    | Some _ as c -> c
-    | None -> if reuse then Some (Lp.Cache.create ()) else None
-  in
+  let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
   let solve_scaled node_mult edge_mult =
     Master_slave.solve ?warm ?cache
@@ -187,6 +246,7 @@ let run ?cache ?(reuse = true) sc strategy =
   let marks = ref [] in
   let plan_for time =
     match strategy with
+    | Robust -> assert false (* handled by [run_robust] *)
     | Static -> static_sol
     | Oracle ->
       solve_scaled
@@ -205,13 +265,13 @@ let run ?cache ?(reuse = true) sc strategy =
         (fun i -> Forecast.predict node_fc.(i))
         (fun e -> Forecast.predict edge_fc.(e))
   in
-  check_single_hop sc static_sol;
+  check_single_hop static_sol;
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
     Event_sim.at sim t0 (fun sim ->
         marks := total_work sim p :: !marks;
         let sol = plan_for t0 in
-        check_single_hop sc sol;
+        check_single_hop sol;
         let transfers, master_tasks = phase_plan sol sc.phase in
         (* round-robin across slaves: unit task files, each enabling one
            unit of computation on arrival *)
@@ -249,16 +309,267 @@ let run ?cache ?(reuse = true) sc strategy =
       in
       diffs first rest
   in
-  { strategy; completed; per_phase }
+  { strategy; completed; per_phase; losses = no_losses }
+
+(* phase-boundary differences of the cumulative-work marks *)
+let per_phase_of marks completed =
+  match List.rev (completed :: marks) with
+  | [] -> []
+  | first :: rest ->
+    let rec diffs prev = function
+      | [] -> []
+      | x :: xs -> R.sub x prev :: diffs x xs
+    in
+    diffs first rest
+
+let run_robust ?cache ?(reuse = true) sc =
+  let p = sc.platform in
+  let n = P.num_nodes p and m = P.num_edges p in
+  let node_cts, edge_cts = compile_scenario sc in
+  let sim =
+    Event_sim.create
+      ~cpu_traces:
+        (List.map (fun (i, tr) -> (i, normalize_trace tr)) sc.cpu_traces)
+      ~bw_traces:
+        (List.map (fun (e, tr) -> (e, normalize_trace tr)) sc.bw_traces)
+      p
+  in
+  let cache = make_cache cache reuse in
+  let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  (* Failure state.  Zero-crossing breakpoints fire simulator outage
+     events, and breakpoint timers sort before the phase-boundary timers
+     registered below, so at every boundary these arrays are current.
+     Traces that start dead fire no event — hence the initialisation. *)
+  let dead_cpu =
+    Array.init n (fun i -> R.is_zero (compiled_at node_cts.(i) R.zero))
+  in
+  let dead_bw =
+    Array.init m (fun e -> R.is_zero (compiled_at edge_cts.(e) R.zero))
+  in
+  Event_sim.on_outage sim (fun _ out ->
+      match out.Event_sim.out_subject with
+      | Event_sim.Cpu_of i ->
+        dead_cpu.(i) <- R.is_zero out.Event_sim.out_multiplier
+      | Event_sim.Bw_of e ->
+        dead_bw.(e) <- R.is_zero out.Event_sim.out_multiplier);
+  let node_fc = Array.init n (fun _ -> Forecast.create ()) in
+  let edge_fc = Array.init m (fun _ -> Forecast.create ()) in
+  (* in-flight transfers (op id -> edge, attempt count) and the retry
+     backlog of task files whose delivery was cancelled *)
+  let live = Hashtbl.create 32 in
+  let backlog = ref [] in
+  let timed_out = ref 0 and boundary_cancelled = ref 0 in
+  let retries = ref 0 and lost = ref 0 and degraded = ref 0 in
+  let max_retries = 3 in
+  let submit_transfer sim e attempts =
+    let dst = P.edge_dst p e in
+    let idr = ref None in
+    (* callbacks only fire from the event loop, after [idr] is set *)
+    let unregister () =
+      match !idr with None -> () | Some id -> Hashtbl.remove live id
+    in
+    (* The timeout is a stall backstop, not a phase budget: transfers
+       on links the boundary sweep believes alive must not be recycled
+       while they are merely slow — cancelling a running transfer
+       discards its partial progress, which under fail-stop semantics
+       is the one way a "robust" executor can fall behind the static
+       one.  Dead links are cancelled eagerly at boundaries; only an
+       op stuck for several whole phases is pathological. *)
+    let id =
+      Event_sim.submit_op sim
+        (Event_sim.Transfer (e, R.one))
+        ~timeout:(R.mul_int sc.phase (max_retries + 1))
+        ~on_done:(fun sim ->
+          unregister ();
+          Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
+        ~on_cancel:(fun _ reason ->
+          unregister ();
+          (match reason with
+          | Event_sim.Timed_out -> incr timed_out
+          | Event_sim.Cancelled | Event_sim.Stranded ->
+            incr boundary_cancelled);
+          (* bounded retry: the task file goes back to the master's
+             backlog and is re-routed at the next phase boundary (the
+             boundary itself is the backoff) *)
+          if attempts >= max_retries then incr lost
+          else backlog := (attempts + 1) :: !backlog)
+    in
+    idr := Some id;
+    Hashtbl.replace live id (e, attempts)
+  in
+  (* The static baseline plan doubles as a supply floor: on every route
+     that survives (link alive, destination CPU alive) Robust submits at
+     least as many task files per phase as Static would.  Re-planning on
+     the surviving subplatform then only ever *adds* supply (and prunes
+     the routes Static wastes the master's port on), so Robust dominates
+     Static structurally instead of depending on forecast quality —
+     forecast-lagged floors supplying less than the static queue was the
+     one regime where a fault-free Robust run fell behind.  Physics
+     still caps the executed work at the per-epoch LP bound: extra
+     submissions merely queue. *)
+  let static_sol = Master_slave.solve ?warm ?cache p ~master:sc.master in
+  check_single_hop static_sol;
+  let static_transfers, static_master = phase_plan static_sol sc.phase in
+  let marks = ref [] in
+  for k = 0 to sc.phases - 1 do
+    let t0 = R.mul (R.of_int k) sc.phase in
+    Event_sim.at sim t0 (fun sim ->
+        marks := total_work sim p :: !marks;
+        (* detection-driven cancellation: a transfer sitting on a link
+           now known dead is going nowhere — free the one-port slots it
+           holds (or its queue position) and re-queue the task file *)
+        Hashtbl.fold
+          (fun id (e, _) acc -> if dead_bw.(e) then id :: acc else acc)
+          live []
+        |> List.iter (fun id -> ignore (Event_sim.cancel sim id));
+        (* plan on the surviving subplatform, scaled by forecasts fed
+           only with observations of resources that are actually alive *)
+        List.iter
+          (fun i ->
+            if not dead_cpu.(i) then
+              Forecast.observe node_fc.(i) (compiled_at node_cts.(i) t0))
+          (P.nodes p);
+        List.iter
+          (fun e ->
+            if not dead_bw.(e) then
+              Forecast.observe edge_fc.(e) (compiled_at edge_cts.(e) t0))
+          (P.edges p);
+        let restr =
+          surviving_scaled sc
+            ~node_mult:(fun i ->
+              if dead_cpu.(i) then R.zero else Forecast.predict node_fc.(i))
+            ~edge_mult:(fun e ->
+              if dead_bw.(e) then R.zero else Forecast.predict edge_fc.(e))
+        in
+        let sub = restr.P.sub in
+        let plan =
+          if not (has_compute sub) then None
+          else
+            match
+              Master_slave.try_solve ?warm ?cache sub
+                ~master:restr.P.sub_of_node.(sc.master)
+            with
+            | Error (`Infeasible | `Unbounded) -> None
+            | Ok sol -> Some sol
+        in
+        match plan with
+        | None ->
+          (* graceful degradation: no surviving compute power (e.g. the
+             master is isolated) — nothing submitted, nothing raised *)
+          incr degraded
+        | Some sol ->
+          check_single_hop sol;
+          let transfers, master_tasks = phase_plan sol sc.phase in
+          (* plan indices live on the restriction; execute on the
+             original platform *)
+          let transfers =
+            List.map
+              (fun (se, cnt) -> (restr.P.edge_of_sub.(se), cnt))
+              transfers
+          in
+          (* apply the static supply floor on surviving routes *)
+          let static_alive =
+            List.filter
+              (fun (e, _) ->
+                (not dead_bw.(e)) && not dead_cpu.(P.edge_dst p e))
+              static_transfers
+          in
+          let transfers =
+            List.map
+              (fun (e, cnt) ->
+                match List.assoc_opt e static_alive with
+                | Some c -> (e, max cnt c)
+                | None -> (e, cnt))
+              transfers
+            @ List.filter
+                (fun (e, _) -> not (List.mem_assoc e transfers))
+                static_alive
+          in
+          let master_tasks =
+            if dead_cpu.(sc.master) then master_tasks
+            else max master_tasks static_master
+          in
+          let retry_items = !backlog in
+          backlog := [];
+          let queues = Array.of_list transfers in
+          let remaining =
+            ref (Array.fold_left (fun a (_, n) -> a + n) 0 queues)
+          in
+          let counts = Array.map snd queues in
+          while !remaining > 0 do
+            Array.iteri
+              (fun idx (e, _) ->
+                if counts.(idx) > 0 then begin
+                  counts.(idx) <- counts.(idx) - 1;
+                  decr remaining;
+                  submit_transfer sim e 0
+                end)
+              queues
+          done;
+          (* re-route the backlog round-robin over this phase's (alive)
+             routes; with no route it waits for the next boundary *)
+          if Array.length queues = 0 then backlog := retry_items
+          else
+            List.iteri
+              (fun j a ->
+                let e, _ = queues.(j mod Array.length queues) in
+                incr retries;
+                submit_transfer sim e a)
+              retry_items;
+          (* unit granularity so a partial phase still counts *)
+          for _ = 1 to master_tasks do
+            Event_sim.submit sim (Event_sim.Compute (sc.master, R.one))
+          done)
+  done;
+  let horizon = R.mul (R.of_int sc.phases) sc.phase in
+  Event_sim.run_until sim horizon;
+  let completed = total_work sim p in
+  let reachable =
+    P.reachable_via p ~alive:(fun e -> not dead_bw.(e)) sc.master
+  in
+  let dead_nodes = ref 0 and dead_edges = ref 0 in
+  for i = 0 to n - 1 do
+    if dead_cpu.(i) || not reachable.(i) then incr dead_nodes
+  done;
+  for e = 0 to m - 1 do
+    if dead_bw.(e) then incr dead_edges
+  done;
+  {
+    strategy = Robust;
+    completed;
+    per_phase = per_phase_of !marks completed;
+    losses =
+      {
+        timed_out_transfers = !timed_out;
+        cancelled_transfers = !boundary_cancelled;
+        retries = !retries;
+        lost_tasks = !lost + List.length !backlog;
+        degraded_phases = !degraded;
+        dead_nodes = !dead_nodes;
+        dead_edges = !dead_edges;
+      };
+  }
+
+let run ?cache ?reuse sc strategy =
+  match strategy with
+  | Robust ->
+    validate_scenario ~allow_outages:true sc;
+    run_robust ?cache ?reuse sc
+  | Static ->
+    (* outages are execution-time events the static plan never consults:
+       the strategy runs (and suffers) fault scenarios as the baseline *)
+    validate_scenario ~allow_outages:true sc;
+    run_classic ?cache ?reuse sc strategy
+  | Reactive | Oracle ->
+    (* these plan by dividing weights by observed/true multipliers, so a
+       zero multiplier has no meaningful scaled platform *)
+    validate_scenario sc;
+    run_classic ?cache ?reuse sc strategy
 
 let oracle_throughput_bound ?cache ?(reuse = true) sc =
   validate_scenario sc;
   let node_cts, edge_cts = compile_scenario sc in
-  let cache =
-    match cache with
-    | Some _ as c -> c
-    | None -> if reuse then Some (Lp.Cache.create ()) else None
-  in
+  let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
   let total = ref R.zero in
   for k = 0 to sc.phases - 1 do
@@ -271,5 +582,31 @@ let oracle_throughput_bound ?cache ?(reuse = true) sc =
         ~master:sc.master
     in
     total := R.add !total (R.mul sc.phase sol.Master_slave.ntask)
+  done;
+  !total
+
+let fault_throughput_bound ?cache ?(reuse = true) sc =
+  validate_scenario ~allow_outages:true sc;
+  let node_cts, edge_cts = compile_scenario sc in
+  let cache = make_cache cache reuse in
+  let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  let total = ref R.zero in
+  for k = 0 to sc.phases - 1 do
+    let t0 = R.mul (R.of_int k) sc.phase in
+    let restr =
+      surviving_scaled sc
+        ~node_mult:(fun i -> compiled_at node_cts.(i) t0)
+        ~edge_mult:(fun e -> compiled_at edge_cts.(e) t0)
+    in
+    let sub = restr.P.sub in
+    if has_compute sub then begin
+      match
+        Master_slave.try_solve ?warm ?cache sub
+          ~master:restr.P.sub_of_node.(sc.master)
+      with
+      | Ok sol -> total := R.add !total (R.mul sc.phase sol.Master_slave.ntask)
+      | Error (`Infeasible | `Unbounded) -> ()
+    end
+    (* a fully degraded epoch (master isolated, no compute) contributes 0 *)
   done;
   !total

@@ -9,30 +9,45 @@
     - {!Reactive}: probe at each boundary, forecast with an NWS-style
       adaptive predictor ({!Forecast}), re-solve;
     - {!Oracle}: re-solve with the {e true} next-phase performance —
-      the reference the reactive strategy chases.
+      the reference the reactive strategy chases;
+    - {!Robust}: like Reactive, but failure-aware — it detects dead
+      CPUs and cut links (multiplier 0) through the simulator's outage
+      events, re-solves the LP on the surviving subplatform at each
+      boundary, cancels and re-routes in-flight transfers stuck on dead
+      links (bounded retry, phase-boundary backoff), and degrades to a
+      structured {!loss_report} instead of raising when no feasible
+      plan survives.  Its per-phase transfer counts are floored by the
+      static plan's counts on surviving routes, so
+      [Robust >= Static] holds structurally (re-planning only adds
+      supply and prunes dead routes) rather than resting on forecast
+      quality.
 
     Plans are executed in queued (non-strict) mode: if reality is slower
     than the plan assumed, operations stack up and throughput drops —
     exactly the failure mode adaptation is meant to avoid. *)
 
-type strategy = Static | Reactive | Oracle
+type strategy = Static | Reactive | Oracle | Robust
 
 type scenario = {
   platform : Platform.t;
   master : Platform.node;
   cpu_traces : (Platform.node * Event_sim.trace) list;
-      (** multipliers must stay strictly positive: dynamic re-planning
-          assumes degraded-but-alive resources (outage handling is the
-          simulator's business, not the planner's) *)
+      (** Multipliers must stay strictly positive for the strategies
+          that plan by {e dividing} by them ({!Reactive}, {!Oracle});
+          zero multipliers (outages) are accepted for {!Static} — which
+          never consults them and simply suffers the faults — and for
+          {!Robust}, which routes them through failure detection and
+          re-plans on the surviving subplatform. *)
   bw_traces : (Platform.edge * Event_sim.trace) list;
   phase : Rat.t; (** phase length; align trace breakpoints with it for
                      the oracle to be a true per-phase optimum *)
   phases : int;
 }
 
-val validate_scenario : scenario -> unit
-(** @raise Invalid_argument on non-positive phase/phases or a
-    non-positive multiplier in a trace. *)
+val validate_scenario : ?allow_outages:bool -> scenario -> unit
+(** @raise Invalid_argument on non-positive phase/phases, a negative
+    multiplier, or — unless [~allow_outages:true] (the failure-aware
+    paths) — a zero multiplier in a trace. *)
 
 val multiplier_at : Event_sim.trace -> Rat.t -> Rat.t
 (** Multiplier of a trace at a time: the entry with the largest
@@ -43,10 +58,38 @@ val multiplier_at : Event_sim.trace -> Rat.t -> Rat.t
     need not be pre-sorted.  Internally {!run} compiles every trace
     into a sorted array once and binary-searches it per query. *)
 
+val normalize_trace : Event_sim.trace -> Event_sim.trace
+(** Sorted, breakpoint-deduplicated form of a trace (last entry wins
+    among equal breakpoints) — the form handed to the simulator.  For
+    any trace [tr] and time [t],
+    [Event_sim.trace_multiplier (normalize_trace tr) t
+     = multiplier_at tr t]. *)
+
+type loss_report = {
+  timed_out_transfers : int;
+      (** in-flight transfers cancelled by the per-op timeout *)
+  cancelled_transfers : int;
+      (** transfers cancelled at a boundary because their link died *)
+  retries : int;  (** task-file re-submissions performed *)
+  lost_tasks : int;
+      (** task files abandoned: retry budget exhausted, or still in the
+          backlog with no surviving route at the horizon *)
+  degraded_phases : int;
+      (** phases with no feasible plan (no reachable compute power) *)
+  dead_nodes : int;
+      (** nodes unreachable from the master or compute-dead at the end *)
+  dead_edges : int;  (** edges at multiplier 0 at the end *)
+}
+(** Structured degradation accounting of a {!Robust} run; all-zero
+    ({!no_losses}) for the other strategies. *)
+
+val no_losses : loss_report
+
 type outcome = {
   strategy : strategy;
   completed : Rat.t; (** tasks finished within the horizon *)
   per_phase : Rat.t list; (** tasks finished per phase *)
+  losses : loss_report;
 }
 
 val run : ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> strategy -> outcome
@@ -66,3 +109,21 @@ val oracle_throughput_bound :
     phase-planned strategy when breakpoints are phase-aligned.
     [?cache]/[?reuse] as in {!run}; the bound itself is bit-identical
     either way. *)
+
+(** {1 Failure-aware utilities} *)
+
+val surviving_platform : scenario -> at:Rat.t -> Platform.restriction
+(** The surviving subplatform at a time: nodes the master still reaches
+    over links with a positive multiplier, scaled by the true
+    multipliers at [at]; a reachable node whose CPU multiplier is zero
+    survives as a pure relay (weight [+oo]).  The restriction carries
+    the index maps back to the full platform.  This is exactly the
+    platform {!Robust} re-plans on (with true multipliers in place of
+    forecasts) and the one per-epoch LP bounds are computed on. *)
+
+val fault_throughput_bound : ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> Rat.t
+(** Outage-tolerant analogue of {!oracle_throughput_bound}: sum over
+    phases of [phase * ntask(surviving platform at the phase start)],
+    with fully degraded epochs (no reachable compute power)
+    contributing zero.  Warm-started and memoised like the other
+    bounds; never raises on outage scenarios. *)

@@ -78,11 +78,11 @@ let solve_lp_only ?rule ?solver ?factorization ?warm ?cache p ~master =
   let m, _, _ = build_lp p ~master in
   (m, Lp.solve ?rule ?solver ?factorization ?warm ?cache m)
 
-let solve ?rule ?solver ?factorization ?warm ?cache p ~master =
+let try_solve ?rule ?solver ?factorization ?warm ?cache p ~master =
   let m, alpha_v, s_v = build_lp p ~master in
   match Lp.solve ?rule ?solver ?factorization ?warm ?cache m with
-  | Lp.Infeasible | Lp.Unbounded ->
-    failwith "Master_slave.solve: LP not optimal (invalid platform?)"
+  | Lp.Infeasible -> Error `Infeasible
+  | Lp.Unbounded -> Error `Unbounded
   | Lp.Optimal sol ->
     let alpha = Array.map sol.Lp.values alpha_v in
     let raw_flow =
@@ -94,14 +94,21 @@ let solve ?rule ?solver ?factorization ?warm ?cache p ~master =
     let send_frac =
       Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
     in
-    {
-      platform = p;
-      master;
-      ntask = sol.Lp.objective;
-      alpha;
-      send_frac;
-      task_flow;
-    }
+    Ok
+      {
+        platform = p;
+        master;
+        ntask = sol.Lp.objective;
+        alpha;
+        send_frac;
+        task_flow;
+      }
+
+let solve ?rule ?solver ?factorization ?warm ?cache p ~master =
+  match try_solve ?rule ?solver ?factorization ?warm ?cache p ~master with
+  | Ok sol -> sol
+  | Error (`Infeasible | `Unbounded) ->
+    failwith "Master_slave.solve: LP not optimal (invalid platform?)"
 
 (* per-node task rate: alpha_i / w_i *)
 let task_rate sol i = R.mul sol.alpha.(i) (P.speed sol.platform i)

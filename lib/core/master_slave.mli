@@ -49,6 +49,20 @@ val solve :
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
 
+val try_solve :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
+  Platform.t ->
+  master:Platform.node ->
+  (solution, [ `Infeasible | `Unbounded ]) result
+(** Exception-free {!solve}: a non-optimal LP outcome is surfaced as a
+    variant.  Failure-aware planners use this on surviving
+    sub-platforms, where a pathological restriction must degrade into a
+    structured report rather than escape as an exception. *)
+
 val solve_lp_only :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->

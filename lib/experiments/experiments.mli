@@ -54,6 +54,14 @@ val e15_tree_crosscheck : unit -> Exp_common.table
 val e16_baselines : unit -> Exp_common.table
 (** §1 motivation: steady state vs demand-driven and round-robin. *)
 
+val e17_faults : unit -> Exp_common.table
+(** §5.5 extended to fail-stop faults: Static vs Reactive vs Oracle vs
+    Robust under seeded crash/outage/partition/cascade scenarios, with
+    per-epoch LP bounds on the surviving subplatform and a strict-mode
+    replay check that each surviving epoch's bound is exactly achieved.
+    (E13 is the bench microbenchmark and E14 topology inference, so
+    faults take the next free id.) *)
+
 val all : ?pool:Pool.t -> unit -> Exp_common.table list
 (** All of the above, in order (E13, the polynomial-scaling microbench,
     lives in bench/main.exe where timing belongs).  The experiments are

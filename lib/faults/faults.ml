@@ -1,0 +1,287 @@
+(* Fault plans -> Event_sim speed traces, all in exact rationals. *)
+
+module R = Rat
+
+type window = { from : R.t; until : R.t option }
+
+type fault =
+  | Node_crash of Platform.node * window
+  | Cpu_crash of Platform.node * window
+  | Link_cut of Platform.edge * window
+  | Cpu_slow of Platform.node * window * R.t
+  | Link_slow of Platform.edge * window * R.t
+
+let check_window label w =
+  if R.sign w.from < 0 then invalid_arg (label ^ ": negative onset");
+  match w.until with
+  | Some u when R.compare u w.from <= 0 ->
+    invalid_arg (label ^ ": recovery not after onset")
+  | Some _ | None -> ()
+
+let check_factor label f =
+  if R.sign f <= 0 || R.compare f R.one > 0 then
+    invalid_arg (label ^ ": slow factor outside (0, 1]")
+
+let validate p faults =
+  let n = Platform.num_nodes p and m = Platform.num_edges p in
+  let node label i =
+    if i < 0 || i >= n then invalid_arg (label ^ ": node out of range")
+  in
+  let edge label e =
+    if e < 0 || e >= m then invalid_arg (label ^ ": edge out of range")
+  in
+  List.iter
+    (function
+      | Node_crash (i, w) ->
+        node "Faults: Node_crash" i;
+        check_window "Faults: Node_crash" w
+      | Cpu_crash (i, w) ->
+        node "Faults: Cpu_crash" i;
+        check_window "Faults: Cpu_crash" w
+      | Link_cut (e, w) ->
+        edge "Faults: Link_cut" e;
+        check_window "Faults: Link_cut" w
+      | Cpu_slow (i, w, f) ->
+        node "Faults: Cpu_slow" i;
+        check_window "Faults: Cpu_slow" w;
+        check_factor "Faults: Cpu_slow" f
+      | Link_slow (e, w, f) ->
+        edge "Faults: Link_slow" e;
+        check_window "Faults: Link_slow" w;
+        check_factor "Faults: Link_slow" f)
+    faults
+
+(* expand to per-resource effects: (window, multiplier-while-active) *)
+let effects p faults =
+  let n = Platform.num_nodes p and m = Platform.num_edges p in
+  let cpu = Array.make n [] and bw = Array.make m [] in
+  let add_cpu i w f = cpu.(i) <- (w, f) :: cpu.(i) in
+  let add_bw e w f = bw.(e) <- (w, f) :: bw.(e) in
+  List.iter
+    (function
+      | Node_crash (i, w) ->
+        add_cpu i w R.zero;
+        List.iter (fun e -> add_bw e w R.zero) (Platform.out_edges p i);
+        List.iter (fun e -> add_bw e w R.zero) (Platform.in_edges p i)
+      | Cpu_crash (i, w) -> add_cpu i w R.zero
+      | Link_cut (e, w) -> add_bw e w R.zero
+      | Cpu_slow (i, w, f) -> add_cpu i w f
+      | Link_slow (e, w, f) -> add_bw e w f)
+    faults;
+  (cpu, bw)
+
+(* compose overlapping effects: multiplier at t = min over active ones *)
+let compile_effects effs =
+  match effs with
+  | [] -> []
+  | _ ->
+    let times =
+      List.concat_map
+        (fun (w, _) -> w.from :: (match w.until with None -> [] | Some u -> [ u ]))
+        effs
+      |> List.sort_uniq R.compare
+    in
+    let at t =
+      List.fold_left
+        (fun acc (w, f) ->
+          let active =
+            R.compare w.from t <= 0
+            && match w.until with None -> true | Some u -> R.compare t u < 0
+          in
+          if active then R.min acc f else acc)
+        R.one effs
+    in
+    let _, rev =
+      List.fold_left
+        (fun (prev, acc) t ->
+          let m = at t in
+          if R.equal m prev then (prev, acc) else (m, (t, m) :: acc))
+        (R.one, []) times
+    in
+    List.rev rev
+
+let traces p faults =
+  validate p faults;
+  let cpu, bw = effects p faults in
+  let collect arr =
+    let out = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      match compile_effects arr.(i) with
+      | [] -> ()
+      | tr -> out := (i, tr) :: !out
+    done;
+    !out
+  in
+  (collect cpu, collect bw)
+
+let multiplier p faults subj t =
+  let cpu, bw = traces p faults in
+  let tr =
+    match subj with
+    | Event_sim.Cpu_of i -> List.assoc_opt i cpu
+    | Event_sim.Bw_of e -> List.assoc_opt e bw
+  in
+  match tr with None -> R.one | Some tr -> Event_sim.trace_multiplier tr t
+
+(* --- named adversarial scenarios --- *)
+
+let window ~at ?until () = { from = at; until }
+
+let master_adjacent_cut p ~master ~at ?until () =
+  let w = window ~at ?until () in
+  let cut = List.map (fun e -> Link_cut (e, w)) in
+  cut (Platform.out_edges p master) @ cut (Platform.in_edges p master)
+
+let subtree_partition p ~master ~root ~at ?until () =
+  if root = master then
+    invalid_arg "Faults.subtree_partition: root is the master";
+  (* undirected component of [root] in the graph minus the master *)
+  let n = Platform.num_nodes p in
+  let in_comp = Array.make n false in
+  in_comp.(root) <- true;
+  let rec go = function
+    | [] -> ()
+    | i :: rest ->
+      let step acc e other =
+        let j = other e in
+        if j = master || in_comp.(j) then acc
+        else begin
+          in_comp.(j) <- true;
+          j :: acc
+        end
+      in
+      let next =
+        List.fold_left
+          (fun acc e -> step acc e (Platform.edge_dst p))
+          rest (Platform.out_edges p i)
+      in
+      let next =
+        List.fold_left
+          (fun acc e -> step acc e (Platform.edge_src p))
+          next (Platform.in_edges p i)
+      in
+      go next
+  in
+  go [ root ];
+  let w = window ~at ?until () in
+  List.filter_map
+    (fun e ->
+      let crossing =
+        in_comp.(Platform.edge_src p e) <> in_comp.(Platform.edge_dst p e)
+      in
+      if crossing then Some (Link_cut (e, w)) else None)
+    (Platform.edges p)
+
+let cascading_slowdown p ~master ~at ~step ~factor =
+  if R.sign factor <= 0 || R.compare factor R.one >= 0 then
+    invalid_arg "Faults.cascading_slowdown: factor outside (0, 1)";
+  if R.sign step < 0 then
+    invalid_arg "Faults.cascading_slowdown: negative step";
+  if R.sign at < 0 then
+    invalid_arg "Faults.cascading_slowdown: negative onset";
+  let n = Platform.num_nodes p in
+  let dist = Array.make n (-1) in
+  dist.(master) <- 0;
+  let q = Queue.create () in
+  Queue.add master q;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun e ->
+        let j = Platform.edge_dst p e in
+        if dist.(j) < 0 then begin
+          dist.(j) <- dist.(i) + 1;
+          Queue.add j q
+        end)
+      (Platform.out_edges p i)
+  done;
+  let faults = ref [] in
+  for i = n - 1 downto 0 do
+    let d = dist.(i) in
+    if d >= 1 then begin
+      let f = ref factor in
+      for _ = 2 to d do
+        f := R.mul !f factor
+      done;
+      let onset = R.add at (R.mul_int step (d - 1)) in
+      faults := Cpu_slow (i, { from = onset; until = None }, !f) :: !faults
+    end
+  done;
+  !faults
+
+(* --- seeded Lehmer LCG (no floats, no Stdlib.Random) --- *)
+
+type gen = { mutable state : int }
+
+let lcg_m = 2147483647 (* 2^31 - 1, prime *)
+let lcg_a = 48271
+
+let generator ~seed =
+  let s = seed mod (lcg_m - 1) in
+  let s = if s < 0 then s + (lcg_m - 1) else s in
+  { state = s + 1 } (* in [1, m-1]: never the absorbing state 0 *)
+
+let next g =
+  g.state <- g.state * lcg_a mod lcg_m;
+  g.state
+
+let rand_int g n =
+  if n <= 0 then invalid_arg "Faults.rand_int: bound <= 0";
+  next g mod n
+
+let random_plan g p ~master ~horizon ~align ~faults =
+  if R.sign align <= 0 then invalid_arg "Faults.random_plan: align <= 0";
+  if R.compare horizon align <= 0 then
+    invalid_arg "Faults.random_plan: horizon <= align";
+  (* grid slots strictly inside (0, horizon): k * align for k in [1, slots] *)
+  let slots = ref 0 in
+  while R.compare (R.mul_int align (!slots + 2)) horizon < 0 do
+    incr slots
+  done;
+  let slots = max 1 !slots in
+  let grid k = R.mul_int align k in
+  let onset () = grid (1 + rand_int g slots) in
+  let recovery from = R.add from (grid (1 + rand_int g slots)) in
+  let compute_nodes =
+    List.filter
+      (fun i -> i <> master && Platform.weight p i <> Ext_rat.Inf)
+      (Platform.nodes p)
+  in
+  let pick l = List.nth l (rand_int g (List.length l)) in
+  let master_incident e =
+    Platform.edge_src p e = master || Platform.edge_dst p e = master
+  in
+  let rec make k =
+    if k = 0 then []
+    else begin
+      let f =
+        match rand_int g 4 with
+        | 0 | 1 ->
+          (* link cut, permanent or recovered; permanent cuts spare
+             master-incident links so the plan stays survivable *)
+          let e = pick (Platform.edges p) in
+          let from = onset () in
+          let until =
+            if rand_int g 2 = 0 || master_incident e then
+              Some (recovery from)
+            else None
+          in
+          Link_cut (e, { from; until })
+        | 2 when compute_nodes <> [] ->
+          let i = pick compute_nodes in
+          let from = onset () in
+          let until =
+            if rand_int g 2 = 0 then Some (recovery from) else None
+          in
+          Cpu_crash (i, { from; until })
+        | _ ->
+          let i = pick (Platform.nodes p) in
+          let f = R.of_ints 1 (2 + rand_int g 3) in
+          Cpu_slow (i, { from = onset (); until = None }, f)
+      in
+      f :: make (k - 1)
+    end
+  in
+  let plan = make faults in
+  validate p plan;
+  plan

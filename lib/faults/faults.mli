@@ -1,0 +1,103 @@
+(** Deterministic fault injection for dynamic-platform experiments.
+
+    Real clusters do not merely slow down (§5.5's model) — nodes crash
+    and links are cut.  This module turns a declarative list of faults
+    into the piecewise-constant speed traces {!Event_sim} understands
+    (multiplier [0] = outage), so every failure experiment is an
+    ordinary simulator run: exact rational times, reproducible to the
+    bit from a seed.
+
+    Everything here is float-free: the pseudo-random generator is a
+    Lehmer LCG over native ints and all times/factors are {!Rat.t}. *)
+
+type window = {
+  from : Rat.t;  (** onset time, [>= 0] *)
+  until : Rat.t option;  (** recovery time ([> from]), [None] = permanent *)
+}
+(** A fault is active on [[from, until)] — at [until] the resource is
+    back at full speed (unless another fault still covers it). *)
+
+type fault =
+  | Node_crash of Platform.node * window
+      (** fail-stop: the CPU {e and every incident link} (both
+          directions) go to multiplier 0 *)
+  | Cpu_crash of Platform.node * window
+      (** the CPU dies but the node still relays data *)
+  | Link_cut of Platform.edge * window
+  | Cpu_slow of Platform.node * window * Rat.t
+      (** CPU multiplier becomes the factor ([0 < f <= 1]) while active *)
+  | Link_slow of Platform.edge * window * Rat.t
+
+val validate : Platform.t -> fault list -> unit
+(** @raise Invalid_argument on a negative onset, a recovery not after
+    its onset, an out-of-range node/edge, or a slow factor outside
+    [(0, 1]]. *)
+
+val traces :
+  Platform.t ->
+  fault list ->
+  (Platform.node * Event_sim.trace) list
+  * (Platform.edge * Event_sim.trace) list
+(** Compile faults into per-resource speed traces.  Overlapping faults
+    compose by taking the {e minimum} multiplier active at each instant
+    (an outage beats any slowdown).  Returned traces have strictly
+    increasing breakpoints and no consecutive duplicates, and only
+    resources actually affected appear.
+    @raise Invalid_argument as {!validate}. *)
+
+val multiplier :
+  Platform.t -> fault list -> Event_sim.subject -> Rat.t -> Rat.t
+(** Multiplier of a resource at a time under the compiled traces —
+    the ground truth failure state, for oracle bounds and tests. *)
+
+(** {1 Named adversarial scenarios}
+
+    Each returns a fault list for {!traces}. *)
+
+val master_adjacent_cut :
+  Platform.t -> master:Platform.node -> at:Rat.t -> ?until:Rat.t -> unit ->
+  fault list
+(** Cut every link incident to the master (both directions): the master
+    is isolated — the graceful-degradation stress test. *)
+
+val subtree_partition :
+  Platform.t -> master:Platform.node -> root:Platform.node -> at:Rat.t ->
+  ?until:Rat.t -> unit -> fault list
+(** Partition away the sub-component hanging off [root]: every node
+    reachable from [root] without passing through the master is
+    separated by cutting all links (both directions) between the
+    component and the rest.
+    @raise Invalid_argument if [root] is the master. *)
+
+val cascading_slowdown :
+  Platform.t -> master:Platform.node -> at:Rat.t -> step:Rat.t ->
+  factor:Rat.t -> fault list
+(** Failure wave: nodes at BFS distance [d >= 1] from the master slow
+    their CPUs to [factor^d] at time [at + (d-1) * step] — the farther
+    the node, the later and the harsher the hit.
+    @raise Invalid_argument unless [0 < factor < 1] and [step >= 0]. *)
+
+(** {1 Seeded random fault plans} *)
+
+type gen
+(** Deterministic Lehmer LCG state ([x <- 48271 x mod 2^31-1]). *)
+
+val generator : seed:int -> gen
+val rand_int : gen -> int -> int
+(** [rand_int g n] is uniform-ish on [[0, n)]; [n > 0]. *)
+
+val random_plan :
+  gen ->
+  Platform.t ->
+  master:Platform.node ->
+  horizon:Rat.t ->
+  align:Rat.t ->
+  faults:int ->
+  fault list
+(** [faults] random faults (link cuts, CPU crashes, slowdowns — with and
+    without recovery) with onsets/recoveries on the grid [k * align],
+    [0 < k * align < horizon].  The master's CPU is never crashed and
+    the master is never fully isolated ([Node_crash] spares it), so the
+    plan is survivable by construction; use {!master_adjacent_cut} to
+    test the unsurvivable case.
+    @raise Invalid_argument unless [align > 0] and [horizon > align]. *)

@@ -204,6 +204,28 @@ let transpose t =
     ~edges:
       (List.init (num_edges t) (fun e -> (t.dsts.(e), t.srcs.(e), t.costs.(e))))
 
+let reachable_via t ~alive start =
+  let seen = Array.make (num_nodes t) false in
+  let rec go = function
+    | [] -> ()
+    | i :: rest ->
+      let next =
+        List.fold_left
+          (fun acc e ->
+            let j = t.dsts.(e) in
+            if (not (alive e)) || seen.(j) then acc
+            else begin
+              seen.(j) <- true;
+              j :: acc
+            end)
+          rest t.out_adj.(i)
+      in
+      go next
+  in
+  seen.(start) <- true;
+  go [ start ];
+  seen
+
 let restrict_nodes t ~keep =
   let old_of_new = ref [] in
   let new_of_old = Array.make (num_nodes t) (-1) in
@@ -232,6 +254,52 @@ let restrict_nodes t ~keep =
       ~edges
   in
   (sub, old_of_new)
+
+type restriction = {
+  sub : t;
+  node_of_sub : node array;
+  sub_of_node : int array;
+  edge_of_sub : edge array;
+  sub_of_edge : int array;
+}
+
+let restrict ?weights:weight_of t ~keep_node ~keep_edge =
+  let n = num_nodes t and m = num_edges t in
+  let node_of_sub = ref [] in
+  let sub_of_node = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if keep_node i then begin
+      sub_of_node.(i) <- !count;
+      node_of_sub := i :: !node_of_sub;
+      incr count
+    end
+  done;
+  let node_of_sub = Array.of_list (List.rev !node_of_sub) in
+  let edge_of_sub = ref [] in
+  let sub_of_edge = Array.make m (-1) in
+  let ecount = ref 0 in
+  let sub_edges = ref [] in
+  for e = 0 to m - 1 do
+    let i = t.srcs.(e) and j = t.dsts.(e) in
+    if sub_of_node.(i) >= 0 && sub_of_node.(j) >= 0 && keep_edge e then begin
+      sub_of_edge.(e) <- !ecount;
+      edge_of_sub := e :: !edge_of_sub;
+      sub_edges := (sub_of_node.(i), sub_of_node.(j), t.costs.(e)) :: !sub_edges;
+      incr ecount
+    end
+  done;
+  let edge_of_sub = Array.of_list (List.rev !edge_of_sub) in
+  let weight_of =
+    match weight_of with Some f -> f | None -> fun i -> t.weights.(i)
+  in
+  let sub =
+    create
+      ~names:(Array.map (fun i -> t.names.(i)) node_of_sub)
+      ~weights:(Array.map weight_of node_of_sub)
+      ~edges:(List.rev !sub_edges)
+  in
+  { sub; node_of_sub; sub_of_node; edge_of_sub; sub_of_edge }
 
 let pp ppf t =
   Format.fprintf ppf "platform: %d nodes, %d edges@." (num_nodes t)

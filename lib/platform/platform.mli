@@ -90,9 +90,37 @@ val transpose : t -> t
 (** Platform with every edge reversed (costs kept) — reduce operations
     are scatters on the transposed platform (§4.2). *)
 
+val reachable_via : t -> alive:(edge -> bool) -> node -> bool array
+(** Like {!reachable_from}, but only traversing edges for which [alive]
+    holds — the connectivity query of failure-aware planning: which
+    nodes can the master still feed over surviving links? *)
+
 val restrict_nodes : t -> keep:(node -> bool) -> t * node array
 (** Induced sub-platform on the kept nodes; also returns the array
     mapping new indices to old ones. *)
+
+type restriction = {
+  sub : t;  (** the restricted platform *)
+  node_of_sub : node array;  (** sub node index -> original node *)
+  sub_of_node : int array;  (** original node -> sub index, [-1] if dropped *)
+  edge_of_sub : edge array;  (** sub edge index -> original edge *)
+  sub_of_edge : int array;  (** original edge -> sub index, [-1] if dropped *)
+}
+(** A sub-platform together with both directions of the index
+    renaming, so plans computed on [sub] can be executed on (and
+    measurements read back from) the original platform. *)
+
+val restrict :
+  ?weights:(node -> Ext_rat.t) ->
+  t ->
+  keep_node:(node -> bool) ->
+  keep_edge:(edge -> bool) ->
+  restriction
+(** Sub-platform induced by the kept nodes {e minus} the dropped edges
+    (an edge survives iff both endpoints are kept and [keep_edge]
+    holds).  [?weights] overrides node weights in the restriction —
+    failure-aware planners use it to turn a compute-dead but reachable
+    node into a pure relay ([Ext_rat.Inf]). *)
 
 (** {1 Printing} *)
 

@@ -7,10 +7,15 @@
      progress integration is always "elapsed * rate" with a constant
      rate;
    - completion events carry a generation number; any reschedule bumps
-     the generation, so stale completions are recognised and dropped;
+     the generation, so stale completions are recognised and dropped —
+     cancellation reuses the same mechanism to invalidate the in-flight
+     completion of a cancelled operation;
    - an edge transfer occupies exactly the sender's send port and the
      receiver's receive port, hence at most one operation runs per
-     rate key (node CPU or edge) at any time. *)
+     rate key (node CPU or edge) at any time;
+   - every live (queued or running) operation is in [ops]; completion
+     and cancellation both remove it, so [run]'s stranding sweep can
+     prove emptiness. *)
 
 module R = Rat
 
@@ -38,7 +43,28 @@ exception Conflict of string
 
 type trace = (R.t * R.t) list
 
+type subject = Cpu_of of Platform.node | Bw_of of Platform.edge
+
+type outage = {
+  out_subject : subject;
+  out_multiplier : R.t;
+  out_was : R.t;
+}
+
+type op_id = int
+
+type cancel_reason = Cancelled | Timed_out | Stranded
+
+type cancelled = {
+  c_kind : op_kind;
+  c_reason : cancel_reason;
+  c_remaining : R.t;
+  c_time : R.t;
+}
+
 type rate_key = Knode of int | Kedge of int
+
+type op_state = Queued | Running | Finished
 
 type op = {
   oid : int;
@@ -49,7 +75,13 @@ type op = {
   mutable remaining : R.t; (* work units left *)
   mutable last_update : R.t;
   mutable gen : int;
+  mutable state : op_state;
+  mutable ev_key : (R.t * int * int) option;
+      (* queue key of the op's live completion event, if any — removed
+         eagerly on reschedule/cancel so stale completions never drag
+         the clock forward *)
   on_done : (t -> unit) option;
+  on_cancel : (t -> cancel_reason -> unit) option;
 }
 
 and event = Complete of op * int | Timer of (t -> unit)
@@ -66,10 +98,13 @@ and t = {
   cpu_trace : (R.t * R.t) array array; (* per node, ascending times *)
   bw_trace : (R.t * R.t) array array; (* per edge *)
   running_by_key : (rate_key, op) Hashtbl.t;
+  ops : (int, op) Hashtbl.t; (* live (queued or running) ops by oid *)
   mutable next_oid : int;
   work_done : R.t array;
   compute_count : int array;
   transferred_tot : R.t array;
+  mutable cancel_log : cancelled list; (* newest first *)
+  mutable outage_handlers : (t -> outage -> unit) list; (* newest first *)
   log : (R.t -> string -> unit) option;
 }
 
@@ -129,10 +164,13 @@ let create ?(cpu_traces = []) ?(bw_traces = []) ?log p =
       cpu_trace;
       bw_trace;
       running_by_key = Hashtbl.create 32;
+      ops = Hashtbl.create 32;
       next_oid = 0;
       work_done = Array.make n R.zero;
       compute_count = Array.make n 0;
       transferred_tot = Array.make m R.zero;
+      cancel_log = [];
+      outage_handlers = [];
       log;
     }
   in
@@ -150,6 +188,19 @@ let push_event t time ev =
   t.queue <- Emap.add (time, prio, t.next_seq) ev t.queue;
   t.next_seq <- t.next_seq + 1
 
+let push_completion t time op =
+  let key = (time, 0, t.next_seq) in
+  t.queue <- Emap.add key (Complete (op, op.gen)) t.queue;
+  t.next_seq <- t.next_seq + 1;
+  op.ev_key <- Some key
+
+let drop_completion t op =
+  match op.ev_key with
+  | None -> ()
+  | Some key ->
+    t.queue <- Emap.remove key t.queue;
+    op.ev_key <- None
+
 (* --- rates --- *)
 
 let trace_of_key t = function
@@ -166,6 +217,19 @@ let mult_at trace time =
    with Exit -> ());
   !m
 
+let trace_multiplier tr time = mult_at (Array.of_list tr) time
+
+let trace_of_subject t = function
+  | Cpu_of i -> t.cpu_trace.(i)
+  | Bw_of e -> t.bw_trace.(e)
+
+let multiplier_of t subj = mult_at (trace_of_subject t subj) t.clock
+
+let on_outage t f = t.outage_handlers <- f :: t.outage_handlers
+
+let fire_outage t out =
+  List.iter (fun f -> f t out) (List.rev t.outage_handlers)
+
 let rate_key_of_kind = function
   | Compute (i, _) -> Knode i
   | Transfer (e, _) -> Kedge e
@@ -174,12 +238,13 @@ let rate_key_of_kind = function
 
 let schedule_completion t op =
   op.gen <- op.gen + 1;
-  if R.is_zero op.remaining then push_event t t.clock (Complete (op, op.gen))
+  drop_completion t op;
+  if R.is_zero op.remaining then push_completion t t.clock op
   else begin
     let mult = mult_at (trace_of_key t op.key) t.clock in
     if R.sign mult > 0 then begin
       let tc = R.add t.clock (R.div (R.mul op.remaining op.base) mult) in
-      push_event t tc (Complete (op, op.gen))
+      push_completion t tc op
     end
     (* multiplier 0: stalled; the breakpoint timer that restores a
        positive rate will reschedule *)
@@ -207,6 +272,7 @@ let start_op t op =
       t.busy_since.(s) <- t.clock)
     op.res;
   Hashtbl.replace t.running_by_key op.key op;
+  op.state <- Running;
   op.last_update <- t.clock;
   (match op.kind with
   | Compute (i, w) ->
@@ -231,13 +297,18 @@ let try_start_pending t =
   in
   t.pending <- go [] t.pending
 
-let finish_op t op =
+let release_slots t op =
   List.iter
     (fun s ->
       t.busy.(s) <- R.add t.busy.(s) (R.sub t.clock t.busy_since.(s));
       t.occupied.(s) <- None)
     op.res;
-  Hashtbl.remove t.running_by_key op.key;
+  Hashtbl.remove t.running_by_key op.key
+
+let finish_op t op =
+  release_slots t op;
+  op.state <- Finished;
+  Hashtbl.remove t.ops op.oid;
   (match op.kind with
   | Compute (i, w) ->
     t.work_done.(i) <- R.add t.work_done.(i) w;
@@ -249,6 +320,43 @@ let finish_op t op =
   (match op.on_done with None -> () | Some f -> f t);
   try_start_pending t
 
+let reason_name = function
+  | Cancelled -> "cancelled"
+  | Timed_out -> "timed out"
+  | Stranded -> "stranded"
+
+let do_cancel t op reason =
+  match op.state with
+  | Finished -> false
+  | Queued ->
+    op.state <- Finished;
+    t.pending <- List.filter (fun o -> o != op) t.pending;
+    Hashtbl.remove t.ops op.oid;
+    t.cancel_log <-
+      { c_kind = op.kind; c_reason = reason; c_remaining = op.remaining;
+        c_time = t.clock }
+      :: t.cancel_log;
+    log t (Printf.sprintf "%s (queued) op %d" (reason_name reason) op.oid);
+    (match op.on_cancel with None -> () | Some f -> f t reason);
+    true
+  | Running ->
+    (* integrate progress first so [c_remaining] is the true leftover;
+       the partial work itself is discarded, not credited *)
+    touch_op t op;
+    op.state <- Finished;
+    op.gen <- op.gen + 1;
+    drop_completion t op;
+    release_slots t op;
+    Hashtbl.remove t.ops op.oid;
+    t.cancel_log <-
+      { c_kind = op.kind; c_reason = reason; c_remaining = op.remaining;
+        c_time = t.clock }
+      :: t.cancel_log;
+    log t (Printf.sprintf "%s (running) op %d" (reason_name reason) op.oid);
+    (match op.on_cancel with None -> () | Some f -> f t reason);
+    try_start_pending t;
+    true
+
 (* --- breakpoint timers: keep the constant-rate invariant --- *)
 
 let touch_key t key =
@@ -259,22 +367,25 @@ let touch_key t key =
     schedule_completion t op
 
 let register_breakpoints t =
-  Array.iteri
-    (fun i tr ->
-      Array.iter
-        (fun (tb, _) ->
-          if R.sign tb > 0 then
-            push_event t tb (Timer (fun t -> touch_key t (Knode i))))
-        tr)
-    t.cpu_trace;
-  Array.iteri
-    (fun e tr ->
-      Array.iter
-        (fun (tb, _) ->
-          if R.sign tb > 0 then
-            push_event t tb (Timer (fun t -> touch_key t (Kedge e))))
-        tr)
-    t.bw_trace
+  let register subject key tr =
+    Array.iteri
+      (fun j (tb, mb) ->
+        if R.sign tb > 0 then begin
+          let prev = if j = 0 then R.one else snd tr.(j - 1) in
+          let crossing = R.sign prev > 0 <> (R.sign mb > 0) in
+          push_event t tb
+            (Timer
+               (fun t ->
+                 touch_key t key;
+                 if crossing then
+                   fire_outage t
+                     { out_subject = subject; out_multiplier = mb;
+                       out_was = prev }))
+        end)
+      tr
+  in
+  Array.iteri (fun i tr -> register (Cpu_of i) (Knode i) tr) t.cpu_trace;
+  Array.iteri (fun e tr -> register (Bw_of e) (Kedge e) tr) t.bw_trace
 
 let create ?cpu_traces ?bw_traces ?log p =
   let t = create ?cpu_traces ?bw_traces ?log p in
@@ -283,7 +394,11 @@ let create ?cpu_traces ?bw_traces ?log p =
 
 (* --- submission --- *)
 
-let submit ?(strict = false) ?on_done t kind =
+let submit_op ?(strict = false) ?timeout ?on_done ?on_cancel t kind =
+  (match timeout with
+  | Some d when R.sign d < 0 ->
+    invalid_arg "Event_sim.submit_op: negative timeout"
+  | Some _ | None -> ());
   let res, base, amount =
     match kind with
     | Compute (i, w) ->
@@ -309,11 +424,17 @@ let submit ?(strict = false) ?on_done t kind =
       remaining = amount;
       last_update = t.clock;
       gen = 0;
+      state = Queued;
+      ev_key = None;
       on_done;
+      on_cancel;
     }
   in
   t.next_oid <- t.next_oid + 1;
-  if resources_free t op then start_op t op
+  if resources_free t op then begin
+    Hashtbl.replace t.ops op.oid op;
+    start_op t op
+  end
   else if strict then begin
     let blocked =
       List.filter (fun s -> t.occupied.(s) <> None) op.res
@@ -325,7 +446,29 @@ let submit ?(strict = false) ?on_done t kind =
          (Printf.sprintf "at t=%s: resource(s) %s busy" (R.to_string t.clock)
             blocked))
   end
-  else t.pending <- t.pending @ [ op ]
+  else begin
+    Hashtbl.replace t.ops op.oid op;
+    t.pending <- t.pending @ [ op ]
+  end;
+  (match timeout with
+  | None -> ()
+  | Some d ->
+    let deadline = R.add t.clock d in
+    push_event t deadline
+      (Timer
+         (fun t ->
+           match Hashtbl.find_opt t.ops op.oid with
+           | Some o when o == op -> ignore (do_cancel t op Timed_out)
+           | Some _ | None -> ())));
+  op.oid
+
+let submit ?strict ?on_done t kind =
+  ignore (submit_op ?strict ?on_done t kind)
+
+let cancel t id =
+  match Hashtbl.find_opt t.ops id with
+  | None -> false
+  | Some op -> do_cancel t op Cancelled
 
 let at t time f =
   if R.compare time t.clock < 0 then
@@ -339,6 +482,7 @@ let dispatch t ev =
   | Timer f -> f t
   | Complete (op, gen) ->
     if gen = op.gen then begin
+      op.ev_key <- None;
       touch_op t op;
       assert (R.is_zero op.remaining);
       finish_op t op
@@ -356,7 +500,7 @@ let run_until t limit =
   done;
   if R.compare t.clock limit < 0 then t.clock <- limit
 
-let run t =
+let drain t =
   let continue = ref true in
   while !continue do
     match Emap.min_binding_opt t.queue with
@@ -365,6 +509,31 @@ let run t =
       t.clock <- time;
       dispatch t ev
     | None -> continue := false
+  done
+
+let run t =
+  (* Drain the queue, then sweep for provably-stuck work.  With the
+     queue empty there is no future breakpoint and no pending
+     completion, so every still-running operation sits at multiplier 0
+     forever: strand it.  Stranding frees ports, which may start queued
+     operations with positive rates — hence the re-drain loop.  Each
+     sweep removes at least one live operation (or starts pending ones,
+     which either complete or are themselves stranded next sweep), so
+     the loop terminates. *)
+  let progress = ref true in
+  while !progress do
+    drain t;
+    progress := false;
+    match Hashtbl.fold (fun _ op acc -> op :: acc) t.running_by_key [] with
+    | op :: _ ->
+      ignore (do_cancel t op Stranded);
+      progress := true
+    | [] ->
+      if t.pending <> [] then begin
+        (* no runner, so every resource is free: start the queue *)
+        try_start_pending t;
+        progress := true
+      end
   done
 
 (* --- measurements --- *)
@@ -382,3 +551,5 @@ let busy_time t r =
 let pending_ops t = List.length t.pending
 
 let running_ops t = Hashtbl.length t.running_by_key
+
+let cancelled_ops t = List.rev t.cancel_log

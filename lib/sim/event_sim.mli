@@ -43,6 +43,12 @@ type trace = (Rat.t * Rat.t) list
     must be non-negative and strictly increasing; multipliers must be
     non-negative ([0] = outage). *)
 
+val trace_multiplier : trace -> Rat.t -> Rat.t
+(** The engine's interpretation of a (validated, strictly increasing)
+    trace at a time: the last entry with breakpoint [<= t], implicit 1
+    before the first.  Exposed so planners can certify that they agree
+    with the simulator on every trace they hand over. *)
+
 val create :
   ?cpu_traces:(Platform.node * trace) list ->
   ?bw_traces:(Platform.edge * trace) list ->
@@ -53,6 +59,53 @@ val create :
 val platform : t -> Platform.t
 val now : t -> Rat.t
 
+(** {1 Failure observability} *)
+
+type subject =
+  | Cpu_of of Platform.node  (** the CPU rate of a node *)
+  | Bw_of of Platform.edge  (** the bandwidth of an edge *)
+
+type outage = {
+  out_subject : subject;
+  out_multiplier : Rat.t;  (** the multiplier just set; [0] = outage *)
+  out_was : Rat.t;  (** the multiplier in force before the breakpoint *)
+}
+(** Emitted at every trace breakpoint that crosses zero in either
+    direction: a positive-to-zero transition is a fail-stop outage, a
+    zero-to-positive transition is a recovery.  Plain slowdowns and
+    speedups (positive to positive) are not reported — they degrade, not
+    fail.  A trace that {e starts} at zero (breakpoint at time 0) fires
+    no event; query {!multiplier_of} for the initial state. *)
+
+val on_outage : t -> (t -> outage -> unit) -> unit
+(** Register an outage/recovery observer.  Observers run inside the
+    event loop, after the affected operation's progress has been
+    integrated, and may submit, cancel or schedule further work.
+    Multiple observers fire in registration order. *)
+
+val multiplier_of : t -> subject -> Rat.t
+(** Current speed multiplier of a resource (1 when untraced). *)
+
+(** {1 Operations} *)
+
+type op_id
+(** Handle to a submitted operation, for cancellation and queries. *)
+
+type cancel_reason =
+  | Cancelled  (** explicit {!cancel} *)
+  | Timed_out  (** the [?timeout] budget elapsed before completion *)
+  | Stranded
+      (** {!run} proved the operation can never finish: it was running
+          on (or queued behind) a resource stuck at multiplier 0 with no
+          future breakpoint *)
+
+type cancelled = {
+  c_kind : op_kind;
+  c_reason : cancel_reason;
+  c_remaining : Rat.t;  (** work/data units left when cancelled *)
+  c_time : Rat.t;  (** simulated time of the cancellation *)
+}
+
 val submit :
   ?strict:bool -> ?on_done:(t -> unit) -> t -> op_kind -> unit
 (** Submit an operation.  [on_done] fires when it completes (and may
@@ -60,6 +113,29 @@ val submit :
     current time, still through the event queue.
     @raise Conflict in strict mode if a needed resource is busy.
     @raise Invalid_argument on negative work/size. *)
+
+val submit_op :
+  ?strict:bool ->
+  ?timeout:Rat.t ->
+  ?on_done:(t -> unit) ->
+  ?on_cancel:(t -> cancel_reason -> unit) ->
+  t ->
+  op_kind ->
+  op_id
+(** Like {!submit}, returning a handle.  [?timeout] is a relative
+    budget: if the operation has not completed [timeout] time units
+    after submission (whether still queued or running), it is cancelled
+    with {!Timed_out}.  [on_cancel] fires on any cancellation (explicit,
+    timeout or stranding); partial progress of a cancelled operation is
+    discarded — it never counts towards {!completed_work} or
+    {!transferred}.
+    @raise Invalid_argument on a negative timeout. *)
+
+val cancel : t -> op_id -> bool
+(** Cancel a queued or running operation: frees its resources, drops its
+    remaining work and fires its [on_cancel].  Returns [false] (and does
+    nothing) if the operation already completed or was already
+    cancelled. *)
 
 val at : t -> Rat.t -> (t -> unit) -> unit
 (** Run a callback at an absolute time ([>= now]).
@@ -70,9 +146,13 @@ val run_until : t -> Rat.t -> unit
     equals that time. *)
 
 val run : t -> unit
-(** Process events until the queue is empty (queued operations that can
-    never start, e.g. after an outage with no recovery, are reported via
-    {!pending_ops}). *)
+(** Process events until the queue is empty.  Operations that can never
+    finish — running at multiplier 0 with no future breakpoint for
+    their resource, or queued behind such an operation — are not
+    silently stranded: they are cancelled with {!Stranded} (newly
+    startable queued work is started and drained first), so after [run]
+    returns there is no pending or running operation left and every
+    casualty is visible through [on_cancel] and {!cancelled_ops}. *)
 
 (** {1 Measurements} *)
 
@@ -91,3 +171,6 @@ val pending_ops : t -> int
 (** Operations submitted but not yet started. *)
 
 val running_ops : t -> int
+
+val cancelled_ops : t -> cancelled list
+(** All cancellations so far, oldest first. *)

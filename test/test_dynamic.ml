@@ -142,6 +142,223 @@ let test_validation () =
   Alcotest.(check bool) "outage rejected" true
     (bad { sc with Dy.cpu_traces = [ (1, [ (ri 5, R.zero) ]) ] })
 
+(* --- failure-aware scheduling --- *)
+
+(* forwarding master, three slaves of decreasing efficiency; star edges
+   come mirrored, so edge 2(i-1) is M->Si and 2(i-1)+1 is Si->M *)
+let fault_star () =
+  Platform_gen.star ~master_weight:Ext_rat.inf
+    ~slaves:
+      [
+        (Ext_rat.of_int 1, ri 1);
+        (Ext_rat.of_int 2, ri 2);
+        (Ext_rat.of_int 3, ri 3);
+      ]
+    ()
+
+(* the link to the best slave dies mid-phase at t=25, permanently *)
+let crash_scenario () =
+  {
+    Dy.platform = fault_star ();
+    master = 0;
+    cpu_traces = [];
+    bw_traces = [ (0, [ (ri 25, R.zero) ]); (1, [ (ri 25, R.zero) ]) ];
+    phase = ri 10;
+    phases = 8;
+  }
+
+let test_outage_validation () =
+  let sc = crash_scenario () in
+  (* default validation still rejects outages... *)
+  Alcotest.check_raises "rejected by default"
+    (Invalid_argument "Dynamic_sched: multipliers must stay positive")
+    (fun () -> Dy.validate_scenario sc);
+  (* ...but the failure-aware paths accept them *)
+  Dy.validate_scenario ~allow_outages:true sc;
+  (* strategies that divide by multipliers refuse to run the scenario *)
+  List.iter
+    (fun strat ->
+      Alcotest.check_raises "planner division strategies refuse"
+        (Invalid_argument "Dynamic_sched: multipliers must stay positive")
+        (fun () -> ignore (Dy.run sc strat)))
+    [ Dy.Reactive; Dy.Oracle ];
+  (* negative multipliers are rejected everywhere *)
+  let neg = { sc with Dy.cpu_traces = [ (1, [ (ri 5, R.neg R.one) ]) ] } in
+  Alcotest.check_raises "negative rejected even with outages"
+    (Invalid_argument "Dynamic_sched: negative multiplier") (fun () ->
+      Dy.validate_scenario ~allow_outages:true neg)
+
+let test_robust_beats_static_on_crash () =
+  let sc = crash_scenario () in
+  let s = Dy.run sc Dy.Static in
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.(check bool) "static does some work before the cut" true
+    R.Infix.(s.Dy.completed > R.zero);
+  Alcotest.(check bool) "robust strictly beats static" true
+    R.Infix.(rb.Dy.completed > s.Dy.completed);
+  (* per-epoch LP bound: 3 healthy phases at rate 1, then the surviving
+     subplatform (best slave gone) is worth exactly 1/2 per time unit *)
+  Alcotest.check rat "fault bound" (ri 55) (Dy.fault_throughput_bound sc);
+  Alcotest.(check bool) "robust within the fault bound" true
+    R.Infix.(rb.Dy.completed <= Dy.fault_throughput_bound sc);
+  let l = rb.Dy.losses in
+  Alcotest.(check bool) "in-flight transfers were re-routed" true
+    (l.Dy.cancelled_transfers + l.Dy.timed_out_transfers > 0);
+  Alcotest.(check int) "both directions of the link are dead" 2
+    l.Dy.dead_edges;
+  Alcotest.(check int) "the slave behind it is unreachable" 1 l.Dy.dead_nodes;
+  Alcotest.(check int) "no degraded phase" 0 l.Dy.degraded_phases;
+  (* static suffered but reported no losses: it never looks *)
+  Alcotest.(check bool) "static reports no losses" true
+    (s.Dy.losses = Dy.no_losses)
+
+let test_robust_with_recovery () =
+  let sc =
+    {
+      (crash_scenario ()) with
+      Dy.bw_traces =
+        [
+          (0, [ (ri 25, R.zero); (ri 55, R.one) ]);
+          (1, [ (ri 25, R.zero); (ri 55, R.one) ]);
+        ];
+    }
+  in
+  let s = Dy.run sc Dy.Static in
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.(check bool) "robust at least static" true
+    R.Infix.(rb.Dy.completed >= s.Dy.completed);
+  Alcotest.(check bool) "robust within the fault bound" true
+    R.Infix.(rb.Dy.completed <= Dy.fault_throughput_bound sc);
+  Alcotest.(check int) "everything recovered" 0 rb.Dy.losses.Dy.dead_edges;
+  Alcotest.(check int) "no dead nodes" 0 rb.Dy.losses.Dy.dead_nodes
+
+let test_robust_no_faults_matches_static () =
+  (* on a stable platform the failure machinery must be inert *)
+  let sc = { (scenario ()) with Dy.cpu_traces = [] } in
+  let s = Dy.run sc Dy.Static in
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.check rat "identical completed work" s.Dy.completed rb.Dy.completed;
+  Alcotest.(check bool) "no losses" true (rb.Dy.losses = Dy.no_losses)
+
+let test_master_isolated () =
+  let p = fault_star () in
+  let sc =
+    {
+      Dy.platform = p;
+      master = 0;
+      cpu_traces = [];
+      bw_traces =
+        List.map (fun e -> (e, [ (R.zero, R.zero) ])) (Platform.edges p);
+      phase = ri 10;
+      phases = 4;
+    }
+  in
+  (* no exception escapes: the run degrades into a structured report *)
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.check rat "throughput 0" R.zero rb.Dy.completed;
+  Alcotest.(check int) "every phase degraded" 4 rb.Dy.losses.Dy.degraded_phases;
+  Alcotest.(check int) "all edges dead" 6 rb.Dy.losses.Dy.dead_edges;
+  Alcotest.(check int) "all slaves unreachable" 3 rb.Dy.losses.Dy.dead_nodes;
+  Alcotest.check rat "fault bound is 0" R.zero (Dy.fault_throughput_bound sc);
+  (* the static baseline also survives (it strands, silently) *)
+  let s = Dy.run sc Dy.Static in
+  Alcotest.check rat "static also 0" R.zero s.Dy.completed
+
+let test_mid_run_isolation () =
+  let p = fault_star () in
+  let sc =
+    {
+      Dy.platform = p;
+      master = 0;
+      cpu_traces = [];
+      bw_traces =
+        List.map (fun e -> (e, [ (ri 20, R.zero) ])) (Platform.edges p);
+      phase = ri 10;
+      phases = 8;
+    }
+  in
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.(check bool) "work before the isolation" true
+    R.Infix.(rb.Dy.completed > R.zero);
+  Alcotest.(check int) "remaining phases degraded" 6
+    rb.Dy.losses.Dy.degraded_phases;
+  Alcotest.(check bool) "within the fault bound" true
+    R.Infix.(rb.Dy.completed <= Dy.fault_throughput_bound sc)
+
+let test_surviving_platform () =
+  let sc = crash_scenario () in
+  let restr = Dy.surviving_platform sc ~at:(ri 30) in
+  Alcotest.(check int) "slave 1 dropped" (-1) restr.Platform.sub_of_node.(1);
+  Alcotest.(check int) "three survivors" 3
+    (Platform.num_nodes restr.Platform.sub);
+  Alcotest.(check int) "four surviving edges" 4
+    (Platform.num_edges restr.Platform.sub);
+  Alcotest.(check int) "master kept" 0 restr.Platform.sub_of_node.(0);
+  (* before the fault nothing is restricted *)
+  let before = Dy.surviving_platform sc ~at:(ri 10) in
+  Alcotest.(check int) "all nodes before the fault" 4
+    (Platform.num_nodes before.Platform.sub);
+  Alcotest.(check int) "all edges before the fault" 6
+    (Platform.num_edges before.Platform.sub);
+  Alcotest.(check int) "identity node map" 1 before.Platform.sub_of_node.(1);
+  (* a compute-dead but reachable node survives as a relay *)
+  let sc2 =
+    { sc with Dy.bw_traces = []; cpu_traces = [ (1, [ (ri 25, R.zero) ]) ] }
+  in
+  let restr2 = Dy.surviving_platform sc2 ~at:(ri 30) in
+  Alcotest.(check int) "all nodes kept" 4
+    (Platform.num_nodes restr2.Platform.sub);
+  Alcotest.(check bool) "dead CPU becomes a relay" true
+    (Platform.weight restr2.Platform.sub restr2.Platform.sub_of_node.(1)
+    = Ext_rat.Inf)
+
+let prop_trace_agreement =
+  (* the planner's compiled-array interpretation and the simulator's
+     must agree on every trace — including unsorted entries, duplicate
+     breakpoints, zero multipliers and entries beyond the horizon — at
+     arbitrary times and exactly on breakpoints *)
+  QCheck.Test.make ~count:300 ~name:"planner and simulator agree on traces"
+    (QCheck.make
+       QCheck.Gen.(
+         let* entries =
+           list_size (int_range 0 8) (pair (int_range 0 20) (int_range 0 6))
+         in
+         let* on_breakpoint = bool in
+         let* tq = int_range 0 40 in
+         return (entries, on_breakpoint, tq)))
+    (fun (entries, on_breakpoint, tq) ->
+      let trace = List.map (fun (t, m) -> (ri t, r m 3)) entries in
+      let t =
+        if on_breakpoint && trace <> [] then
+          fst (List.nth trace (tq mod List.length trace))
+        else ri tq
+      in
+      let normalized = Dy.normalize_trace trace in
+      (* the normalized trace must satisfy the simulator's validation *)
+      let p =
+        Platform.create ~names:[| "A" |] ~weights:[| Ext_rat.of_int 1 |]
+          ~edges:[]
+      in
+      let _sim = Event_sim.create ~cpu_traces:[ (0, normalized) ] p in
+      R.equal (Dy.multiplier_at trace t)
+        (Event_sim.trace_multiplier normalized t))
+
+let test_multiplier_edge_cases () =
+  (* entries beyond any horizon of interest are legal and inert early *)
+  let tr = [ (ri 100, r 1 2) ] in
+  Alcotest.check rat "before a far breakpoint" R.one
+    (Dy.multiplier_at tr (ri 80));
+  Alcotest.check rat "after it" (r 1 2) (Dy.multiplier_at tr (ri 200));
+  (* duplicate breakpoints: the last entry wins on both paths, and
+     normalization collapses them to one *)
+  let dup = [ (ri 5, r 1 2); (ri 5, r 1 4); (ri 5, r 1 3) ] in
+  Alcotest.check rat "planner keeps the last" (r 1 3)
+    (Dy.multiplier_at dup (ri 5));
+  Alcotest.check rat "simulator agrees" (r 1 3)
+    (Event_sim.trace_multiplier (Dy.normalize_trace dup) (ri 5));
+  Alcotest.(check int) "normalization collapses duplicates" 1
+    (List.length (Dy.normalize_trace dup))
+
 let suite =
   ( "dynamic",
     [
@@ -154,4 +371,16 @@ let suite =
       Alcotest.test_case "trace order irrelevant" `Quick test_trace_order_irrelevant;
       Alcotest.test_case "reuse bit-identical" `Quick test_reuse_bit_identical;
       Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "outage validation" `Quick test_outage_validation;
+      Alcotest.test_case "robust beats static on crash" `Quick
+        test_robust_beats_static_on_crash;
+      Alcotest.test_case "robust with recovery" `Quick test_robust_with_recovery;
+      Alcotest.test_case "robust inert without faults" `Quick
+        test_robust_no_faults_matches_static;
+      Alcotest.test_case "master isolated" `Quick test_master_isolated;
+      Alcotest.test_case "mid-run isolation" `Quick test_mid_run_isolation;
+      Alcotest.test_case "surviving platform" `Quick test_surviving_platform;
+      Alcotest.test_case "multiplier edge cases" `Quick
+        test_multiplier_edge_cases;
+      QCheck_alcotest.to_alcotest prop_trace_agreement;
     ] )

@@ -1,0 +1,249 @@
+(* Tests for the deterministic fault-injection layer. *)
+
+module R = Rat
+module F = Faults
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let star () =
+  Platform_gen.star ~master_weight:Ext_rat.inf
+    ~slaves:
+      [
+        (Ext_rat.of_int 1, ri 1);
+        (Ext_rat.of_int 2, ri 2);
+        (Ext_rat.of_int 3, ri 3);
+      ]
+    ()
+
+(* M -- A -- {B, C}: a 2-level tree, edges mirrored by hand *)
+let tree () =
+  Platform.create
+    ~names:[| "M"; "A"; "B"; "C" |]
+    ~weights:
+      [| Ext_rat.inf; Ext_rat.of_int 1; Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+    ~edges:
+      [
+        (0, 1, ri 1);
+        (1, 0, ri 1);
+        (1, 2, ri 1);
+        (2, 1, ri 1);
+        (1, 3, ri 1);
+        (3, 1, ri 1);
+      ]
+
+let win ?until from = { F.from; until }
+let bad f = try f () |> ignore; false with Invalid_argument _ -> true
+
+let trace_t =
+  Alcotest.(list (pair rat rat))
+
+let test_validate () =
+  let p = star () in
+  Alcotest.(check bool) "negative onset" true
+    (bad (fun () -> F.validate p [ F.Cpu_crash (1, win (ri (-1))) ]));
+  Alcotest.(check bool) "recovery before onset" true
+    (bad (fun () ->
+         F.validate p [ F.Link_cut (0, win ~until:(ri 2) (ri 5)) ]));
+  Alcotest.(check bool) "recovery equal to onset" true
+    (bad (fun () ->
+         F.validate p [ F.Link_cut (0, win ~until:(ri 5) (ri 5)) ]));
+  Alcotest.(check bool) "node out of range" true
+    (bad (fun () -> F.validate p [ F.Node_crash (9, win (ri 1)) ]));
+  Alcotest.(check bool) "edge out of range" true
+    (bad (fun () -> F.validate p [ F.Link_cut (42, win (ri 1)) ]));
+  Alcotest.(check bool) "zero slow factor" true
+    (bad (fun () -> F.validate p [ F.Cpu_slow (1, win (ri 1), R.zero) ]));
+  Alcotest.(check bool) "slow factor above one" true
+    (bad (fun () -> F.validate p [ F.Cpu_slow (1, win (ri 1), ri 2) ]));
+  (* a factor of exactly 1 is legal (no-op fault) *)
+  F.validate p [ F.Link_slow (0, win (ri 1), R.one) ]
+
+let test_min_composition () =
+  let p = star () in
+  (* a slowdown enclosing a crash: the minimum must win inside *)
+  let faults =
+    [
+      F.Cpu_slow (1, win ~until:(ri 8) (ri 2), r 1 2);
+      F.Cpu_crash (1, win ~until:(ri 6) (ri 4));
+    ]
+  in
+  let cpu, bw = F.traces p faults in
+  Alcotest.(check int) "only node 1 affected" 1 (List.length cpu);
+  Alcotest.(check int) "no edges affected" 0 (List.length bw);
+  Alcotest.check trace_t "composed trace"
+    [ (ri 2, r 1 2); (ri 4, R.zero); (ri 6, r 1 2); (ri 8, R.one) ]
+    (List.assoc 1 cpu);
+  List.iter
+    (fun (t, m) ->
+      Alcotest.check rat
+        (Printf.sprintf "multiplier at %s" (R.to_string t))
+        m
+        (F.multiplier p faults (Event_sim.Cpu_of 1) t))
+    [
+      (R.one, R.one);
+      (ri 2, r 1 2);
+      (ri 5, R.zero);
+      (ri 6, r 1 2);
+      (ri 9, R.one);
+    ]
+
+let test_node_crash_kills_links () =
+  let p = star () in
+  let faults = [ F.Node_crash (1, win (ri 5)) ] in
+  let cpu, bw = F.traces p faults in
+  Alcotest.check trace_t "cpu dead from 5" [ (ri 5, R.zero) ]
+    (List.assoc 1 cpu);
+  (* star edges are mirrored: 0 = M->S1, 1 = S1->M *)
+  Alcotest.(check (list int)) "both incident links dead" [ 0; 1 ]
+    (List.sort compare (List.map fst bw));
+  List.iter
+    (fun (_, tr) ->
+      Alcotest.check trace_t "permanent cut" [ (ri 5, R.zero) ] tr)
+    bw;
+  Alcotest.check rat "link dead after onset" R.zero
+    (F.multiplier p faults (Event_sim.Bw_of 0) (ri 7));
+  (* the compiled traces are valid simulator input *)
+  let sim = Event_sim.create ~cpu_traces:cpu ~bw_traces:bw p in
+  Alcotest.check rat "alive before the crash" R.one
+    (Event_sim.multiplier_of sim (Event_sim.Bw_of 0))
+
+let test_master_adjacent_cut () =
+  let p = star () in
+  let faults = F.master_adjacent_cut p ~master:0 ~at:(ri 3) () in
+  let cpu, bw = F.traces p faults in
+  Alcotest.(check int) "no cpu faults" 0 (List.length cpu);
+  Alcotest.(check (list int)) "every link incident to the master"
+    [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare (List.map fst bw));
+  Alcotest.check rat "cut is permanent" R.zero
+    (F.multiplier p faults (Event_sim.Bw_of 4) (ri 1000));
+  (* with recovery *)
+  let rec_faults =
+    F.master_adjacent_cut p ~master:0 ~at:(ri 3) ~until:(ri 9) ()
+  in
+  Alcotest.check rat "recovered" R.one
+    (F.multiplier p rec_faults (Event_sim.Bw_of 4) (ri 9))
+
+let test_subtree_partition () =
+  let p = tree () in
+  let faults = F.subtree_partition p ~master:0 ~root:1 ~at:(ri 4) () in
+  let cpu, bw = F.traces p faults in
+  Alcotest.(check int) "no cpu faults" 0 (List.length cpu);
+  (* the whole subtree {A,B,C} hangs off A: only the M<->A links cross *)
+  Alcotest.(check (list int)) "exactly the crossing links" [ 0; 1 ]
+    (List.sort compare (List.map fst bw));
+  Alcotest.check rat "intra-subtree link untouched" R.one
+    (F.multiplier p faults (Event_sim.Bw_of 2) (ri 10));
+  Alcotest.(check bool) "root = master rejected" true
+    (bad (fun () -> F.subtree_partition p ~master:0 ~root:0 ~at:(ri 4) ()))
+
+let test_cascading_slowdown () =
+  let p = tree () in
+  let f = r 1 2 in
+  let faults =
+    F.cascading_slowdown p ~master:0 ~at:(ri 10) ~step:(ri 5) ~factor:f
+  in
+  (* depth 1 = {A} hit at 10 with 1/2; depth 2 = {B,C} at 15 with 1/4 *)
+  Alcotest.check rat "A at onset" f
+    (F.multiplier p faults (Event_sim.Cpu_of 1) (ri 10));
+  Alcotest.check rat "B before its wave" R.one
+    (F.multiplier p faults (Event_sim.Cpu_of 2) (ri 12));
+  Alcotest.check rat "B after its wave" (r 1 4)
+    (F.multiplier p faults (Event_sim.Cpu_of 2) (ri 15));
+  Alcotest.check rat "C too" (r 1 4)
+    (F.multiplier p faults (Event_sim.Cpu_of 3) (ri 20));
+  Alcotest.check rat "master untouched" R.one
+    (F.multiplier p faults (Event_sim.Cpu_of 0) (ri 20));
+  Alcotest.(check bool) "factor 1 rejected" true
+    (bad (fun () ->
+         F.cascading_slowdown p ~master:0 ~at:(ri 10) ~step:(ri 5)
+           ~factor:R.one));
+  Alcotest.(check bool) "negative step rejected" true
+    (bad (fun () ->
+         F.cascading_slowdown p ~master:0 ~at:(ri 10) ~step:(ri (-1))
+           ~factor:f))
+
+let test_lcg () =
+  let g1 = F.generator ~seed:42 and g2 = F.generator ~seed:42 in
+  let s1 = List.init 50 (fun _ -> F.rand_int g1 1000) in
+  let s2 = List.init 50 (fun _ -> F.rand_int g2 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" s1 s2;
+  let g3 = F.generator ~seed:43 in
+  let s3 = List.init 50 (fun _ -> F.rand_int g3 1000) in
+  Alcotest.(check bool) "different seed, different stream" true (s1 <> s3);
+  List.iter
+    (fun n ->
+      let g = F.generator ~seed:7 in
+      for _ = 1 to 200 do
+        let v = F.rand_int g n in
+        if v < 0 || v >= n then
+          Alcotest.failf "rand_int %d out of range: %d" n v
+      done)
+    [ 1; 2; 7; 100 ]
+
+let fault_window = function
+  | F.Node_crash (_, w)
+  | F.Cpu_crash (_, w)
+  | F.Link_cut (_, w)
+  | F.Cpu_slow (_, w, _)
+  | F.Link_slow (_, w, _) ->
+      w
+
+let test_random_plan () =
+  let p = star () in
+  let plan g =
+    F.random_plan g p ~master:0 ~horizon:(ri 80) ~align:(ri 10) ~faults:6
+  in
+  let p1 = plan (F.generator ~seed:123) in
+  let p2 = plan (F.generator ~seed:123) in
+  Alcotest.(check int) "requested number of faults" 6 (List.length p1);
+  (* deterministic: both plans compile to identical traces *)
+  let same_traces (c1, b1) (c2, b2) =
+    let same (i1, t1) (i2, t2) =
+      i1 = i2
+      && List.length t1 = List.length t2
+      && List.for_all2
+           (fun (ta, ma) (tb, mb) -> R.equal ta tb && R.equal ma mb)
+           t1 t2
+    in
+    List.length c1 = List.length c2
+    && List.length b1 = List.length b2
+    && List.for_all2 same c1 c2
+    && List.for_all2 same b1 b2
+  in
+  Alcotest.(check bool) "same seed, same compiled traces" true
+    (same_traces (F.traces p p1) (F.traces p p2));
+  (* the plan is valid, grid-aligned and inside the horizon *)
+  F.validate p p1;
+  List.iter
+    (fun f ->
+      let w = fault_window f in
+      let aligned t = R.is_integer (R.div t (ri 10)) in
+      Alcotest.(check bool) "onset on the grid" true (aligned w.F.from);
+      Alcotest.(check bool) "onset inside (0, horizon)" true
+        (R.sign w.F.from > 0 && R.compare w.F.from (ri 80) < 0);
+      (match w.F.until with
+      | None -> ()
+      | Some u -> Alcotest.(check bool) "recovery on the grid" true (aligned u));
+      (* the master's CPU is never crashed *)
+      match f with
+      | F.Node_crash (n, _) | F.Cpu_crash (n, _) ->
+          Alcotest.(check bool) "master spared" true (n <> 0)
+      | _ -> ())
+    p1
+
+let suite =
+  ( "faults",
+    [
+      Alcotest.test_case "validation" `Quick test_validate;
+      Alcotest.test_case "min composition" `Quick test_min_composition;
+      Alcotest.test_case "node crash kills links" `Quick
+        test_node_crash_kills_links;
+      Alcotest.test_case "master-adjacent cut" `Quick test_master_adjacent_cut;
+      Alcotest.test_case "subtree partition" `Quick test_subtree_partition;
+      Alcotest.test_case "cascading slowdown" `Quick test_cascading_slowdown;
+      Alcotest.test_case "lcg determinism" `Quick test_lcg;
+      Alcotest.test_case "random plan" `Quick test_random_plan;
+    ] )

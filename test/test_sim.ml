@@ -272,6 +272,131 @@ let prop_trace_integration =
         in
         R.equal tf (integrate (ri w) pieces))
 
+(* --- failure layer: cancellation, timeouts, outage events, stranding --- *)
+
+(* forwarding master, two unit slaves *)
+let star3 () =
+  Platform.create
+    ~names:[| "M"; "A"; "B" |]
+    ~weights:[| E.inf; E.of_int 1; E.of_int 1 |]
+    ~edges:[ (0, 1, ri 1); (0, 2, ri 1) ]
+
+let test_cancel_running () =
+  let s = S.create (star3 ()) in
+  let reason = ref None in
+  let id =
+    S.submit_op s (S.Transfer (0, ri 4))
+      ~on_cancel:(fun _ rsn -> reason := Some rsn)
+  in
+  (* queued behind the master's send port *)
+  S.submit s (S.Transfer (1, ri 1));
+  S.at s (ri 2) (fun s -> Alcotest.(check bool) "cancel hits" true (S.cancel s id));
+  S.run s;
+  Alcotest.(check bool) "on_cancel fired" true (!reason = Some S.Cancelled);
+  Alcotest.check rat "partial progress discarded" R.zero (S.transferred s 0);
+  Alcotest.check rat "queued op freed and completed" (ri 1) (S.transferred s 1);
+  (* cancelled at t=2 with 2 of 4 units left *)
+  (match S.cancelled_ops s with
+  | [ c ] ->
+    Alcotest.check rat "remaining" (ri 2) c.S.c_remaining;
+    Alcotest.check rat "time" (ri 2) c.S.c_time
+  | l -> Alcotest.failf "expected 1 cancellation, got %d" (List.length l));
+  (* the id is dead now *)
+  Alcotest.(check bool) "second cancel is a no-op" false (S.cancel s id);
+  Alcotest.check rat "send port busy while it ran" (ri 3)
+    (S.busy_time s (S.Send 0))
+
+let test_timeout () =
+  let s = S.create (duo ()) in
+  let cancelled_at = ref None in
+  ignore
+    (S.submit_op s (S.Compute (0, ri 4)) ~timeout:(ri 6)
+       ~on_cancel:(fun t _ -> cancelled_at := Some (S.now t)));
+  (* completes well within its budget *)
+  ignore (S.submit_op s (S.Compute (1, ri 1)) ~timeout:(ri 100));
+  S.run s;
+  (* 4 units at w=3 need 12 > 6: timed out with 2 units left *)
+  Alcotest.(check bool) "timed out at 6" true (!cancelled_at = Some (ri 6));
+  Alcotest.check rat "no work credited" R.zero (S.completed_work s 0);
+  Alcotest.check rat "fast op unaffected" (ri 1) (S.completed_work s 1);
+  (match S.cancelled_ops s with
+  | [ c ] ->
+    Alcotest.(check bool) "reason" true (c.S.c_reason = S.Timed_out);
+    Alcotest.check rat "remaining" (ri 2) c.S.c_remaining
+  | l -> Alcotest.failf "expected 1 cancellation, got %d" (List.length l));
+  (* negative timeout rejected *)
+  Alcotest.check_raises "negative timeout"
+    (Invalid_argument "Event_sim.submit_op: negative timeout") (fun () ->
+      ignore (S.submit_op s (S.Compute (1, ri 1)) ~timeout:(ri (-1))))
+
+let test_outage_events () =
+  let p =
+    Platform.create ~names:[| "A" |] ~weights:[| E.of_int 2 |] ~edges:[]
+  in
+  (* down at 2, back at 5, mere slowdown at 7 (no event) *)
+  let s =
+    S.create ~cpu_traces:[ (0, [ (ri 2, R.zero); (ri 5, R.one); (ri 7, r 1 2) ]) ] p
+  in
+  let events = ref [] in
+  S.on_outage s (fun t out -> events := (S.now t, out) :: !events);
+  S.submit s (S.Compute (0, ri 10));
+  S.run s;
+  (match List.rev !events with
+  | [ (t1, o1); (t2, o2) ] ->
+    Alcotest.check rat "outage at 2" (ri 2) t1;
+    Alcotest.(check bool) "subject" true (o1.S.out_subject = S.Cpu_of 0);
+    Alcotest.check rat "went to 0" R.zero o1.S.out_multiplier;
+    Alcotest.check rat "was nominal" R.one o1.S.out_was;
+    Alcotest.check rat "recovery at 5" (ri 5) t2;
+    Alcotest.check rat "back to 1" R.one o2.S.out_multiplier;
+    Alcotest.check rat "was 0" R.zero o2.S.out_was
+  | l -> Alcotest.failf "expected 2 outage events, got %d" (List.length l));
+  Alcotest.check rat "multiplier_of after the end" (r 1 2)
+    (S.multiplier_of s (S.Cpu_of 0))
+
+let test_trace_multiplier () =
+  let tr = [ (ri 2, r 1 2); (ri 5, R.zero) ] in
+  Alcotest.check rat "before" R.one (S.trace_multiplier tr R.one);
+  Alcotest.check rat "on breakpoint" (r 1 2) (S.trace_multiplier tr (ri 2));
+  Alcotest.check rat "after last" R.zero (S.trace_multiplier tr (ri 9))
+
+(* regression: a permanent outage used to leave queued ops stranded in
+   the pending list forever, invisible unless the caller polled
+   [pending_ops]; [run] must cancel them through the outage path *)
+let test_full_outage_no_recovery () =
+  let s = S.create ~bw_traces:[ (0, [ (ri 1, R.zero) ]) ] (star3 ()) in
+  let reasons = ref [] in
+  ignore
+    (S.submit_op s (S.Transfer (0, ri 5))
+       ~on_cancel:(fun _ rsn -> reasons := rsn :: !reasons));
+  (* queued behind the doomed transfer's send port, but on a live link:
+     stranding the first op must let this one run to completion *)
+  S.submit s (S.Transfer (1, ri 1));
+  S.run s;
+  Alcotest.(check bool) "stranded" true (!reasons = [ S.Stranded ]);
+  Alcotest.check rat "doomed transfer not credited" R.zero (S.transferred s 0);
+  Alcotest.check rat "live transfer completed" (ri 1) (S.transferred s 1);
+  Alcotest.(check int) "nothing pending" 0 (S.pending_ops s);
+  Alcotest.(check int) "nothing running" 0 (S.running_ops s);
+  (match S.cancelled_ops s with
+  | [ c ] ->
+    (* 1 of 5 units transferred before the cut at t=1 *)
+    Alcotest.check rat "remaining" (ri 4) c.S.c_remaining;
+    Alcotest.check rat "stranded at the cut" (ri 1) c.S.c_time
+  | l -> Alcotest.failf "expected 1 cancellation, got %d" (List.length l))
+
+let test_dead_from_start () =
+  (* multiplier 0 from t=0 with no recovery: [run] must terminate and
+     report, not spin or strand silently *)
+  let s = S.create ~bw_traces:[ (0, [ (R.zero, R.zero) ]) ] (star3 ()) in
+  S.submit s (S.Transfer (0, ri 2));
+  S.submit s (S.Transfer (0, ri 3));
+  S.run s;
+  Alcotest.(check int) "both reported" 2 (List.length (S.cancelled_ops s));
+  Alcotest.(check int) "nothing pending" 0 (S.pending_ops s);
+  Alcotest.(check int) "nothing running" 0 (S.running_ops s);
+  Alcotest.check rat "nothing transferred" R.zero (S.transferred s 0)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "sim",
@@ -291,6 +416,13 @@ let suite =
       Alcotest.test_case "speedup trace" `Quick test_speedup_trace;
       Alcotest.test_case "trace validation" `Quick test_trace_validation;
       Alcotest.test_case "log hook" `Quick test_log_hook;
+      Alcotest.test_case "cancel running op" `Quick test_cancel_running;
+      Alcotest.test_case "per-op timeout" `Quick test_timeout;
+      Alcotest.test_case "outage events" `Quick test_outage_events;
+      Alcotest.test_case "trace_multiplier" `Quick test_trace_multiplier;
+      Alcotest.test_case "full outage, no recovery" `Quick
+        test_full_outage_no_recovery;
+      Alcotest.test_case "dead from start" `Quick test_dead_from_start;
       q prop_single_resource_serialises;
       q prop_parallel_edges_overlap;
       q prop_trace_integration;
