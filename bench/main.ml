@@ -18,6 +18,16 @@
    Every accelerated run is checked against the cold objectives before
    its time is recorded — a fast wrong answer never lands in the JSON.
 
+   Part 2.6 measures the persistent solve store: a populate pass
+   (write-through), a second pass with a fresh handle and empty memory
+   cache (a stand-in for a second process — every solve must come off
+   disk, bit-identical), and a corruption pass that flips a byte in
+   every record and requires quarantine + cold re-solve, never an
+   exception or a changed objective.  [--cache-dir DIR] (or
+   [STEADY_CACHE_DIR]) points the suite at a persistent directory so
+   successive bench runs really do share solves; by default a temp
+   directory is used and removed.
+
    Part 3 is the Domain-pool sweep: the independent E13 LP solves and
    the E1-E17 battery, each run once on a sequential pool and once on a
    pool of [max 1 (recommended_domain_count - 1)] workers, so the
@@ -235,6 +245,36 @@ let record rows name ns =
   if ns >= 1e6 then Printf.printf "%-56s %10.3f ms wall\n" name (ns /. 1e6)
   else Printf.printf "%-56s %10.3f us wall\n" name (ns /. 1e3)
 
+(* --- cache / warm statistics, aggregated across the whole run --- *)
+
+(* every suite that creates an [Lp.Cache], a disk store or an [Lp.Warm]
+   slot notes it here once it is done with it; the totals land in the
+   JSON snapshot so reuse rates are trackable across PRs *)
+let stats_cache_hits = ref 0
+let stats_cache_misses = ref 0
+let stats_cache_evictions = ref 0
+let stats_disk_hits = ref 0
+let stats_disk_stores = ref 0
+let stats_disk_evictions = ref 0
+let stats_quarantined = ref 0
+let stats_warm_hits = ref 0
+let stats_warm_misses = ref 0
+
+let note_cache c =
+  stats_cache_hits := !stats_cache_hits + Lp.Cache.hits c;
+  stats_cache_misses := !stats_cache_misses + Lp.Cache.misses c;
+  stats_cache_evictions := !stats_cache_evictions + Lp.Cache.evictions c;
+  stats_disk_hits := !stats_disk_hits + Lp.Cache.disk_hits c
+
+let note_store s =
+  stats_disk_stores := !stats_disk_stores + Lp.Cache.Disk.stores s;
+  stats_disk_evictions := !stats_disk_evictions + Lp.Cache.Disk.evictions s;
+  stats_quarantined := !stats_quarantined + Lp.Cache.Disk.quarantined s
+
+let note_warm w =
+  stats_warm_hits := !stats_warm_hits + Lp.Warm.hits w;
+  stats_warm_misses := !stats_warm_misses + Lp.Warm.misses w
+
 (* --- part 2.5: warm-start / solve-cache workloads --- *)
 
 (* mildly perturbed copy of [p]: every finite node weight divided by
@@ -326,10 +366,14 @@ let run_warm_suite ~smoke () =
   let label tail = Printf.sprintf "warm/re-solve %dx perturbed n=%d (%s)" k n tail in
   measure (label "cold tableau") (fun () -> resolve_all plats);
   measure (label "cold revised") (fun () -> resolve_all ~solver:Lp.Revised plats);
-  measure (label "warm tableau")
-    (fun () -> resolve_all ~warm:(Lp.Warm.create ()) plats);
-  measure (label "warm revised")
-    (fun () -> resolve_all ~solver:Lp.Revised ~warm:(Lp.Warm.create ()) plats);
+  let warm_sweep ?solver () =
+    let w = Lp.Warm.create () in
+    let objs = resolve_all ?solver ~warm:w plats in
+    note_warm w;
+    objs
+  in
+  measure (label "warm tableau") (fun () -> warm_sweep ());
+  measure (label "warm revised") (fun () -> warm_sweep ~solver:Lp.Revised ());
   (* basis-factorisation ablation on the warm refactorisation path:
      every warm import rebuilds a factorisation of the deposited basis —
      Gauss–Jordan O(m³) under [`Dense], sparse LU under [`Lu].  The two
@@ -374,6 +418,7 @@ let run_warm_suite ~smoke () =
     let run s = Dynamic_sched.run ?cache ~reuse sc s in
     let re = run Dynamic_sched.Reactive in
     let o = run Dynamic_sched.Oracle in
+    Option.iter note_cache cache;
     (re.Dynamic_sched.completed, o.Dynamic_sched.completed)
   in
   let e10 tail = Printf.sprintf "warm/E10 Reactive+Oracle %d phases (%s)" phases tail in
@@ -390,7 +435,10 @@ let run_warm_suite ~smoke () =
   let cold_bound_ns = ns in
   let b_cached, ns =
     best_of ~runs (fun () ->
-        Dynamic_sched.oracle_throughput_bound ~cache:(Lp.Cache.create ()) sc)
+        let cache = Lp.Cache.create () in
+        let b = Dynamic_sched.oracle_throughput_bound ~cache sc in
+        note_cache cache;
+        b)
   in
   if not (R.equal b_cold b_cached) then
     failwith "bench: oracle bound differs between cold and cached solves";
@@ -465,9 +513,113 @@ let run_pool_sweep ~smoke () =
         ns;
       if not (List.for_all2 R.equal per_task family) then
         failwith "bench: family-slot sweep changed an objective";
+      stats_warm_hits := !stats_warm_hits + Lp.Warm.Family.hits fam;
+      stats_warm_misses := !stats_warm_misses + Lp.Warm.Family.misses fam;
       Printf.printf "%-56s %10d domains, %d warm hits\n" "sweep/family slots"
         (Lp.Warm.Family.domains fam)
         (Lp.Warm.Family.hits fam));
+  List.rev !rows
+
+(* --- part 2.6: persistent solve store --- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+(* flip one bit in the middle of the file: every record so damaged must
+   fail validation (the checksum covers the payload; the header lines
+   are structurally checked) *)
+let flip_byte path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if String.length s > 0 then begin
+    let b = Bytes.of_string s in
+    let pos = Bytes.length b / 2 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  end
+
+let run_disk_suite ~smoke ~cache_dir () =
+  print_endline "\n########## persistent solve store (disk cache) ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let temp = cache_dir = None in
+  let dir =
+    match cache_dir with
+    | Some d -> d
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "steady-bench-cache-%d" (Unix.getpid ()))
+  in
+  if temp then rm_rf dir;
+  let n = if smoke then 6 else 12 and k = if smoke then 3 else 8 in
+  let plats = perturbed_platforms ~n ~k in
+  let reference = resolve_all plats in
+  let solve_through cache =
+    List.map
+      (fun p -> (Master_slave.solve ~cache p ~master:0).Master_slave.ntask)
+      plats
+  in
+  let guarded what objs =
+    if not (List.for_all2 R.equal reference objs) then
+      failwith ("bench: disk cache changed an objective in " ^ what)
+  in
+  (* pass 1: cold solves, written through to disk *)
+  let store1 = Lp.Cache.Disk.open_store dir in
+  let cache1 = Lp.Cache.create ~disk:store1 () in
+  let objs, ns = wall_ns (fun () -> solve_through cache1) in
+  guarded "populate" objs;
+  record (Printf.sprintf "disk/populate %dx n=%d (write-through)" k n) ns;
+  note_cache cache1;
+  note_store store1;
+  (* pass 2: fresh handle, empty memory cache — a second process.  On a
+     persistent --cache-dir the populate pass above already hit, so the
+     only hard requirement is that reuse happened at all. *)
+  let store2 = Lp.Cache.Disk.open_store dir in
+  let cache2 = Lp.Cache.create ~disk:store2 () in
+  let objs, ns = wall_ns (fun () -> solve_through cache2) in
+  guarded "disk re-solve" objs;
+  record (Printf.sprintf "disk/re-solve %dx n=%d (fresh handle)" k n) ns;
+  if Lp.Cache.disk_hits cache2 = 0 then
+    failwith "bench: no solve was served from the disk cache";
+  Printf.printf "%-56s %10s\n" "disk/guard fresh handle"
+    (Printf.sprintf "%d/%d served from disk, bit-identical"
+       (Lp.Cache.disk_hits cache2) k);
+  note_cache cache2;
+  note_store store2;
+  (* corruption pass: flip a bit in every record; each must be
+     quarantined and re-solved cold — never served, never an escape *)
+  let recs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".rec")
+  in
+  List.iter (fun f -> flip_byte (Filename.concat dir f)) recs;
+  let store3 = Lp.Cache.Disk.open_store dir in
+  let cache3 = Lp.Cache.create ~disk:store3 () in
+  let objs, ns = wall_ns (fun () -> solve_through cache3) in
+  guarded "corrupted store" objs;
+  record
+    (Printf.sprintf "disk/re-solve %dx n=%d (every record corrupted)" k n)
+    ns;
+  if recs <> [] && Lp.Cache.Disk.quarantined store3 = 0 then
+    failwith "bench: corrupted records were not quarantined";
+  if Lp.Cache.disk_hits cache3 <> 0 then
+    failwith "bench: a corrupted record was served from disk";
+  Printf.printf "%-56s %10s\n" "disk/guard corruption"
+    (Printf.sprintf "%d records flipped, %d quarantined, all re-solved cold"
+       (List.length recs)
+       (Lp.Cache.Disk.quarantined store3));
+  note_cache cache3;
+  note_store store3;
+  if temp then rm_rf dir;
   List.rev !rows
 
 (* --- part 4: fault sweep --- *)
@@ -522,6 +674,7 @@ let run_fault_suite ~smoke () =
         wall_ns (fun () -> Dynamic_sched.fault_throughput_bound ~cache sc)
       in
       record (label "LP bound") ns;
+      note_cache cache;
       let completed (out : Dynamic_sched.outcome) =
         out.Dynamic_sched.completed
       in
@@ -589,10 +742,21 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/1\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/2\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
+  Printf.fprintf oc "  \"cache_stats\": {\n";
+  Printf.fprintf oc "    \"cache_hits\": %d,\n" !stats_cache_hits;
+  Printf.fprintf oc "    \"cache_misses\": %d,\n" !stats_cache_misses;
+  Printf.fprintf oc "    \"cache_evictions\": %d,\n" !stats_cache_evictions;
+  Printf.fprintf oc "    \"disk_hits\": %d,\n" !stats_disk_hits;
+  Printf.fprintf oc "    \"disk_stores\": %d,\n" !stats_disk_stores;
+  Printf.fprintf oc "    \"disk_evictions\": %d,\n" !stats_disk_evictions;
+  Printf.fprintf oc "    \"quarantined_records\": %d,\n" !stats_quarantined;
+  Printf.fprintf oc "    \"warm_hits\": %d,\n" !stats_warm_hits;
+  Printf.fprintf oc "    \"warm_misses\": %d\n" !stats_warm_misses;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"results\": {\n";
   let n = List.length rows in
   List.iteri
@@ -636,7 +800,7 @@ let print_coloring_stats () =
        ]);
   print_newline ()
 
-let run_smoke () =
+let run_smoke ~cache_dir () =
   print_endline "########## smoke: every workload body once ##########\n";
   List.iter
     (fun (name, fn) ->
@@ -644,6 +808,7 @@ let run_smoke () =
       Printf.printf "smoke ok  %s\n" name)
     (timed_workloads ());
   ignore (run_warm_suite ~smoke:true ());
+  ignore (run_disk_suite ~smoke:true ~cache_dir ());
   ignore (run_pool_sweep ~smoke:true ());
   ignore (run_fault_suite ~smoke:true ());
   print_endline "\nsmoke: all workloads executed"
@@ -653,6 +818,7 @@ let () =
   let smoke = ref false in
   let faults_only = ref false in
   let json_path = ref "BENCH_steady.json" in
+  let cache_dir = ref (Sys.getenv_opt "STEADY_CACHE_DIR") in
   let rec parse = function
     | [] -> ()
     | "--tables-only" :: rest ->
@@ -667,14 +833,17 @@ let () =
     | "--json" :: path :: rest ->
       json_path := path;
       parse rest
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
     | arg :: _ ->
       prerr_endline
         ("usage: main.exe [--tables-only] [--smoke] [--faults-only] [--json \
-          PATH]; got " ^ arg);
+          PATH] [--cache-dir DIR]; got " ^ arg);
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then run_smoke ()
+  if !smoke then run_smoke ~cache_dir:!cache_dir ()
   else if !faults_only then ignore (run_fault_suite ~smoke:false ())
   else begin
     print_tables ();
@@ -682,8 +851,10 @@ let () =
     if not !tables_only then begin
       let bench_rows = run_benchmarks () in
       let warm_rows = run_warm_suite ~smoke:false () in
+      let disk_rows = run_disk_suite ~smoke:false ~cache_dir:!cache_dir () in
       let sweep_rows = run_pool_sweep ~smoke:false () in
       let fault_rows = run_fault_suite ~smoke:false () in
-      write_json !json_path (bench_rows @ warm_rows @ sweep_rows @ fault_rows)
+      write_json !json_path
+        (bench_rows @ warm_rows @ disk_rows @ sweep_rows @ fault_rows)
     end
   end

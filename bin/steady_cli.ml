@@ -42,14 +42,51 @@ let periods_arg =
   let doc = "Number of periods to simulate." in
   Arg.(value & opt int 6 & info [ "periods"; "k" ] ~docv:"K" ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persist exact LP solves under $(docv) and reuse them across runs \
+     (crash-safe; corrupt records are quarantined and re-solved)."
+  in
+  let env = Cmd.Env.info "STEADY_CACHE_DIR" ~doc:"Default for --cache-dir." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~env ~docv:"DIR" ~doc)
+
+(* Open a disk-backed cache when a directory was requested; on exit
+   report its statistics on stderr (stdout carries only the command's
+   regular output). *)
+let with_cache dir f =
+  match dir with
+  | None -> f None
+  | Some d -> (
+    match Lp.Cache.Disk.open_store d with
+    | exception e ->
+      Error
+        (Printf.sprintf "cannot open cache directory %S: %s" d
+           (Printexc.to_string e))
+    | store ->
+      let cache = Lp.Cache.create ~disk:store () in
+      let res = f (Some cache) in
+      Printf.eprintf
+        "cache %s: %d hits (%d from disk), %d misses, %d stored, %d \
+         quarantined\n"
+        d (Lp.Cache.hits cache)
+        (Lp.Cache.disk_hits cache)
+        (Lp.Cache.misses cache)
+        (Lp.Cache.Disk.stores store)
+        (Lp.Cache.Disk.quarantined store);
+      res)
+
 (* --- solve-ms --- *)
 
 let solve_ms_cmd =
-  let run path master periods =
+  let run path master periods cache_dir =
     or_die
       (let* p = read_platform path in
        let* m = node_of_name p master in
-       let sol = Master_slave.solve p ~master:m in
+       with_cache cache_dir @@ fun cache ->
+       let sol = Master_slave.solve ?cache p ~master:m in
        Printf.printf "ntask(G) = %s tasks per time unit\n\n"
          (Rat.to_string sol.Master_slave.ntask);
        List.iter
@@ -73,7 +110,7 @@ let solve_ms_cmd =
   in
   let doc = "Solve steady-state master-slave tasking (§3.1) and reconstruct the schedule." in
   Cmd.v (Cmd.info "solve-ms" ~doc)
-    Term.(const run $ platform_arg $ master_arg $ periods_arg)
+    Term.(const run $ platform_arg $ master_arg $ periods_arg $ cache_dir_arg)
 
 (* --- solve-scatter --- *)
 
@@ -87,12 +124,13 @@ let parse_targets p s =
     (Ok []) names
 
 let solve_scatter_cmd =
-  let run path source targets periods =
+  let run path source targets periods cache_dir =
     or_die
       (let* p = read_platform path in
        let* s = node_of_name p source in
        let* tg = parse_targets p targets in
-       let sol = Scatter.solve p ~source:s ~targets:tg in
+       with_cache cache_dir @@ fun cache ->
+       let sol = Scatter.solve ?cache p ~source:s ~targets:tg in
        Printf.printf "scatter throughput TP = %s messages per time unit\n"
          (Rat.to_string sol.Collective.throughput);
        let sim_run = Scatter.simulate ~periods sol in
@@ -107,24 +145,29 @@ let solve_scatter_cmd =
   in
   let doc = "Solve the pipelined scatter LP (§3.2) and simulate the schedule." in
   Cmd.v (Cmd.info "solve-scatter" ~doc)
-    Term.(const run $ platform_arg $ master_arg $ targets_arg $ periods_arg)
+    Term.(
+      const run $ platform_arg $ master_arg $ targets_arg $ periods_arg
+      $ cache_dir_arg)
 
 (* --- solve-multicast --- *)
 
 let solve_multicast_cmd =
-  let run path source targets =
+  let run path source targets cache_dir =
     or_die
       (let* p = read_platform path in
        let* s = node_of_name p source in
        let* tg = parse_targets p targets in
-       let maxb = Multicast.max_lp_bound p ~source:s ~targets:tg in
-       let sumb = Multicast.scatter_lower_bound p ~source:s ~targets:tg in
+       with_cache cache_dir @@ fun cache ->
+       let maxb = Multicast.max_lp_bound ?cache p ~source:s ~targets:tg in
+       let sumb = Multicast.scatter_lower_bound ?cache p ~source:s ~targets:tg in
        Printf.printf "max-LP upper bound : %s\n"
          (Rat.to_string maxb.Collective.throughput);
        Printf.printf "scatter lower bound: %s\n"
          (Rat.to_string sumb.Collective.throughput);
        (if Platform.num_edges p <= 24 then begin
-          let pack = Multicast.best_tree_packing p ~source:s ~targets:tg in
+          let pack =
+            Multicast.best_tree_packing ?cache p ~source:s ~targets:tg
+          in
           Printf.printf "best tree packing  : %s  (%d trees)\n"
             (Rat.to_string pack.Multicast.throughput)
             (List.length pack.Multicast.trees);
@@ -138,23 +181,25 @@ let solve_multicast_cmd =
   in
   let doc = "Bracket the pipelined multicast throughput (§3.3/§4.3)." in
   Cmd.v (Cmd.info "solve-multicast" ~doc)
-    Term.(const run $ platform_arg $ master_arg $ targets_arg)
+    Term.(const run $ platform_arg $ master_arg $ targets_arg $ cache_dir_arg)
 
 (* --- broadcast --- *)
 
 let broadcast_cmd =
-  let run path source =
+  let run path source cache_dir =
     or_die
       (let* p = read_platform path in
        let* s = node_of_name p source in
-       let met, bound, achieved = Broadcast.bound_met p ~source:s in
+       with_cache cache_dir @@ fun cache ->
+       let met, bound, achieved = Broadcast.bound_met ?cache p ~source:s in
        Printf.printf "broadcast LP bound: %s\n" (Rat.to_string bound);
        Printf.printf "tree packing      : %s\n" (Rat.to_string achieved);
        Printf.printf "bound met         : %b\n" met;
        Ok ())
   in
   let doc = "Broadcast throughput: LP bound vs achievable tree packing (§4.3)." in
-  Cmd.v (Cmd.info "broadcast" ~doc) Term.(const run $ platform_arg $ master_arg)
+  Cmd.v (Cmd.info "broadcast" ~doc)
+    Term.(const run $ platform_arg $ master_arg $ cache_dir_arg)
 
 (* --- experiments --- *)
 

@@ -4,15 +4,17 @@ module P = Platform
 let targets_of p ~source =
   List.filter (fun i -> i <> source) (P.nodes p)
 
-let lp_bound ?rule p ~source =
-  Collective.solve ?rule Collective.Max p ~source
+let lp_bound ?rule ?warm ?cache p ~source =
+  Collective.solve ?rule ?warm ?cache Collective.Max p ~source
     ~targets:(targets_of p ~source)
 
-let tree_packing ?rule p ~source =
-  Multicast.best_tree_packing ?rule p ~source
+let tree_packing ?rule ?warm ?cache p ~source =
+  Multicast.best_tree_packing ?rule ?warm ?cache p ~source
     ~targets:(targets_of p ~source)
 
-let bound_met ?rule p ~source =
-  let bound = (lp_bound ?rule p ~source).Collective.throughput in
-  let achieved = (tree_packing ?rule p ~source).Multicast.throughput in
+let bound_met ?rule ?cache p ~source =
+  let bound = (lp_bound ?rule ?cache p ~source).Collective.throughput in
+  let achieved =
+    (tree_packing ?rule ?cache p ~source).Multicast.throughput
+  in
   (R.equal bound achieved, bound, achieved)

@@ -11,6 +11,8 @@ val targets_of : Platform.t -> source:Platform.node -> Platform.node list
 
 val lp_bound :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   Collective.solution
@@ -18,6 +20,8 @@ val lp_bound :
 
 val tree_packing :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   Multicast.packing
@@ -26,6 +30,7 @@ val tree_packing :
 
 val bound_met :
   ?rule:Simplex.pivot_rule ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   bool * Rat.t * Rat.t

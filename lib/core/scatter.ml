@@ -3,8 +3,8 @@ module P = Platform
 
 type solution = Collective.solution
 
-let solve ?rule p ~source ~targets =
-  Collective.solve ?rule Collective.Sum p ~source ~targets
+let solve ?rule ?warm ?cache p ~source ~targets =
+  Collective.solve ?rule ?warm ?cache Collective.Sum p ~source ~targets
 
 let period_of (sol : solution) =
   let rates =

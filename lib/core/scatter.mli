@@ -11,10 +11,14 @@ type solution = Collective.solution
 
 val solve :
   ?rule:Simplex.pivot_rule ->
+  ?warm:Lp.Warm.t ->
+  ?cache:Lp.Cache.t ->
   Platform.t ->
   source:Platform.node ->
   targets:Platform.node list ->
   solution
+(** [?warm]/[?cache] accelerate repeated solves exactly as in
+    {!Master_slave.solve}: bit-identical throughput, fewer pivots. *)
 
 val schedule : solution -> Schedule.t
 (** Kinds in the schedule are target indices (positions in [targets]).

@@ -306,26 +306,74 @@ module Warm = struct
 end
 
 module Cache = struct
-  type entry = { e_res : result; e_basis : basis option }
+  module Disk = Solve_store
+
+  type entry = {
+    e_res : result;
+    e_basis : basis option;
+    mutable e_tick : int; (* last-use stamp, for LRU eviction *)
+  }
 
   type t = {
     tbl : (string, entry) Hashtbl.t;
     capacity : int;
+    disk : Disk.t option;
+    mutable tick : int;
     mutable hits : int;
     mutable misses : int;
+    mutable evictions : int;
+    mutable disk_hits : int;
   }
 
-  let create ?(capacity = 512) () =
+  let create ?(capacity = 512) ?disk () =
     if capacity <= 0 then invalid_arg "Lp.Cache.create: capacity <= 0";
-    { tbl = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+    { tbl = Hashtbl.create 64; capacity; disk; tick = 0;
+      hits = 0; misses = 0; evictions = 0; disk_hits = 0 }
 
   let clear t = Hashtbl.reset t.tbl
   let hits t = t.hits
   let misses t = t.misses
+  let evictions t = t.evictions
+  let disk_hits t = t.disk_hits
+  let disk t = t.disk
   let length t = Hashtbl.length t.tbl
 
+  let use t e =
+    t.tick <- t.tick + 1;
+    e.e_tick <- t.tick
+
+  (* LRU insert: at capacity the stalest entry goes — not the whole
+     table, which used to throw away a full working set on sweep
+     workloads exactly when it was most valuable. The scan is O(n) per
+     eviction; with the default capacity that is a few microseconds
+     against the milliseconds a simplex run costs. *)
+  let insert t key e =
+    if (not (Hashtbl.mem t.tbl key))
+       && Hashtbl.length t.tbl >= t.capacity
+    then begin
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, best) when best.e_tick <= e.e_tick -> acc
+            | _ -> Some (k, e))
+          t.tbl None
+      in
+      match victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    Hashtbl.replace t.tbl key e;
+    use t e
+
   (* Same shape as {!Warm.Family}: a per-domain cache, created lazily
-     the first time a worker domain touches the family. *)
+     the first time a worker domain touches the family.  Family caches
+     are memory-only: a [Disk.t] handle is not safe to share across
+     domains (per-handle counters and tempfile sequencing are
+     unsynchronised), so the disk tier belongs to single-domain
+     caches. *)
   module Family = struct
     type cache = t
 
@@ -343,7 +391,8 @@ module Cache = struct
       let key =
         Domain.DLS.new_key (fun () ->
             let c =
-              { tbl = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+              { tbl = Hashtbl.create 64; capacity; disk = None; tick = 0;
+                hits = 0; misses = 0; evictions = 0; disk_hits = 0 }
             in
             Mutex.lock mu;
             registry := c :: !registry;
@@ -363,6 +412,8 @@ module Cache = struct
     let domains f = List.length (caches f)
     let hits f = List.fold_left (fun a c -> a + c.hits) 0 (caches f)
     let misses f = List.fold_left (fun a c -> a + c.misses) 0 (caches f)
+    let evictions f =
+      List.fold_left (fun a c -> a + c.evictions) 0 (caches f)
     let length f = List.fold_left (fun a c -> a + length c) 0 (caches f)
     let clear f = List.iter clear (caches f)
   end
@@ -431,6 +482,114 @@ let row_names m =
   in
   List.rev_append (List.rev cons) ubs
 
+(* --- disk-record value encoding ---
+
+   The byte-level envelope (version magic, length, checksum, key echo)
+   belongs to {!Solve_store}; what is encoded here is only the *value*:
+   the solve outcome in exact decimal, one token per line.  Rationals
+   round-trip exactly through [R.to_string]/[R.of_string] (canonical
+   form), so a record read back is bit-identical to the result that was
+   stored — the property the corruption harness asserts end to end.
+   Dual names and the basis signature are NOT stored: key equality
+   already implies an identical model, so they are rebuilt from the
+   model at decode time, keeping records small. *)
+
+let value_format = "lpres 1"
+
+let encode_entry ~n (res : result) (basis : basis option) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf value_format;
+  Buffer.add_char buf '\n';
+  (match res with
+  | Infeasible -> Buffer.add_string buf "I\n"
+  | Unbounded -> Buffer.add_string buf "U\n"
+  | Optimal sol ->
+    Buffer.add_string buf "O\n";
+    Buffer.add_string buf (R.to_string sol.objective);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf '\n';
+    for v = 0 to n - 1 do
+      Buffer.add_string buf (R.to_string (sol.values v));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (string_of_int (List.length sol.duals));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (_, y) ->
+        Buffer.add_string buf (R.to_string y);
+        Buffer.add_char buf '\n')
+      sol.duals);
+  (match basis with
+  | None -> Buffer.add_string buf "B-\n"
+  | Some bs ->
+    Buffer.add_string buf (Printf.sprintf "B %d\n" (Array.length bs.bcols));
+    Array.iter
+      (fun c ->
+        Buffer.add_string buf (string_of_int c);
+        Buffer.add_char buf '\n')
+      bs.bcols);
+  Buffer.contents buf
+
+(* [None] on *any* malformed value — the caller quarantines the record
+   and re-solves cold.  A decoded basis is only ever handed to the warm
+   slot, whose import path validates it against the kernel anyway. *)
+let decode_entry ~sg m value =
+  match String.split_on_char '\n' value with
+  | fmt :: rest when String.equal fmt value_format -> (
+    try
+      let next = ref rest in
+      let line () =
+        match !next with
+        | [] -> raise Exit
+        | l :: tl ->
+          next := tl;
+          l
+      in
+      let rat () = R.of_string (line ()) in
+      let int () =
+        match int_of_string_opt (line ()) with
+        | Some i -> i
+        | None -> raise Exit
+      in
+      let res =
+        match line () with
+        | "I" -> Infeasible
+        | "U" -> Unbounded
+        | "O" ->
+          let objective = rat () in
+          let n = int () in
+          if n <> num_vars m then raise Exit;
+          let values = Array.make n R.zero in
+          for i = 0 to n - 1 do
+            values.(i) <- rat ()
+          done;
+          let names = row_names m in
+          let d = int () in
+          if d <> List.length names then raise Exit;
+          let duals = List.map (fun name -> (name, rat ())) names in
+          Optimal { objective; values = (fun v -> values.(v)); duals }
+        | _ -> raise Exit
+      in
+      let basis =
+        match line () with
+        | "B-" -> None
+        | bl when String.length bl > 2 && bl.[0] = 'B' && bl.[1] = ' ' -> (
+          match int_of_string_opt (String.sub bl 2 (String.length bl - 2)) with
+          | None -> raise Exit
+          | Some k ->
+            if k < 0 || k > 1_000_000 then raise Exit;
+            let bcols = Array.make k 0 in
+            for i = 0 to k - 1 do
+              bcols.(i) <- int ()
+            done;
+            Some { bsig = sg; bcols })
+        | _ -> raise Exit
+      in
+      Some (res, basis)
+    with Exit | Invalid_argument _ | Division_by_zero | Failure _ -> None)
+  | _ -> None
+
 (* [?factorization] is absent from the cache key on purpose: the two
    basis representations produce bit-identical outcomes (exact
    arithmetic makes every pivot decision the same), so a hit recorded
@@ -446,7 +605,31 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     | None -> None
     | Some cc ->
       let key = cache_key sg solver rule m in
-      Some (cc, key, Hashtbl.find_opt cc.Cache.tbl key)
+      let entry =
+        match Hashtbl.find_opt cc.Cache.tbl key with
+        | Some e ->
+          Cache.use cc e;
+          Some e
+        | None -> (
+          match cc.Cache.disk with
+          | None -> None
+          | Some d -> (
+            match Solve_store.find d key with
+            | None -> None
+            | Some value -> (
+              match decode_entry ~sg m value with
+              | Some (res, basis) ->
+                cc.Cache.disk_hits <- cc.Cache.disk_hits + 1;
+                let e = { Cache.e_res = res; e_basis = basis; e_tick = 0 } in
+                Cache.insert cc key e;
+                Some e
+              | None ->
+                (* checksum-valid bytes the value decoder rejects:
+                   encoding version skew — demote, treat as a miss *)
+                Solve_store.quarantine d key;
+                None)))
+      in
+      Some (cc, key, entry)
   in
   match cached with
   | Some (cc, _, Some entry) ->
@@ -531,10 +714,10 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     | _ -> ());
     (match cached with
     | Some (cc, key, None) ->
-      if Hashtbl.length cc.Cache.tbl >= cc.Cache.capacity then
-        Hashtbl.reset cc.Cache.tbl;
-      Hashtbl.replace cc.Cache.tbl key
-        { Cache.e_res = res; e_basis = exported }
+      Cache.insert cc key { Cache.e_res = res; e_basis = exported; e_tick = 0 };
+      (match cc.Cache.disk with
+      | None -> ()
+      | Some d -> Solve_store.add d key (encode_entry ~n res exported))
     | _ -> ());
     res
 

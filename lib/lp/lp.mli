@@ -170,19 +170,47 @@ module Cache : sig
       values, the solver and the pivot rule; the value is the final
       {!result}.  Identical re-solves (flat trace segments, repeated
       oracle queries) therefore return the very same answer without
-      touching the simplex.  When full, the table is reset wholesale.
+      touching the simplex.  At capacity the least-recently-used entry
+      is evicted (and counted), so a sweep's working set survives.
+
+      A cache may carry a {!Disk} tier: a crash-safe, cross-process
+      store directory consulted on memory misses and written through on
+      every solve, so separate processes (CLI, bench, CI runs) reuse
+      each other's solves.  Disk records are validated byte-for-byte;
+      anything corrupt is quarantined and the solve runs cold — a bad
+      cache can cost time, never an answer.
 
       Not thread-safe: use one cache per domain/task. *)
 
+  module Disk = Solve_store
+  (** The disk tier: see {!Solve_store} for the record format,
+      atomic-commit and quarantine semantics.  Open one with
+      {!Solve_store.open_store} on a directory (e.g. from [--cache-dir]
+      or [STEADY_CACHE_DIR]) and pass it to {!create}. *)
+
   type t
 
-  val create : ?capacity:int -> unit -> t
+  val create : ?capacity:int -> ?disk:Disk.t -> unit -> t
   (** [capacity] bounds the number of stored instances (default 512).
+      [disk] attaches a persistent tier shared across processes; the
+      handle must not be shared between domains.
       @raise Invalid_argument if [capacity <= 0]. *)
 
   val clear : t -> unit
+  (** Drops the in-memory table only; disk records survive. *)
+
   val hits : t -> int
+  (** Cache-served solves, from either tier. *)
+
   val misses : t -> int
+
+  val evictions : t -> int
+  (** In-memory LRU evictions performed. *)
+
+  val disk_hits : t -> int
+  (** The subset of {!hits} served by decoding a disk record. *)
+
+  val disk : t -> Disk.t option
   val length : t -> int
 
   (** Domain-local cache family, mirroring {!Warm.Family}: each
@@ -197,11 +225,13 @@ module Cache : sig
         @raise Invalid_argument if [capacity <= 0]. *)
 
     val slot : t -> cache
-    (** The calling domain's cache (created on first use). *)
+    (** The calling domain's cache (created on first use).  Family
+        caches are memory-only: disk handles are not domain-safe. *)
 
     val domains : t -> int
     val hits : t -> int
     val misses : t -> int
+    val evictions : t -> int
     val length : t -> int
     val clear : t -> unit
   end

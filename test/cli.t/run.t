@@ -41,3 +41,14 @@ Platform files round-trip through the DOT exporter:
   digraph platform {
     M [label="M\nw=2"];
     A [label="A\nw=1"];
+
+A cache directory persists exact solves across runs; statistics go to
+stderr so stdout stays identical either way:
+
+  $ steady-cli solve-ms demo.platform --master M --periods 4 --cache-dir cachedir > first.out
+  cache cachedir: 0 hits (0 from disk), 1 misses, 1 stored, 0 quarantined
+
+  $ STEADY_CACHE_DIR=cachedir steady-cli solve-ms demo.platform --master M --periods 4 > second.out
+  cache cachedir: 1 hits (1 from disk), 0 misses, 0 stored, 0 quarantined
+
+  $ cmp first.out second.out

@@ -312,6 +312,59 @@ let test_surviving_platform () =
     (Platform.weight restr2.Platform.sub restr2.Platform.sub_of_node.(1)
     = Ext_rat.Inf)
 
+let test_no_slave_survives () =
+  (* every slave CPU dies at t=0: the master still reaches them all
+     over live links, but not one unit of compute power survives *)
+  let p = fault_star () in
+  let sc =
+    {
+      Dy.platform = p;
+      master = 0;
+      cpu_traces = List.map (fun i -> (i, [ (R.zero, R.zero) ])) [ 1; 2; 3 ];
+      bw_traces = [];
+      phase = ri 10;
+      phases = 4;
+    }
+  in
+  (* the restriction keeps every node — reachable CPUs degrade to pure
+     relays — and the LP over the all-relay platform answers 0 *)
+  let restr = Dy.surviving_platform sc ~at:R.zero in
+  Alcotest.(check int) "all nodes reachable as relays" 4
+    (Platform.num_nodes restr.Platform.sub);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d is a relay" i)
+        true
+        (Platform.weight restr.Platform.sub i = Ext_rat.Inf))
+    (Platform.nodes restr.Platform.sub);
+  (match
+     Master_slave.try_solve restr.Platform.sub
+       ~master:restr.Platform.sub_of_node.(0)
+   with
+  | Ok sol -> Alcotest.check rat "zero throughput" R.zero sol.Master_slave.ntask
+  | Error _ -> Alcotest.fail "all-relay platform must still be solvable");
+  (* the per-epoch bound degrades to 0 and the Robust run completes
+     nothing — a structured outcome, not an exception *)
+  Alcotest.check rat "fault bound is zero" R.zero
+    (Dy.fault_throughput_bound sc);
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.check rat "nothing completed" R.zero rb.Dy.completed;
+  Alcotest.(check int) "every phase degraded" 4
+    rb.Dy.losses.Dy.degraded_phases;
+  (* Platform.restrict down to the master alone: the pathological
+     sub-platform still solves to 0 rather than raising *)
+  let alone =
+    Platform.restrict p ~keep_node:(fun i -> i = 0) ~keep_edge:(fun _ -> true)
+  in
+  Alcotest.(check int) "master alone" 1 (Platform.num_nodes alone.Platform.sub);
+  Alcotest.(check int) "no surviving edges" 0
+    (Platform.num_edges alone.Platform.sub);
+  match Master_slave.try_solve alone.Platform.sub ~master:0 with
+  | Ok sol ->
+    Alcotest.check rat "master-only throughput" R.zero sol.Master_slave.ntask
+  | Error _ -> Alcotest.fail "master-only platform must still be solvable"
+
 let prop_trace_agreement =
   (* the planner's compiled-array interpretation and the simulator's
      must agree on every trace — including unsorted entries, duplicate
@@ -380,6 +433,7 @@ let suite =
       Alcotest.test_case "master isolated" `Quick test_master_isolated;
       Alcotest.test_case "mid-run isolation" `Quick test_mid_run_isolation;
       Alcotest.test_case "surviving platform" `Quick test_surviving_platform;
+      Alcotest.test_case "no slave survives" `Quick test_no_slave_survives;
       Alcotest.test_case "multiplier edge cases" `Quick
         test_multiplier_edge_cases;
       QCheck_alcotest.to_alcotest prop_trace_agreement;

@@ -165,6 +165,71 @@ let test_cascading_slowdown () =
          F.cascading_slowdown p ~master:0 ~at:(ri 10) ~step:(ri (-1))
            ~factor:f))
 
+let test_permanent_fault_at_zero () =
+  let p = star () in
+  (* dead from the very first instant, no recovery: the compiled trace
+     is a single breakpoint at 0 and the multiplier never comes back *)
+  let faults = [ F.Cpu_crash (1, win R.zero) ] in
+  let cpu, bw = F.traces p faults in
+  Alcotest.(check int) "no edges affected" 0 (List.length bw);
+  Alcotest.check trace_t "single breakpoint at t=0"
+    [ (R.zero, R.zero) ]
+    (List.assoc 1 cpu);
+  List.iter
+    (fun t ->
+      Alcotest.check rat
+        (Printf.sprintf "dead at t=%s" (R.to_string t))
+        R.zero
+        (F.multiplier p faults (Event_sim.Cpu_of 1) t))
+    [ R.zero; ri 1; ri 1000 ];
+  (* a permanent Node_crash at 0 also takes every incident link down
+     from the start — and the traces still load into the simulator *)
+  let faults = [ F.Node_crash (1, win R.zero) ] in
+  let cpu, bw = F.traces p faults in
+  Alcotest.check trace_t "cpu dead from 0" [ (R.zero, R.zero) ]
+    (List.assoc 1 cpu);
+  Alcotest.(check int) "both incident directions cut" 2 (List.length bw);
+  List.iter
+    (fun (_, tr) ->
+      Alcotest.check trace_t "link dead from 0" [ (R.zero, R.zero) ] tr)
+    bw;
+  let sim = Event_sim.create ~cpu_traces:cpu ~bw_traces:bw p in
+  Alcotest.check rat "simulator sees the outage at once" R.zero
+    (Event_sim.multiplier_of sim (Event_sim.Cpu_of 1))
+
+let test_windows_sharing_a_breakpoint () =
+  let p = star () in
+  (* back-to-back windows: the slowdown's recovery instant is exactly
+     the crash's onset — the shared breakpoint must appear once, with
+     the crash (the minimum at [5, 8)) winning *)
+  let faults =
+    [
+      F.Cpu_slow (1, win ~until:(ri 5) (ri 2), r 1 2);
+      F.Cpu_crash (1, win ~until:(ri 8) (ri 5));
+    ]
+  in
+  let cpu, _ = F.traces p faults in
+  Alcotest.check trace_t "shared breakpoint emitted once"
+    [ (ri 2, r 1 2); (ri 5, R.zero); (ri 8, R.one) ]
+    (List.assoc 1 cpu);
+  (* the half-open convention at the seam: t=5 already belongs to the
+     crash window *)
+  Alcotest.check rat "just before the seam" (r 1 2)
+    (F.multiplier p faults (Event_sim.Cpu_of 1) (r 9 2));
+  Alcotest.check rat "on the seam" R.zero
+    (F.multiplier p faults (Event_sim.Cpu_of 1) (ri 5));
+  (* equal multipliers across the seam collapse: no duplicate entry *)
+  let faults =
+    [
+      F.Cpu_slow (1, win ~until:(ri 5) (ri 2), r 1 2);
+      F.Cpu_slow (1, win ~until:(ri 8) (ri 5), r 1 2);
+    ]
+  in
+  let cpu, _ = F.traces p faults in
+  Alcotest.check trace_t "seam with equal multipliers collapses"
+    [ (ri 2, r 1 2); (ri 8, R.one) ]
+    (List.assoc 1 cpu)
+
 let test_lcg () =
   let g1 = F.generator ~seed:42 and g2 = F.generator ~seed:42 in
   let s1 = List.init 50 (fun _ -> F.rand_int g1 1000) in
@@ -244,6 +309,10 @@ let suite =
       Alcotest.test_case "master-adjacent cut" `Quick test_master_adjacent_cut;
       Alcotest.test_case "subtree partition" `Quick test_subtree_partition;
       Alcotest.test_case "cascading slowdown" `Quick test_cascading_slowdown;
+      Alcotest.test_case "permanent fault at t=0" `Quick
+        test_permanent_fault_at_zero;
+      Alcotest.test_case "windows sharing a breakpoint" `Quick
+        test_windows_sharing_a_breakpoint;
       Alcotest.test_case "lcg determinism" `Quick test_lcg;
       Alcotest.test_case "random plan" `Quick test_random_plan;
     ] )
