@@ -173,7 +173,9 @@ let timed_workloads () : (string * (unit -> unit)) list =
   [
     ms_lp 6; ms_lp 10; ms_lp 14; ms_lp 17; ms_lp 20;
     ms_lp_fact `Dense "dense" 14; ms_lp_fact `Lu "lu" 14;
+    ms_lp_fact `Ft "ft" 14;
     ms_lp_fact `Dense "dense" 20; ms_lp_fact `Lu "lu" 20;
+    ms_lp_fact `Ft "ft" 20;
     scatter_lp 6; scatter_lp 10;
     reconstruction 6; reconstruction 10;
     pivot_rule Simplex.Bland "Bland";
@@ -244,6 +246,19 @@ let record rows name ns =
   rows := (name, ns) :: !rows;
   if ns >= 1e6 then Printf.printf "%-56s %10.3f ms wall\n" name (ns /. 1e6)
   else Printf.printf "%-56s %10.3f us wall\n" name (ns /. 1e3)
+
+(* exact-effort annotations: rows solved with an [Lp.Stats] counter
+   attached also land their solve/pivot/refactorisation counts in the
+   JSON (schema 3), so effort regressions show up even when wall-clock
+   noise hides them *)
+let effort_rows : (string, int * int * int) Hashtbl.t = Hashtbl.create 16
+
+let record_effort name (st : Lp.Stats.t) =
+  Hashtbl.replace effort_rows name
+    (st.Lp.Stats.solves, st.Lp.Stats.pivots, st.Lp.Stats.refactors);
+  Printf.printf "%-56s %10s\n" name
+    (Printf.sprintf "%d solves, %d pivots, %d refactors" st.Lp.Stats.solves
+       st.Lp.Stats.pivots st.Lp.Stats.refactors)
 
 (* --- cache / warm statistics, aggregated across the whole run --- *)
 
@@ -723,6 +738,127 @@ let run_fault_suite ~smoke () =
     "throughput 0, structured loss report";
   List.rev !rows
 
+(* --- scaling suite: pricing, eta compression, structural reduction --- *)
+
+(* Every row is guarded: the optimised path must reproduce the
+   reference objective bit-for-bit (or, for the large trees where no
+   monolithic reference is affordable, stay within its hard wall-clock
+   budget) before its time is recorded. *)
+let run_scale_suite ~smoke () =
+  print_endline
+    "\n########## scaling: pricing, eta compression, reduction ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let guard name got want =
+    if not (R.equal got want) then
+      failwith
+        (Printf.sprintf "bench: %s: objective %s <> reference %s" name
+           (R.to_string got) (R.to_string want))
+  in
+  (* rule x factorisation ablation on the monolithic LP, with exact
+     pivot/refactorisation counts next to the wall-clock *)
+  let n = if smoke then 10 else 20 in
+  let p = sized_platform n in
+  let reference = (Master_slave.solve p ~master:0).Master_slave.ntask in
+  List.iter
+    (fun (rname, rule) ->
+      List.iter
+        (fun (fname, fact) ->
+          let stats = Lp.Stats.create () in
+          let sol, ns =
+            best_of ~runs:1 (fun () ->
+                Master_slave.solve ~rule ~solver:Lp.Revised
+                  ~factorization:fact ~stats p ~master:0)
+          in
+          let name = Printf.sprintf "scale/LP n=%d %s %s" n rname fname in
+          guard name sol.Master_slave.ntask reference;
+          record name ns;
+          record_effort name stats)
+        [ ("lu", `Lu); ("ft", `Ft) ])
+    [
+      ("dantzig", Simplex.Dantzig);
+      ("bland", Simplex.Bland);
+      ("partial8", Simplex.Partial 8);
+      ("devex8", Simplex.Devex 8);
+    ];
+  (* Lp.Reduce presolve on the same general-graph LP: reduced-and-
+     reinflated must reproduce the full objective bit-for-bit *)
+  let model, full_res = Master_slave.solve_lp_only p ~master:0 in
+  let full_obj =
+    match full_res with
+    | Lp.Optimal s -> s.Lp.objective
+    | Lp.Infeasible | Lp.Unbounded -> assert false
+  in
+  let red_res, ns =
+    best_of ~runs:(if smoke then 1 else 3) (fun () ->
+        let rc = Lp.Reduce.reduce model in
+        (rc, Lp.Reduce.solve rc))
+  in
+  let rc, red_sol = red_res in
+  let name = Printf.sprintf "scale/presolve+solve n=%d" n in
+  (match red_sol with
+  | Lp.Optimal s -> guard name s.Lp.objective full_obj
+  | Lp.Infeasible | Lp.Unbounded ->
+    failwith ("bench: " ^ name ^ ": reduced solve not optimal"));
+  record name ns;
+  Printf.printf "%-56s %10s\n"
+    (Printf.sprintf "scale/presolve guard n=%d" n)
+    (Printf.sprintf "%d vars, %d rows eliminated, objective exact"
+       (Lp.Reduce.vars_eliminated rc)
+       (Lp.Reduce.rows_eliminated rc));
+  (* tree decomposition vs the monolithic LP at sizes where both are
+     affordable: throughput must agree bit-for-bit on both solvers *)
+  List.iter
+    (fun n ->
+      let p = Platform_gen.random_tree ~seed:(3 * n) ~nodes:n () in
+      let full = (Master_slave.solve p ~master:0).Master_slave.ntask in
+      let fullr =
+        (Master_slave.solve ~solver:Lp.Revised p ~master:0).Master_slave.ntask
+      in
+      let red, ns =
+        best_of ~runs:1 (fun () -> Master_slave.solve_reduced p ~master:0)
+      in
+      let name = Printf.sprintf "scale/tree decomposition n=%d" n in
+      guard name red.Master_slave.ntask full;
+      guard name red.Master_slave.ntask fullr;
+      record name ns)
+    [ 10; 20 ];
+  (* the headline: exact rational solves of large random trees.  The
+     10^4-node row must land under 10 s; the smoke row (10^3 nodes)
+     under 5 s — a hard failure, not a report, so a regression can
+     never ship silently. *)
+  let tree_sizes = if smoke then [ 1000 ] else [ 100; 1000; 10000 ] in
+  List.iter
+    (fun n ->
+      let p = Platform_gen.random_tree ~seed:71 ~nodes:n () in
+      let stats = Lp.Stats.create () in
+      let sol, ns =
+        best_of ~runs:1 (fun () ->
+            Master_slave.solve_reduced ~stats p ~master:0)
+      in
+      let name = Printf.sprintf "scale/random tree n=%d exact solve" n in
+      if R.sign sol.Master_slave.ntask <= 0 then
+        failwith ("bench: " ^ name ^ ": non-positive throughput");
+      record name ns;
+      record_effort name stats;
+      let budget_ns = if smoke then 5e9 else 10e9 in
+      if n >= 1000 && ns > budget_ns then
+        failwith
+          (Printf.sprintf "bench: %s took %.2f s, budget %.0f s" name
+             (ns /. 1e9) (budget_ns /. 1e9)))
+    tree_sizes;
+  if not smoke then begin
+    (* shape sensitivity: same size, deterministic balanced shape *)
+    let p = Platform_gen.balanced_tree ~seed:9 ~nodes:10_000 () in
+    let sol, ns =
+      best_of ~runs:1 (fun () -> Master_slave.solve_reduced p ~master:0)
+    in
+    if R.sign sol.Master_slave.ntask <= 0 then
+      failwith "bench: balanced tree n=10000: non-positive throughput";
+    record "scale/balanced tree n=10000 exact solve" ns
+  end;
+  List.rev !rows
+
 (* --- machine-readable snapshot --- *)
 
 let json_escape s =
@@ -742,7 +878,7 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/2\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/3\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
@@ -761,7 +897,15 @@ let write_json path rows =
   let n = List.length rows in
   List.iteri
     (fun i (name, ns) ->
-      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+      let effort =
+        match Hashtbl.find_opt effort_rows name with
+        | Some (s, p, r) ->
+          Printf.sprintf ", \"solves\": %d, \"pivots\": %d, \"refactors\": %d"
+            s p r
+        | None -> ""
+      in
+      Printf.fprintf oc "    \"%s\": { \"ns\": %.1f%s }%s\n" (json_escape name)
+        ns effort
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  }\n}\n";
@@ -811,6 +955,7 @@ let run_smoke ~cache_dir () =
   ignore (run_disk_suite ~smoke:true ~cache_dir ());
   ignore (run_pool_sweep ~smoke:true ());
   ignore (run_fault_suite ~smoke:true ());
+  ignore (run_scale_suite ~smoke:true ());
   print_endline "\nsmoke: all workloads executed"
 
 let () =
@@ -854,7 +999,9 @@ let () =
       let disk_rows = run_disk_suite ~smoke:false ~cache_dir:!cache_dir () in
       let sweep_rows = run_pool_sweep ~smoke:false () in
       let fault_rows = run_fault_suite ~smoke:false () in
+      let scale_rows = run_scale_suite ~smoke:false () in
       write_json !json_path
-        (bench_rows @ warm_rows @ disk_rows @ sweep_rows @ fault_rows)
+        (bench_rows @ warm_rows @ disk_rows @ sweep_rows @ fault_rows
+       @ scale_rows)
     end
   end

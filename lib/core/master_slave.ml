@@ -74,41 +74,219 @@ let build_lp p ~master =
        (List.map (fun i -> Lp.term (P.speed p i) alpha_v.(i)) (P.nodes p)));
   (m, alpha_v, s_v)
 
-let solve_lp_only ?rule ?solver ?factorization ?warm ?cache p ~master =
+let solve_lp_only ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
   let m, _, _ = build_lp p ~master in
-  (m, Lp.solve ?rule ?solver ?factorization ?warm ?cache m)
+  (m, Lp.solve ?rule ?solver ?factorization ?warm ?cache ?stats m)
 
-let try_solve ?rule ?solver ?factorization ?warm ?cache p ~master =
+(* Map an optimal LP solution back onto the platform: activity
+   fractions per node, cycle-free task flow per edge. *)
+let solution_of_sol p ~master alpha_v s_v (sol : Lp.solution) =
+  let alpha = Array.map sol.Lp.values alpha_v in
+  let raw_flow =
+    Array.mapi (fun e sv -> R.div (sol.Lp.values sv) (P.edge_cost p e)) s_v
+  in
+  let task_flow = Flow.cancel_cycles p raw_flow in
+  let send_frac =
+    Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
+  in
+  {
+    platform = p;
+    master;
+    ntask = sol.Lp.objective;
+    alpha;
+    send_frac;
+    task_flow;
+  }
+
+let try_solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
   let m, alpha_v, s_v = build_lp p ~master in
-  match Lp.solve ?rule ?solver ?factorization ?warm ?cache m with
+  match Lp.solve ?rule ?solver ?factorization ?warm ?cache ?stats m with
   | Lp.Infeasible -> Error `Infeasible
   | Lp.Unbounded -> Error `Unbounded
-  | Lp.Optimal sol ->
-    let alpha = Array.map sol.Lp.values alpha_v in
-    let raw_flow =
-      Array.mapi
-        (fun e sv -> R.div (sol.Lp.values sv) (P.edge_cost p e))
-        s_v
-    in
-    let task_flow = Flow.cancel_cycles p raw_flow in
-    let send_frac =
-      Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
-    in
-    Ok
-      {
-        platform = p;
-        master;
-        ntask = sol.Lp.objective;
-        alpha;
-        send_frac;
-        task_flow;
-      }
+  | Lp.Optimal sol -> Ok (solution_of_sol p ~master alpha_v s_v sol)
 
-let solve ?rule ?solver ?factorization ?warm ?cache p ~master =
-  match try_solve ?rule ?solver ?factorization ?warm ?cache p ~master with
+let solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
+  match try_solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master
+  with
   | Ok sol -> sol
   | Error (`Infeasible | `Unbounded) ->
     failwith "Master_slave.solve: LP not optimal (invalid platform?)"
+
+(* --- structurally reduced solve ----------------------------------------
+
+   The master–slave LP on a tree platform decomposes exactly
+   (bandwidth-centric allocation): the maximal rate cap(i) at which the
+   subtree rooted at i can absorb tasks is
+
+     cap(i) = min( 1/c(parent->i),  speed(i) + K(i) )
+
+   where K(i) — the rate i can usefully forward — is the tiny fractional
+   knapsack  max sum_j y_j/c_j  s.t.  sum_j y_j <= 1,
+   0 <= y_j <= c_j * cap(j)  over i's children.  Bottom-up those
+   knapsacks determine ntask = speed(master) + K(master); a top-down
+   sweep turns the saturated per-subtree plans into an actual flow by
+   pure exact scaling (a node receiving f <= cap computes
+   min(f, speed) itself and forwards the excess e <= K by scaling its
+   knapsack plan by e/K — every constraint is linear, so the scaled
+   plan stays feasible).  Two WLOG facts make the tree case complete:
+   nodes unreachable from the master consume nothing in any feasible
+   solution (sum conservation over the unreachable set: no task source),
+   and upward flow is never needed (it only returns tasks toward the
+   node that already holds them all; cancelling it frees port time).
+
+   Non-tree platforms fall back to the full LP run through the
+   {!Lp.Reduce} presolve, which strips bound rows, forced-zero columns
+   and chain substitutions before the kernel sees the instance. *)
+
+(* BFS from the master over out-edges.  [Some (order, parent_edge)]
+   when the reachable part is a tree: exactly (#reached - 1) distinct
+   undirected links, and no parallel directed edges (a parallel link
+   pair would offer combined bandwidth the single-parent decomposition
+   cannot see). *)
+let tree_structure p ~master =
+  let n = P.num_nodes p in
+  let parent_edge = Array.make n (-1) in
+  let reached = Array.make n false in
+  reached.(master) <- true;
+  let order = ref [ master ] in
+  let q = Queue.create () in
+  Queue.add master q;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun e ->
+        let j = P.edge_dst p e in
+        if not reached.(j) then begin
+          reached.(j) <- true;
+          parent_edge.(j) <- e;
+          order := j :: !order;
+          Queue.add j q
+        end)
+      (P.out_edges p i)
+  done;
+  let order = Array.of_list (List.rev !order) in
+  let nr = Array.length order in
+  let links = Hashtbl.create (2 * n) in
+  let directed = Hashtbl.create (2 * n) in
+  let parallel = ref false in
+  List.iter
+    (fun e ->
+      let s = P.edge_src p e and d = P.edge_dst p e in
+      if reached.(s) then begin
+        (* BFS closure: the dst of a reached src is reached *)
+        if Hashtbl.mem directed (s, d) then parallel := true
+        else Hashtbl.add directed (s, d) ();
+        Hashtbl.replace links ((min s d, max s d)) ()
+      end)
+    (P.edges p);
+  if (not !parallel) && Hashtbl.length links = nr - 1 then
+    Some (order, parent_edge)
+  else None
+
+(* max sum y_e/c_e  s.t.  sum y_e <= 1,  0 <= y_e <= min(1, c_e*cap_e):
+   how fast a node can push tasks through its child links.  Solved as an
+   LP so the reduced path exercises (and is counted by) the same exact
+   kernels as the full one. *)
+let knapsack ?rule ?solver ?stats children =
+  match children with
+  | [] -> (R.zero, [])
+  | _ ->
+    let m = Lp.create () in
+    let yv =
+      List.map
+        (fun (e, c, cap) ->
+          let ub = R.min R.one (R.mul c cap) in
+          (e, c, Lp.add_var ~ub:(Some ub) m (Printf.sprintf "y_%d" e)))
+        children
+    in
+    Lp.add_constraint ~name:"outport" m
+      (Lp.sum (List.map (fun (_, _, v) -> Lp.var v) yv))
+      Lp.Le R.one;
+    Lp.set_objective m Lp.Maximize
+      (Lp.sum (List.map (fun (_, c, v) -> Lp.term (R.inv c) v) yv));
+    (match Lp.solve ?rule ?solver ?stats m with
+    | Lp.Optimal sol ->
+      (sol.Lp.objective, List.map (fun (e, _, v) -> (e, sol.Lp.values v)) yv)
+    | Lp.Infeasible | Lp.Unbounded ->
+      (* cannot happen: y = 0 is feasible, the objective is bounded *)
+      failwith "Master_slave.solve_reduced: knapsack LP not optimal")
+
+let solve_reduced ?rule ?solver ?factorization ?stats p ~master =
+  match tree_structure p ~master with
+  | None ->
+    (* not a tree: presolve the full LP instead *)
+    let m, alpha_v, s_v = build_lp p ~master in
+    let red = Lp.Reduce.reduce m in
+    (match Lp.Reduce.solve ?rule ?solver ?factorization ?stats red with
+    | Lp.Infeasible | Lp.Unbounded ->
+      failwith "Master_slave.solve_reduced: LP not optimal (invalid platform?)"
+    | Lp.Optimal sol -> solution_of_sol p ~master alpha_v s_v sol)
+  | Some (order, parent_edge) ->
+    let n = P.num_nodes p in
+    let nb = Array.length order in
+    let cap = Array.make n R.zero in
+    let kk = Array.make n R.zero in
+    let plan = Array.make n [] in
+    (* bottom-up: children precede parents in reverse BFS order *)
+    for idx = nb - 1 downto 0 do
+      let i = order.(idx) in
+      let children =
+        List.filter_map
+          (fun e ->
+            let j = P.edge_dst p e in
+            if parent_edge.(j) = e then
+              Some (e, P.edge_cost p e, cap.(j))
+            else None)
+          (P.out_edges p i)
+      in
+      let k, ys = knapsack ?rule ?solver ?stats children in
+      kk.(i) <- k;
+      plan.(i) <- ys;
+      if i <> master then
+        cap.(i) <-
+          R.min
+            (R.inv (P.edge_cost p parent_edge.(i)))
+            (R.add (P.speed p i) k)
+    done;
+    (* top-down: route the actual flow, scaling each saturated plan to
+       the excess that really arrives *)
+    let alpha = Array.make n R.zero in
+    let send = Array.make (P.num_edges p) R.zero in
+    let inflow = Array.make n R.zero in
+    let consumed = ref R.zero in
+    Array.iter
+      (fun i ->
+        let self, excess =
+          if i = master then (P.speed p i, kk.(i))
+          else
+            let f = inflow.(i) in
+            let self = R.min f (P.speed p i) in
+            (self, R.sub f self)
+        in
+        if R.sign (P.speed p i) > 0 then
+          alpha.(i) <- R.div self (P.speed p i);
+        consumed := R.add !consumed self;
+        if R.sign excess > 0 then begin
+          let factor = R.div excess kk.(i) in
+          List.iter
+            (fun (e, y) ->
+              let y' = R.mul factor y in
+              if R.sign y' > 0 then begin
+                send.(e) <- y';
+                inflow.(P.edge_dst p e) <- R.div y' (P.edge_cost p e)
+              end)
+            plan.(i)
+        end)
+      order;
+    let ntask = R.add (P.speed p master) kk.(master) in
+    if not (R.equal !consumed ntask) then
+      failwith "Master_slave.solve_reduced: consumption / ntask mismatch";
+    let task_flow =
+      Array.mapi
+        (fun e y -> if R.is_zero y then R.zero else R.div y (P.edge_cost p e))
+        send
+    in
+    { platform = p; master; ntask; alpha; send_frac = send; task_flow }
 
 (* per-node task rate: alpha_i / w_i *)
 let task_rate sol i = R.mul sol.alpha.(i) (P.speed sol.platform i)

@@ -31,12 +31,24 @@ type solution = {
   task_flow : Flow.t; (** per edge: tasks per time unit = s_ij / c_ij *)
 }
 
+val build_lp :
+  Platform.t ->
+  master:Platform.node ->
+  Lp.model * Lp.var array * Lp.var array
+(** The steady-state LP of the header, unsolved:
+    [(model, alpha_vars, s_vars)] with one activity variable per node
+    and one send variable per edge, in platform order.  Exposed so
+    tests and benches can certify {e any} claimed solution — including
+    {!solve_reduced}'s decomposed flows — against the model's own
+    constraints via {!Lp.check_solution}. *)
+
 val solve :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->
   ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
   solution
@@ -45,6 +57,7 @@ val solve :
     phase workload): the previous optimal basis is repaired in a few
     exact pivots, and exactly repeated instances return memoised.  Both
     are exact: the throughput is bit-identical to a cold solve.
+    [?stats] accumulates exact pivot/refactorisation counts.
     @raise Failure if the LP is somehow not optimal (cannot happen on a
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
@@ -55,6 +68,7 @@ val try_solve :
   ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
   (solution, [ `Infeasible | `Unbounded ]) result
@@ -69,10 +83,37 @@ val solve_lp_only :
   ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
   Lp.model * Lp.result
 (** The raw model and solver outcome, for inspection and tests. *)
+
+val solve_reduced :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  master:Platform.node ->
+  solution
+(** Structurally reduced {!solve}, built for platforms three orders of
+    magnitude beyond what the monolithic LP can carry.  When the part
+    of the platform reachable from the master is a tree (no undirected
+    cycles, no parallel links — every {!Platform_gen.random_tree} /
+    {!Platform_gen.balanced_tree} qualifies), the LP decomposes
+    exactly: one tiny fractional-knapsack LP per internal node, swept
+    bottom-up (subtree absorption capacities) and then top-down (exact
+    scaling of each saturated plan to the flow that actually arrives).
+    Total work is linear in the number of nodes times the knapsack
+    cost, instead of a simplex run over an [O(n)]-row basis.  Any
+    other platform falls back to the full LP run through the
+    {!Lp.Reduce} presolve.
+
+    The returned throughput is bit-identical to {!solve}'s on the same
+    platform, and the flow satisfies every LP constraint exactly — the
+    test-suite asserts both against {!Lp.check_solution}.
+    @raise Failure as {!solve}. *)
 
 val schedule : solution -> Schedule.t
 (** Periodic schedule with integer task counts: the period is the lcm of

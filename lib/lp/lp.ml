@@ -309,6 +309,7 @@ module Cache = struct
   module Disk = Solve_store
 
   type entry = {
+    e_key : string; (* full canonical dump: the collision guard *)
     e_res : result;
     e_basis : basis option;
     mutable e_tick : int; (* last-use stamp, for LRU eviction *)
@@ -432,8 +433,15 @@ let cache_key sg solver rule (m : model) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf sg;
   Buffer.add_char buf (match solver with Tableau -> 'T' | Revised -> 'R');
-  Buffer.add_char buf
-    (match rule with Simplex.Dantzig -> 'D' | Simplex.Bland -> 'B');
+  (match rule with
+  | Simplex.Dantzig -> Buffer.add_char buf 'D'
+  | Simplex.Bland -> Buffer.add_char buf 'B'
+  | Simplex.Partial w ->
+    Buffer.add_char buf 'P';
+    Buffer.add_string buf (string_of_int w)
+  | Simplex.Devex w ->
+    Buffer.add_char buf 'V';
+    Buffer.add_string buf (string_of_int w));
   let dump v =
     Buffer.add_string buf (R.to_string v);
     Buffer.add_char buf ','
@@ -590,12 +598,31 @@ let decode_entry ~sg m value =
     with Exit | Invalid_argument _ | Division_by_zero | Failure _ -> None)
   | _ -> None
 
-(* [?factorization] is absent from the cache key on purpose: the two
+(* Exact solver-effort counters, accumulated across kernel solves (cache
+   hits contribute nothing — no kernel ran).  Pivot and refactorisation
+   counts are deterministic (exact arithmetic, deterministic rules), so
+   the bench can attribute a speedup to fewer pivots vs cheaper pivots. *)
+module Stats = struct
+  type t = {
+    mutable solves : int;
+    mutable pivots : int;
+    mutable refactors : int;
+  }
+
+  let create () = { solves = 0; pivots = 0; refactors = 0 }
+
+  let add t ~pivots ~refactors =
+    t.solves <- t.solves + 1;
+    t.pivots <- t.pivots + pivots;
+    t.refactors <- t.refactors + refactors
+end
+
+(* [?factorization] is absent from the cache key on purpose: the
    basis representations produce bit-identical outcomes (exact
    arithmetic makes every pivot decision the same), so a hit recorded
-   under one is valid for the other. *)
+   under one is valid for the others. *)
 let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
-    ?(factorization = `Lu) ?warm ?cache m =
+    ?(factorization = `Lu) ?warm ?cache ?stats m =
   let n = num_vars m in
   let sg =
     if warm <> None || cache <> None then signature m else ""
@@ -605,12 +632,20 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     | None -> None
     | Some cc ->
       let key = cache_key sg solver rule m in
+      (* the table is keyed by a fixed-width digest of the canonical
+         dump, so the hashtable never hashes (or compares, on the
+         bucket walk) the full dump — lookup cost is independent of
+         model size.  The dump is echoed in the entry: on the
+         astronomically unlikely digest collision the echo differs and
+         the lookup degrades to a miss, mirroring {!Solve_store}'s
+         key-echo guard. *)
+      let hkey = Solve_store.digest key in
       let entry =
-        match Hashtbl.find_opt cc.Cache.tbl key with
-        | Some e ->
+        match Hashtbl.find_opt cc.Cache.tbl hkey with
+        | Some e when String.equal e.Cache.e_key key ->
           Cache.use cc e;
           Some e
-        | None -> (
+        | Some _ (* digest collision *) | None -> (
           match cc.Cache.disk with
           | None -> None
           | Some d -> (
@@ -620,8 +655,11 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
               match decode_entry ~sg m value with
               | Some (res, basis) ->
                 cc.Cache.disk_hits <- cc.Cache.disk_hits + 1;
-                let e = { Cache.e_res = res; e_basis = basis; e_tick = 0 } in
-                Cache.insert cc key e;
+                let e =
+                  { Cache.e_key = key; e_res = res; e_basis = basis;
+                    e_tick = 0 }
+                in
+                Cache.insert cc hkey e;
                 Some e
               | None ->
                 (* checksum-valid bytes the value decoder rejects:
@@ -629,10 +667,10 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
                 Solve_store.quarantine d key;
                 None)))
       in
-      Some (cc, key, entry)
+      Some (cc, key, hkey, entry)
   in
   match cached with
-  | Some (cc, _, Some entry) ->
+  | Some (cc, _, _, Some entry) ->
     cc.Cache.hits <- cc.Cache.hits + 1;
     (* a hit also refreshes the warm slot, so a later near-identical
        solve that misses the cache can still warm-start *)
@@ -642,7 +680,7 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     entry.Cache.e_res
   | _ ->
     (match cached with
-    | Some (cc, _, None) -> cc.Cache.misses <- cc.Cache.misses + 1
+    | Some (cc, _, _, None) -> cc.Cache.misses <- cc.Cache.misses + 1
     | _ -> ());
     let a, b, c, cmap, obj_const, flip = translate m in
     let import =
@@ -651,13 +689,19 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
         Some bs.bcols
       | _ -> None
     in
+    let note_effort ~pivots ~refactors =
+      match stats with
+      | Some s -> Stats.add s ~pivots ~refactors
+      | None -> ()
+    in
     let outcome =
       match solver with
       | Tableau -> begin
         match Simplex.minimize ~rule ?basis:import ~a ~b ~c () with
         | Simplex.Infeasible -> `Infeasible
         | Simplex.Unbounded -> `Unbounded
-        | Simplex.Optimal { values; objective; duals; basis; warm; _ } ->
+        | Simplex.Optimal { values; objective; duals; basis; warm; pivots } ->
+          note_effort ~pivots ~refactors:0;
           `Optimal (values, objective, duals, basis, warm)
       end
       | Revised -> begin
@@ -667,8 +711,9 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
         with
         | Revised_simplex.Infeasible -> `Infeasible
         | Revised_simplex.Unbounded -> `Unbounded
-        | Revised_simplex.Optimal { values; objective; duals; basis; warm; _ }
-          ->
+        | Revised_simplex.Optimal
+            { values; objective; duals; basis; warm; pivots; refactors } ->
+          note_effort ~pivots ~refactors;
           `Optimal (values, objective, duals, basis, warm)
       end
     in
@@ -713,8 +758,9 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     | Some w, Some bs -> w.Warm.basis <- Some bs
     | _ -> ());
     (match cached with
-    | Some (cc, key, None) ->
-      Cache.insert cc key { Cache.e_res = res; e_basis = exported; e_tick = 0 };
+    | Some (cc, key, hkey, None) ->
+      Cache.insert cc hkey
+        { Cache.e_key = key; e_res = res; e_basis = exported; e_tick = 0 };
       (match cc.Cache.disk with
       | None -> ()
       | Some d -> Solve_store.add d key (encode_entry ~n res exported))
@@ -817,3 +863,355 @@ let pp ppf m =
         vi.name
         (match vi.ub with None -> "+inf" | Some u -> R.to_string u))
     vars
+
+(* --- structural model reduction (presolve) ----------------------------
+
+   Master–slave LPs (and the steady-state LPs generally) are full of
+   structure a simplex kernel pays for row by row: bound rows that are
+   really variable bounds, conservation equalities whose flow variable
+   appears nowhere else, activity variables priced by nothing.  The
+   passes below eliminate all of it exactly, to a fixpoint, and record
+   an elimination log that reinflates a core solution to the original
+   variable space with no arithmetic slack — the reduced solve is
+   bit-identical in objective to the unreduced one.
+
+   Termination: fixes and substitutions each permanently retire one
+   variable (at most nvars in total, across all sweeps); every other
+   change kills a row, and the rows ever created number at most
+   ncons + 2·nvars (two bound-translation rows per substitution).  So
+   the sweep loop runs out of possible changes. *)
+
+module Reduce = struct
+  (* Elimination log entry, kept newest-first.  [Fixed (v, x)] pins a
+     variable; [Subst {v; a; rhs; rest}] records the killed equality
+     [a·v + Σ rest = rhs], replayed at reinflation as
+     [v = (rhs − Σ rest)/a].  Newest-first replay is correct because a
+     [rest] variable was alive at substitution time, hence is either a
+     core survivor or was eliminated *later* — and later eliminations
+     replay first. *)
+  type elim =
+    | Fixed of var * R.t
+    | Subst of { v : var; a : R.t; rhs : R.t; rest : (var * R.t) list }
+
+  (* Mutable presolve row: the expression shrinks as variables are
+     fixed, the rhs absorbs their contribution. *)
+  type prow = {
+    pname : string;
+    mutable pexpr : (var * R.t) list;
+    prel : relation;
+    mutable prhs : R.t;
+    mutable palive : bool;
+  }
+
+  type reduced = {
+    base : model;
+    core : model;
+    keep : int array; (* original var -> core var, or -1 if eliminated *)
+    elims : elim list; (* newest first *)
+    nrows_elim : int;
+  }
+
+  type t =
+    | Decided of { res : result; nvars_elim : int; nrows_elim : int }
+    | Reduced of reduced
+
+  let reduce m =
+    let nv = m.nvars in
+    let vars = var_array m in
+    let lb = Array.map (fun vi -> vi.lb) vars in
+    let ub = Array.map (fun vi -> vi.ub) vars in
+    let sense, obj_expr =
+      match m.objective with
+      | None -> (Minimize, Imap.empty)
+      | Some (s, e) -> (s, e)
+    in
+    let obj = Array.make nv R.zero in
+    Imap.iter (fun v c -> obj.(v) <- c) obj_expr;
+    let alive = Array.make nv true in
+    let occ = Array.make nv 0 in
+    (* rows that ever contained v; dead entries are skipped on use *)
+    let occ_rows = Array.make nv ([] : prow list) in
+    let rows = ref [] in (* reverse creation order *)
+    let infeasible = ref false in
+    let changed = ref true in
+    let elims = ref [] in
+    let register r =
+      rows := r :: !rows;
+      List.iter
+        (fun (u, _) ->
+          occ.(u) <- occ.(u) + 1;
+          occ_rows.(u) <- r :: occ_rows.(u))
+        r.pexpr
+    in
+    List.iter
+      (fun c ->
+        register
+          { pname = c.cname; pexpr = Imap.bindings c.expr; prel = c.rel;
+            prhs = c.rhs; palive = true })
+      (List.rev m.cons);
+    let in_bounds v x =
+      (match lb.(v) with Some l -> R.compare x l >= 0 | None -> true)
+      && (match ub.(v) with Some u -> R.compare x u <= 0 | None -> true)
+    in
+    let kill_row r =
+      if r.palive then begin
+        r.palive <- false;
+        changed := true;
+        List.iter (fun (u, _) -> occ.(u) <- occ.(u) - 1) r.pexpr
+      end
+    in
+    let fix v x =
+      if alive.(v) then
+        if not (in_bounds v x) then infeasible := true
+        else begin
+          alive.(v) <- false;
+          changed := true;
+          elims := Fixed (v, x) :: !elims;
+          List.iter
+            (fun r ->
+              if r.palive && List.mem_assoc v r.pexpr then begin
+                let a = List.assoc v r.pexpr in
+                r.pexpr <- List.remove_assoc v r.pexpr;
+                r.prhs <- R.submul r.prhs a x
+              end)
+            occ_rows.(v);
+          occ.(v) <- 0
+        end
+    in
+    (* singleton inequality row: fold into v's bounds, drop the row *)
+    let singleton_bound r v a =
+      let x = R.div r.prhs a in
+      let tighten_ub () =
+        match ub.(v) with
+        | Some u when R.compare u x <= 0 -> ()
+        | _ ->
+          ub.(v) <- Some x;
+          changed := true
+      and tighten_lb () =
+        match lb.(v) with
+        | Some l when R.compare l x >= 0 -> ()
+        | _ ->
+          lb.(v) <- Some x;
+          changed := true
+      in
+      (match (r.prel, R.sign a > 0) with
+      | Le, true | Ge, false -> tighten_ub ()
+      | Ge, true | Le, false -> tighten_lb ()
+      | Eq, _ -> assert false);
+      kill_row r;
+      match (lb.(v), ub.(v)) with
+      | Some l, Some u when R.compare l u > 0 -> infeasible := true
+      | Some l, Some u when R.equal l u -> fix v l
+      | _ -> ()
+    in
+    let pass_rows () =
+      List.iter
+        (fun r ->
+          if r.palive && not !infeasible then
+            match r.pexpr with
+            | [] ->
+              let ok =
+                match r.prel with
+                | Le -> R.sign r.prhs >= 0
+                | Ge -> R.sign r.prhs <= 0
+                | Eq -> R.is_zero r.prhs
+              in
+              if ok then kill_row r else infeasible := true
+            | [ (v, a) ] ->
+              if r.prel = Eq then begin
+                kill_row r;
+                fix v (R.div r.prhs a)
+              end
+              else singleton_bound r v a
+            | _ -> ())
+        !rows
+    in
+    (* column singleton in an equality: substitute the variable out.
+       Its bounds become (at most two) inequality rows over the rest:
+       with a > 0,  v >= l  ⟺  Σ rest <= rhs − a·l  and
+       v <= u  ⟺  Σ rest >= rhs − a·u; a < 0 flips the relations. *)
+    let subst_var v =
+      match
+        List.find_opt
+          (fun r -> r.palive && List.mem_assoc v r.pexpr)
+          occ_rows.(v)
+      with
+      | Some r when r.prel = Eq && List.length r.pexpr >= 2 ->
+        let a = List.assoc v r.pexpr in
+        let rest = List.remove_assoc v r.pexpr in
+        let rhs = r.prhs in
+        kill_row r;
+        alive.(v) <- false;
+        occ.(v) <- 0;
+        changed := true;
+        elims := Subst { v; a; rhs; rest } :: !elims;
+        (* obj_v·v = (obj_v/a)·(rhs − Σ rest); the constant is dropped —
+           the final objective is re-evaluated on the base model *)
+        if not (R.is_zero obj.(v)) then begin
+          let k = R.div obj.(v) a in
+          List.iter (fun (u, c) -> obj.(u) <- R.submul obj.(u) k c) rest;
+          obj.(v) <- R.zero
+        end;
+        let bound_row tag rel bnd =
+          register
+            { pname = Printf.sprintf "ps:%s:%s" tag vars.(v).name;
+              pexpr = rest; prel = rel; prhs = R.submul rhs a bnd;
+              palive = true }
+        in
+        let pos = R.sign a > 0 in
+        (match lb.(v) with
+        | Some l -> bound_row "lb" (if pos then Le else Ge) l
+        | None -> ());
+        (match ub.(v) with
+        | Some u -> bound_row "ub" (if pos then Ge else Le) u
+        | None -> ())
+      | _ -> ()
+    in
+    let pass_subst () =
+      for v = 0 to nv - 1 do
+        if alive.(v) && occ.(v) = 1 && not !infeasible then subst_var v
+      done
+    in
+    (* dead column: no live row mentions v — fix it at the bound the
+       objective prefers (leave it for the kernel when that bound is
+       infinite: the core solve then reports unboundedness itself). *)
+    let pass_columns () =
+      for v = 0 to nv - 1 do
+        if alive.(v) && occ.(v) = 0 && not !infeasible then begin
+          let d =
+            match sense with
+            | Maximize -> R.neg obj.(v)
+            | Minimize -> obj.(v)
+          in
+          let s = R.sign d in
+          if s > 0 then (match lb.(v) with Some l -> fix v l | None -> ())
+          else if s < 0 then
+            (match ub.(v) with Some u -> fix v u | None -> ())
+          else
+            let x =
+              match (lb.(v), ub.(v)) with
+              | Some l, _ -> l
+              | None, Some u -> R.min R.zero u
+              | None, None -> R.zero
+            in
+            fix v x
+        end
+      done
+    in
+    while !changed && not !infeasible do
+      changed := false;
+      pass_rows ();
+      pass_subst ();
+      pass_columns ()
+    done;
+    let nrows_elim =
+      List.fold_left (fun n r -> if r.palive then n else n + 1) 0 !rows
+    in
+    let nvars_elim = List.length !elims in
+    if !infeasible then Decided { res = Infeasible; nvars_elim; nrows_elim }
+    else if not (Array.exists Fun.id alive) then begin
+      (* everything decided by presolve: replay the log (newest first)
+         and report under the base model's row names, all duals zero *)
+      let vals = Array.make nv R.zero in
+      List.iter
+        (function
+          | Fixed (v, x) -> vals.(v) <- x
+          | Subst { v; a; rhs; rest } ->
+            let s =
+              List.fold_left
+                (fun acc (u, c) -> R.add acc (R.mul c vals.(u)))
+                R.zero rest
+            in
+            vals.(v) <- R.div (R.sub rhs s) a)
+        !elims;
+      let objective =
+        match m.objective with
+        | None -> R.zero
+        | Some (_, e) -> eval (fun v -> vals.(v)) e
+      in
+      let duals = List.map (fun nm -> (nm, R.zero)) (row_names m) in
+      Decided
+        { res = Optimal { objective; values = (fun v -> vals.(v)); duals };
+          nvars_elim; nrows_elim }
+    end
+    else begin
+      let core = create () in
+      let keep = Array.make nv (-1) in
+      Array.iteri
+        (fun v vi ->
+          if alive.(v) then
+            keep.(v) <- add_var ~lb:lb.(v) ~ub:ub.(v) core vi.name)
+        vars;
+      List.iter
+        (fun r ->
+          if r.palive then
+            add_constraint ~name:r.pname core
+              (of_terms (List.map (fun (u, c) -> (c, keep.(u))) r.pexpr))
+              r.prel r.prhs)
+        (List.rev !rows);
+      (match m.objective with
+      | None -> ()
+      | Some (s, _) ->
+        let e = ref zero in
+        for v = 0 to nv - 1 do
+          if keep.(v) >= 0 && not (R.is_zero obj.(v)) then
+            e := add !e (term obj.(v) keep.(v))
+        done;
+        set_objective core s !e);
+      Reduced { base = m; core; keep; elims = !elims; nrows_elim }
+    end
+
+  let vars_eliminated = function
+    | Decided d -> d.nvars_elim
+    | Reduced rc -> List.length rc.elims
+
+  let rows_eliminated = function
+    | Decided d -> d.nrows_elim
+    | Reduced rc -> rc.nrows_elim
+
+  let core_model = function Decided _ -> None | Reduced rc -> Some rc.core
+
+  let inflate rc core_val =
+    let nv = rc.base.nvars in
+    let vals = Array.make nv R.zero in
+    Array.iteri (fun v k -> if k >= 0 then vals.(v) <- core_val k) rc.keep;
+    List.iter
+      (function
+        | Fixed (v, x) -> vals.(v) <- x
+        | Subst { v; a; rhs; rest } ->
+          let s =
+            List.fold_left
+              (fun acc (u, c) -> R.add acc (R.mul c vals.(u)))
+              R.zero rest
+          in
+          vals.(v) <- R.div (R.sub rhs s) a)
+      rc.elims;
+    vals
+
+  let solve ?rule ?solver ?factorization ?warm ?cache ?stats t =
+    match t with
+    | Decided d -> d.res
+    | Reduced rc -> (
+      match solve ?rule ?solver ?factorization ?warm ?cache ?stats rc.core with
+      | Infeasible -> Infeasible
+      | Unbounded -> Unbounded
+      | Optimal sol ->
+        let vals = inflate rc sol.values in
+        let objective =
+          match rc.base.objective with
+          | None -> R.zero
+          | Some (_, e) -> eval (fun v -> vals.(v)) e
+        in
+        let dual_tbl = Hashtbl.create 64 in
+        List.iter (fun (nm, y) -> Hashtbl.replace dual_tbl nm y) sol.duals;
+        let duals =
+          List.map
+            (fun nm ->
+              ( nm,
+                match Hashtbl.find_opt dual_tbl nm with
+                | Some y -> y
+                | None -> R.zero ))
+            (row_names rc.base)
+        in
+        Optimal { objective; values = (fun v -> vals.(v)); duals })
+end

@@ -85,9 +85,11 @@ type solver =
 
 type factorization = Revised_simplex.factorization
 (** Basis representation of the [Revised] solver: [`Lu] (sparse exact
-    LU + product-form eta file, default) or [`Dense] (explicit inverse,
+    LU + product-form eta file, default), [`Ft] (sparse LU updated
+    Forrest–Tomlin style — spikes folded into U, short row etas — the
+    choice for long pivot sequences) or [`Dense] (explicit inverse,
     kept for differential testing).  Outcomes are bit-identical under
-    either. *)
+    all three. *)
 
 val duals : solution -> (string * Rat.t) list
 (** [duals sol] is {!solution.duals} — the per-constraint shadow
@@ -237,12 +239,37 @@ module Cache : sig
   end
 end
 
+module Stats : sig
+  (** Exact solver-effort counters.  Pass one slot to successive
+      {!solve} calls to accumulate how much kernel work a sweep really
+      did: pivot and refactorisation counts are deterministic (exact
+      arithmetic, deterministic pivot rules), so the bench can report
+      them next to wall-clock and attribute a speedup to {e fewer}
+      pivots vs {e cheaper} pivots.  Cache hits contribute nothing —
+      no kernel ran. *)
+
+  type t = {
+    mutable solves : int;  (** optimal kernel solves accumulated *)
+    mutable pivots : int;  (** simplex pivots across those solves *)
+    mutable refactors : int;
+        (** basis refactorisations ([Revised] solver only; the
+            [Tableau] kernel never refactorises) *)
+  }
+
+  val create : unit -> t
+
+  val add : t -> pivots:int -> refactors:int -> unit
+  (** Count one solve's effort; exposed so wrappers that bypass
+      {!solve} can keep the ledger honest. *)
+end
+
 val solve :
   ?rule:Simplex.pivot_rule ->
   ?solver:solver ->
   ?factorization:factorization ->
   ?warm:Warm.t ->
   ?cache:Cache.t ->
+  ?stats:Stats.t ->
   model ->
   result
 (** [solve m] translates the model to standard form and runs the chosen
@@ -258,7 +285,65 @@ val solve :
     basis representation and is ignored by [Tableau].  It changes
     nothing about the result — the representations answer every linear
     solve with the same exact values, hence identical pivots — so it is
-    deliberately absent from the cache key; only speed differs. *)
+    deliberately absent from the cache key; only speed differs.
+
+    [?stats] accumulates exact pivot/refactorisation counts for every
+    optimal kernel solve (cache hits add nothing). *)
+
+module Reduce : sig
+  (** Structural model reduction (presolve), exact over {!Rat}.
+
+      [reduce m] eliminates everything a simplex kernel should never
+      see — to a fixpoint:
+
+      - {e empty rows} (checked, then dropped);
+      - {e singleton rows}: [a·x = r] fixes [x]; [a·x <= r] / [>= r]
+        tightens a bound and drops the row;
+      - {e column singletons in equalities}: a variable appearing in
+        exactly one row, an equality, is substituted out; its bounds
+        become (at most two) inequality rows over the remaining
+        variables, named [ps:lb:<var>] / [ps:ub:<var>];
+      - {e dead columns} (no row occurrence): fixed at the bound the
+        objective prefers.
+
+      The reduced core is an ordinary {!model}; {!solve} (on this
+      module) solves the core and {e reinflates} the answer to the
+      original variable space by replaying the elimination log — every
+      fixed or substituted value is recovered exactly, and the returned
+      objective is re-evaluated on the original model, so the result is
+      bit-identical in objective to solving the unreduced model.
+
+      Caveat: duals are reported under the {e original} model's row
+      names, with the core's exact duals where a row survived and [0]
+      for eliminated rows (an eliminated row is non-binding or its
+      price was folded away — callers that certify strong duality must
+      solve unreduced). *)
+
+  type t
+
+  val reduce : model -> t
+  (** Run the presolve passes.  The input model is not modified. *)
+
+  val vars_eliminated : t -> int
+  val rows_eliminated : t -> int
+
+  val core_model : t -> model option
+  (** The reduced core, or [None] when presolve decided the instance
+      outright (every variable fixed, or infeasibility detected). *)
+
+  val solve :
+    ?rule:Simplex.pivot_rule ->
+    ?solver:solver ->
+    ?factorization:factorization ->
+    ?warm:Warm.t ->
+    ?cache:Cache.t ->
+    ?stats:Stats.t ->
+    t ->
+    result
+  (** Solve the core with {!Lp.solve} (same accelerators, same
+      semantics) and reinflate; decided instances return without
+      touching a kernel. *)
+end
 
 val standard_form : model -> Rat.t array array * Rat.t array * Rat.t array
 (** [standard_form m] is the exact [(a, b, c)] instance — min [c.x]

@@ -21,13 +21,34 @@
    through U^T (row k of U^T is ucols.(k)), scatter z_k to row pr(k),
    then apply the Gauss transforms transposed in reverse step order.
 
+   Two update disciplines sit behind [kind]:
+
+   - [`Lu] (product form): each basis change appends an eta vector in
+     basis-position space; the factors L, U are immutable between
+     refactorisations.
+   - [`Ft] (Forrest-Tomlin): each basis change folds the *spike* — the
+     partially transformed entering column — into U itself.  Replacing
+     basic column p rewrites U's column k0 = slot(p) with the spike,
+     cyclically moves that column/row to the last triangular position,
+     and eliminates the resulting row spike with ONE row transform
+     R = I - e_{k0} f^T whose support is the old row tail.  U stays
+     triangular in a permuted order maintained by [pos]/[slot_at]; the
+     R transforms are kept as compact "row etas".  The chain grows by
+     one short row eta per pivot instead of one column eta, and U
+     absorbs the spike, so long pivot sequences refactorise far less
+     often.  FTRAN becomes  L ops -> gather -> row etas (oldest first)
+     -> U back substitution in position order -> scatter;  BTRAN is the
+     transpose pipeline in reverse.
+
    Everything is exact Rat arithmetic: zero tests are exact, so
    zero-skipping never changes a result, and the answers coincide bit
-   for bit with the dense Gauss-Jordan inverse. *)
+   for bit with the dense Gauss-Jordan inverse — under either kind. *)
 
 module R = Rat
 
 exception Singular
+
+type kind = [ `Lu | `Ft ]
 
 type eta = {
   ep : int; (* basis position of the pivot *)
@@ -35,21 +56,40 @@ type eta = {
   terms : (int * R.t) array; (* (k, -u_k / u_p) for k <> ep *)
 }
 
+(* Forrest-Tomlin row transform R = I - e_{rs} f^T, support [rterms]:
+   applied to a vector v as v_{rs} -= sum f_c * v_c. *)
+type reta = { rs : int; rterms : (int * R.t) array }
+
 type t = {
   m : int;
+  kind : kind;
   pr : int array; (* step -> original row *)
   pc : int array; (* step -> basis position *)
   lcols : (int * R.t) array array; (* step -> Gauss column (orig row, mult) *)
-  udiag : R.t array; (* step -> pivot value U_{kk} *)
-  ucols : (int * R.t) array array; (* step k -> (step j < k, U_{jk}) *)
+  udiag : R.t array; (* slot -> pivot value U_{kk} *)
+  ucols : (int * R.t) array array; (* slot k -> above-diagonal (slot j, U_{jk}) *)
   lu_nnz : int;
   refactor_at : int;
   mutable etas : eta array;
   mutable neta : int;
   mutable eta_nnz : int;
+  (* --- [`Ft] only ------------------------------------------------- *)
+  urows : (int * R.t) array array; (* row mirror of [ucols], diag excluded *)
+  pos : int array; (* slot -> current triangular position *)
+  slot_at : int array; (* position -> slot *)
+  slot_of_bpos : int array; (* basis position -> slot (inverse of pc) *)
+  mutable retas : reta array;
+  mutable nreta : int;
+  mutable reta_nnz : int;
+  mutable fill : int; (* net U entries added/removed by spike columns *)
+  spike : R.t array; (* scratch: pre-U image of the last ftran rhs *)
+  mutable spike_valid : bool;
+  lastrow : R.t array; (* scratch: the row spike being eliminated *)
 }
 
-let factor ?refactor_at ~m cols =
+let kind t = t.kind
+
+let factor ?refactor_at ?(kind = `Lu) ~m cols =
   if Array.length cols <> m then invalid_arg "Lu.factor: |cols| <> m";
   let w = Array.make_matrix m m R.zero in
   let rowcnt = Array.make m 0 and colcnt = Array.make m 0 in
@@ -156,10 +196,33 @@ let factor ?refactor_at ~m cols =
   let refactor_at =
     match refactor_at with
     | Some r -> r
-    | None -> Stdlib.max 16 (m / 2)
+    | None -> (
+      match kind with
+      | `Lu -> Stdlib.max 16 (m / 2)
+      | `Ft -> Stdlib.max 64 (2 * m))
+  in
+  let ft = kind = `Ft in
+  let urows_mirror =
+    if not ft then [||]
+    else begin
+      let acc = Array.make m [] in
+      for k = m - 1 downto 0 do
+        Array.iter (fun (j, v) -> acc.(j) <- (k, v) :: acc.(j)) ucols.(k)
+      done;
+      Array.map Array.of_list acc
+    end
+  in
+  let slot_of_bpos =
+    if not ft then [||]
+    else begin
+      let inv = Array.make m (-1) in
+      Array.iteri (fun k p -> inv.(p) <- k) pc;
+      inv
+    end
   in
   {
     m;
+    kind;
     pr;
     pc;
     lcols;
@@ -170,6 +233,17 @@ let factor ?refactor_at ~m cols =
     etas = [||];
     neta = 0;
     eta_nnz = 0;
+    urows = urows_mirror;
+    pos = (if ft then Array.init m (fun k -> k) else [||]);
+    slot_at = (if ft then Array.init m (fun k -> k) else [||]);
+    slot_of_bpos;
+    retas = [||];
+    nreta = 0;
+    reta_nnz = 0;
+    fill = 0;
+    spike = (if ft then Array.make m R.zero else [||]);
+    spike_valid = false;
+    lastrow = (if ft then Array.make m R.zero else [||]);
   }
 
 (* --- eta file ----------------------------------------------------------- *)
@@ -185,24 +259,174 @@ let push t e =
   t.neta <- t.neta + 1;
   t.eta_nnz <- t.eta_nnz + 1 + Array.length e.terms
 
-let update t ~p ~u =
-  let up = u.(p) in
-  if R.is_zero up then invalid_arg "Lu.update: zero pivot";
-  let inv_up = R.inv up in
-  let terms = ref [] in
-  for k = t.m - 1 downto 0 do
-    if k <> p && not (R.is_zero u.(k)) then
-      terms := (k, R.neg (R.mul u.(k) inv_up)) :: !terms
-  done;
-  push t { ep = p; inv_up; terms = Array.of_list !terms }
+let push_reta t e =
+  let cap = Array.length t.retas in
+  if t.nreta = cap then begin
+    let retas = Array.make (Stdlib.max 8 (2 * cap)) e in
+    Array.blit t.retas 0 retas 0 t.nreta;
+    t.retas <- retas
+  end;
+  t.retas.(t.nreta) <- e;
+  t.nreta <- t.nreta + 1;
+  t.reta_nnz <- t.reta_nnz + 1 + Array.length e.rterms
 
-let negate_row t p = push t { ep = p; inv_up = R.minus_one; terms = [||] }
+(* --- Forrest-Tomlin basis change ---------------------------------------- *)
+
+(* Sparse row/column surgery.  The arrays are short (a row or column
+   tail of U), so linear rebuilds are fine. *)
+let remove_key a k =
+  let n = Array.length a in
+  let cnt = ref 0 in
+  Array.iter (fun (i, _) -> if i <> k then incr cnt) a;
+  if !cnt = n then a
+  else begin
+    let b = Array.make !cnt (0, R.zero) in
+    let j = ref 0 in
+    Array.iter
+      (fun ((i, _) as e) ->
+        if i <> k then begin
+          b.(!j) <- e;
+          incr j
+        end)
+      a;
+    b
+  end
+
+let append_entry a e =
+  let n = Array.length a in
+  let b = Array.make (n + 1) e in
+  Array.blit a 0 b 0 n;
+  b
+
+(* Replace basic column [p] of U with the cached spike and restore
+   triangularity.  With k0 = slot(p) and q0 = pos(k0):
+
+   1. the spike (saved by the ftran of the entering column, after the L
+      transforms and the existing row etas, before the U solve) becomes
+      U's column k0;
+   2. slots at positions q0+1..m-1 shift down one, k0 moves to the last
+      position — U is now upper triangular except for the old row-k0
+      tail, which sits below the diagonal ("row spike");
+   3. the row spike is eliminated against rows q0..m-2 in position
+      order; the multipliers form ONE row transform R = I - e_{k0} f^T,
+      recorded as a row eta and replayed by every later solve;
+   4. the surviving value at (k0, k0) is the new pivot — zero there
+      means the new basis is singular.
+
+   The [ucols]/[urows] mirrors duplicate every off-diagonal value of U;
+   this function (and [negate_row]) are the only writers, and each
+   mutation below touches both sides. *)
+let update_ft t ~p ~u =
+  if R.is_zero u.(p) then invalid_arg "Lu.update: zero pivot";
+  if not t.spike_valid then
+    invalid_arg "Lu.update: Ft update needs an immediately preceding ftran";
+  let m = t.m in
+  let k0 = t.slot_of_bpos.(p) in
+  let lastrow = t.lastrow in
+  let touched = ref [ k0 ] in
+  (* old row k0: gather into [lastrow], drop from the column mirrors *)
+  Array.iter
+    (fun (c, v) ->
+      lastrow.(c) <- v;
+      touched := c :: !touched;
+      t.ucols.(c) <- remove_key t.ucols.(c) k0;
+      t.fill <- t.fill - 1)
+    t.urows.(k0);
+  t.urows.(k0) <- [||];
+  (* old column k0: drop from the row mirrors *)
+  Array.iter
+    (fun (r, _) ->
+      t.urows.(r) <- remove_key t.urows.(r) k0;
+      t.fill <- t.fill - 1)
+    t.ucols.(k0);
+  (* install the spike as the new column k0 *)
+  let newcol = ref [] in
+  for r = m - 1 downto 0 do
+    if r <> k0 then begin
+      let v = t.spike.(r) in
+      if not (R.is_zero v) then begin
+        newcol := (r, v) :: !newcol;
+        t.urows.(r) <- append_entry t.urows.(r) (k0, v);
+        t.fill <- t.fill + 1
+      end
+    end
+  done;
+  t.ucols.(k0) <- Array.of_list !newcol;
+  lastrow.(k0) <- t.spike.(k0);
+  (* cyclic shift: k0 moves to the last triangular position *)
+  let q0 = t.pos.(k0) in
+  for q = q0 + 1 to m - 1 do
+    let s = t.slot_at.(q) in
+    t.slot_at.(q - 1) <- s;
+    t.pos.(s) <- q - 1
+  done;
+  t.slot_at.(m - 1) <- k0;
+  t.pos.(k0) <- m - 1;
+  (* eliminate the row spike in position order *)
+  let terms = ref [] in
+  for q = q0 to m - 2 do
+    let c = t.slot_at.(q) in
+    let lv = lastrow.(c) in
+    if not (R.is_zero lv) then begin
+      let f = R.div lv t.udiag.(c) in
+      lastrow.(c) <- R.zero;
+      terms := (c, f) :: !terms;
+      Array.iter
+        (fun (c', v) ->
+          if R.is_zero lastrow.(c') then touched := c' :: !touched;
+          lastrow.(c') <- R.submul lastrow.(c') f v)
+        t.urows.(c)
+    end
+  done;
+  let d = lastrow.(k0) in
+  if R.is_zero d then raise Singular;
+  t.udiag.(k0) <- d;
+  List.iter (fun c -> lastrow.(c) <- R.zero) !touched;
+  (match !terms with
+  | [] -> () (* empty row spike: the transform is the identity *)
+  | ts -> push_reta t { rs = k0; rterms = Array.of_list (List.rev ts) });
+  t.spike_valid <- false
+
+let update t ~p ~u =
+  match t.kind with
+  | `Ft -> update_ft t ~p ~u
+  | `Lu ->
+    let up = u.(p) in
+    if R.is_zero up then invalid_arg "Lu.update: zero pivot";
+    let inv_up = R.inv up in
+    let terms = ref [] in
+    for k = t.m - 1 downto 0 do
+      if k <> p && not (R.is_zero u.(k)) then
+        terms := (k, R.neg (R.mul u.(k) inv_up)) :: !terms
+    done;
+    push t { ep = p; inv_up; terms = Array.of_list !terms }
+
+let negate_row t p =
+  match t.kind with
+  | `Lu -> push t { ep = p; inv_up = R.minus_one; terms = [||] }
+  | `Ft ->
+    (* negating row p of B^-1 is negating column slot(p) of U *)
+    let k0 = t.slot_of_bpos.(p) in
+    t.udiag.(k0) <- R.neg t.udiag.(k0);
+    Array.iteri
+      (fun i (r, v) ->
+        t.ucols.(k0).(i) <- (r, R.neg v);
+        let row = t.urows.(r) in
+        Array.iteri
+          (fun j (c, rv) -> if c = k0 then row.(j) <- (c, R.neg rv))
+          row)
+      t.ucols.(k0);
+    t.spike_valid <- false
 
 let needs_refactor t =
-  t.neta >= t.refactor_at || t.eta_nnz > (2 * t.lu_nnz) + (4 * t.m)
+  match t.kind with
+  | `Lu -> t.neta >= t.refactor_at || t.eta_nnz > (2 * t.lu_nnz) + (4 * t.m)
+  | `Ft ->
+    t.nreta >= t.refactor_at
+    || t.reta_nnz + Stdlib.max 0 t.fill > (2 * t.lu_nnz) + (4 * t.m)
 
-let eta_count t = t.neta
-let size t = t.lu_nnz + t.eta_nnz
+let eta_count t = t.neta + t.nreta
+let size t = t.lu_nnz + t.eta_nnz + t.reta_nnz + Stdlib.max 0 t.fill
 
 (* --- solves ------------------------------------------------------------- *)
 
@@ -215,26 +439,65 @@ let ftran_inplace t work =
         (fun (i, l) -> work.(i) <- R.submul work.(i) l x)
         t.lcols.(k)
   done;
-  let xs = Array.init t.m (fun k -> work.(t.pr.(k))) in
-  for k = t.m - 1 downto 0 do
-    let xk = if R.is_zero xs.(k) then R.zero else R.div xs.(k) t.udiag.(k) in
-    if not (R.is_zero xk) then
-      Array.iter (fun (j, uv) -> xs.(j) <- R.submul xs.(j) uv xk) t.ucols.(k);
-    xs.(k) <- xk
-  done;
-  let u = Array.make t.m R.zero in
-  for k = 0 to t.m - 1 do
-    u.(t.pc.(k)) <- xs.(k)
-  done;
-  for e = 0 to t.neta - 1 do
-    let eta = t.etas.(e) in
-    let x = u.(eta.ep) in
-    if not (R.is_zero x) then begin
-      u.(eta.ep) <- R.mul eta.inv_up x;
-      Array.iter (fun (k, w) -> u.(k) <- R.add u.(k) (R.mul w x)) eta.terms
-    end
-  done;
-  u
+  match t.kind with
+  | `Lu ->
+    let xs = Array.init t.m (fun k -> work.(t.pr.(k))) in
+    for k = t.m - 1 downto 0 do
+      let xk =
+        if R.is_zero xs.(k) then R.zero else R.div xs.(k) t.udiag.(k)
+      in
+      if not (R.is_zero xk) then
+        Array.iter
+          (fun (j, uv) -> xs.(j) <- R.submul xs.(j) uv xk)
+          t.ucols.(k);
+      xs.(k) <- xk
+    done;
+    let u = Array.make t.m R.zero in
+    for k = 0 to t.m - 1 do
+      u.(t.pc.(k)) <- xs.(k)
+    done;
+    for e = 0 to t.neta - 1 do
+      let eta = t.etas.(e) in
+      let x = u.(eta.ep) in
+      if not (R.is_zero x) then begin
+        u.(eta.ep) <- R.mul eta.inv_up x;
+        Array.iter (fun (k, w) -> u.(k) <- R.add u.(k) (R.mul w x)) eta.terms
+      end
+    done;
+    u
+  | `Ft ->
+    let xs = Array.init t.m (fun k -> work.(t.pr.(k))) in
+    (* row etas, oldest first *)
+    for e = 0 to t.nreta - 1 do
+      let re = t.retas.(e) in
+      let acc = ref xs.(re.rs) in
+      Array.iter
+        (fun (c, f) ->
+          let vc = xs.(c) in
+          if not (R.is_zero vc) then acc := R.submul !acc f vc)
+        re.rterms;
+      xs.(re.rs) <- !acc
+    done;
+    (* cache the spike for a potential Forrest-Tomlin basis change *)
+    Array.blit xs 0 t.spike 0 t.m;
+    t.spike_valid <- true;
+    (* back substitution in triangular position order *)
+    for q = t.m - 1 downto 0 do
+      let k = t.slot_at.(q) in
+      let xk =
+        if R.is_zero xs.(k) then R.zero else R.div xs.(k) t.udiag.(k)
+      in
+      if not (R.is_zero xk) then
+        Array.iter
+          (fun (j, uv) -> xs.(j) <- R.submul xs.(j) uv xk)
+          t.ucols.(k);
+      xs.(k) <- xk
+    done;
+    let u = Array.make t.m R.zero in
+    for k = 0 to t.m - 1 do
+      u.(t.pc.(k)) <- xs.(k)
+    done;
+    u
 
 let ftran_dense t a =
   if Array.length a <> t.m then invalid_arg "Lu.ftran_dense: bad length";
@@ -247,27 +510,57 @@ let ftran t col =
 
 (* y B = c; consumes [v] (dense over basis positions). *)
 let btran_inplace t v =
-  for e = t.neta - 1 downto 0 do
-    let eta = t.etas.(e) in
-    let vp = v.(eta.ep) in
-    let acc = ref (if R.is_zero vp then R.zero else R.mul vp eta.inv_up) in
-    Array.iter
-      (fun (k, w) ->
-        let ck = v.(k) in
-        if not (R.is_zero ck) then acc := R.add !acc (R.mul ck w))
-      eta.terms;
-    v.(eta.ep) <- !acc
-  done;
-  let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
-  for k = 0 to t.m - 1 do
-    let acc = ref z.(k) in
-    Array.iter
-      (fun (j, uv) ->
-        let zj = z.(j) in
-        if not (R.is_zero zj) then acc := R.submul !acc zj uv)
-      t.ucols.(k);
-    z.(k) <- (if R.is_zero !acc then R.zero else R.div !acc t.udiag.(k))
-  done;
+  let z =
+    match t.kind with
+    | `Lu ->
+      for e = t.neta - 1 downto 0 do
+        let eta = t.etas.(e) in
+        let vp = v.(eta.ep) in
+        let acc =
+          ref (if R.is_zero vp then R.zero else R.mul vp eta.inv_up)
+        in
+        Array.iter
+          (fun (k, w) ->
+            let ck = v.(k) in
+            if not (R.is_zero ck) then acc := R.add !acc (R.mul ck w))
+          eta.terms;
+        v.(eta.ep) <- !acc
+      done;
+      let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
+      for k = 0 to t.m - 1 do
+        let acc = ref z.(k) in
+        Array.iter
+          (fun (j, uv) ->
+            let zj = z.(j) in
+            if not (R.is_zero zj) then acc := R.submul !acc zj uv)
+          t.ucols.(k);
+        z.(k) <- (if R.is_zero !acc then R.zero else R.div !acc t.udiag.(k))
+      done;
+      z
+    | `Ft ->
+      let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
+      (* forward substitution through U^T in position order *)
+      for q = 0 to t.m - 1 do
+        let k = t.slot_at.(q) in
+        let acc = ref z.(k) in
+        Array.iter
+          (fun (j, uv) ->
+            let zj = z.(j) in
+            if not (R.is_zero zj) then acc := R.submul !acc zj uv)
+          t.ucols.(k);
+        z.(k) <- (if R.is_zero !acc then R.zero else R.div !acc t.udiag.(k))
+      done;
+      (* row etas transposed, newest first *)
+      for e = t.nreta - 1 downto 0 do
+        let re = t.retas.(e) in
+        let zr = z.(re.rs) in
+        if not (R.is_zero zr) then
+          Array.iter
+            (fun (c, f) -> z.(c) <- R.submul z.(c) f zr)
+            re.rterms
+      done;
+      z
+  in
   let y = Array.make t.m R.zero in
   for k = 0 to t.m - 1 do
     y.(t.pr.(k)) <- z.(k)

@@ -9,26 +9,49 @@
     {!Rat}, so FTRAN/BTRAN answers are bit-identical to what the dense
     Gauss–Jordan basis inverse would give.
 
-    A simplex pivot does not refactorise: {!update} appends a
-    product-form eta vector (the inverse of the rank-one basis change),
-    and {!ftran}/{!btran} solve through L, U and the eta chain.  When
-    the chain passes a length/size threshold ({!needs_refactor}) the
-    caller rebuilds the factorisation from the current basis columns —
-    periodic refactorisation, the classic product-form trade-off. *)
+    A simplex pivot does not refactorise.  Two update disciplines are
+    available, selected by [?kind] at factorisation time:
+
+    - [`Lu] (default, product form): {!update} appends an eta vector
+      (the inverse of the rank-one basis change) and the solves replay
+      the chain after L and U;
+    - [`Ft] (Forrest–Tomlin): {!update} folds the partially-transformed
+      entering column (the "spike", cached by the immediately preceding
+      {!ftran}) into U itself — the replaced column is rewritten,
+      cyclically moved to the last triangular position, and the
+      resulting row spike is eliminated by one compact row
+      transform.  The chain grows by a short row eta per pivot and U
+      absorbs the spike, so {!needs_refactor} trips far less often over
+      long pivot sequences — the payoff for warm-start sweeps.
+
+    When the chain passes a length/size threshold ({!needs_refactor})
+    the caller rebuilds the factorisation from the current basis
+    columns — periodic refactorisation, the classic trade-off.  Both
+    kinds answer every solve bit-identically. *)
 
 exception Singular
 (** Raised by {!factor} when the supplied columns are linearly
-    dependent (e.g. a stale warm-start basis against a new matrix). *)
+    dependent (e.g. a stale warm-start basis against a new matrix), and
+    by a [`Ft] {!update} whose basis change is singular. *)
 
 type t
 
-val factor : ?refactor_at:int -> m:int -> (int * Rat.t) list array -> t
+type kind = [ `Lu | `Ft ]
+
+val factor :
+  ?refactor_at:int -> ?kind:kind -> m:int -> (int * Rat.t) list array -> t
 (** [factor ~m cols] factorises the m×m matrix whose k-th column is the
     sparse row list [cols.(k)].  [?refactor_at] overrides the eta-count
-    component of the refactorisation threshold (mainly for tests).
+    component of the refactorisation threshold (mainly for tests);
+    [?kind] (default [`Lu]) selects the basis-update discipline — see
+    the module comment.
     @raise Singular if the matrix is singular.
     @raise Invalid_argument if [Array.length cols <> m] or a column
     lists the same row twice. *)
+
+val kind : t -> kind
+(** The update discipline this factorisation was built with — callers
+    preserve it across refactorisations. *)
 
 val ftran : t -> (int * Rat.t) list -> Rat.t array
 (** [ftran t a] solves [B u = a] for the basis represented by [t]
@@ -51,23 +74,33 @@ val btran_dense : t -> Rat.t array -> Rat.t array
 val update : t -> p:int -> u:Rat.t array -> unit
 (** [update t ~p ~u] records a simplex pivot at basis position [p] with
     entering direction [u = B⁻¹ A_j] (as returned by {!ftran}): appends
-    the product-form eta so subsequent solves address the new basis.
-    @raise Invalid_argument if [u.(p)] is zero. *)
+    the product-form eta ([`Lu]) or folds the spike into U ([`Ft]) so
+    subsequent solves address the new basis.  Under [`Ft] the pivot
+    MUST be immediately preceded by the {!ftran}/{!ftran_dense} of the
+    entering column (the revised simplex always prices, ftrans, then
+    pivots): that solve caches the spike this update consumes.
+    @raise Invalid_argument if [u.(p)] is zero, or (under [`Ft]) if no
+    ftran ran since the last update.
+    @raise Singular under [`Ft] if the basis change is singular. *)
 
 val negate_row : t -> int -> unit
-(** [negate_row t p] multiplies row [p] of B⁻¹ by -1 (appends a
-    diagonal eta); used when the revised simplex flips a row to make a
-    pivot element positive. *)
+(** [negate_row t p] multiplies row [p] of B⁻¹ by -1 (a diagonal eta
+    under [`Lu], an in-place column negation of U under [`Ft]); used
+    when the revised simplex flips a row to make a pivot element
+    positive. *)
 
 val needs_refactor : t -> bool
-(** [true] once the eta chain is long or heavy enough that rebuilding
-    the factorisation is cheaper than continuing to solve through it:
-    more than [refactor_at] etas (default [max 16 (m/2)]), or eta
-    non-zeros exceeding twice the L+U non-zeros plus [4m]. *)
+(** [true] once the transform chain is long or heavy enough that
+    rebuilding the factorisation is cheaper than continuing to solve
+    through it: more than [refactor_at] etas (default [max 16 (m/2)]
+    under [`Lu], [max 64 (2m)] under [`Ft] whose per-pivot transforms
+    are much smaller), or chain non-zeros (plus net U fill under
+    [`Ft]) exceeding twice the L+U non-zeros plus [4m]. *)
 
 val eta_count : t -> int
-(** Number of etas appended since the last factorisation. *)
+(** Number of transforms (etas or row etas) appended since the last
+    factorisation. *)
 
 val size : t -> int
-(** Non-zeros currently stored (L + U + eta chain) — the per-solve
-    work bound. *)
+(** Non-zeros currently stored (L + U + transform chain + fill) — the
+    per-solve work bound. *)

@@ -18,11 +18,16 @@
      eta file — each pivot appends an eta vector, FTRAN/BTRAN solve
      through L, U and the chain, and the factorisation is rebuilt from
      the basis columns only when {!Lu.needs_refactor} trips.
+   - [`Ft]: same [Lu.t] machinery in Forrest-Tomlin mode — each pivot
+     folds the spike column into U (a row eta plus a cyclic
+     permutation) instead of appending a product-form eta, so the
+     transform chain stays short across long warm sweeps and
+     refactorisations are rare.
 
-   All arithmetic is exact rational, and the two representations answer
+   All arithmetic is exact rational, and the representations answer
    every FTRAN/BTRAN query with bit-identical values, so the pivot
    sequences — and therefore optima, pivot counts and final bases — are
-   the same under either.
+   the same under any of them.
 
    Phase 1 starts from the all-artificial basis; artificials that remain
    basic at level zero are left in place (they can only leave, never
@@ -30,7 +35,7 @@
 
 module R = Rat
 
-type factorization = [ `Dense | `Lu ]
+type factorization = [ `Dense | `Lu | `Ft ]
 
 type outcome =
   | Optimal of {
@@ -38,6 +43,7 @@ type outcome =
       objective : R.t;
       duals : R.t array;
       pivots : int;
+      refactors : int;
       basis : int array;
       warm : bool;
     }
@@ -57,6 +63,7 @@ type state = {
   basis : int array;
   in_basis : bool array;
   mutable pivots : int;
+  mutable refactors : int; (* mid-solve basis refactorisations *)
   supp : int array; (* scratch: support of the pivot row of binv *)
 }
 
@@ -126,9 +133,17 @@ let binv_row st p =
 let refactor_lu st =
   (* mid-solve the basis matrix is nonsingular by construction (every
      pivot element was nonzero), so factorisation cannot fail *)
-  match Lu.factor ~m:st.m (Array.map (fun j -> st.cols.(j)) st.basis) with
-  | lu -> st.repr <- Lu lu
-  | exception Lu.Singular -> assert false
+  match st.repr with
+  | Dense _ -> ()
+  | Lu lu -> (
+    match
+      Lu.factor ~kind:(Lu.kind lu) ~m:st.m
+        (Array.map (fun j -> st.cols.(j)) st.basis)
+    with
+    | lu' ->
+      st.repr <- Lu lu';
+      st.refactors <- st.refactors + 1
+    | exception Lu.Singular -> assert false)
 
 let pivot st p j u =
   let inv = R.inv u.(p) in
@@ -192,6 +207,87 @@ let optimise st rule c allowed =
   let stall = ref 0 in
   let bland_mode = ref (rule = Simplex.Bland) in
   let n_total = Array.length st.cols in
+  (* Partial/Devex pricing: a cyclic cursor scans nonbasic columns until
+     a [window] of improving candidates is collected; only a full wrap
+     with zero candidates certifies optimality (exactly — no tolerance).
+     Devex ranks the window by d_j^2 / w_j with exact rational reference
+     weights; both updates and the final certificate stay exact, so the
+     optimum is the same as under full pricing — only the pivot path
+     differs. *)
+  let window =
+    match rule with
+    | Simplex.Partial w | Simplex.Devex w -> w
+    | Simplex.Bland | Simplex.Dantzig -> n_total
+  in
+  let devex = match rule with Simplex.Devex _ -> true | _ -> false in
+  let weights = if devex then Array.make n_total R.one else [||] in
+  (* deterministic framework reset once any weight outgrows this *)
+  let weight_limit = R.of_int (1 lsl 40) in
+  let cursor = ref 0 in
+  let cands = ref [] in
+  let select_windowed y =
+    cands := [];
+    let best = ref None in
+    let found = ref 0 in
+    let examined = ref 0 in
+    let j = ref (if !cursor >= n_total then 0 else !cursor) in
+    while !found < window && !examined < n_total do
+      let jj = !j in
+      (if allowed jj && not st.in_basis.(jj) then begin
+         let d = reduced_cost st c y jj in
+         if R.sign d < 0 then begin
+           incr found;
+           cands := (jj, d) :: !cands;
+           let score =
+             if devex then R.div (R.mul d d) weights.(jj) else R.neg d
+           in
+           match !best with
+           | Some (_, sb) when R.compare sb score >= 0 -> ()
+           | Some _ | None -> best := Some (jj, score)
+         end
+       end);
+      incr examined;
+      j := (if jj + 1 >= n_total then 0 else jj + 1)
+    done;
+    cursor := !j;
+    Option.map fst !best
+  in
+  (* devex weight update, run before the basis changes so the pivot row
+     of the *current* inverse is available.  Only the scanned candidates
+     are re-weighted (the rest keep a stale underestimate — harmless for
+     correctness, which rests on the exact certificate above). *)
+  let update_devex_weights q u p =
+    let aq = u.(p) in
+    let ref_w = R.div weights.(q) (R.mul aq aq) in
+    let blown = ref false in
+    let bump jj w =
+      if R.compare w weights.(jj) > 0 then begin
+        weights.(jj) <- w;
+        if R.compare w weight_limit > 0 then blown := true
+      end
+    in
+    (match !cands with
+    | [] | [ _ ] -> ()
+    | cs ->
+      let z = binv_row st p in
+      List.iter
+        (fun (jj, _) ->
+          if jj <> q then begin
+            let aj =
+              List.fold_left
+                (fun acc (i, a) -> R.add acc (R.mul z.(i) a))
+                R.zero st.cols.(jj)
+            in
+            if not (R.is_zero aj) then
+              bump jj (R.mul (R.mul aj aj) ref_w)
+          end)
+        cs);
+    let leaving = st.basis.(p) in
+    weights.(leaving) <- R.max ref_w R.one;
+    if R.compare weights.(leaving) weight_limit > 0 then blown := true;
+    weights.(q) <- R.one;
+    if !blown then Array.fill weights 0 n_total R.one
+  in
   let continue = ref true in
   while !continue do
     let y = pricing_vector st c in
@@ -208,7 +304,7 @@ let optimise st rule c allowed =
         in
         go 0
       end
-      else begin
+      else if window >= n_total && not devex then begin
         let best = ref None in
         for j = 0 to n_total - 1 do
           if allowed j && not st.in_basis.(j) then begin
@@ -222,6 +318,7 @@ let optimise st rule c allowed =
         done;
         Option.map fst !best
       end
+      else select_windowed y
     in
     match entering with
     | None -> continue := false
@@ -242,8 +339,9 @@ let optimise st rule c allowed =
       (match !leave with
       | None -> raise Unbounded_exc
       | Some (p, _) ->
+        if devex && not !bland_mode then update_devex_weights j u p;
         pivot st p j u;
-        if (not !bland_mode) && rule = Simplex.Dantzig then begin
+        if (not !bland_mode) && rule <> Simplex.Bland then begin
           let obj = objective_of st c in
           if R.compare obj !best_seen < 0 then begin
             best_seen := obj;
@@ -333,7 +431,7 @@ let dual_repair st rule c =
           && (!p < 0 || st.basis.(k) < st.basis.(!p))
         then p := k
       done
-    | Simplex.Dantzig ->
+    | Simplex.Dantzig | Simplex.Partial _ | Simplex.Devex _ ->
       for k = 0 to st.m - 1 do
         if
           R.sign st.xb.(k) < 0
@@ -383,8 +481,8 @@ let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
   let repr =
     match fact with
     | `Dense -> Dense (invert_basis ~m cols bas)
-    | `Lu -> (
-      match Lu.factor ~m (Array.map (fun j -> cols.(j)) bas) with
+    | (`Lu | `Ft) as kind -> (
+      match Lu.factor ~kind ~m (Array.map (fun j -> cols.(j)) bas) with
       | lu -> Lu lu
       | exception Lu.Singular -> raise Warm_failed)
   in
@@ -413,6 +511,7 @@ let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
       basis = Array.copy bas;
       in_basis;
       pivots = 0;
+      refactors = 0;
       supp = Array.make m 0;
     }
   in
@@ -452,6 +551,7 @@ let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
           objective = objective_of st c2;
           duals = duals_of st c2 flip;
           pivots = st.pivots;
+          refactors = st.refactors;
           basis = Array.copy st.basis;
           warm = true;
         }
@@ -465,7 +565,8 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
       Dense
         (Array.init m (fun k ->
              Array.init m (fun i -> if i = k then R.one else R.zero)))
-    | `Lu -> Lu (Lu.factor ~m (Array.init m (fun i -> [ (i, R.one) ])))
+    | (`Lu | `Ft) as kind ->
+      Lu (Lu.factor ~kind ~m (Array.init m (fun i -> [ (i, R.one) ])))
   in
   let st =
     {
@@ -478,6 +579,7 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
       in_basis =
         Array.init n_total (fun j -> j >= n);
       pivots = 0;
+      refactors = 0;
       supp = Array.make m 0;
     }
   in
@@ -530,6 +632,7 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
           objective = objective_of st c2;
           duals = duals_of st c2 flip;
           pivots = st.pivots;
+          refactors = st.refactors;
           basis = Array.copy st.basis;
           warm = false;
         }
@@ -538,6 +641,10 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
 
 let minimize ?(rule = Simplex.Dantzig) ?(factorization = `Lu) ?basis ~a ~b
     ~c () =
+  (match rule with
+  | (Simplex.Partial w | Simplex.Devex w) when w <= 0 ->
+    invalid_arg "Revised_simplex.minimize: pricing window must be positive"
+  | _ -> ());
   let m = Array.length a in
   let n = Array.length c in
   if Array.length b <> m then

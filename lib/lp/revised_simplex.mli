@@ -8,7 +8,7 @@
     touches a handful of variables) pricing is proportional to the
     number of non-zeros rather than to [m * n].
 
-    Two basis representations are available and give bit-identical
+    Three basis representations are available and give bit-identical
     results (exact arithmetic makes every pivot decision identical):
 
     - [`Lu] (default): exact sparse LU factorisation with
@@ -17,14 +17,19 @@
       dense inverse in O(m²), warm starts refactorise in O(m·nnz)
       instead of O(m³), and the factorisation is rebuilt only when the
       eta chain passes a length/size threshold (see {!Lu});
+    - [`Ft]: the same sparse LU in Forrest–Tomlin mode — each pivot
+      folds the spike column into U itself (one compact row eta plus a
+      cyclic reordering) instead of appending a product-form eta, so
+      the transform chain stays short over long pivot sequences and
+      warm sweeps, and refactorisations become rare;
     - [`Dense]: the explicit basis inverse with rank-one updates and
       Gauss–Jordan refactorisation — kept for differential testing.
 
-    Having two solvers (and two basis representations) is also a
+    Having two solvers (and three basis representations) is also a
     correctness instrument: the test-suite checks they agree on random
-    instances and the model layer can be pointed at either. *)
+    instances and the model layer can be pointed at any of them. *)
 
-type factorization = [ `Dense | `Lu ]
+type factorization = [ `Dense | `Lu | `Ft ]
 
 type outcome =
   | Optimal of {
@@ -36,6 +41,11 @@ type outcome =
               is undone).  Satisfies [c . values = duals . b] — strong
               duality — at every optimum. *)
       pivots : int;
+      refactors : int;
+          (** mid-solve basis refactorisations (always 0 under
+              [`Dense], whose rank-one updates never rebuild) — the
+              denominator of the eta-compression ablation in the
+              bench suite. *)
       basis : int array;
           (** basic standard-form column per row.  Unlike the tableau
               solver, redundant rows are kept with their artificial
@@ -70,4 +80,4 @@ val minimize :
     falls back cold.
 
     [?factorization] selects the basis representation (default [`Lu]);
-    outcomes are bit-identical under either, only speed differs. *)
+    outcomes are bit-identical under all of them, only speed differs. *)

@@ -18,7 +18,20 @@
 
 module R = Rat
 
-type pivot_rule = Bland | Dantzig
+type pivot_rule = Bland | Dantzig | Partial of int | Devex of int
+
+(* The dense tableau keeps every reduced cost up to date after each
+   pivot, so pricing a window costs the same as pricing everything:
+   the windowed rules degenerate to Dantzig here (identical pivot
+   sequence).  [Revised_simplex] implements them for real. *)
+let check_window = function
+  | (Partial w | Devex w) when w <= 0 ->
+    invalid_arg "Simplex: pricing window must be positive"
+  | _ -> ()
+
+let normalise_rule = function
+  | Bland -> Bland
+  | Dantzig | Partial _ | Devex _ -> Dantzig
 
 type outcome =
   | Optimal of {
@@ -163,7 +176,7 @@ let optimise t rule allowed =
       | None -> raise Unbounded_exc
       | Some (p, _) ->
         pivot t p q;
-        if (not !bland_mode) && rule = Dantzig then begin
+        if (not !bland_mode) && rule <> Bland then begin
           (* t.obj = -z grows strictly whenever z improves *)
           if R.compare t.obj !best_seen > 0 then begin
             best_seen := t.obj;
@@ -343,6 +356,8 @@ let cold_solve rule ~a ~b ~c ~m ~n ~n_total =
   end
 
 let minimize ?(rule = Dantzig) ?basis ~a ~b ~c () =
+  check_window rule;
+  let rule = normalise_rule rule in
   let m = Array.length a in
   let n = Array.length c in
   if Array.length b <> m then invalid_arg "Simplex.minimize: |b| <> rows";

@@ -15,6 +15,26 @@ type pivot_rule =
   | Dantzig
       (** most-negative reduced cost, switching to Bland after
           [rows + cols] pivots without objective improvement *)
+  | Partial of int
+      (** partial pricing: a cyclic cursor scans nonbasic columns until
+          it has collected a candidate window of the given size (or
+          wrapped the whole column range, which certifies optimality
+          exactly) and pivots on the most-negative reduced cost inside
+          the window.  Per-pivot pricing cost scales with the window,
+          not the column count.  Same stall-to-Bland safeguard as
+          {!Dantzig}.  The dense tableau kernel prices every column
+          anyway, so there it falls back to {!Dantzig}; the rule only
+          changes the pivot path of {!Revised_simplex}.
+          @raise Invalid_argument if the window is [<= 0]. *)
+  | Devex of int
+      (** partial pricing as in {!Partial}, but candidates are ranked
+          by exact devex reference weights ([d_j^2 / w_j]) instead of
+          the raw reduced cost, approximating steepest edge at the cost
+          of one extra BTRAN per pivot.  Weights are exact rationals
+          with a deterministic framework reset when they grow past a
+          fixed threshold.  Falls back to {!Dantzig} in the dense
+          tableau kernel, like {!Partial}.
+          @raise Invalid_argument if the window is [<= 0]. *)
 
 type outcome =
   | Optimal of {

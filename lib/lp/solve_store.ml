@@ -84,9 +84,11 @@ let open_store ?(max_entries = 4096) ?(max_bytes = 64 * 1024 * 1024) d =
   { dir = d; qdir; max_entries; max_bytes; tmp_seq = 0;
     hits = 0; misses = 0; stores = 0; evictions = 0; quarantined = 0 }
 
-let record_name key =
-  Printf.sprintf "%016Lx%016Lx.rec" (fnv1a64 key)
+let digest key =
+  Printf.sprintf "%016Lx%016Lx" (fnv1a64 key)
     (fnv1a64 ~basis:(Int64.lognot fnv_basis) key)
+
+let record_name key = digest key ^ ".rec"
 
 let record_path t key = Filename.concat t.dir (record_name key)
 

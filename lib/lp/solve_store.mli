@@ -96,3 +96,11 @@ val record_path : t -> string -> string
 val checksum : string -> string
 (** The FNV-1a/64 hex digest records embed — exposed so tests can
     distinguish "checksum caught it" from "length caught it". *)
+
+val digest : string -> string
+(** 128-bit hex digest of a key (two FNV-1a/64 passes under independent
+    bases) — the record filename stem.  Also used by {!Lp.Cache} to key
+    its in-memory table: hashing the canonical model dump keeps lookup
+    cost independent of model size, with the full key echoed in the
+    entry so a digest collision degrades to a miss, never a wrong
+    answer. *)

@@ -99,9 +99,56 @@ let rand_rat st lo hi den =
   let span = (hi - lo) * den in
   R.of_ints ((lo * den) + Random.State.int st (span + 1)) den
 
-let random_tree ~seed ~nodes () =
+let check_range fn what (lo, hi) =
+  if lo < 1 || hi < lo then
+    invalid_arg (Printf.sprintf "Platform_gen.%s: bad %s range" fn what)
+
+let random_tree ~seed ~nodes ?max_degree ?(weight_range = (1, 10))
+    ?(cost_range = (1, 5)) () =
   if nodes < 1 then invalid_arg "Platform_gen.random_tree: need >= 1 node";
+  (match max_degree with
+  | Some d when d < 1 -> invalid_arg "Platform_gen.random_tree: max_degree < 1"
+  | _ -> ());
+  check_range "random_tree" "weight" weight_range;
+  check_range "random_tree" "cost" cost_range;
   let st = Random.State.make [| seed; nodes |] in
+  let wlo, whi = weight_range and clo, chi = cost_range in
+  let names = Array.init nodes (fun i -> Printf.sprintf "P%d" i) in
+  let weights =
+    Array.init nodes (fun _ -> E.of_rat (rand_rat st wlo whi 2))
+  in
+  (* Without [max_degree] the parent draw is [int st child] — the exact
+     historical stream, so default-argument calls stay byte-identical.
+     With it, the parent is drawn uniformly from the still-eligible
+     earlier nodes (tree-link degree < max_degree). *)
+  let deg = Array.make nodes 0 in
+  let links =
+    List.init (nodes - 1) (fun i ->
+        let child = i + 1 in
+        let parent =
+          match max_degree with
+          | None -> Random.State.int st child
+          | Some d -> (
+            let eligible =
+              List.filter (fun j -> deg.(j) < d) (List.init child Fun.id)
+            in
+            match eligible with
+            | [] ->
+              invalid_arg
+                "Platform_gen.random_tree: max_degree leaves no eligible \
+                 parent"
+            | l -> List.nth l (Random.State.int st (List.length l)))
+        in
+        deg.(parent) <- deg.(parent) + 1;
+        deg.(child) <- deg.(child) + 1;
+        (parent, child, rand_rat st clo chi 2))
+  in
+  Platform.create ~names ~weights ~edges:(mirror links)
+
+let balanced_tree ~seed ~nodes ?(arity = 2) () =
+  if nodes < 1 then invalid_arg "Platform_gen.balanced_tree: need >= 1 node";
+  if arity < 1 then invalid_arg "Platform_gen.balanced_tree: need arity >= 1";
+  let st = Random.State.make [| seed; nodes; arity; 41 |] in
   let names = Array.init nodes (fun i -> Printf.sprintf "P%d" i) in
   let weights =
     Array.init nodes (fun _ -> E.of_rat (rand_rat st 1 10 2))
@@ -109,8 +156,7 @@ let random_tree ~seed ~nodes () =
   let links =
     List.init (nodes - 1) (fun i ->
         let child = i + 1 in
-        let parent = Random.State.int st child in
-        (parent, child, rand_rat st 1 5 2))
+        ((child - 1) / arity, child, rand_rat st 1 5 2))
   in
   Platform.create ~names ~weights ~edges:(mirror links)
 

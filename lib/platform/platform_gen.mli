@@ -45,9 +45,33 @@ val odd_cycle_relay : k:int -> unit -> Platform.t
     independent of [k].  This pins the implementation's worst case well
     inside the factor-2 bound of the greedy-matching argument. *)
 
-val random_tree : seed:int -> nodes:int -> unit -> Platform.t
-(** Random heterogeneous tree rooted at node 0: weights in [1, 10],
-    costs in [1, 5] (rationals with small denominators), full duplex. *)
+val random_tree :
+  seed:int ->
+  nodes:int ->
+  ?max_degree:int ->
+  ?weight_range:int * int ->
+  ?cost_range:int * int ->
+  unit ->
+  Platform.t
+(** Random heterogeneous tree rooted at node 0: weights in
+    [weight_range] (default [1, 10]), costs in [cost_range] (default
+    [1, 5]) — rationals with small denominators — full duplex.
+    [?max_degree] caps every node's tree-link degree (parent link
+    included): each child picks its parent uniformly among the earlier
+    nodes still under the cap, yielding path-like platforms at 2 and
+    bushy ones unconstrained.  With all defaults the random stream is
+    byte-identical to what this generator always produced, so seeded
+    platforms in tests and recorded benches are unchanged.
+    @raise Invalid_argument on an empty/invalid range, [max_degree < 1],
+    or a cap so tight some child has no eligible parent. *)
+
+val balanced_tree :
+  seed:int -> nodes:int -> ?arity:int -> unit -> Platform.t
+(** Deterministic-shape [arity]-ary tree (default binary): node [i]'s
+    parent is [(i-1)/arity], so node counts like 10^2..10^4 give
+    predictable depth — the scaling bench's platform family.  Weights
+    and costs are drawn from the same seeded distributions as
+    {!random_tree}. *)
 
 val random_graph :
   seed:int -> nodes:int -> extra_edges:int -> unit -> Platform.t

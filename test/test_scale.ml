@@ -1,0 +1,511 @@
+(* Tests for the large-n scaling path: partial/devex pricing,
+   Forrest–Tomlin basis updates, the Lp.Reduce presolve and the
+   tree-decomposed Master_slave.solve_reduced.
+
+   The contract under test is always the same: every new pricing /
+   factorisation / reduction path must be *bit-identical* in objective
+   (and, where the code path is deterministic, in pivots and basis) to
+   the existing solvers — speed is allowed to change, answers are not. *)
+
+module R = Rat
+module P = Platform
+
+let rat = Alcotest.testable R.pp R.equal
+let rat_arr = Alcotest.(array rat)
+
+let ms_model p = fst (Master_slave.solve_lp_only p ~master:0)
+
+let ms_instances () =
+  [
+    ("fig1", ms_model (Platform_gen.figure1 ()));
+    ("tree17", ms_model (Platform_gen.random_tree ~seed:17 ~nodes:12 ()));
+    ( "graph5",
+      ms_model (Platform_gen.random_graph ~seed:5 ~nodes:9 ~extra_edges:6 ())
+    );
+  ]
+
+(* --- pricing rules ----------------------------------------------------- *)
+
+let all_rules =
+  [
+    Simplex.Bland;
+    Simplex.Partial 2;
+    Simplex.Partial 7;
+    Simplex.Devex 2;
+    Simplex.Devex 7;
+  ]
+
+let test_rules_same_objective () =
+  List.iter
+    (fun (name, m) ->
+      match Lp.solve ~solver:Lp.Revised ~rule:Simplex.Dantzig m with
+      | Lp.Optimal s0 ->
+        List.iter
+          (fun rule ->
+            match Lp.solve ~solver:Lp.Revised ~rule m with
+            | Lp.Optimal s ->
+              Alcotest.check rat (name ^ " objective") s0.Lp.objective
+                s.Lp.objective;
+              (match Lp.check_solution m s.Lp.values with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail (name ^ ": " ^ e))
+            | _ -> Alcotest.fail (name ^ ": not optimal"))
+          all_rules
+      | _ -> Alcotest.fail (name ^ ": dantzig not optimal"))
+    (ms_instances ())
+
+let prop_pricing_rules_agree =
+  QCheck.Test.make ~name:"partial/devex reach the Dantzig optimum" ~count:60
+    Test_lp.arb_lp (fun inst ->
+      let run rule =
+        let m, _ = Test_lp.build_lp inst in
+        Lp.solve ~solver:Lp.Revised ~rule m
+      in
+      match run Simplex.Dantzig with
+      | Lp.Optimal s0 ->
+        List.for_all
+          (fun rule ->
+            match run rule with
+            | Lp.Optimal s -> R.equal s0.Lp.objective s.Lp.objective
+            | _ -> false)
+          all_rules
+      | _ -> false)
+
+(* the tableau kernel normalises Partial/Devex to Dantzig: bit-identical
+   values AND pivot count *)
+let test_tableau_normalises () =
+  let m = ms_model (Platform_gen.figure1 ()) in
+  let a, b, c = Lp.standard_form m in
+  match Simplex.minimize ~rule:Simplex.Dantzig ~a ~b ~c () with
+  | Simplex.Optimal { values = dv; objective = dobj; pivots = dpiv; _ } ->
+    List.iter
+      (fun rule ->
+        match Simplex.minimize ~rule ~a ~b ~c () with
+        | Simplex.Optimal { values; objective; pivots; _ } ->
+          Alcotest.check rat "objective" dobj objective;
+          Alcotest.check rat_arr "values" dv values;
+          Alcotest.(check int) "pivots" dpiv pivots
+        | _ -> Alcotest.fail "tableau: not optimal")
+      [ Simplex.Partial 3; Simplex.Devex 5 ]
+  | _ -> Alcotest.fail "tableau dantzig: not optimal"
+
+let test_window_validation () =
+  let m = ms_model (Platform_gen.figure1 ()) in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun solver ->
+          Alcotest.(check bool) "window <= 0 rejected" true
+            (try
+               ignore (Lp.solve ~solver ~rule m);
+               false
+             with Invalid_argument _ -> true))
+        [ Lp.Tableau; Lp.Revised ])
+    [ Simplex.Partial 0; Simplex.Devex (-1) ]
+
+(* exact devex/partial duals still certify strong duality: all model
+   vars have lb = 0, so objective = sum_r dual_r * rhs_r bit-exactly *)
+let test_new_rules_strong_duality () =
+  List.iter
+    (fun (name, m) ->
+      let rhs =
+        List.map (fun (n, _, r) -> (n, r)) (Lp.constraints m)
+        @ List.filter_map
+            (fun (n, _, ub) ->
+              match ub with Some u -> Some ("ub:" ^ n, u) | None -> None)
+            (Lp.var_bounds m)
+      in
+      List.iter
+        (fun rule ->
+          match Lp.solve ~solver:Lp.Revised ~rule m with
+          | Lp.Optimal s ->
+            let total =
+              List.fold_left
+                (fun acc (n, y) -> R.add acc (R.mul y (List.assoc n rhs)))
+                R.zero s.Lp.duals
+            in
+            Alcotest.check rat (name ^ " y.b = c.x") s.Lp.objective total
+          | _ -> Alcotest.fail (name ^ ": not optimal"))
+        [ Simplex.Partial 4; Simplex.Devex 4 ])
+    (ms_instances ())
+
+(* --- Forrest–Tomlin ---------------------------------------------------- *)
+
+let test_factorizations_bit_identical () =
+  List.iter
+    (fun (name, m) ->
+      let a, b, c = Lp.standard_form m in
+      let run fact =
+        match Revised_simplex.minimize ~factorization:fact ~a ~b ~c () with
+        | Revised_simplex.Optimal { values; objective; basis; pivots; _ } ->
+          (values, objective, basis, pivots)
+        | _ -> Alcotest.fail (name ^ ": some factorization not optimal")
+      in
+      let dv, dobj, dbasis, dpiv = run `Dense in
+      let _, lobj, _, lpiv = run `Lu in
+      let fv, fobj, fbasis, fpiv = run `Ft in
+      Alcotest.check rat (name ^ " obj lu") dobj lobj;
+      Alcotest.check rat (name ^ " obj ft") dobj fobj;
+      Alcotest.check rat_arr (name ^ " values ft") dv fv;
+      Alcotest.(check int) (name ^ " pivots lu") dpiv lpiv;
+      Alcotest.(check int) (name ^ " pivots ft") dpiv fpiv;
+      Alcotest.(check (array int)) (name ^ " basis ft") dbasis fbasis)
+    (ms_instances ())
+
+(* strictly diagonally dominant columns: nonsingular by Gershgorin, and
+   replacements that keep a 100 on their own row preserve dominance *)
+let dominant_cols m salt =
+  let state = ref (salt + 7) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  Array.init m (fun k ->
+      List.filter_map Fun.id
+        (List.init m (fun r ->
+             if r = k then Some (r, R.of_int 100)
+             else if next () mod 3 = 0 then
+               Some (r, R.of_ints (1 + (next () mod 9)) (1 + (next () mod 4)))
+             else None)))
+
+let fresh_col m p salt =
+  let state = ref (salt + 3) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  List.filter_map Fun.id
+    (List.init m (fun r ->
+         if r = p then Some (r, R.of_int 100)
+         else if next () mod 3 = 0 then
+           Some (r, R.of_ints (1 + (next () mod 9)) (1 + (next () mod 4)))
+         else None))
+
+let test_ft_update_chain () =
+  let m = 6 in
+  let cols = dominant_cols m 1 in
+  let ft = Lu.factor ~kind:`Ft ~m (Array.copy cols) in
+  let lu = Lu.factor ~kind:`Lu ~m (Array.copy cols) in
+  Alcotest.(check bool) "kind ft" true (Lu.kind ft = `Ft);
+  let acols = Array.copy cols in
+  let rhs = List.init m (fun r -> (r, R.of_ints (r + 1) 3)) in
+  for step = 1 to 8 do
+    let p = step mod m in
+    let col = fresh_col m p (19 * step) in
+    (* the revised simplex always ftrans the entering column before it
+       pivots: same discipline here (the Ft update consumes the spike) *)
+    let u_ft = Lu.ftran ft col in
+    let u_lu = Lu.ftran lu col in
+    Alcotest.check rat_arr "directions agree" u_lu u_ft;
+    Alcotest.(check bool) "pivot element nonzero" false (R.is_zero u_ft.(p));
+    Lu.update ft ~p ~u:u_ft;
+    Lu.update lu ~p ~u:u_lu;
+    acols.(p) <- col;
+    let fresh = Lu.factor ~m (Array.copy acols) in
+    Alcotest.check rat_arr
+      (Printf.sprintf "ftran after %d updates" step)
+      (Lu.ftran fresh rhs) (Lu.ftran ft rhs);
+    Alcotest.check rat_arr
+      (Printf.sprintf "btran after %d updates" step)
+      (Lu.btran fresh [ (p, R.one) ])
+      (Lu.btran ft [ (p, R.one) ])
+  done;
+  (* row negation = negating the basis column at that slot *)
+  Lu.negate_row ft 2;
+  Lu.negate_row lu 2;
+  acols.(2) <- List.map (fun (r, v) -> (r, R.neg v)) acols.(2);
+  let fresh = Lu.factor ~m (Array.copy acols) in
+  Alcotest.check rat_arr "ftran after negate_row" (Lu.ftran fresh rhs)
+    (Lu.ftran ft rhs);
+  Alcotest.check rat_arr "btran after negate_row"
+    (Lu.btran fresh [ (4, R.one) ])
+    (Lu.btran ft [ (4, R.one) ]);
+  Alcotest.check rat_arr "lu/ft still agree" (Lu.ftran lu rhs)
+    (Lu.ftran ft rhs)
+
+let test_ft_update_requires_ftran () =
+  let m = 4 in
+  let ft = Lu.factor ~kind:`Ft ~m (dominant_cols m 2) in
+  let col = fresh_col m 1 5 in
+  let u = Lu.ftran ft col in
+  Lu.update ft ~p:1 ~u;
+  (* second update without an intervening ftran: spike is stale *)
+  Alcotest.(check bool) "raises without ftran" true
+    (try
+       Lu.update ft ~p:2 ~u;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Lp.Reduce --------------------------------------------------------- *)
+
+let test_reduce_matches_full () =
+  List.iter
+    (fun (name, m) ->
+      let red = Lp.Reduce.reduce m in
+      Alcotest.(check bool)
+        (name ^ " eliminates something")
+        true
+        (Lp.Reduce.vars_eliminated red > 0
+        || Lp.Reduce.rows_eliminated red > 0);
+      match (Lp.solve m, Lp.Reduce.solve red) with
+      | Lp.Optimal a, Lp.Optimal b ->
+        Alcotest.check rat (name ^ " reduced objective") a.Lp.objective
+          b.Lp.objective;
+        (match Lp.check_solution m b.Lp.values with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (name ^ " inflated infeasible: " ^ e))
+      | _ -> Alcotest.fail (name ^ ": not optimal"))
+    (ms_instances ())
+
+let prop_reduce_agrees =
+  QCheck.Test.make ~name:"presolve+reinflate equals the full solve"
+    ~count:100 Test_lp.arb_lp (fun inst ->
+      let m, _ = Test_lp.build_lp inst in
+      let red = Lp.Reduce.reduce m in
+      match (Lp.solve m, Lp.Reduce.solve red) with
+      | Lp.Optimal a, Lp.Optimal b ->
+        R.equal a.Lp.objective b.Lp.objective
+        && (match Lp.check_solution m b.Lp.values with
+           | Ok _ -> true
+           | Error e -> QCheck.Test.fail_report e)
+      | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+      | _ -> false)
+
+let test_reduce_decides_outright () =
+  (* x fixed by an equality, y a dead column at its upper bound: nothing
+     left for a kernel *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var ~ub:(Some (R.of_int 5)) m "y" in
+  Lp.add_constraint m (Lp.var x) Lp.Eq (R.of_int 3);
+  Lp.set_objective m Lp.Maximize (Lp.add (Lp.var x) (Lp.var y));
+  let red = Lp.Reduce.reduce m in
+  Alcotest.(check bool) "no core" true (Lp.Reduce.core_model red = None);
+  match Lp.Reduce.solve red with
+  | Lp.Optimal s ->
+    Alcotest.check rat "objective" (R.of_int 8) s.Lp.objective;
+    Alcotest.check rat "x" (R.of_int 3) (s.Lp.values x);
+    Alcotest.check rat "y" (R.of_int 5) (s.Lp.values y)
+  | _ -> Alcotest.fail "decided instance not optimal"
+
+let test_reduce_detects_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  Lp.add_constraint m (Lp.var x) Lp.Le (R.of_int (-1));
+  Lp.set_objective m Lp.Maximize (Lp.var x);
+  match Lp.Reduce.solve (Lp.Reduce.reduce m) with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_reduce_substitution () =
+  (* z appears only in the equality z + x + y = 10 and is free above its
+     bounds: substitution must carry the bounds over as rows *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~ub:(Some (R.of_int 4)) m "x" in
+  let y = Lp.add_var ~ub:(Some (R.of_int 4)) m "y" in
+  let z = Lp.add_var ~ub:(Some (R.of_int 3)) m "z" in
+  Lp.add_constraint m
+    (Lp.sum [ Lp.var z; Lp.var x; Lp.var y ])
+    Lp.Eq (R.of_int 10);
+  Lp.add_constraint m (Lp.sub (Lp.var x) (Lp.var y)) Lp.Le R.one;
+  Lp.set_objective m Lp.Maximize
+    (Lp.of_terms [ (R.of_int 2, x); (R.one, y); (R.one, z) ]);
+  let red = Lp.Reduce.reduce m in
+  match (Lp.solve m, Lp.Reduce.solve red) with
+  | Lp.Optimal a, Lp.Optimal b ->
+    Alcotest.check rat "objective" a.Lp.objective b.Lp.objective;
+    Alcotest.check rat "z recovered"
+      (R.sub (R.of_int 10) (R.add (b.Lp.values x) (b.Lp.values y)))
+      (b.Lp.values z);
+    (match Lp.check_solution m b.Lp.values with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "not optimal"
+
+(* --- tree-decomposed master–slave solve -------------------------------- *)
+
+let check_ms_solution name p (sol : Master_slave.solution) =
+  let m, alpha_v, s_v = Master_slave.build_lp p ~master:0 in
+  let tbl = Hashtbl.create 64 in
+  Array.iteri (fun i v -> Hashtbl.replace tbl v sol.Master_slave.alpha.(i)) alpha_v;
+  Array.iteri
+    (fun e v -> Hashtbl.replace tbl v sol.Master_slave.send_frac.(e))
+    s_v;
+  match Lp.check_solution m (Hashtbl.find tbl) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (name ^ " infeasible flow: " ^ e)
+
+let test_solve_reduced_trees () =
+  List.iter
+    (fun (seed, nodes) ->
+      let p = Platform_gen.random_tree ~seed ~nodes () in
+      let full = Master_slave.solve ~solver:Lp.Revised p ~master:0 in
+      let red = Master_slave.solve_reduced p ~master:0 in
+      let name = Printf.sprintf "tree seed=%d n=%d" seed nodes in
+      Alcotest.check rat (name ^ " ntask") full.Master_slave.ntask
+        red.Master_slave.ntask;
+      check_ms_solution name p red)
+    [ (1, 5); (2, 10); (3, 16); (4, 24); (11, 2); (12, 1) ]
+
+let test_solve_reduced_balanced () =
+  List.iter
+    (fun arity ->
+      let p = Platform_gen.balanced_tree ~seed:6 ~nodes:15 ~arity () in
+      let full = Master_slave.solve ~solver:Lp.Revised p ~master:0 in
+      let red = Master_slave.solve_reduced p ~master:0 in
+      let name = Printf.sprintf "balanced arity=%d" arity in
+      Alcotest.check rat (name ^ " ntask") full.Master_slave.ntask
+        red.Master_slave.ntask;
+      check_ms_solution name p red)
+    [ 1; 2; 3 ]
+
+let test_solve_reduced_fallback () =
+  (* cyclic platform: must take the Reduce-presolved full-LP path and
+     still match bit-for-bit *)
+  List.iter
+    (fun (seed, nodes, extra) ->
+      let p = Platform_gen.random_graph ~seed ~nodes ~extra_edges:extra () in
+      let full = Master_slave.solve p ~master:0 in
+      let red = Master_slave.solve_reduced p ~master:0 in
+      let name = Printf.sprintf "graph seed=%d" seed in
+      Alcotest.check rat (name ^ " ntask") full.Master_slave.ntask
+        red.Master_slave.ntask;
+      check_ms_solution name p red)
+    [ (5, 8, 4); (23, 10, 3) ]
+
+let test_solve_reduced_schedulable () =
+  (* the decomposed flow must feed the schedule reconstruction like any
+     other solution *)
+  let p = Platform_gen.random_tree ~seed:8 ~nodes:12 () in
+  let sol = Master_slave.solve_reduced p ~master:0 in
+  let run = Master_slave.simulate ~periods:4 sol in
+  Alcotest.(check bool) "completed work > 0" true
+    (R.sign run.Master_slave.completed > 0);
+  Alcotest.(check bool) "within upper bound" true
+    (R.compare run.Master_slave.completed run.Master_slave.upper_bound <= 0)
+
+(* --- generators -------------------------------------------------------- *)
+
+let test_default_stream_unchanged () =
+  let a = Platform_gen.random_tree ~seed:42 ~nodes:30 () in
+  let b =
+    Platform_gen.random_tree ~seed:42 ~nodes:30 ~weight_range:(1, 10)
+      ~cost_range:(1, 5) ()
+  in
+  Alcotest.(check bool) "explicit defaults = historical stream" true
+    (P.equal a b)
+
+let test_max_degree_respected () =
+  List.iter
+    (fun d ->
+      let p = Platform_gen.random_tree ~seed:9 ~nodes:40 ~max_degree:d () in
+      Alcotest.(check bool) "spanning" true (P.is_spanning_from p 0);
+      List.iter
+        (fun i ->
+          let deg = List.length (P.out_edges p i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "degree of %d under %d" i d)
+            true (deg <= d))
+        (P.nodes p))
+    [ 2; 3; 5 ]
+
+let test_balanced_tree_shape () =
+  let arity = 3 in
+  let p = Platform_gen.balanced_tree ~seed:4 ~nodes:14 ~arity () in
+  Alcotest.(check int) "edges" (2 * 13) (P.num_edges p);
+  List.iter
+    (fun i ->
+      if i > 0 then
+        match P.find_edge p ((i - 1) / arity) i with
+        | Some _ -> ()
+        | None -> Alcotest.fail (Printf.sprintf "missing parent link of %d" i))
+    (P.nodes p);
+  let q = Platform_gen.balanced_tree ~seed:4 ~nodes:14 ~arity () in
+  Alcotest.(check bool) "deterministic" true (P.equal p q)
+
+(* --- stats and hashed cache -------------------------------------------- *)
+
+let test_stats_counting () =
+  let m = ms_model (Platform_gen.figure1 ()) in
+  let stats = Lp.Stats.create () in
+  (match Lp.solve ~solver:Lp.Revised ~stats m with
+  | Lp.Optimal _ -> ()
+  | _ -> Alcotest.fail "not optimal");
+  Alcotest.(check int) "one solve" 1 stats.Lp.Stats.solves;
+  Alcotest.(check bool) "pivots counted" true (stats.Lp.Stats.pivots > 0);
+  let cache = Lp.Cache.create () in
+  let before = stats.Lp.Stats.pivots in
+  ignore (Lp.solve ~solver:Lp.Revised ~stats ~cache m);
+  ignore (Lp.solve ~solver:Lp.Revised ~stats ~cache m);
+  Alcotest.(check int) "cache hit adds no pivots" (2 * before)
+    stats.Lp.Stats.pivots;
+  Alcotest.(check int) "two kernel solves total" 2 stats.Lp.Stats.solves;
+  Alcotest.(check int) "one cache hit" 1 (Lp.Cache.hits cache)
+
+let test_hashed_cache_distinguishes () =
+  (* distinct instances through one cache: the digest-keyed table must
+     keep them apart and serve each exactly *)
+  let cache = Lp.Cache.create () in
+  let solos =
+    List.map
+      (fun (name, m) ->
+        match Lp.solve ~cache m with
+        | Lp.Optimal s -> (name, m, s.Lp.objective)
+        | _ -> Alcotest.fail (name ^ ": not optimal"))
+      (ms_instances ())
+  in
+  Alcotest.(check int) "no hits yet" 0 (Lp.Cache.hits cache);
+  List.iter
+    (fun (name, m, obj) ->
+      match Lp.solve ~cache m with
+      | Lp.Optimal s -> Alcotest.check rat (name ^ " replay") obj s.Lp.objective
+      | _ -> Alcotest.fail (name ^ ": replay not optimal"))
+    solos;
+  Alcotest.(check int) "all replays hit" (List.length solos)
+    (Lp.Cache.hits cache)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "scale",
+    [
+      Alcotest.test_case "pricing rules: same objective" `Quick
+        test_rules_same_objective;
+      Alcotest.test_case "tableau normalises partial/devex" `Quick
+        test_tableau_normalises;
+      Alcotest.test_case "window validation" `Quick test_window_validation;
+      Alcotest.test_case "new rules: strong duality" `Quick
+        test_new_rules_strong_duality;
+      Alcotest.test_case "dense/lu/ft bit-identical" `Quick
+        test_factorizations_bit_identical;
+      Alcotest.test_case "ft update chain vs refactor" `Quick
+        test_ft_update_chain;
+      Alcotest.test_case "ft update needs preceding ftran" `Quick
+        test_ft_update_requires_ftran;
+      Alcotest.test_case "reduce: master-slave models" `Quick
+        test_reduce_matches_full;
+      Alcotest.test_case "reduce: fully decided" `Quick
+        test_reduce_decides_outright;
+      Alcotest.test_case "reduce: infeasible" `Quick
+        test_reduce_detects_infeasible;
+      Alcotest.test_case "reduce: substitution bounds" `Quick
+        test_reduce_substitution;
+      Alcotest.test_case "solve_reduced: random trees" `Quick
+        test_solve_reduced_trees;
+      Alcotest.test_case "solve_reduced: balanced trees" `Quick
+        test_solve_reduced_balanced;
+      Alcotest.test_case "solve_reduced: non-tree fallback" `Quick
+        test_solve_reduced_fallback;
+      Alcotest.test_case "solve_reduced: schedulable" `Quick
+        test_solve_reduced_schedulable;
+      Alcotest.test_case "random_tree: default stream" `Quick
+        test_default_stream_unchanged;
+      Alcotest.test_case "random_tree: max_degree" `Quick
+        test_max_degree_respected;
+      Alcotest.test_case "balanced_tree: shape" `Quick
+        test_balanced_tree_shape;
+      Alcotest.test_case "stats counting" `Quick test_stats_counting;
+      Alcotest.test_case "hashed cache" `Quick
+        test_hashed_cache_distinguishes;
+      q prop_pricing_rules_agree;
+      q prop_reduce_agrees;
+    ] )
