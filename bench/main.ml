@@ -248,17 +248,25 @@ let record rows name ns =
   else Printf.printf "%-56s %10.3f us wall\n" name (ns /. 1e3)
 
 (* exact-effort annotations: rows solved with an [Lp.Stats] counter
-   attached also land their solve/pivot/refactorisation counts in the
-   JSON (schema 3), so effort regressions show up even when wall-clock
-   noise hides them *)
-let effort_rows : (string, int * int * int) Hashtbl.t = Hashtbl.create 16
+   attached also land their solve/pivot/refactorisation counts — and,
+   since schema 4, the reconstruction effort (cycles cancelled by
+   search, matchings repaired vs rebuilt, slots reused) — in the JSON,
+   so effort regressions show up even when wall-clock noise hides them *)
+let effort_rows : (string, Lp.Stats.t) Hashtbl.t = Hashtbl.create 16
 
 let record_effort name (st : Lp.Stats.t) =
-  Hashtbl.replace effort_rows name
-    (st.Lp.Stats.solves, st.Lp.Stats.pivots, st.Lp.Stats.refactors);
+  Hashtbl.replace effort_rows name st;
   Printf.printf "%-56s %10s\n" name
     (Printf.sprintf "%d solves, %d pivots, %d refactors" st.Lp.Stats.solves
-       st.Lp.Stats.pivots st.Lp.Stats.refactors)
+       st.Lp.Stats.pivots st.Lp.Stats.refactors);
+  if
+    st.Lp.Stats.matchings_repaired + st.Lp.Stats.matchings_rebuilt
+    + st.Lp.Stats.slots_reused > 0
+  then
+    Printf.printf "%-56s %10s\n" name
+      (Printf.sprintf "%d cycles, %d repaired, %d rebuilt, %d slots reused"
+         st.Lp.Stats.cycles_cancelled st.Lp.Stats.matchings_repaired
+         st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused)
 
 (* --- cache / warm statistics, aggregated across the whole run --- *)
 
@@ -274,6 +282,8 @@ let stats_disk_evictions = ref 0
 let stats_quarantined = ref 0
 let stats_warm_hits = ref 0
 let stats_warm_misses = ref 0
+let stats_recon_hits = ref 0
+let stats_recon_misses = ref 0
 
 let note_cache c =
   stats_cache_hits := !stats_cache_hits + Lp.Cache.hits c;
@@ -289,6 +299,10 @@ let note_store s =
 let note_warm w =
   stats_warm_hits := !stats_warm_hits + Lp.Warm.hits w;
   stats_warm_misses := !stats_warm_misses + Lp.Warm.misses w
+
+let note_recon w =
+  stats_recon_hits := !stats_recon_hits + Reconstruct.Warm.hits w;
+  stats_recon_misses := !stats_recon_misses + Reconstruct.Warm.misses w
 
 (* --- part 2.5: warm-start / solve-cache workloads --- *)
 
@@ -459,6 +473,145 @@ let run_warm_suite ~smoke () =
     failwith "bench: oracle bound differs between cold and cached solves";
   record (bound "cached") ns;
   Printf.printf "%-56s %10.2fx\n" "warm/E10 oracle bound speedup" (cold_bound_ns /. ns);
+  List.rev !rows
+
+(* --- part 2.6: incremental reconstruction workloads --- *)
+
+(* [p] with one edge's cost scaled — the small per-phase rhs
+   perturbation of a phased sweep *)
+let scale_one_edge p victim factor =
+  Platform.create
+    ~names:(Array.of_list (List.map (Platform.name p) (Platform.nodes p)))
+    ~weights:(Array.of_list (List.map (Platform.weight p) (Platform.nodes p)))
+    ~edges:
+      (List.map
+         (fun e ->
+           let c = Platform.edge_cost p e in
+           ( Platform.edge_src p e,
+             Platform.edge_dst p e,
+             if e = victim then R.mul c factor else c ))
+         (Platform.edges p))
+
+(* Saturated heterogeneous star: the master's out-port is the binding
+   resource and most slaves carry flow, so the schedule has on the order
+   of [n] singleton communication slots — the reconstruction-heavy
+   regime (a tree's knapsack plans concentrate flow on a couple of
+   links, which makes the colouring trivial and the schedule layer
+   nearly free).  Slave weights are matched to costs so that the
+   knapsack spreads the port budget across ~3/4 of the slaves. *)
+let recon_star n =
+  Platform_gen.star ~master_weight:Ext_rat.inf
+    ~slaves:
+      (List.init (n - 1) (fun i ->
+           let c = R.of_ints (3 + (i mod 5)) (2 + (i mod 3)) in
+           (Ext_rat.Fin (R.mul c (R.of_ints (3 * (n - 1)) 4)), c)))
+    ()
+
+(* Reconstruction-heavy phased sweep: one platform, [phases] phases, a
+   fresh small bandwidth perturbation every 4th phase and flat segments
+   in between — the flat stretches are where a schedule-level warm start
+   reuses the previous slots outright, the perturbed ones where it
+   repairs them.  The LPs are pre-solved OUTSIDE the timed region so the
+   cold and warm rows time exactly the schedule layer.  Every row is
+   guarded: each warm schedule must pass strict certification (both
+   checkers plus bit-identical period and per-edge volumes vs a cold
+   rebuild) and match the cold throughput exactly; at n=200 the warm row
+   must beat the cold row by >= 3x and stay under a hard wall-clock
+   budget. *)
+let run_recon_suite ~smoke () =
+  print_endline
+    "\n########## incremental reconstruction workloads ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let runs = if smoke then 1 else 3 in
+  let phases = if smoke then 8 else 32 in
+  List.iter
+    (fun n ->
+      let base = recon_star n in
+      let master_out = Array.of_list (Platform.out_edges base 0) in
+      let plats = Array.make phases base in
+      for k = 1 to phases - 1 do
+        plats.(k) <-
+          (if k mod 4 = 0 then
+             scale_one_edge base
+               master_out.(k * 31 mod Array.length master_out)
+               (R.of_ints (98 + (k mod 3)) 97)
+           else plats.(k - 1))
+      done;
+      (* pre-solve each phase; flat segments share the solution object,
+         so the timed rows see the same instance stream a phased planner
+         would hand the schedule layer *)
+      let sols = Array.make phases (Master_slave.solve_reduced base ~master:0) in
+      for k = 1 to phases - 1 do
+        sols.(k) <-
+          (if plats.(k) == plats.(k - 1) then sols.(k - 1)
+           else Master_slave.solve_reduced plats.(k) ~master:0)
+      done;
+      let label tail =
+        Printf.sprintf "recon/sweep %d phases n=%d (%s)" phases n tail
+      in
+      let cold () =
+        Array.iter (fun sol -> ignore (Master_slave.schedule sol)) sols
+      in
+      let warm () =
+        let recon = Reconstruct.Warm.create () in
+        Array.iter (fun sol -> ignore (Master_slave.schedule ~recon sol)) sols;
+        recon
+      in
+      let (), cold_ns = best_of ~runs cold in
+      record (label "cold") cold_ns;
+      let last_recon, warm_ns = best_of ~runs warm in
+      note_recon last_recon;
+      record (label "warm") warm_ns;
+      Printf.printf "%-56s %10.2fx\n"
+        (Printf.sprintf "recon/speedup n=%d" n)
+        (cold_ns /. warm_ns);
+      (* guards, untimed: strict mode re-derives a cold schedule per
+         phase and raises unless the warm one is equivalent; the
+         throughput comparison is re-asserted here independently *)
+      let stats = Lp.Stats.create () in
+      let recon = Reconstruct.Warm.create () in
+      Array.iter
+        (fun sol ->
+          let w = Master_slave.schedule ~recon ~strict:true ~stats sol in
+          let c = Master_slave.schedule sol in
+          let tp s =
+            R.div (Master_slave.tasks_per_period s sol) s.Schedule.period
+          in
+          if not (R.equal (tp w) (tp c)) then
+            failwith
+              (Printf.sprintf "bench: recon n=%d: warm throughput differs" n);
+          match Reconstruct.certify w with
+          | Ok () -> ()
+          | Error e ->
+            failwith (Printf.sprintf "bench: recon n=%d: %s" n e))
+        sols;
+      note_recon recon;
+      Printf.printf "%-56s %10s\n"
+        (Printf.sprintf "recon/guard n=%d" n)
+        "strict certification + throughput exact";
+      record_effort (label "warm") stats;
+      if stats.Lp.Stats.slots_reused = 0 then
+        failwith
+          (Printf.sprintf "bench: recon n=%d: warm sweep reused no slots" n);
+      (* the acceptance ratio and a hard wall-clock budget, full runs
+         only: the schedule-layer warm start must actually pay off *)
+      if not smoke then begin
+        if n = 200 && cold_ns < 3.0 *. warm_ns then
+          failwith
+            (Printf.sprintf
+               "bench: recon n=200: warm %.1f ms vs cold %.1f ms is below \
+                the 3x bar"
+               (warm_ns /. 1e6) (cold_ns /. 1e6));
+        let budget_ns = 30e9 in
+        if cold_ns +. warm_ns > budget_ns then
+          failwith
+            (Printf.sprintf "bench: recon n=%d rows took %.2f s, budget %.0f s"
+               n
+               ((cold_ns +. warm_ns) /. 1e9)
+               (budget_ns /. 1e9))
+      end)
+    (if smoke then [ 20 ] else [ 20; 200 ]);
   List.rev !rows
 
 (* --- part 3: Domain-pool sweep --- *)
@@ -762,6 +915,7 @@ let run_scale_suite ~smoke () =
   let reference = (Master_slave.solve p ~master:0).Master_slave.ntask in
   List.iter
     (fun (rname, rule) ->
+      let by_fact = Hashtbl.create 4 in
       List.iter
         (fun (fname, fact) ->
           let stats = Lp.Stats.create () in
@@ -773,14 +927,28 @@ let run_scale_suite ~smoke () =
           let name = Printf.sprintf "scale/LP n=%d %s %s" n rname fname in
           guard name sol.Master_slave.ntask reference;
           record name ns;
-          record_effort name stats)
-        [ ("lu", `Lu); ("ft", `Ft) ])
+          record_effort name stats;
+          Hashtbl.replace by_fact fname
+            (stats.Lp.Stats.pivots, stats.Lp.Stats.refactors))
+        [ ("lu", `Lu); ("ft", `Ft); ("auto", `Auto) ];
+      (* [`Auto] picks [`Ft] at/above [Lp.auto_ft_rows] standard-form
+         rows, [`Lu] below; this instance sits below the threshold, so
+         its exact effort must coincide with the [`Lu] row's *)
+      if Hashtbl.find by_fact "auto" <> Hashtbl.find by_fact "lu" then
+        failwith
+          (Printf.sprintf
+             "bench: scale/LP n=%d %s: `Auto effort differs from its \
+              threshold side"
+             n rname))
     [
       ("dantzig", Simplex.Dantzig);
       ("bland", Simplex.Bland);
       ("partial8", Simplex.Partial 8);
       ("devex8", Simplex.Devex 8);
     ];
+  Printf.printf "%-56s %10s\n"
+    (Printf.sprintf "scale/auto factorisation guard n=%d" n)
+    (Printf.sprintf "auto == lu below %d rows (exact)" Lp.auto_ft_rows);
   (* Lp.Reduce presolve on the same general-graph LP: reduced-and-
      reinflated must reproduce the full objective bit-for-bit *)
   let model, full_res = Master_slave.solve_lp_only p ~master:0 in
@@ -878,7 +1046,7 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/3\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/4\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
@@ -891,7 +1059,9 @@ let write_json path rows =
   Printf.fprintf oc "    \"disk_evictions\": %d,\n" !stats_disk_evictions;
   Printf.fprintf oc "    \"quarantined_records\": %d,\n" !stats_quarantined;
   Printf.fprintf oc "    \"warm_hits\": %d,\n" !stats_warm_hits;
-  Printf.fprintf oc "    \"warm_misses\": %d\n" !stats_warm_misses;
+  Printf.fprintf oc "    \"warm_misses\": %d,\n" !stats_warm_misses;
+  Printf.fprintf oc "    \"recon_hits\": %d,\n" !stats_recon_hits;
+  Printf.fprintf oc "    \"recon_misses\": %d\n" !stats_recon_misses;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"results\": {\n";
   let n = List.length rows in
@@ -899,9 +1069,25 @@ let write_json path rows =
     (fun i (name, ns) ->
       let effort =
         match Hashtbl.find_opt effort_rows name with
-        | Some (s, p, r) ->
-          Printf.sprintf ", \"solves\": %d, \"pivots\": %d, \"refactors\": %d"
-            s p r
+        | Some st ->
+          let base =
+            Printf.sprintf
+              ", \"solves\": %d, \"pivots\": %d, \"refactors\": %d"
+              st.Lp.Stats.solves st.Lp.Stats.pivots st.Lp.Stats.refactors
+          in
+          let recon =
+            if
+              st.Lp.Stats.matchings_repaired + st.Lp.Stats.matchings_rebuilt
+              + st.Lp.Stats.slots_reused + st.Lp.Stats.cycles_cancelled > 0
+            then
+              Printf.sprintf
+                ", \"cycles_cancelled\": %d, \"matchings_repaired\": %d, \
+                 \"matchings_rebuilt\": %d, \"slots_reused\": %d"
+                st.Lp.Stats.cycles_cancelled st.Lp.Stats.matchings_repaired
+                st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused
+            else ""
+          in
+          base ^ recon
         | None -> ""
       in
       Printf.fprintf oc "    \"%s\": { \"ns\": %.1f%s }%s\n" (json_escape name)
@@ -952,6 +1138,7 @@ let run_smoke ~cache_dir () =
       Printf.printf "smoke ok  %s\n" name)
     (timed_workloads ());
   ignore (run_warm_suite ~smoke:true ());
+  ignore (run_recon_suite ~smoke:true ());
   ignore (run_disk_suite ~smoke:true ~cache_dir ());
   ignore (run_pool_sweep ~smoke:true ());
   ignore (run_fault_suite ~smoke:true ());
@@ -962,6 +1149,7 @@ let () =
   let tables_only = ref false in
   let smoke = ref false in
   let faults_only = ref false in
+  let recon_only = ref false in
   let json_path = ref "BENCH_steady.json" in
   let cache_dir = ref (Sys.getenv_opt "STEADY_CACHE_DIR") in
   let rec parse = function
@@ -975,6 +1163,9 @@ let () =
     | "--faults-only" :: rest ->
       faults_only := true;
       parse rest
+    | "--recon-only" :: rest ->
+      recon_only := true;
+      parse rest
     | "--json" :: path :: rest ->
       json_path := path;
       parse rest
@@ -983,25 +1174,27 @@ let () =
       parse rest
     | arg :: _ ->
       prerr_endline
-        ("usage: main.exe [--tables-only] [--smoke] [--faults-only] [--json \
-          PATH] [--cache-dir DIR]; got " ^ arg);
+        ("usage: main.exe [--tables-only] [--smoke] [--faults-only] \
+          [--recon-only] [--json PATH] [--cache-dir DIR]; got " ^ arg);
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !smoke then run_smoke ~cache_dir:!cache_dir ()
   else if !faults_only then ignore (run_fault_suite ~smoke:false ())
+  else if !recon_only then ignore (run_recon_suite ~smoke:false ())
   else begin
     print_tables ();
     print_coloring_stats ();
     if not !tables_only then begin
       let bench_rows = run_benchmarks () in
       let warm_rows = run_warm_suite ~smoke:false () in
+      let recon_rows = run_recon_suite ~smoke:false () in
       let disk_rows = run_disk_suite ~smoke:false ~cache_dir:!cache_dir () in
       let sweep_rows = run_pool_sweep ~smoke:false () in
       let fault_rows = run_fault_suite ~smoke:false () in
       let scale_rows = run_scale_suite ~smoke:false () in
       write_json !json_path
-        (bench_rows @ warm_rows @ disk_rows @ sweep_rows @ fault_rows
-       @ scale_rows)
+        (bench_rows @ warm_rows @ recon_rows @ disk_rows @ sweep_rows
+       @ fault_rows @ scale_rows)
     end
   end

@@ -43,22 +43,52 @@ let max_weighted_degree ~left_size ~right_size edges =
   let m = Array.fold_left R.max R.zero dl in
   Array.fold_left R.max m dr
 
+type effort = {
+  mutable reused : int;
+  mutable repaired : int;
+  mutable rebuilt : int;
+}
+
+let effort () = { reused = 0; repaired = 0; rebuilt = 0 }
+
 (* Find a matching covering every tight node.  [adj_l.(i)] lists the
    active work edges out of left node i; [match_l] / [match_r] hold the
-   matched work edge per node, if any. *)
-let covering_matching ~left_size ~right_size works tight_l tight_r =
-  let adj_l = Array.make left_size [] in
-  let adj_r = Array.make right_size [] in
-  List.iter
-    (fun w ->
-      adj_l.(w.e.left) <- w :: adj_l.(w.e.left);
-      adj_r.(w.e.right) <- w :: adj_r.(w.e.right))
-    works;
+   matched work edge per node, if any.  [seed] pre-installs a partial
+   matching (conflicting entries dropped): augmentation then only runs
+   for tight nodes the seed leaves uncovered, and the adjacency arrays —
+   only augmentation needs them — are built on first use, so a seed that
+   already covers every tight node costs no graph traversal at all.
+   Returns the matched works and whether any augmentation ran. *)
+let covering_matching ~left_size ~right_size works tight_l tight_r ~seed =
   let match_l : work option array = Array.make left_size None in
   let match_r : work option array = Array.make right_size None in
-  (* augment from a left node: returns true if an augmenting path is
-     found; [visited_r] guards against revisiting right nodes *)
-  let rec augment_l visited_r i =
+  List.iter
+    (fun w ->
+      if match_l.(w.e.left) = None && match_r.(w.e.right) = None then begin
+        match_l.(w.e.left) <- Some w;
+        match_r.(w.e.right) <- Some w
+      end)
+    seed;
+  let adj =
+    lazy
+      (let adj_l = Array.make left_size [] in
+       let adj_r = Array.make right_size [] in
+       List.iter
+         (fun w ->
+           adj_l.(w.e.left) <- w :: adj_l.(w.e.left);
+           adj_r.(w.e.right) <- w :: adj_r.(w.e.right))
+         works;
+       (adj_l, adj_r))
+  in
+  (* Augment from a left node: returns true if an augmenting path is
+     found; [visited_r] guards against revisiting right nodes.  As in
+     the right pass below, the Mendelsohn–Dulmage exchange argument
+     allows one extra terminal move: the path may end by {e stealing} a
+     right node from a non-tight left node, uncovering only that
+     non-required vertex.  Cold rounds never take it (the left pass
+     only ever covers tight left nodes), but a warm-start seed may
+     cover non-tight lefts that block a tight one. *)
+  let rec augment_l visited_r tight_l i =
     List.exists
       (fun w ->
         let j = w.e.right in
@@ -71,14 +101,21 @@ let covering_matching ~left_size ~right_size works tight_l tight_r =
             match_r.(j) <- Some w;
             true
           | Some w' ->
-            if augment_l visited_r w'.e.left then begin
+            let l' = w'.e.left in
+            if not tight_l.(l') then begin
+              match_l.(l') <- None;
+              match_l.(i) <- Some w;
+              match_r.(j) <- Some w;
+              true
+            end
+            else if augment_l visited_r tight_l l' then begin
               match_l.(i) <- Some w;
               match_r.(j) <- Some w;
               true
             end
             else false
         end)
-      adj_l.(i)
+      (fst (Lazy.force adj)).(i)
   in
   (* Right-pass augmentation.  Unlike the left pass (where every covered
      left node is itself tight, so plain Kuhn augmentation is complete),
@@ -114,11 +151,13 @@ let covering_matching ~left_size ~right_size works tight_l tight_r =
             end
             else false
         end)
-      adj_r.(j)
+      (snd (Lazy.force adj)).(j)
   in
+  let augmented = ref false in
   for i = 0 to left_size - 1 do
     if tight_l.(i) && match_l.(i) = None then begin
-      let ok = augment_l (Array.make right_size false) i in
+      augmented := true;
+      let ok = augment_l (Array.make right_size false) tight_l i in
       if not ok then
         (* impossible by Mendelsohn–Dulmage given tightness *)
         invalid_arg "Bipartite_coloring: internal: tight left node uncoverable"
@@ -126,6 +165,7 @@ let covering_matching ~left_size ~right_size works tight_l tight_r =
   done;
   for j = 0 to right_size - 1 do
     if tight_r.(j) && match_r.(j) = None then begin
+      augmented := true;
       let ok = augment_r (Array.make left_size false) tight_r j in
       if not ok then
         invalid_arg "Bipartite_coloring: internal: tight right node uncoverable"
@@ -140,9 +180,9 @@ let covering_matching ~left_size ~right_size works tight_l tight_r =
       | Some w when not (List.memq w !out) -> out := w :: !out
       | _ -> ())
     match_r;
-  !out
+  (!out, !augmented)
 
-let decompose ~left_size ~right_size edge_list =
+let decompose ?(seed = []) ?effort:eff ~left_size ~right_size edge_list =
   List.iter
     (fun e ->
       if e.left < 0 || e.left >= left_size || e.right < 0
@@ -152,6 +192,29 @@ let decompose ~left_size ~right_size edge_list =
         invalid_arg "Bipartite_coloring.decompose: non-positive weight")
     edge_list;
   let works = ref (List.map (fun e -> { e; remaining = e.weight }) edge_list) in
+  (* Seed matchings refer to current edges by [tag] alone (the caller's
+     identifier — weights and even endpoints may have drifted since the
+     seed was produced).  Tags must be unique for seeding to make sense;
+     a stale tag simply drops the seed edge, so any previous
+     decomposition is an acceptable — merely more or less useful —
+     seed. *)
+  let by_tag = Hashtbl.create 64 in
+  if seed <> [] then
+    List.iter (fun w -> Hashtbl.replace by_tag w.e.tag w) !works;
+  let seed = ref seed in
+  let next_seed () =
+    match !seed with
+    | [] -> []
+    | m :: rest ->
+      seed := rest;
+      List.filter_map
+        (fun e ->
+          match Hashtbl.find_opt by_tag e.tag with
+          | Some w when R.sign w.remaining > 0 -> Some w
+          | _ -> None)
+        m.edges
+  in
+  let note f = match eff with None -> () | Some eff -> f eff in
   let out = ref [] in
   let guard = ref (List.length edge_list + (2 * (left_size + right_size)) + 1) in
   while !works <> [] do
@@ -161,7 +224,15 @@ let decompose ~left_size ~right_size edge_list =
     let delta = Array.fold_left R.max (Array.fold_left R.max R.zero dl) dr in
     let tight_l = Array.map (fun d -> R.equal d delta) dl in
     let tight_r = Array.map (fun d -> R.equal d delta) dr in
-    let matched = covering_matching ~left_size ~right_size !works tight_l tight_r in
+    let round_seed = next_seed () in
+    let matched, augmented =
+      covering_matching ~left_size ~right_size !works tight_l tight_r
+        ~seed:round_seed
+    in
+    note (fun eff ->
+        if round_seed = [] then eff.rebuilt <- eff.rebuilt + 1
+        else if augmented then eff.repaired <- eff.repaired + 1
+        else eff.reused <- eff.reused + 1);
     (* slot duration *)
     let t =
       List.fold_left (fun acc w -> R.min acc w.remaining) delta matched

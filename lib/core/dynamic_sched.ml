@@ -234,12 +234,13 @@ let run_classic ?cache ?(reuse = true) sc strategy =
      restores the cold per-phase solves for baseline measurements *)
   let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  let recon = if reuse then Some (Reconstruct.Warm.create ()) else None in
   let solve_scaled node_mult edge_mult =
-    Master_slave.solve ?warm ?cache
+    Master_slave.solve ?warm ?cache ?recon
       (scaled_platform sc node_mult edge_mult)
       ~master:sc.master
   in
-  let static_sol = Master_slave.solve ?warm ?cache p ~master:sc.master in
+  let static_sol = Master_slave.solve ?warm ?cache ?recon p ~master:sc.master in
   (* one forecaster per node and per edge (reactive strategy) *)
   let node_fc = Array.init (P.num_nodes p) (fun _ -> Forecast.create ()) in
   let edge_fc = Array.init (P.num_edges p) (fun _ -> Forecast.create ()) in
@@ -336,6 +337,9 @@ let run_robust ?cache ?(reuse = true) sc =
   in
   let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  (* the surviving subplatforms of consecutive epochs are usually
+     near-identical, so the flow cycle-cancellation replays too *)
+  let recon = if reuse then Some (Reconstruct.Warm.create ()) else None in
   (* Failure state.  Zero-crossing breakpoints fire simulator outage
      events, and breakpoint timers sort before the phase-boundary timers
      registered below, so at every boundary these arrays are current.
@@ -407,7 +411,7 @@ let run_robust ?cache ?(reuse = true) sc =
      one regime where a fault-free Robust run fell behind.  Physics
      still caps the executed work at the per-epoch LP bound: extra
      submissions merely queue. *)
-  let static_sol = Master_slave.solve ?warm ?cache p ~master:sc.master in
+  let static_sol = Master_slave.solve ?warm ?cache ?recon p ~master:sc.master in
   check_single_hop static_sol;
   let static_transfers, static_master = phase_plan static_sol sc.phase in
   let marks = ref [] in
@@ -446,7 +450,7 @@ let run_robust ?cache ?(reuse = true) sc =
           if not (has_compute sub) then None
           else
             match
-              Master_slave.try_solve ?warm ?cache sub
+              Master_slave.try_solve ?warm ?cache ?recon sub
                 ~master:restr.P.sub_of_node.(sc.master)
             with
             | Error (`Infeasible | `Unbounded) -> None
@@ -571,11 +575,12 @@ let oracle_throughput_bound ?cache ?(reuse = true) sc =
   let node_cts, edge_cts = compile_scenario sc in
   let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  let recon = if reuse then Some (Reconstruct.Warm.create ()) else None in
   let total = ref R.zero in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
     let sol =
-      Master_slave.solve ?warm ?cache
+      Master_slave.solve ?warm ?cache ?recon
         (scaled_platform sc
            (fun i -> compiled_at node_cts.(i) t0)
            (fun e -> compiled_at edge_cts.(e) t0))
@@ -590,6 +595,7 @@ let fault_throughput_bound ?cache ?(reuse = true) sc =
   let node_cts, edge_cts = compile_scenario sc in
   let cache = make_cache cache reuse in
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
+  let recon = if reuse then Some (Reconstruct.Warm.create ()) else None in
   let total = ref R.zero in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
@@ -601,7 +607,7 @@ let fault_throughput_bound ?cache ?(reuse = true) sc =
     let sub = restr.P.sub in
     if has_compute sub then begin
       match
-        Master_slave.try_solve ?warm ?cache sub
+        Master_slave.try_solve ?warm ?cache ?recon sub
           ~master:restr.P.sub_of_node.(sc.master)
       with
       | Ok sol -> total := R.add !total (R.mul sc.phase sol.Master_slave.ntask)

@@ -123,7 +123,7 @@ let quantize sol ~period =
     throughput = R.div tasks_per_period period;
   }
 
-let schedule_of sol q =
+let schedule_of ?recon ?strict ?stats sol q =
   let p = sol.Master_slave.platform in
   let flow = Array.map (fun items -> R.div items q.period) q.edge_items in
   let delays = Flow.delays p flow in
@@ -148,11 +148,12 @@ let schedule_of sol q =
         if R.sign q.node_tasks.(i) > 0 then Some (i, q.node_tasks.(i)) else None)
       (P.nodes p)
   in
-  Schedule.reconstruct p ~period:q.period ~transfers ~compute ~delays
+  Reconstruct.reconstruct ?warm:recon ?strict ?stats p ~period:q.period
+    ~transfers ~compute ~delays
 
 let series sol ~periods =
   List.map (fun t -> (t, quantize sol ~period:t)) periods
 
-let sweep ?rule ?solver ?warm ?cache p ~master ~periods =
-  let sol = Master_slave.solve ?rule ?solver ?warm ?cache p ~master in
+let sweep ?rule ?solver ?warm ?cache ?recon ?stats p ~master ~periods =
+  let sol = Master_slave.solve ?rule ?solver ?warm ?cache ?recon ?stats p ~master in
   (sol, series sol ~periods)

@@ -25,8 +25,18 @@ type quantized = {
 val quantize : Master_slave.solution -> period:Rat.t -> quantized
 (** @raise Invalid_argument on a non-positive period. *)
 
-val schedule_of : Master_slave.solution -> quantized -> Schedule.t
-(** Reconstructed fixed-period schedule (strictly executable). *)
+val schedule_of :
+  ?recon:Reconstruct.Warm.t ->
+  ?strict:bool ->
+  ?stats:Lp.Stats.t ->
+  Master_slave.solution ->
+  quantized ->
+  Schedule.t
+(** Reconstructed fixed-period schedule (strictly executable).  With
+    [?recon], successive quantizations of the same solution (an E9
+    period series) repair the previous period's slots instead of
+    rebuilding; [?strict] certifies each warm result against a cold
+    rebuild ({!Reconstruct.reconstruct}). *)
 
 val series :
   Master_slave.solution -> periods:Rat.t list -> (Rat.t * quantized) list
@@ -37,11 +47,14 @@ val sweep :
   ?solver:Lp.solver ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?recon:Reconstruct.Warm.t ->
+  ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
   periods:Rat.t list ->
   Master_slave.solution * (Rat.t * quantized) list
 (** Platform-level convenience for the E9 workload: solve the
     steady-state LP (threading [?warm]/[?cache], so repeated sweeps of
-    the same platform re-use the basis or memoised solve) and quantize
-    at every requested period. *)
+    the same platform re-use the basis or memoised solve; [?recon]
+    replays the previous cycle-cancellation) and quantize at every
+    requested period. *)

@@ -80,12 +80,12 @@ let solve_lp_only ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
 
 (* Map an optimal LP solution back onto the platform: activity
    fractions per node, cycle-free task flow per edge. *)
-let solution_of_sol p ~master alpha_v s_v (sol : Lp.solution) =
+let solution_of_sol ?recon ?stats p ~master alpha_v s_v (sol : Lp.solution) =
   let alpha = Array.map sol.Lp.values alpha_v in
   let raw_flow =
     Array.mapi (fun e sv -> R.div (sol.Lp.values sv) (P.edge_cost p e)) s_v
   in
-  let task_flow = Flow.cancel_cycles p raw_flow in
+  let task_flow = Reconstruct.cancel ?warm:recon ?stats p raw_flow in
   let send_frac =
     Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
   in
@@ -98,15 +98,17 @@ let solution_of_sol p ~master alpha_v s_v (sol : Lp.solution) =
     task_flow;
   }
 
-let try_solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
+let try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p
+    ~master =
   let m, alpha_v, s_v = build_lp p ~master in
   match Lp.solve ?rule ?solver ?factorization ?warm ?cache ?stats m with
   | Lp.Infeasible -> Error `Infeasible
   | Lp.Unbounded -> Error `Unbounded
-  | Lp.Optimal sol -> Ok (solution_of_sol p ~master alpha_v s_v sol)
+  | Lp.Optimal sol -> Ok (solution_of_sol ?recon ?stats p ~master alpha_v s_v sol)
 
-let solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
-  match try_solve ?rule ?solver ?factorization ?warm ?cache ?stats p ~master
+let solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p ~master =
+  match
+    try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p ~master
   with
   | Ok sol -> sol
   | Error (`Infeasible | `Unbounded) ->
@@ -211,7 +213,7 @@ let knapsack ?rule ?solver ?stats children =
       (* cannot happen: y = 0 is feasible, the objective is bounded *)
       failwith "Master_slave.solve_reduced: knapsack LP not optimal")
 
-let solve_reduced ?rule ?solver ?factorization ?stats p ~master =
+let solve_reduced ?rule ?solver ?factorization ?recon ?stats p ~master =
   match tree_structure p ~master with
   | None ->
     (* not a tree: presolve the full LP instead *)
@@ -220,7 +222,7 @@ let solve_reduced ?rule ?solver ?factorization ?stats p ~master =
     (match Lp.Reduce.solve ?rule ?solver ?factorization ?stats red with
     | Lp.Infeasible | Lp.Unbounded ->
       failwith "Master_slave.solve_reduced: LP not optimal (invalid platform?)"
-    | Lp.Optimal sol -> solution_of_sol p ~master alpha_v s_v sol)
+    | Lp.Optimal sol -> solution_of_sol ?recon ?stats p ~master alpha_v s_v sol)
   | Some (order, parent_edge) ->
     let n = P.num_nodes p in
     let nb = Array.length order in
@@ -298,7 +300,7 @@ let period_of sol =
   in
   R.of_bigint (R.lcm_denominators (List.filter (fun r -> not (R.is_zero r)) rates))
 
-let schedule sol =
+let schedule ?recon ?strict ?stats sol =
   let p = sol.platform in
   let period = period_of sol in
   let delays = Flow.delays p sol.task_flow in
@@ -325,7 +327,8 @@ let schedule sol =
         if R.sign tasks > 0 then Some (i, tasks) else None)
       (P.nodes p)
   in
-  Schedule.reconstruct p ~period ~transfers ~compute ~delays
+  Reconstruct.reconstruct ?warm:recon ?strict ?stats p ~period ~transfers
+    ~compute ~delays
 
 let tasks_per_period sched sol =
   ignore sol;

@@ -48,6 +48,7 @@ val solve :
   ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?recon:Reconstruct.Warm.t ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -57,7 +58,11 @@ val solve :
     phase workload): the previous optimal basis is repaired in a few
     exact pivots, and exactly repeated instances return memoised.  Both
     are exact: the throughput is bit-identical to a cold solve.
-    [?stats] accumulates exact pivot/refactorisation counts.
+    [?recon] extends the warm start downstream of the LP: the
+    cycle-cancellation of the previous phase's flow is replayed instead
+    of recomputed ({!Reconstruct.cancel}), and a later
+    [schedule ?recon] repairs the previous slots.  [?stats] accumulates
+    exact pivot/refactorisation counts and reconstruction effort.
     @raise Failure if the LP is somehow not optimal (cannot happen on a
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
@@ -68,6 +73,7 @@ val try_solve :
   ?factorization:Lp.factorization ->
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
+  ?recon:Reconstruct.Warm.t ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -93,6 +99,7 @@ val solve_reduced :
   ?rule:Simplex.pivot_rule ->
   ?solver:Lp.solver ->
   ?factorization:Lp.factorization ->
+  ?recon:Reconstruct.Warm.t ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -115,10 +122,17 @@ val solve_reduced :
     test-suite asserts both against {!Lp.check_solution}.
     @raise Failure as {!solve}. *)
 
-val schedule : solution -> Schedule.t
+val schedule :
+  ?recon:Reconstruct.Warm.t ->
+  ?strict:bool ->
+  ?stats:Lp.Stats.t ->
+  solution ->
+  Schedule.t
 (** Periodic schedule with integer task counts: the period is the lcm of
     the denominators of the per-edge task flows and per-node task rates
-    (§3.1's construction). *)
+    (§3.1's construction).  With [?recon] the previous phase's schedule
+    is repaired instead of rebuilt ({!Reconstruct.reconstruct}); with
+    [?strict] the warm result is certified against a cold rebuild. *)
 
 val tasks_per_period : Schedule.t -> solution -> Rat.t
 (** Equals [ntask * period]. *)

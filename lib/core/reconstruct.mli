@@ -1,0 +1,105 @@
+(** Incremental schedule reconstruction (warm-starting the schedule
+    layer, not just the LP).
+
+    In phased runs — {!Dynamic_sched} strategies, {!Fixed_period.sweep},
+    fault re-plans — consecutive phases solve near-identical instances,
+    and the LP layer already warm-starts via {!Lp.Warm}.  This module
+    extends the idea downstream of the solver: the previous phase's
+    {e schedule} is repaired instead of rebuilt.  Concretely a warm slot
+    remembers the last cycle-cancellation certificate
+    ({!Flow.cancellation}) and the last {!Schedule.t}; the next phase
+    replays the cancellation log on the perturbed flow
+    ({!Flow.cancel_cycles_delta}) and seeds the weighted bipartite
+    colouring with the previous matchings
+    ({!Bipartite_coloring.decompose}'s [?seed]), reusing unchanged slots
+    outright.
+
+    Warm results obey exactly the same contract as cold ones — the
+    per-edge volumes, period and checker verdicts are independent of the
+    path taken — and on unchanged inputs they are bit-identical. *)
+
+(** A warm slot carrying the previous phase's reconstruction state.
+    Same discipline as {!Lp.Warm}: sequential code creates one slot per
+    phase sequence; parallel sweeps use a {!Warm.Family}. *)
+module Warm : sig
+  type t
+
+  val create : unit -> t
+
+  val clear : t -> unit
+  (** Drop the remembered cancellation and schedule (counters are
+      kept). *)
+
+  val hits : t -> int
+  (** Uses of the slot that found previous state to repair from. *)
+
+  val misses : t -> int
+  (** Uses that had to fall back to a cold rebuild (empty or
+      incompatible slot). *)
+
+  (** Domain-local family of warm slots for {!Par.Pool} sweeps: each
+      worker domain gets its own slot on first use and keeps it across
+      tasks, so parallel phase sequences repair their own predecessor
+      without cross-domain locking.  Mirrors {!Lp.Warm.Family}. *)
+  module Family : sig
+    type slot = t
+    type t
+
+    val create : unit -> t
+
+    val slot : t -> slot
+    (** The calling domain's slot (created and registered on first
+        use). *)
+
+    val domains : t -> int
+    (** Number of domains that have materialised a slot so far. *)
+
+    val hits : t -> int
+    val misses : t -> int
+    (** Aggregates over all materialised slots. *)
+
+    val clear : t -> unit
+    (** {!clear} every materialised slot. *)
+  end
+end
+
+val cancel :
+  ?warm:Warm.t -> ?stats:Lp.Stats.t -> Platform.t -> Flow.t -> Flow.t
+(** [cancel p f] removes flow cycles like {!Flow.cancel_cycles}, but
+    through the warm slot: with previous state present the cancellation
+    log is replayed on [f] and only freshly introduced cycles are
+    searched for ({!Flow.cancel_cycles_delta}); the new certificate is
+    deposited back into the slot.  Freshly found cycles are counted into
+    [stats]' [cycles_cancelled].  Results are bit-identical to the cold
+    path on unchanged flows and acyclic (with balances preserved) on any
+    input. *)
+
+val certify : Schedule.t -> (unit, string) result
+(** Independent structural audit of a (possibly warm-repaired)
+    schedule: {!Schedule.check_well_formed} plus
+    {!Bipartite_coloring.check_decomposition} on the matchings the slots
+    encode against the bipartite instance induced by the schedule's
+    stored demands.  (If two demands share an edge and kind the
+    decomposition half is skipped — transfers can't be attributed.) *)
+
+val reconstruct :
+  ?warm:Warm.t ->
+  ?strict:bool ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  period:Rat.t ->
+  transfers:Schedule.demand list ->
+  compute:(Platform.node * Rat.t) list ->
+  delays:int array ->
+  Schedule.t
+(** Warm wrapper over {!Schedule.reconstruct}: the previous schedule in
+    [warm] (if any) is passed as [?prev], and the result is deposited
+    back into the slot for the next phase.
+
+    [strict] (default [false]) turns on paranoid certification: the
+    result must pass {!certify}, and — whenever a previous schedule was
+    actually used — a cold reconstruction is recomputed and the warm
+    result's period and every per-edge per-kind item volume are asserted
+    bit-identical to it ([Failure] otherwise).  Slot {e sequences} may
+    legitimately differ after repairs; the asserted quantities are the
+    ones throughput depends on. *)

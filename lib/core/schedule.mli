@@ -33,6 +33,14 @@ type slot = {
   transfers : transfer list; (** a matching: disjoint senders, receivers *)
 }
 
+type demand = {
+  d_edge : Platform.edge;
+  d_kind : int;
+  d_items : Rat.t; (** items per period *)
+  d_item_size : Rat.t;
+  d_delay : int;
+}
+
 type t = {
   platform : Platform.t;
   period : Rat.t;
@@ -43,17 +51,15 @@ type t = {
       (** per node: how many periods to wait before activating its
           {e compute} plan; together with the per-transfer delays this
           bounds the ramp-up (initialisation) phase of §4.2 *)
-}
-
-type demand = {
-  d_edge : Platform.edge;
-  d_kind : int;
-  d_items : Rat.t; (** items per period *)
-  d_item_size : Rat.t;
-  d_delay : int;
+  demands : demand array;
+      (** the communication volumes this schedule was reconstructed
+          from, in input order — the provenance a later warm
+          [reconstruct ?prev] repairs against *)
 }
 
 val reconstruct :
+  ?prev:t ->
+  ?stats:Lp.Stats.t ->
   Platform.t ->
   period:Rat.t ->
   transfers:demand list ->
@@ -62,7 +68,19 @@ val reconstruct :
   t
 (** [reconstruct p ~period ~transfers ~compute ~delays] orchestrates the
     given per-period communication volumes into matching slots via
-    weighted bipartite edge colouring.  @raise Invalid_argument if the communications cannot fit
+    weighted bipartite edge colouring.
+
+    [?prev] warm-starts the reconstruction from a previous schedule
+    (typically the preceding phase of a sweep): unchanged inputs return
+    the previous slot sequence outright; otherwise the previous slots
+    seed the colouring ({!Bipartite_coloring.decompose}'s [?seed]) and
+    any slot whose matching and durations survived is taken over without
+    re-deriving its transfers.  The warm result satisfies exactly the
+    same contract as a cold one — same period, same per-edge volumes,
+    {!check_well_formed} holds — and on unchanged inputs it is
+    bit-identical to the cold result.  [?stats] accumulates
+    repair-effort counters ({!Lp.Stats}).
+    @raise Invalid_argument if the communications cannot fit
     (some port busier than [period]) or some compute exceeds the
     period — the steady-state LPs rule both out. *)
 

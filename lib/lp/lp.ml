@@ -103,7 +103,20 @@ type solution = {
 type result = Optimal of solution | Infeasible | Unbounded
 
 type solver = Tableau | Revised
-type factorization = Revised_simplex.factorization
+type factorization = [ Revised_simplex.factorization | `Auto ]
+
+(* `Auto threshold: LU refactorises more often but its product-form eta
+   file costs less per pivot than FT's U-file compression; the
+   crossover tracks the basis size.  Below it the bench's n=20
+   ablation shows `Ft losing wall-clock to `Lu; the threshold is set
+   past the row counts of every small-platform LP in the suite so
+   default users keep the measured-faster representation. *)
+let auto_ft_rows = 192
+
+let concrete_factorization ~rows :
+    factorization -> Revised_simplex.factorization = function
+  | `Auto -> if rows >= auto_ft_rows then `Ft else `Lu
+  | #Revised_simplex.factorization as f -> f
 
 let duals sol = sol.duals
 
@@ -607,14 +620,34 @@ module Stats = struct
     mutable solves : int;
     mutable pivots : int;
     mutable refactors : int;
+    mutable cycles_cancelled : int;
+    mutable matchings_repaired : int;
+    mutable matchings_rebuilt : int;
+    mutable slots_reused : int;
   }
 
-  let create () = { solves = 0; pivots = 0; refactors = 0 }
+  let create () =
+    {
+      solves = 0;
+      pivots = 0;
+      refactors = 0;
+      cycles_cancelled = 0;
+      matchings_repaired = 0;
+      matchings_rebuilt = 0;
+      slots_reused = 0;
+    }
 
   let add t ~pivots ~refactors =
     t.solves <- t.solves + 1;
     t.pivots <- t.pivots + pivots;
     t.refactors <- t.refactors + refactors
+
+  let add_reconstruction t ~cycles_cancelled ~matchings_repaired
+      ~matchings_rebuilt ~slots_reused =
+    t.cycles_cancelled <- t.cycles_cancelled + cycles_cancelled;
+    t.matchings_repaired <- t.matchings_repaired + matchings_repaired;
+    t.matchings_rebuilt <- t.matchings_rebuilt + matchings_rebuilt;
+    t.slots_reused <- t.slots_reused + slots_reused
 end
 
 (* [?factorization] is absent from the cache key on purpose: the
@@ -622,7 +655,7 @@ end
    arithmetic makes every pivot decision the same), so a hit recorded
    under one is valid for the others. *)
 let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
-    ?(factorization = `Lu) ?warm ?cache ?stats m =
+    ?(factorization = `Auto) ?warm ?cache ?stats m =
   let n = num_vars m in
   let sg =
     if warm <> None || cache <> None then signature m else ""
@@ -705,6 +738,9 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
           `Optimal (values, objective, duals, basis, warm)
       end
       | Revised -> begin
+        let factorization =
+          concrete_factorization ~rows:(Array.length b) factorization
+        in
         match
           Revised_simplex.minimize ~rule ~factorization ?basis:import ~a ~b
             ~c ()

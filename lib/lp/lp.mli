@@ -83,13 +83,20 @@ type solver =
   | Tableau  (** the dense tableau {!Simplex} (default) *)
   | Revised  (** the sparse-column {!Revised_simplex} *)
 
-type factorization = Revised_simplex.factorization
+type factorization = [ Revised_simplex.factorization | `Auto ]
 (** Basis representation of the [Revised] solver: [`Lu] (sparse exact
-    LU + product-form eta file, default), [`Ft] (sparse LU updated
+    LU + product-form eta file), [`Ft] (sparse LU updated
     Forrest–Tomlin style — spikes folded into U, short row etas — the
     choice for long pivot sequences) or [`Dense] (explicit inverse,
     kept for differential testing).  Outcomes are bit-identical under
-    all three. *)
+    all three.  [`Auto] (the default) picks by problem size: [`Lu]
+    below {!auto_ft_rows} constraint rows, [`Ft] from there on — FT's
+    cheaper refactorisations only pay for their per-pivot U-file
+    bookkeeping once the basis is large (the bench's rule ×
+    factorisation ablation rows justify the threshold). *)
+
+val auto_ft_rows : int
+(** Standard-form row count from which [`Auto] resolves to [`Ft]. *)
 
 val duals : solution -> (string * Rat.t) list
 (** [duals sol] is {!solution.duals} — the per-constraint shadow
@@ -254,6 +261,17 @@ module Stats : sig
     mutable refactors : int;
         (** basis refactorisations ([Revised] solver only; the
             [Tableau] kernel never refactorises) *)
+    mutable cycles_cancelled : int;
+        (** flow cycles removed by search during schedule reconstruction
+            (delta-mode log replays are not counted — no search ran) *)
+    mutable matchings_repaired : int;
+        (** colouring rounds warm-started from a seed matching (whether
+            or not augmenting-path repair was needed on top) *)
+    mutable matchings_rebuilt : int;
+        (** colouring rounds built from scratch — no usable seed *)
+    mutable slots_reused : int;
+        (** schedule slots taken over from the previous schedule without
+            re-deriving their transfers *)
   }
 
   val create : unit -> t
@@ -261,6 +279,17 @@ module Stats : sig
   val add : t -> pivots:int -> refactors:int -> unit
   (** Count one solve's effort; exposed so wrappers that bypass
       {!solve} can keep the ledger honest. *)
+
+  val add_reconstruction :
+    t ->
+    cycles_cancelled:int ->
+    matchings_repaired:int ->
+    matchings_rebuilt:int ->
+    slots_reused:int ->
+    unit
+  (** Count one schedule reconstruction's effort; called by the
+      reconstruction layer ([Reconstruct], [Master_slave.schedule]), not
+      by {!solve}. *)
 end
 
 val solve :
@@ -281,7 +310,7 @@ val solve :
     different optimal vertex of the same face, which every certified
     feasibility check still accepts).
 
-    [?factorization] (default [`Lu]) selects the [Revised] solver's
+    [?factorization] (default [`Auto]) selects the [Revised] solver's
     basis representation and is ignored by [Tableau].  It changes
     nothing about the result — the representations answer every linear
     solve with the same exact values, hence identical pivots — so it is

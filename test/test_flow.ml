@@ -118,6 +118,81 @@ let prop_cancel_idempotent =
            (fun i -> R.equal (Flow.balance p f i) (Flow.balance p g i))
            (P.nodes p))
 
+(* random flow on a random cyclic graph, as in [prop_cancel_idempotent] *)
+let random_instance seed n =
+  let p = Platform_gen.random_graph ~seed ~nodes:n ~extra_edges:4 () in
+  let st = Random.State.make [| seed; 77 |] in
+  let f =
+    Array.init (P.num_edges p) (fun _ -> R.of_ints (Random.State.int st 8) 3)
+  in
+  (p, f)
+
+(* perturb a few entries, keeping everything non-negative *)
+let perturb seed p f =
+  let st = Random.State.make [| seed; 991 |] in
+  let f' = Array.copy f in
+  let m = P.num_edges p in
+  for _ = 1 to 1 + Random.State.int st 3 do
+    let e = Random.State.int st m in
+    f'.(e) <- R.of_ints (Random.State.int st 8) 3
+  done;
+  f'
+
+let prop_cancel_acyclic_balanced =
+  QCheck.Test.make ~name:"cancel_cycles: acyclic, balances, no increase"
+    ~count:100
+    (QCheck.pair (QCheck.int_range 0 100) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      let p, f = random_instance seed n in
+      let g = Flow.cancel_cycles p f in
+      Flow.is_acyclic p g
+      && List.for_all
+           (fun i -> R.equal (Flow.balance p f i) (Flow.balance p g i))
+           (P.nodes p)
+      && Array.for_all2 (fun ge fe -> R.Infix.(ge <= fe)) g f)
+
+let prop_cancel_acyclic_fixed_point =
+  QCheck.Test.make ~name:"cancel_cycles: identity on acyclic input" ~count:100
+    (QCheck.pair (QCheck.int_range 0 100) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      let p, f = random_instance seed n in
+      let g = Flow.cancel_cycles p f in
+      (* g is acyclic: a second cancellation must log nothing at all *)
+      let c = Flow.cancel_cycles_log p g in
+      c.Flow.fresh = 0 && c.Flow.log = [] && Array.for_all2 R.equal c.Flow.cout g)
+
+let prop_delta_replay_identical =
+  QCheck.Test.make ~name:"cancel_cycles_delta: bit-identical on unchanged input"
+    ~count:100
+    (QCheck.pair (QCheck.int_range 0 100) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      let p, f = random_instance seed n in
+      let prev = Flow.cancel_cycles_log p f in
+      let d = Flow.cancel_cycles_delta p ~prev (Array.copy f) in
+      d.Flow.fresh = 0
+      && Array.for_all2 R.equal d.Flow.cout prev.Flow.cout
+      && List.for_all2
+           (fun (_, m1) (_, m2) -> R.equal m1 m2)
+           d.Flow.log prev.Flow.log)
+
+let prop_delta_perturbed_valid =
+  QCheck.Test.make
+    ~name:"cancel_cycles_delta: perturbed input stays acyclic and balanced"
+    ~count:100
+    (QCheck.pair (QCheck.int_range 0 100) (QCheck.int_range 3 8))
+    (fun (seed, n) ->
+      let p, f = random_instance seed n in
+      let prev = Flow.cancel_cycles_log p f in
+      let f' = perturb seed p f in
+      let d = Flow.cancel_cycles_delta p ~prev f' in
+      Flow.is_acyclic p d.Flow.cout
+      && List.for_all
+           (fun i ->
+             R.equal (Flow.balance p f' i) (Flow.balance p d.Flow.cout i))
+           (P.nodes p)
+      && Array.for_all2 (fun ge fe -> R.Infix.(ge <= fe)) d.Flow.cout f'
+      && Array.for_all2 R.equal d.Flow.cin f')
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "flow",
@@ -130,4 +205,8 @@ let suite =
       Alcotest.test_case "delays take longest path" `Quick test_delays_longest_path;
       Alcotest.test_case "delays reject cycles" `Quick test_delays_reject_cycles;
       q prop_cancel_idempotent;
+      q prop_cancel_acyclic_balanced;
+      q prop_cancel_acyclic_fixed_point;
+      q prop_delta_replay_identical;
+      q prop_delta_perturbed_valid;
     ] )

@@ -29,6 +29,8 @@ let () =
       Test_lu.suite;
       Test_warm.suite;
       Test_store.suite;
+      (* spawns pool domains: must come after the forking store tests *)
+      Test_reconstruct.suite;
       Test_pool.suite;
       Test_scale.suite;
     ]
