@@ -250,8 +250,9 @@ let record rows name ns =
 (* exact-effort annotations: rows solved with an [Lp.Stats] counter
    attached also land their solve/pivot/refactorisation counts — and,
    since schema 4, the reconstruction effort (cycles cancelled by
-   search, matchings repaired vs rebuilt, slots reused) — in the JSON,
-   so effort regressions show up even when wall-clock noise hides them *)
+   search, matchings repaired vs rebuilt, slots reused; schema 5 adds
+   warm-served delay vectors) — in the JSON, so effort regressions
+   show up even when wall-clock noise hides them *)
 let effort_rows : (string, Lp.Stats.t) Hashtbl.t = Hashtbl.create 16
 
 let record_effort name (st : Lp.Stats.t) =
@@ -261,12 +262,14 @@ let record_effort name (st : Lp.Stats.t) =
        st.Lp.Stats.pivots st.Lp.Stats.refactors);
   if
     st.Lp.Stats.matchings_repaired + st.Lp.Stats.matchings_rebuilt
-    + st.Lp.Stats.slots_reused > 0
+    + st.Lp.Stats.slots_reused + st.Lp.Stats.delays_reused > 0
   then
     Printf.printf "%-56s %10s\n" name
-      (Printf.sprintf "%d cycles, %d repaired, %d rebuilt, %d slots reused"
+      (Printf.sprintf
+         "%d cycles, %d repaired, %d rebuilt, %d slots, %d delays reused"
          st.Lp.Stats.cycles_cancelled st.Lp.Stats.matchings_repaired
-         st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused)
+         st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused
+         st.Lp.Stats.delays_reused)
 
 (* --- cache / warm statistics, aggregated across the whole run --- *)
 
@@ -913,6 +916,7 @@ let run_scale_suite ~smoke () =
   let n = if smoke then 10 else 20 in
   let p = sized_platform n in
   let reference = (Master_slave.solve p ~master:0).Master_slave.ntask in
+  let pivots_by_rule = Hashtbl.create 8 in
   List.iter
     (fun (rname, rule) ->
       let by_fact = Hashtbl.create 4 in
@@ -928,10 +932,12 @@ let run_scale_suite ~smoke () =
           guard name sol.Master_slave.ntask reference;
           record name ns;
           record_effort name stats;
+          if fname = "lu" then
+            Hashtbl.replace pivots_by_rule rname stats.Lp.Stats.pivots;
           Hashtbl.replace by_fact fname
             (stats.Lp.Stats.pivots, stats.Lp.Stats.refactors))
-        [ ("lu", `Lu); ("ft", `Ft); ("auto", `Auto) ];
-      (* [`Auto] picks [`Ft] at/above [Lp.auto_ft_rows] standard-form
+        [ ("lu", `Lu); ("ft", `Ft); ("bg", `Bg); ("auto", `Auto) ];
+      (* [`Auto] picks [`Bg] at/above [Lp.auto_ft_rows] standard-form
          rows, [`Lu] below; this instance sits below the threshold, so
          its exact effort must coincide with the [`Lu] row's *)
       if Hashtbl.find by_fact "auto" <> Hashtbl.find by_fact "lu" then
@@ -945,10 +951,57 @@ let run_scale_suite ~smoke () =
       ("bland", Simplex.Bland);
       ("partial8", Simplex.Partial 8);
       ("devex8", Simplex.Devex 8);
+      ("steepest8", Simplex.Steepest 8);
     ];
   Printf.printf "%-56s %10s\n"
     (Printf.sprintf "scale/auto factorisation guard n=%d" n)
     (Printf.sprintf "auto == lu below %d rows (exact)" Lp.auto_ft_rows);
+  (* steepest edge is the rule devex approximates: on the ablation
+     instance its exact pivot count must not exceed devex's (a
+     deterministic quantity — this is the measured pricing win) *)
+  let piv r = Hashtbl.find pivots_by_rule r in
+  Printf.printf "%-56s %10s\n"
+    (Printf.sprintf "scale/pricing guard n=%d" n)
+    (Printf.sprintf "steepest8 %d pivots <= devex8 %d" (piv "steepest8")
+       (piv "devex8"));
+  if piv "steepest8" > piv "devex8" then
+    failwith
+      (Printf.sprintf
+         "bench: scale/LP n=%d: steepest8 needs %d pivots, devex8 only %d" n
+         (piv "steepest8") (piv "devex8"));
+  (* above the threshold [`Auto] must resolve to [`Bg]: same effort
+     counters, same objective (the instance is the measured-crossover
+     ablation's ~220-row graph) *)
+  if not smoke then begin
+    let pa =
+      Platform_gen.random_graph ~seed:5 ~nodes:70 ~extra_edges:35 ()
+    in
+    let solve fact stats =
+      Master_slave.solve ~solver:Lp.Revised ~factorization:fact ~stats pa
+        ~master:0
+    in
+    let ref_obj =
+      (Master_slave.solve ~solver:Lp.Revised pa ~master:0).Master_slave.ntask
+    in
+    let sbg = Lp.Stats.create () and sauto = Lp.Stats.create () in
+    let bg, bg_ns = best_of ~runs:1 (fun () -> solve `Bg sbg) in
+    let auto, auto_ns = best_of ~runs:1 (fun () -> solve `Auto sauto) in
+    guard "scale/LP n=70 bg (above threshold)" bg.Master_slave.ntask ref_obj;
+    guard "scale/LP n=70 auto (above threshold)" auto.Master_slave.ntask
+      ref_obj;
+    record "scale/LP n=70 bg (above threshold)" bg_ns;
+    record "scale/LP n=70 auto (above threshold)" auto_ns;
+    record_effort "scale/LP n=70 bg (above threshold)" sbg;
+    if
+      (sauto.Lp.Stats.pivots, sauto.Lp.Stats.refactors)
+      <> (sbg.Lp.Stats.pivots, sbg.Lp.Stats.refactors)
+    then
+      failwith
+        "bench: scale/LP n=70: `Auto effort differs from `Bg above the \
+         threshold";
+    Printf.printf "%-56s %10s\n" "scale/auto factorisation guard n=70"
+      (Printf.sprintf "auto == bg at/above %d rows (exact)" Lp.auto_ft_rows)
+  end;
   (* Lp.Reduce presolve on the same general-graph LP: reduced-and-
      reinflated must reproduce the full objective bit-for-bit *)
   let model, full_res = Master_slave.solve_lp_only p ~master:0 in
@@ -991,6 +1044,62 @@ let run_scale_suite ~smoke () =
       guard name red.Master_slave.ntask fullr;
       record name ns)
     [ 10; 20 ];
+  (* collective LPs through the same tree closed form: scatter (Sum
+     law) against its monolithic LP where both are affordable.  The
+     decomposition must reproduce the throughput bit-for-bit and beat
+     the kernel by at least 5x — anything less means the closed form
+     regressed into running a solver *)
+  let cn = if smoke then 10 else 16 in
+  let cp = Platform_gen.random_tree ~seed:31 ~nodes:cn () in
+  let ctargets = List.filter (fun i -> i <> 0) (Platform.nodes cp) in
+  let cfull, cfull_ns =
+    best_of ~runs:1 (fun () ->
+        Collective.solve ~solver:Lp.Revised Collective.Sum cp ~source:0
+          ~targets:ctargets)
+  in
+  let cred, cred_ns =
+    best_of ~runs:1 (fun () ->
+        Collective.solve_reduced Collective.Sum cp ~source:0
+          ~targets:ctargets)
+  in
+  let cname = Printf.sprintf "scale/scatter decomposition n=%d" cn in
+  guard cname cred.Collective.throughput cfull.Collective.throughput;
+  record (Printf.sprintf "scale/scatter monolithic LP n=%d" cn) cfull_ns;
+  record cname cred_ns;
+  if cfull_ns < 5. *. cred_ns then
+    failwith
+      (Printf.sprintf
+         "bench: %s: decomposition only %.1fx faster than the monolithic \
+          LP (5x required)"
+         cname (cfull_ns /. cred_ns));
+  (* decomposed-only collective rows at sizes the monolithic LP cannot
+     touch (its model alone would hold nk * |E| variables) *)
+  let big = if smoke then 500 else 2000 in
+  let bp = Platform_gen.balanced_tree ~seed:13 ~nodes:big () in
+  let bsol, ns =
+    best_of ~runs:1 (fun () -> Broadcast.lp_bound_reduced bp ~source:0)
+  in
+  let bname = Printf.sprintf "scale/broadcast bound n=%d decomposed" big in
+  if R.sign bsol.Collective.throughput <= 0 then
+    failwith ("bench: " ^ bname ^ ": non-positive throughput");
+  record bname ns;
+  if ns > 5e9 then
+    failwith (Printf.sprintf "bench: %s took %.2f s, budget 5 s" bname
+       (ns /. 1e9));
+  let parts =
+    List.filter (fun i -> i mod (big / 10) = 0) (Platform.nodes bp)
+  in
+  let asol, ns =
+    best_of ~runs:1 (fun () ->
+        All_to_all.solve_reduced bp ~participants:parts)
+  in
+  let aname =
+    Printf.sprintf "scale/all-to-all n=%d p=%d decomposed" big
+      (List.length parts)
+  in
+  if R.sign asol.All_to_all.throughput <= 0 then
+    failwith ("bench: " ^ aname ^ ": non-positive throughput");
+  record aname ns;
   (* the headline: exact rational solves of large random trees.  The
      10^4-node row must land under 10 s; the smoke row (10^3 nodes)
      under 5 s — a hard failure, not a report, so a regression can
@@ -1046,7 +1155,7 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/4\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/5\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
@@ -1078,13 +1187,16 @@ let write_json path rows =
           let recon =
             if
               st.Lp.Stats.matchings_repaired + st.Lp.Stats.matchings_rebuilt
-              + st.Lp.Stats.slots_reused + st.Lp.Stats.cycles_cancelled > 0
+              + st.Lp.Stats.slots_reused + st.Lp.Stats.cycles_cancelled
+              + st.Lp.Stats.delays_reused > 0
             then
               Printf.sprintf
                 ", \"cycles_cancelled\": %d, \"matchings_repaired\": %d, \
-                 \"matchings_rebuilt\": %d, \"slots_reused\": %d"
+                 \"matchings_rebuilt\": %d, \"slots_reused\": %d, \
+                 \"delays_reused\": %d"
                 st.Lp.Stats.cycles_cancelled st.Lp.Stats.matchings_repaired
                 st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused
+                st.Lp.Stats.delays_reused
             else ""
           in
           base ^ recon

@@ -29,5 +29,45 @@ val solve :
     exact rational simplex keeps this practical only for small
     exemplars. *)
 
+val solve_reduced :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  participants:Platform.node list ->
+  solution
+(** Structurally reduced {!solve}.  On a tree platform
+    ({!Tree_decomp.detect} rooted at the first participant) the pair
+    LP has a closed form: with [inP(v)] participants below tree link
+    [{u,v}] out of [nP], the link carries [inP(v) * (nP - inP(v))]
+    commodities in {e each} direction, and
+
+    {v TP = min( 1/(c_e * m_e)  per loaded lane,
+             1/sum c_e * m_e  per out- and in-port )    v}
+
+    met exactly by routing every ordered pair along its tree path — no
+    simplex pivot runs, and throughput and flows are bit-identical to
+    {!solve}'s (the test-suite replays them through
+    {!Lp.check_solution} on the monolithic model).  A participant
+    unreachable from the root, or a loaded upward lane missing from
+    the platform, forces zero throughput, returned directly.  Non-tree
+    platforms fall back to the monolithic LP through the {!Lp.Reduce}
+    presolve.
+    @raise Invalid_argument as {!solve}. *)
+
+val model_handles :
+  Platform.t ->
+  participants:Platform.node list ->
+  Lp.model
+  * Lp.var
+  * Lp.var array
+  * ((Platform.node * Platform.node) * Lp.var array) list
+(** The monolithic pair LP that {!solve} builds, with the variable
+    handles needed to replay a {!solution} through
+    {!Lp.check_solution}: [(model, tp, s_vars, f_vars)] with
+    [s_vars.(e)] the busy fraction of edge [e] and per ordered pair one
+    flow variable per edge. *)
+
 val check_invariants : solution -> (unit, string) result
 (** Conservation per commodity, sink rates, port budgets. *)

@@ -8,6 +8,11 @@ let lp_bound ?rule ?warm ?cache p ~source =
   Collective.solve ?rule ?warm ?cache Collective.Max p ~source
     ~targets:(targets_of p ~source)
 
+let lp_bound_reduced ?rule ?solver ?factorization ?stats p ~source =
+  Collective.solve_reduced ?rule ?solver ?factorization ?stats
+    Collective.Max p ~source
+    ~targets:(targets_of p ~source)
+
 let tree_packing ?rule ?warm ?cache p ~source =
   Multicast.best_tree_packing ?rule ?warm ?cache p ~source
     ~targets:(targets_of p ~source)

@@ -18,6 +18,20 @@ val lp_bound :
   Collective.solution
 (** The [Max]-law upper bound on broadcast throughput. *)
 
+val lp_bound_reduced :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  source:Platform.node ->
+  Collective.solution
+(** {!lp_bound} through {!Collective.solve_reduced}: on tree platforms
+    the bound is the closed-form tree minimum (every edge above a
+    reachable node is loaded once — broadcast reaches everyone), with
+    no simplex pivot; elsewhere the monolithic LP runs through the
+    {!Lp.Reduce} presolve.  Bit-identical to {!lp_bound}. *)
+
 val tree_packing :
   ?rule:Simplex.pivot_rule ->
   ?warm:Lp.Warm.t ->

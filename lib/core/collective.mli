@@ -44,6 +44,35 @@ val solve :
     or contains duplicates.  (Zero throughput is always feasible, so the
     LP is never infeasible.) *)
 
+val solve_reduced :
+  ?rule:Simplex.pivot_rule ->
+  ?solver:Lp.solver ->
+  ?factorization:Lp.factorization ->
+  ?stats:Lp.Stats.t ->
+  mode ->
+  Platform.t ->
+  source:Platform.node ->
+  targets:Platform.node list ->
+  solution
+(** Structurally reduced {!solve}.  When the part of the platform
+    reachable from the source is a tree ({!Tree_decomp.detect}), the
+    collective LP has a closed form: commodity [k] must cross the tree
+    edge above every subtree holding its target, so with [cnt(v)]
+    targets below edge [e = (u,v)] the throughput is
+
+    {v TP = min( 1/(c_e * m_e)  per loaded edge,
+             1/sum c_e * m_e  per out-port )     v}
+
+    with multiplicity [m_e = cnt(v)] under [Sum] and [1] under [Max] —
+    met exactly by routing [TP] along every source→target tree path.
+    No simplex pivot runs; throughput and flows are bit-identical to
+    {!solve}'s and satisfy every constraint of the monolithic model
+    (the test-suite replays them through {!Lp.check_solution}).  An
+    unreachable target forces zero throughput, returned directly.
+    Non-tree platforms fall back to the full LP run through the
+    {!Lp.Reduce} presolve.
+    @raise Invalid_argument as {!solve}. *)
+
 val model :
   mode ->
   Platform.t ->
@@ -53,6 +82,17 @@ val model :
 (** The exact LP model that {!solve} builds and solves (same variables,
     constraints and objective, in the same order), for inspection and
     for the kernel-equality tests. *)
+
+val model_handles :
+  mode ->
+  Platform.t ->
+  source:Platform.node ->
+  targets:Platform.node list ->
+  Lp.model * Lp.var * Lp.var array * Lp.var array array
+(** {!model} plus the variable handles needed to replay a {!solution}
+    through {!Lp.check_solution}: [(model, tp, s_vars, f_vars)] with
+    [s_vars.(e)] the busy fraction of edge [e] and [f_vars.(k).(e)] the
+    flow of commodity [k] on edge [e]. *)
 
 val message_size : Rat.t
 (** Messages are unit-size: a message on edge [e] busies it for [c_e]. *)

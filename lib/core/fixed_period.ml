@@ -126,7 +126,7 @@ let quantize sol ~period =
 let schedule_of ?recon ?strict ?stats sol q =
   let p = sol.Master_slave.platform in
   let flow = Array.map (fun items -> R.div items q.period) q.edge_items in
-  let delays = Flow.delays p flow in
+  let delays = Reconstruct.delays ?warm:recon ?strict ?stats p flow in
   let transfers =
     List.filter_map
       (fun e ->

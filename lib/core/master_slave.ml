@@ -138,52 +138,10 @@ let solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p ~master =
 
    Non-tree platforms fall back to the full LP run through the
    {!Lp.Reduce} presolve, which strips bound rows, forced-zero columns
-   and chain substitutions before the kernel sees the instance. *)
+   and chain substitutions before the kernel sees the instance.
 
-(* BFS from the master over out-edges.  [Some (order, parent_edge)]
-   when the reachable part is a tree: exactly (#reached - 1) distinct
-   undirected links, and no parallel directed edges (a parallel link
-   pair would offer combined bandwidth the single-parent decomposition
-   cannot see). *)
-let tree_structure p ~master =
-  let n = P.num_nodes p in
-  let parent_edge = Array.make n (-1) in
-  let reached = Array.make n false in
-  reached.(master) <- true;
-  let order = ref [ master ] in
-  let q = Queue.create () in
-  Queue.add master q;
-  while not (Queue.is_empty q) do
-    let i = Queue.pop q in
-    List.iter
-      (fun e ->
-        let j = P.edge_dst p e in
-        if not reached.(j) then begin
-          reached.(j) <- true;
-          parent_edge.(j) <- e;
-          order := j :: !order;
-          Queue.add j q
-        end)
-      (P.out_edges p i)
-  done;
-  let order = Array.of_list (List.rev !order) in
-  let nr = Array.length order in
-  let links = Hashtbl.create (2 * n) in
-  let directed = Hashtbl.create (2 * n) in
-  let parallel = ref false in
-  List.iter
-    (fun e ->
-      let s = P.edge_src p e and d = P.edge_dst p e in
-      if reached.(s) then begin
-        (* BFS closure: the dst of a reached src is reached *)
-        if Hashtbl.mem directed (s, d) then parallel := true
-        else Hashtbl.add directed (s, d) ();
-        Hashtbl.replace links ((min s d, max s d)) ()
-      end)
-    (P.edges p);
-  if (not !parallel) && Hashtbl.length links = nr - 1 then
-    Some (order, parent_edge)
-  else None
+   Tree detection and the bottom-up sweep live in {!Tree_decomp},
+   shared with the collective decompositions. *)
 
 (* max sum y_e/c_e  s.t.  sum y_e <= 1,  0 <= y_e <= min(1, c_e*cap_e):
    how fast a node can push tasks through its child links.  Solved as an
@@ -214,7 +172,7 @@ let knapsack ?rule ?solver ?stats children =
       failwith "Master_slave.solve_reduced: knapsack LP not optimal")
 
 let solve_reduced ?rule ?solver ?factorization ?recon ?stats p ~master =
-  match tree_structure p ~master with
+  match Tree_decomp.detect p ~root:master with
   | None ->
     (* not a tree: presolve the full LP instead *)
     let m, alpha_v, s_v = build_lp p ~master in
@@ -223,35 +181,30 @@ let solve_reduced ?rule ?solver ?factorization ?recon ?stats p ~master =
     | Lp.Infeasible | Lp.Unbounded ->
       failwith "Master_slave.solve_reduced: LP not optimal (invalid platform?)"
     | Lp.Optimal sol -> solution_of_sol ?recon ?stats p ~master alpha_v s_v sol)
-  | Some (order, parent_edge) ->
-    let n = P.num_nodes p in
-    let nb = Array.length order in
-    let cap = Array.make n R.zero in
-    let kk = Array.make n R.zero in
-    let plan = Array.make n [] in
-    (* bottom-up: children precede parents in reverse BFS order *)
-    for idx = nb - 1 downto 0 do
-      let i = order.(idx) in
-      let children =
-        List.filter_map
-          (fun e ->
-            let j = P.edge_dst p e in
-            if parent_edge.(j) = e then
-              Some (e, P.edge_cost p e, cap.(j))
-            else None)
-          (P.out_edges p i)
-      in
-      let k, ys = knapsack ?rule ?solver ?stats children in
-      kk.(i) <- k;
-      plan.(i) <- ys;
-      if i <> master then
-        cap.(i) <-
-          R.min
-            (R.inv (P.edge_cost p parent_edge.(i)))
-            (R.add (P.speed p i) k)
-    done;
+  | Some td ->
+    let order = td.Tree_decomp.order in
+    (* bottom-up absorption: each node's value is (cap, K, plan) *)
+    let absorbed =
+      Tree_decomp.bottom_up p td ~default:(R.zero, R.zero, [])
+        ~f:(fun i cs ->
+          let children =
+            List.map (fun (e, (c_cap, _, _)) -> (e, P.edge_cost p e, c_cap)) cs
+          in
+          let k, ys = knapsack ?rule ?solver ?stats children in
+          let cap =
+            if i = master then R.zero (* the root has no parent link *)
+            else
+              R.min
+                (R.inv (P.edge_cost p td.Tree_decomp.parent_edge.(i)))
+                (R.add (P.speed p i) k)
+          in
+          (cap, k, ys))
+    in
+    let kk = Array.map (fun (_, k, _) -> k) absorbed in
+    let plan = Array.map (fun (_, _, ys) -> ys) absorbed in
     (* top-down: route the actual flow, scaling each saturated plan to
        the excess that really arrives *)
+    let n = P.num_nodes p in
     let alpha = Array.make n R.zero in
     let send = Array.make (P.num_edges p) R.zero in
     let inflow = Array.make n R.zero in
@@ -303,7 +256,7 @@ let period_of sol =
 let schedule ?recon ?strict ?stats sol =
   let p = sol.platform in
   let period = period_of sol in
-  let delays = Flow.delays p sol.task_flow in
+  let delays = Reconstruct.delays ?warm:recon ?strict ?stats p sol.task_flow in
   let transfers =
     List.filter_map
       (fun e ->

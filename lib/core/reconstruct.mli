@@ -27,8 +27,8 @@ module Warm : sig
   val create : unit -> t
 
   val clear : t -> unit
-  (** Drop the remembered cancellation and schedule (counters are
-      kept). *)
+  (** Drop the remembered cancellation, schedule and delay vector
+      (counters are kept). *)
 
   val hits : t -> int
   (** Uses of the slot that found previous state to repair from. *)
@@ -73,6 +73,23 @@ val cancel :
     [stats]' [cycles_cancelled].  Results are bit-identical to the cold
     path on unchanged flows and acyclic (with balances preserved) on any
     input. *)
+
+val delays :
+  ?warm:Warm.t ->
+  ?strict:bool ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  Flow.t ->
+  int array
+(** [delays p f] is {!Flow.delays}, but through the warm slot: the slot
+    remembers the last (flow, delay vector) pair and serves the vector
+    again whenever [f] is bit-identical to the remembered flow —
+    phased runs replay the same steady-state flow every period, so the
+    longest-path pass is skipped entirely on their hot path.  Reuses
+    are counted into [stats]' [delays_reused]; the slot's hit/miss
+    counters are left to the schedule-repair path.  [strict]
+    recomputes the cold vector and asserts bit-identity ([Failure]
+    otherwise). *)
 
 val certify : Schedule.t -> (unit, string) result
 (** Independent structural audit of a (possibly warm-repaired)

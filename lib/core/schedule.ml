@@ -135,7 +135,7 @@ let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
     | Some s ->
       Lp.Stats.add_reconstruction s ~cycles_cancelled:0
         ~matchings_repaired:repaired ~matchings_rebuilt:rebuilt
-        ~slots_reused
+        ~slots_reused ()
   in
   let unchanged =
     match prev with

@@ -105,17 +105,25 @@ type result = Optimal of solution | Infeasible | Unbounded
 type solver = Tableau | Revised
 type factorization = [ Revised_simplex.factorization | `Auto ]
 
-(* `Auto threshold: LU refactorises more often but its product-form eta
-   file costs less per pivot than FT's U-file compression; the
-   crossover tracks the basis size.  Below it the bench's n=20
-   ablation shows `Ft losing wall-clock to `Lu; the threshold is set
-   past the row counts of every small-platform LP in the suite so
-   default users keep the measured-faster representation. *)
-let auto_ft_rows = 192
+(* `Auto threshold: LU refactorises on every pivot but pays no eta
+   application, the folding disciplines amortise the factor across
+   pivots; the crossover tracks the basis size.  Measured on
+   master–slave LPs over random graphs (revised kernel, best of 2,
+   this machine): `Lu wins up to ~180 standard-form rows (97 rows:
+   40.0 vs 40.3 ms; 183 rows: 309 vs 332 ms), the two sides are
+   within noise around 200–240 rows (219 rows: 280 vs 275 ms), and
+   `Bg pulls ahead for good from ~300 rows (305 rows: 1550 vs
+   1250 ms).  200 sits in the middle of the indifference band —
+   replacing the old guess of 192 for a single Lu->Ft switch.  Past
+   the crossover `Bg is preferred outright over `Ft: on sparse spikes
+   it folds exactly as FT does, and on dense spikes it appends a
+   product-form eta instead of filling U in — same ablation, FT loses
+   by 6x at 243 rows (12.3 s vs 2.0 s) because its U-file fills. *)
+let auto_ft_rows = 200
 
 let concrete_factorization ~rows :
     factorization -> Revised_simplex.factorization = function
-  | `Auto -> if rows >= auto_ft_rows then `Ft else `Lu
+  | `Auto -> if rows >= auto_ft_rows then `Bg else `Lu
   | #Revised_simplex.factorization as f -> f
 
 let duals sol = sol.duals
@@ -454,6 +462,9 @@ let cache_key sg solver rule (m : model) =
     Buffer.add_string buf (string_of_int w)
   | Simplex.Devex w ->
     Buffer.add_char buf 'V';
+    Buffer.add_string buf (string_of_int w)
+  | Simplex.Steepest w ->
+    Buffer.add_char buf 'S';
     Buffer.add_string buf (string_of_int w));
   let dump v =
     Buffer.add_string buf (R.to_string v);
@@ -624,6 +635,7 @@ module Stats = struct
     mutable matchings_repaired : int;
     mutable matchings_rebuilt : int;
     mutable slots_reused : int;
+    mutable delays_reused : int;
   }
 
   let create () =
@@ -635,6 +647,7 @@ module Stats = struct
       matchings_repaired = 0;
       matchings_rebuilt = 0;
       slots_reused = 0;
+      delays_reused = 0;
     }
 
   let add t ~pivots ~refactors =
@@ -642,12 +655,13 @@ module Stats = struct
     t.pivots <- t.pivots + pivots;
     t.refactors <- t.refactors + refactors
 
-  let add_reconstruction t ~cycles_cancelled ~matchings_repaired
-      ~matchings_rebuilt ~slots_reused =
+  let add_reconstruction t ?(delays_reused = 0) ~cycles_cancelled
+      ~matchings_repaired ~matchings_rebuilt ~slots_reused () =
     t.cycles_cancelled <- t.cycles_cancelled + cycles_cancelled;
     t.matchings_repaired <- t.matchings_repaired + matchings_repaired;
     t.matchings_rebuilt <- t.matchings_rebuilt + matchings_rebuilt;
-    t.slots_reused <- t.slots_reused + slots_reused
+    t.slots_reused <- t.slots_reused + slots_reused;
+    t.delays_reused <- t.delays_reused + delays_reused
 end
 
 (* [?factorization] is absent from the cache key on purpose: the
@@ -1014,31 +1028,34 @@ module Reduce = struct
           occ.(v) <- 0
         end
     in
-    (* singleton inequality row: fold into v's bounds, drop the row *)
-    let singleton_bound r v a =
-      let x = R.div r.prhs a in
-      let tighten_ub () =
-        match ub.(v) with
-        | Some u when R.compare u x <= 0 -> ()
-        | _ ->
-          ub.(v) <- Some x;
-          changed := true
-      and tighten_lb () =
-        match lb.(v) with
-        | Some l when R.compare l x >= 0 -> ()
-        | _ ->
-          lb.(v) <- Some x;
-          changed := true
-      in
-      (match (r.prel, R.sign a > 0) with
-      | Le, true | Ge, false -> tighten_ub ()
-      | Ge, true | Le, false -> tighten_lb ()
-      | Eq, _ -> assert false);
-      kill_row r;
+    let tighten_ub v x =
+      match ub.(v) with
+      | Some u when R.compare u x <= 0 -> ()
+      | _ ->
+        ub.(v) <- Some x;
+        changed := true
+    and tighten_lb v x =
+      match lb.(v) with
+      | Some l when R.compare l x >= 0 -> ()
+      | _ ->
+        lb.(v) <- Some x;
+        changed := true
+    in
+    let check_range v =
       match (lb.(v), ub.(v)) with
       | Some l, Some u when R.compare l u > 0 -> infeasible := true
       | Some l, Some u when R.equal l u -> fix v l
       | _ -> ()
+    in
+    (* singleton inequality row: fold into v's bounds, drop the row *)
+    let singleton_bound r v a =
+      let x = R.div r.prhs a in
+      (match (r.prel, R.sign a > 0) with
+      | Le, true | Ge, false -> tighten_ub v x
+      | Ge, true | Le, false -> tighten_lb v x
+      | Eq, _ -> assert false);
+      kill_row r;
+      check_range v
     in
     let pass_rows () =
       List.iter
@@ -1108,6 +1125,121 @@ module Reduce = struct
         if alive.(v) && occ.(v) = 1 && not !infeasible then subst_var v
       done
     in
+    (* doubleton equality [a·v + b·w = rhs]: substitute
+       [v = (rhs − b·w)/a] into every other live row and the objective,
+       fold v's bounds straight onto w (the [ps:] bound rows the
+       column-singleton pass emits would be singletons here and
+       collapse to bounds next sweep anyway), and log the same [Subst]
+       entry, so reinflation is the unchanged newest-first replay.  The
+       variable with fewer live occurrences leaves, bounding the
+       rewrite work; each rewritten row trades its v term for at most
+       one (merged) w term, so the pass never fills. *)
+    let subst_doubleton r v a w b =
+      let rhs = r.prhs in
+      kill_row r;
+      alive.(v) <- false;
+      changed := true;
+      elims := Subst { v; a; rhs; rest = [ (w, b) ] } :: !elims;
+      (* obj_v·v = (obj_v/a)·(rhs − b·w); the constant is dropped — the
+         final objective is re-evaluated on the base model *)
+      if not (R.is_zero obj.(v)) then begin
+        obj.(w) <- R.submul obj.(w) (R.div obj.(v) a) b;
+        obj.(v) <- R.zero
+      end;
+      List.iter
+        (fun r' ->
+          if r'.palive then
+            match List.assoc_opt v r'.pexpr with
+            | None -> ()
+            | Some c ->
+              let k = R.div c a in
+              r'.pexpr <- List.remove_assoc v r'.pexpr;
+              r'.prhs <- R.submul r'.prhs k rhs;
+              let cb = R.neg (R.mul k b) in
+              (match List.assoc_opt w r'.pexpr with
+              | Some cw ->
+                let cw' = R.add cw cb in
+                r'.pexpr <- List.remove_assoc w r'.pexpr;
+                if R.is_zero cw' then occ.(w) <- occ.(w) - 1
+                else r'.pexpr <- (w, cw') :: r'.pexpr
+              | None ->
+                r'.pexpr <- (w, cb) :: r'.pexpr;
+                occ.(w) <- occ.(w) + 1;
+                occ_rows.(w) <- r' :: occ_rows.(w)))
+        occ_rows.(v);
+      occ.(v) <- 0;
+      (* v's bounds through the substitution: v is increasing in w iff
+         [−b/a > 0], so a v-lower-bound maps to a w-lower-bound exactly
+         when a and b have opposite signs *)
+      let slope_up = R.sign a * R.sign b < 0 in
+      (match lb.(v) with
+      | Some l ->
+        let x = R.div (R.submul rhs a l) b in
+        if slope_up then tighten_lb w x else tighten_ub w x
+      | None -> ());
+      (match ub.(v) with
+      | Some u ->
+        let x = R.div (R.submul rhs a u) b in
+        if slope_up then tighten_ub w x else tighten_lb w x
+      | None -> ());
+      check_range w
+    in
+    let pass_doubletons () =
+      List.iter
+        (fun r ->
+          if r.palive && (not !infeasible) && r.prel = Eq then
+            match r.pexpr with
+            | [ (v1, a1); (v2, a2) ]
+              when (not (R.is_zero a1)) && not (R.is_zero a2) ->
+              if occ.(v1) <= occ.(v2) then subst_doubleton r v1 a1 v2 a2
+              else subst_doubleton r v2 a2 v1 a1
+            | _ -> ())
+        !rows
+    in
+    (* dominated column: minimising with [d_v >= 0] while every live
+       occurrence relaxes as v decreases ([Le] rows need [c >= 0], [Ge]
+       rows [c <= 0], equalities never qualify) means any solution can
+       move v down to its lower bound without losing feasibility or
+       raising the objective — so some optimum has v there, and a
+       finite bound lets us fix it.  Symmetric for increasing onto a
+       finite upper bound.  Infinite bounds are left for the kernel,
+       which then reports unboundedness itself (as with dead
+       columns). *)
+    let pass_dominated () =
+      for v = 0 to nv - 1 do
+        if alive.(v) && occ.(v) > 0 && not !infeasible then begin
+          let d =
+            match sense with
+            | Maximize -> R.neg obj.(v)
+            | Minimize -> obj.(v)
+          in
+          let down_ok = ref true
+          and up_ok = ref true in
+          List.iter
+            (fun r ->
+              if r.palive && (!down_ok || !up_ok) then
+                match List.assoc_opt v r.pexpr with
+                | None -> ()
+                | Some c -> (
+                  match r.prel with
+                  | Eq ->
+                    down_ok := false;
+                    up_ok := false
+                  | Le ->
+                    if R.sign c < 0 then down_ok := false;
+                    if R.sign c > 0 then up_ok := false
+                  | Ge ->
+                    if R.sign c > 0 then down_ok := false;
+                    if R.sign c < 0 then up_ok := false))
+            occ_rows.(v);
+          let s = R.sign d in
+          if !down_ok && s >= 0 && lb.(v) <> None then
+            (match lb.(v) with Some l -> fix v l | None -> ())
+          else if !up_ok && s <= 0 then
+            match ub.(v) with Some u -> fix v u | None -> ()
+        end
+      done
+    in
     (* dead column: no live row mentions v — fix it at the bound the
        objective prefers (leave it for the kernel when that bound is
        infinite: the core solve then reports unboundedness itself). *)
@@ -1138,6 +1270,8 @@ module Reduce = struct
       changed := false;
       pass_rows ();
       pass_subst ();
+      pass_doubletons ();
+      pass_dominated ();
       pass_columns ()
     done;
     let nrows_elim =

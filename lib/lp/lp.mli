@@ -87,16 +87,21 @@ type factorization = [ Revised_simplex.factorization | `Auto ]
 (** Basis representation of the [Revised] solver: [`Lu] (sparse exact
     LU + product-form eta file), [`Ft] (sparse LU updated
     Forrest–Tomlin style — spikes folded into U, short row etas — the
-    choice for long pivot sequences) or [`Dense] (explicit inverse,
-    kept for differential testing).  Outcomes are bit-identical under
-    all three.  [`Auto] (the default) picks by problem size: [`Lu]
-    below {!auto_ft_rows} constraint rows, [`Ft] from there on — FT's
-    cheaper refactorisations only pay for their per-pivot U-file
-    bookkeeping once the basis is large (the bench's rule ×
-    factorisation ablation rows justify the threshold). *)
+    choice for long pivot sequences), [`Bg] (Bartels–Golub-style
+    bounded fill: folds sparse spikes like [`Ft] but routes dense ones
+    to a product-form eta file so U never inflates) or [`Dense]
+    (explicit inverse, kept for differential testing).  Outcomes are
+    bit-identical under all four.  [`Auto] (the default) picks by
+    problem size: [`Lu] below {!auto_ft_rows} constraint rows, [`Bg]
+    from there on — folding only pays for its per-pivot U-file
+    bookkeeping once the basis is large, and the bounded-fill variant
+    never measured slower than plain [`Ft] (the bench's rule ×
+    factorisation ablation rows justify both the threshold and the
+    choice of folding kind). *)
 
 val auto_ft_rows : int
-(** Standard-form row count from which [`Auto] resolves to [`Ft]. *)
+(** Standard-form row count from which [`Auto] resolves to a folding
+    update discipline ([`Bg]). *)
 
 val duals : solution -> (string * Rat.t) list
 (** [duals sol] is {!solution.duals} — the per-constraint shadow
@@ -272,6 +277,9 @@ module Stats : sig
     mutable slots_reused : int;
         (** schedule slots taken over from the previous schedule without
             re-deriving their transfers *)
+    mutable delays_reused : int;
+        (** pipeline-delay vectors served from a warm slot against a
+            bit-identical flow instead of recomputed by longest path *)
   }
 
   val create : unit -> t
@@ -282,10 +290,12 @@ module Stats : sig
 
   val add_reconstruction :
     t ->
+    ?delays_reused:int ->
     cycles_cancelled:int ->
     matchings_repaired:int ->
     matchings_rebuilt:int ->
     slots_reused:int ->
+    unit ->
     unit
   (** Count one schedule reconstruction's effort; called by the
       reconstruction layer ([Reconstruct], [Master_slave.schedule]), not
@@ -332,6 +342,15 @@ module Reduce : sig
         exactly one row, an equality, is substituted out; its bounds
         become (at most two) inequality rows over the remaining
         variables, named [ps:lb:<var>] / [ps:ub:<var>];
+      - {e doubleton equalities} [a·v + b·w = r]: the variable with
+        fewer occurrences is substituted into every other row (each
+        trades its [v] term for at most one merged [w] term — no fill)
+        and its bounds fold directly onto the survivor;
+      - {e dominated columns}: a variable whose objective prefers (or
+        is indifferent to) one direction while every row occurrence
+        relaxes that way ([Le] with the right coefficient sign, [Ge]
+        with the opposite, never an equality) is fixed at the finite
+        bound in that direction — some optimum always has it there;
       - {e dead columns} (no row occurrence): fixed at the bound the
         objective prefers.
 

@@ -21,7 +21,7 @@
    through U^T (row k of U^T is ucols.(k)), scatter z_k to row pr(k),
    then apply the Gauss transforms transposed in reverse step order.
 
-   Two update disciplines sit behind [kind]:
+   Three update disciplines sit behind [kind]:
 
    - [`Lu] (product form): each basis change appends an eta vector in
      basis-position space; the factors L, U are immutable between
@@ -39,16 +39,31 @@
      often.  FTRAN becomes  L ops -> gather -> row etas (oldest first)
      -> U back substitution in position order -> scatter;  BTRAN is the
      transpose pipeline in reverse.
+   - [`Bg] (Bartels-Golub style, bounded fill): the weakness of [`Ft]
+     is that U absorbs *every* spike — a dense spike permanently fills
+     the U-file and each later triangular solve pays for it, which is
+     exactly where FT loses wall-clock at small m (dense spikes are the
+     common case there).  [`Bg] folds a spike into U only while it is
+     sparse (a deterministic density bound against the average column
+     of the factors); a dense spike is appended to the product-form eta
+     file instead, leaving U untouched.  Once any product eta exists,
+     folding stops until the next refactorisation: the cached pre-U
+     spike no longer accounts for the post-U eta chain, so a later fold
+     would rewrite U against the wrong matrix.  Each refactorisation
+     cycle is therefore an FT prefix (sparse spikes absorbed, U-file
+     kept clean) followed by a product-form suffix.  FTRAN under [`Bg]
+     is the [`Ft] pipeline with the eta chain appended after the
+     scatter; BTRAN is the transpose pipeline in reverse.
 
    Everything is exact Rat arithmetic: zero tests are exact, so
    zero-skipping never changes a result, and the answers coincide bit
-   for bit with the dense Gauss-Jordan inverse — under either kind. *)
+   for bit with the dense Gauss-Jordan inverse — under every kind. *)
 
 module R = Rat
 
 exception Singular
 
-type kind = [ `Lu | `Ft ]
+type kind = [ `Lu | `Ft | `Bg ]
 
 type eta = {
   ep : int; (* basis position of the pivot *)
@@ -199,9 +214,10 @@ let factor ?refactor_at ?(kind = `Lu) ~m cols =
     | None -> (
       match kind with
       | `Lu -> Stdlib.max 16 (m / 2)
-      | `Ft -> Stdlib.max 64 (2 * m))
+      | `Ft | `Bg -> Stdlib.max 64 (2 * m))
   in
-  let ft = kind = `Ft in
+  (* [`Bg] needs the whole permuted-U machinery too *)
+  let ft = kind <> `Lu in
   let urows_mirror =
     if not ft then [||]
     else begin
@@ -387,24 +403,59 @@ let update_ft t ~p ~u =
   | ts -> push_reta t { rs = k0; rterms = Array.of_list (List.rev ts) });
   t.spike_valid <- false
 
+(* Product-form update: append the eta inverse of the rank-one basis
+   change; the factors stay immutable. *)
+let update_pf t ~p ~u =
+  let up = u.(p) in
+  if R.is_zero up then invalid_arg "Lu.update: zero pivot";
+  let inv_up = R.inv up in
+  let terms = ref [] in
+  for k = t.m - 1 downto 0 do
+    if k <> p && not (R.is_zero u.(k)) then
+      terms := (k, R.neg (R.mul u.(k) inv_up)) :: !terms
+  done;
+  push t { ep = p; inv_up; terms = Array.of_list !terms }
+
+(* [`Bg] density bound: a spike is worth folding into U while its
+   non-zero count stays within a small multiple of the average factor
+   column.  Deterministic, so pivot sequences (which never depend on
+   it) and refactor cadences are reproducible. *)
+let bg_spike_sparse t =
+  let bound = Stdlib.max 8 (2 * t.lu_nnz / t.m) in
+  let cnt = ref 0 in
+  (try
+     Array.iter
+       (fun v ->
+         if not (R.is_zero v) then begin
+           incr cnt;
+           if !cnt > bound then raise Exit
+         end)
+       t.spike
+   with Exit -> ());
+  !cnt <= bound
+
 let update t ~p ~u =
   match t.kind with
   | `Ft -> update_ft t ~p ~u
-  | `Lu ->
-    let up = u.(p) in
-    if R.is_zero up then invalid_arg "Lu.update: zero pivot";
-    let inv_up = R.inv up in
-    let terms = ref [] in
-    for k = t.m - 1 downto 0 do
-      if k <> p && not (R.is_zero u.(k)) then
-        terms := (k, R.neg (R.mul u.(k) inv_up)) :: !terms
-    done;
-    push t { ep = p; inv_up; terms = Array.of_list !terms }
+  | `Bg ->
+    (* fold while the U-file stays clean: sparse spike, and no product
+       eta yet (the cached spike is the pre-U image, which a post-U eta
+       chain would invalidate) *)
+    if t.neta = 0 && t.spike_valid && bg_spike_sparse t then
+      update_ft t ~p ~u
+    else begin
+      update_pf t ~p ~u;
+      t.spike_valid <- false
+    end
+  | `Lu -> update_pf t ~p ~u
 
 let negate_row t p =
   match t.kind with
   | `Lu -> push t { ep = p; inv_up = R.minus_one; terms = [||] }
-  | `Ft ->
+  | `Bg when t.neta > 0 ->
+    push t { ep = p; inv_up = R.minus_one; terms = [||] };
+    t.spike_valid <- false
+  | `Ft | `Bg ->
     (* negating row p of B^-1 is negating column slot(p) of U *)
     let k0 = t.slot_of_bpos.(p) in
     t.udiag.(k0) <- R.neg t.udiag.(k0);
@@ -424,11 +475,46 @@ let needs_refactor t =
   | `Ft ->
     t.nreta >= t.refactor_at
     || t.reta_nnz + Stdlib.max 0 t.fill > (2 * t.lu_nnz) + (4 * t.m)
+  | `Bg ->
+    (* row etas are cheap (FT bound); product etas are heavy, so they
+       also trip at the [`Lu] count bound *)
+    t.nreta + t.neta >= t.refactor_at
+    || t.neta >= Stdlib.max 16 (t.m / 2)
+    || t.reta_nnz + t.eta_nnz + Stdlib.max 0 t.fill
+       > (2 * t.lu_nnz) + (4 * t.m)
 
 let eta_count t = t.neta + t.nreta
 let size t = t.lu_nnz + t.eta_nnz + t.reta_nnz + Stdlib.max 0 t.fill
 
 (* --- solves ------------------------------------------------------------- *)
+
+(* product-form eta chain on a vector in basis-position space: oldest
+   first going forward (FTRAN tail), newest first transposed (BTRAN
+   head) *)
+let apply_etas_fwd t u =
+  for e = 0 to t.neta - 1 do
+    let eta = t.etas.(e) in
+    let x = u.(eta.ep) in
+    if not (R.is_zero x) then begin
+      u.(eta.ep) <- R.mul eta.inv_up x;
+      Array.iter (fun (k, w) -> u.(k) <- R.add u.(k) (R.mul w x)) eta.terms
+    end
+  done
+
+let apply_etas_rev t v =
+  for e = t.neta - 1 downto 0 do
+    let eta = t.etas.(e) in
+    let vp = v.(eta.ep) in
+    let acc =
+      ref (if R.is_zero vp then R.zero else R.mul vp eta.inv_up)
+    in
+    Array.iter
+      (fun (k, w) ->
+        let ck = v.(k) in
+        if not (R.is_zero ck) then acc := R.add !acc (R.mul ck w))
+      eta.terms;
+    v.(eta.ep) <- !acc
+  done
 
 (* B u = a; consumes [work] (dense over original rows). *)
 let ftran_inplace t work =
@@ -456,16 +542,9 @@ let ftran_inplace t work =
     for k = 0 to t.m - 1 do
       u.(t.pc.(k)) <- xs.(k)
     done;
-    for e = 0 to t.neta - 1 do
-      let eta = t.etas.(e) in
-      let x = u.(eta.ep) in
-      if not (R.is_zero x) then begin
-        u.(eta.ep) <- R.mul eta.inv_up x;
-        Array.iter (fun (k, w) -> u.(k) <- R.add u.(k) (R.mul w x)) eta.terms
-      end
-    done;
+    apply_etas_fwd t u;
     u
-  | `Ft ->
+  | `Ft | `Bg ->
     let xs = Array.init t.m (fun k -> work.(t.pr.(k))) in
     (* row etas, oldest first *)
     for e = 0 to t.nreta - 1 do
@@ -497,6 +576,8 @@ let ftran_inplace t work =
     for k = 0 to t.m - 1 do
       u.(t.pc.(k)) <- xs.(k)
     done;
+    (* [`Bg] product-form suffix; no-op under [`Ft] (neta = 0) *)
+    apply_etas_fwd t u;
     u
 
 let ftran_dense t a =
@@ -513,19 +594,7 @@ let btran_inplace t v =
   let z =
     match t.kind with
     | `Lu ->
-      for e = t.neta - 1 downto 0 do
-        let eta = t.etas.(e) in
-        let vp = v.(eta.ep) in
-        let acc =
-          ref (if R.is_zero vp then R.zero else R.mul vp eta.inv_up)
-        in
-        Array.iter
-          (fun (k, w) ->
-            let ck = v.(k) in
-            if not (R.is_zero ck) then acc := R.add !acc (R.mul ck w))
-          eta.terms;
-        v.(eta.ep) <- !acc
-      done;
+      apply_etas_rev t v;
       let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
       for k = 0 to t.m - 1 do
         let acc = ref z.(k) in
@@ -537,7 +606,10 @@ let btran_inplace t v =
         z.(k) <- (if R.is_zero !acc then R.zero else R.div !acc t.udiag.(k))
       done;
       z
-    | `Ft ->
+    | `Ft | `Bg ->
+      (* [`Bg] product-form suffix transposed, newest first; no-op
+         under [`Ft] (neta = 0) *)
+      apply_etas_rev t v;
       let z = Array.init t.m (fun k -> v.(t.pc.(k))) in
       (* forward substitution through U^T in position order *)
       for q = 0 to t.m - 1 do

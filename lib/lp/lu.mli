@@ -9,7 +9,7 @@
     {!Rat}, so FTRAN/BTRAN answers are bit-identical to what the dense
     Gauss–Jordan basis inverse would give.
 
-    A simplex pivot does not refactorise.  Two update disciplines are
+    A simplex pivot does not refactorise.  Three update disciplines are
     available, selected by [?kind] at factorisation time:
 
     - [`Lu] (default, product form): {!update} appends an eta vector
@@ -22,7 +22,18 @@
       resulting row spike is eliminated by one compact row
       transform.  The chain grows by a short row eta per pivot and U
       absorbs the spike, so {!needs_refactor} trips far less often over
-      long pivot sequences — the payoff for warm-start sweeps.
+      long pivot sequences — the payoff for warm-start sweeps;
+    - [`Bg] (Bartels–Golub-style bounded fill): sparse spikes fold into
+      U exactly as under [`Ft], but a spike denser than the average
+      factor column is routed to the product-form eta file instead, so
+      U's non-zero count never inflates on the dense entering columns
+      deep warm sweeps produce.  Once any product eta exists the
+      discipline stops folding (the cached spike is the pre-U image,
+      invalid behind a post-U eta) and appends product etas until the
+      next refactorisation, which resets the cycle.  Each
+      refactorisation period is thus an FT prefix followed by a
+      product-form suffix, and {!needs_refactor} trips on whichever
+      resource saturates first.
 
     When the chain passes a length/size threshold ({!needs_refactor})
     the caller rebuilds the factorisation from the current basis
@@ -36,7 +47,7 @@ exception Singular
 
 type t
 
-type kind = [ `Lu | `Ft ]
+type kind = [ `Lu | `Ft | `Bg ]
 
 val factor :
   ?refactor_at:int -> ?kind:kind -> m:int -> (int * Rat.t) list array -> t
@@ -74,28 +85,36 @@ val btran_dense : t -> Rat.t array -> Rat.t array
 val update : t -> p:int -> u:Rat.t array -> unit
 (** [update t ~p ~u] records a simplex pivot at basis position [p] with
     entering direction [u = B⁻¹ A_j] (as returned by {!ftran}): appends
-    the product-form eta ([`Lu]) or folds the spike into U ([`Ft]) so
-    subsequent solves address the new basis.  Under [`Ft] the pivot
-    MUST be immediately preceded by the {!ftran}/{!ftran_dense} of the
-    entering column (the revised simplex always prices, ftrans, then
-    pivots): that solve caches the spike this update consumes.
+    the product-form eta ([`Lu]), folds the spike into U ([`Ft]), or
+    picks between the two by spike density ([`Bg]) so subsequent solves
+    address the new basis.  Under [`Ft] the pivot MUST be immediately
+    preceded by the {!ftran}/{!ftran_dense} of the entering column (the
+    revised simplex always prices, ftrans, then pivots): that solve
+    caches the spike this update consumes.  [`Bg] relaxes the
+    requirement — with no cached spike it simply takes the product-form
+    path.
     @raise Invalid_argument if [u.(p)] is zero, or (under [`Ft]) if no
     ftran ran since the last update.
-    @raise Singular under [`Ft] if the basis change is singular. *)
+    @raise Singular under [`Ft]/[`Bg] if a folded basis change is
+    singular. *)
 
 val negate_row : t -> int -> unit
 (** [negate_row t p] multiplies row [p] of B⁻¹ by -1 (a diagonal eta
-    under [`Lu], an in-place column negation of U under [`Ft]); used
-    when the revised simplex flips a row to make a pivot element
-    positive. *)
+    under [`Lu], an in-place column negation of U under [`Ft] and under
+    [`Bg] while its eta file is empty — afterwards [`Bg] appends a
+    diagonal eta like [`Lu]); used when the revised simplex flips a row
+    to make a pivot element positive. *)
 
 val needs_refactor : t -> bool
 (** [true] once the transform chain is long or heavy enough that
     rebuilding the factorisation is cheaper than continuing to solve
     through it: more than [refactor_at] etas (default [max 16 (m/2)]
-    under [`Lu], [max 64 (2m)] under [`Ft] whose per-pivot transforms
-    are much smaller), or chain non-zeros (plus net U fill under
-    [`Ft]) exceeding twice the L+U non-zeros plus [4m]. *)
+    under [`Lu], [max 64 (2m)] under [`Ft]/[`Bg] whose per-pivot
+    transforms are much smaller), or chain non-zeros (plus net U fill
+    under [`Ft]/[`Bg]) exceeding twice the L+U non-zeros plus [4m].
+    [`Bg] additionally trips once its product-form suffix alone reaches
+    the [`Lu] eta budget, since those etas carry [`Lu]-sized
+    per-solve cost. *)
 
 val eta_count : t -> int
 (** Number of transforms (etas or row etas) appended since the last

@@ -23,6 +23,9 @@
      permutation) instead of appending a product-form eta, so the
      transform chain stays short across long warm sweeps and
      refactorisations are rare.
+   - [`Bg]: Bartels-Golub-style bounded fill — sparse spikes fold into
+     U as under [`Ft], dense ones go to the product-form eta file, so U
+     never inflates on dense entering columns.
 
    All arithmetic is exact rational, and the representations answer
    every FTRAN/BTRAN query with bit-identical values, so the pivot
@@ -35,7 +38,7 @@
 
 module R = Rat
 
-type factorization = [ `Dense | `Lu | `Ft ]
+type factorization = [ `Dense | `Lu | `Ft | `Bg ]
 
 type outcome =
   | Optimal of {
@@ -65,6 +68,11 @@ type state = {
   mutable pivots : int;
   mutable refactors : int; (* mid-solve basis refactorisations *)
   supp : int array; (* scratch: support of the pivot row of binv *)
+  mutable sew : R.t array;
+      (* steepest-edge weights 1 + ||B^-1 A_j||^2, [||] unless the rule
+         is [Steepest].  Lives in the state, not in [optimise], so the
+         weights survive the phase switch and the inter-phase
+         artificial-driving pivots (which also update them). *)
 }
 
 let objective_of st c =
@@ -130,6 +138,95 @@ let binv_row st p =
   | Dense binv -> binv.(p)
   | Lu lu -> Lu.btran lu [ (p, R.one) ]
 
+(* --- steepest edge ------------------------------------------------------ *)
+
+(* Seed w_j = 1 + ||A_j||^2 for every column: exact steepest-edge
+   weights for the all-artificial identity basis a cold solve starts
+   from, and a deterministic reference framework after a warm import
+   (recomputing ||B^-1 A_j||^2 for an arbitrary imported basis would
+   cost one FTRAN per column).  Either way the weights only shape the
+   pivot order; optimality always rests on the exact reduced-cost
+   certificate. *)
+let seed_steepest st =
+  let n_total = Array.length st.cols in
+  let w = Array.make n_total R.one in
+  Array.iteri
+    (fun j col ->
+      let acc = ref w.(j) in
+      List.iter (fun (_, a) -> acc := R.add !acc (R.mul a a)) col;
+      w.(j) <- !acc)
+    st.cols;
+  st.sew <- w
+
+(* Exact steepest-edge recurrence, run against the pre-pivot basis for
+   the change (row [p] leaves, column [q] enters with direction
+   [u = B^-1 A_q]):
+
+     w'_j = max(w_j - 2 eta_j tau_j + eta_j^2 w_q,  1 + eta_j^2)
+     eta_j = (z . A_j) / u_p      z = row p of B^-1      (one BTRAN)
+     tau_j = v . A_j              v = u^T B^-1           (one BTRAN)
+
+   with w_q recomputed exactly as 1 + ||u||^2 so the recurrence is
+   self-correcting, and the leaving column's new weight in closed form,
+   w_q / u_p^2.  Every nonbasic column with eta_j <> 0 is updated, so
+   weights seeded exactly stay exactly 1 + ||B^-1 A_j||^2 (the max()
+   clamp is then a no-op: ||w'_j|| >= |eta_j| holds identically); after
+   a framework seed the clamp keeps stale weights positive.  Cost: two
+   BTRANs plus one pricing-pass-shaped sweep per pivot. *)
+let update_steepest_weights st q u p =
+  let weights = st.sew in
+  let z = binv_row st p in
+  let v =
+    match st.repr with
+    | Dense binv ->
+      let y = Array.make st.m R.zero in
+      for k = 0 to st.m - 1 do
+        let uk = u.(k) in
+        if not (R.is_zero uk) then begin
+          let row = binv.(k) in
+          for i = 0 to st.m - 1 do
+            let w = row.(i) in
+            if not (R.is_zero w) then y.(i) <- R.add y.(i) (R.mul uk w)
+          done
+        end
+      done;
+      y
+    | Lu lu -> Lu.btran_dense lu u
+  in
+  let wq = ref R.one in
+  Array.iter
+    (fun x -> if not (R.is_zero x) then wq := R.add !wq (R.mul x x))
+    u;
+  let wq = !wq in
+  let up = u.(p) in
+  let inv_up = R.inv up in
+  let n_total = Array.length st.cols in
+  for k = 0 to n_total - 1 do
+    if (not st.in_basis.(k)) && k <> q then begin
+      let alpha =
+        List.fold_left
+          (fun acc (i, a) -> R.add acc (R.mul z.(i) a))
+          R.zero st.cols.(k)
+      in
+      if not (R.is_zero alpha) then begin
+        let tau =
+          List.fold_left
+            (fun acc (i, a) -> R.add acc (R.mul v.(i) a))
+            R.zero st.cols.(k)
+        in
+        let e = R.mul alpha inv_up in
+        let w' =
+          R.add
+            (R.sub weights.(k) (R.mul (R.add e e) tau))
+            (R.mul (R.mul e e) wq)
+        in
+        weights.(k) <- R.max w' (R.add R.one (R.mul e e))
+      end
+    end
+  done;
+  weights.(st.basis.(p)) <- R.div wq (R.mul up up);
+  weights.(q) <- R.one
+
 let refactor_lu st =
   (* mid-solve the basis matrix is nonsingular by construction (every
      pivot element was nonzero), so factorisation cannot fail *)
@@ -146,6 +243,10 @@ let refactor_lu st =
     | exception Lu.Singular -> assert false)
 
 let pivot st p j u =
+  (* weight maintenance needs the pre-pivot inverse; hooking it here
+     (rather than in [optimise]) also covers the artificial-driving and
+     dual-repair pivots, so the weights never go stale *)
+  if Array.length st.sew > 0 then update_steepest_weights st j u p;
   let inv = R.inv u.(p) in
   (match st.repr with
   | Dense binv ->
@@ -216,10 +317,13 @@ let optimise st rule c allowed =
      differs. *)
   let window =
     match rule with
-    | Simplex.Partial w | Simplex.Devex w -> w
+    | Simplex.Partial w | Simplex.Devex w | Simplex.Steepest w -> w
     | Simplex.Bland | Simplex.Dantzig -> n_total
   in
   let devex = match rule with Simplex.Devex _ -> true | _ -> false in
+  let steepest =
+    match rule with Simplex.Steepest _ -> true | _ -> false
+  in
   let weights = if devex then Array.make n_total R.one else [||] in
   (* deterministic framework reset once any weight outgrows this *)
   let weight_limit = R.of_int (1 lsl 40) in
@@ -239,7 +343,9 @@ let optimise st rule c allowed =
            incr found;
            cands := (jj, d) :: !cands;
            let score =
-             if devex then R.div (R.mul d d) weights.(jj) else R.neg d
+             if devex then R.div (R.mul d d) weights.(jj)
+             else if steepest then R.div (R.mul d d) st.sew.(jj)
+             else R.neg d
            in
            match !best with
            | Some (_, sb) when R.compare sb score >= 0 -> ()
@@ -304,7 +410,7 @@ let optimise st rule c allowed =
         in
         go 0
       end
-      else if window >= n_total && not devex then begin
+      else if window >= n_total && (not devex) && not steepest then begin
         let best = ref None in
         for j = 0 to n_total - 1 do
           if allowed j && not st.in_basis.(j) then begin
@@ -431,7 +537,8 @@ let dual_repair st rule c =
           && (!p < 0 || st.basis.(k) < st.basis.(!p))
         then p := k
       done
-    | Simplex.Dantzig | Simplex.Partial _ | Simplex.Devex _ ->
+    | Simplex.Dantzig | Simplex.Partial _ | Simplex.Devex _
+    | Simplex.Steepest _ ->
       for k = 0 to st.m - 1 do
         if
           R.sign st.xb.(k) < 0
@@ -481,7 +588,7 @@ let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
   let repr =
     match fact with
     | `Dense -> Dense (invert_basis ~m cols bas)
-    | (`Lu | `Ft) as kind -> (
+    | (`Lu | `Ft | `Bg) as kind -> (
       match Lu.factor ~kind ~m (Array.map (fun j -> cols.(j)) bas) with
       | lu -> Lu lu
       | exception Lu.Singular -> raise Warm_failed)
@@ -513,8 +620,10 @@ let warm_solve fact rule ~c ~m ~n cols bflip flip bas =
       pivots = 0;
       refactors = 0;
       supp = Array.make m 0;
+      sew = [||];
     }
   in
+  (match rule with Simplex.Steepest _ -> seed_steepest st | _ -> ());
   let c2 = Array.make n_total R.zero in
   Array.blit c 0 c2 0 n;
   let primal_infeasible = Array.exists (fun v -> R.sign v < 0) st.xb in
@@ -565,7 +674,7 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
       Dense
         (Array.init m (fun k ->
              Array.init m (fun i -> if i = k then R.one else R.zero)))
-    | (`Lu | `Ft) as kind ->
+    | (`Lu | `Ft | `Bg) as kind ->
       Lu (Lu.factor ~kind ~m (Array.init m (fun i -> [ (i, R.one) ])))
   in
   let st =
@@ -581,8 +690,10 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
       pivots = 0;
       refactors = 0;
       supp = Array.make m 0;
+      sew = [||];
     }
   in
+  (match rule with Simplex.Steepest _ -> seed_steepest st | _ -> ());
   (* phase 1 *)
   let c1 = Array.make n_total R.zero in
   for j = n to n_total - 1 do
@@ -642,7 +753,8 @@ let cold_solve fact rule ~c ~m ~n cols bflip flip =
 let minimize ?(rule = Simplex.Dantzig) ?(factorization = `Lu) ?basis ~a ~b
     ~c () =
   (match rule with
-  | (Simplex.Partial w | Simplex.Devex w) when w <= 0 ->
+  | (Simplex.Partial w | Simplex.Devex w | Simplex.Steepest w)
+    when w <= 0 ->
     invalid_arg "Revised_simplex.minimize: pricing window must be positive"
   | _ -> ());
   let m = Array.length a in

@@ -8,7 +8,7 @@
     touches a handful of variables) pricing is proportional to the
     number of non-zeros rather than to [m * n].
 
-    Three basis representations are available and give bit-identical
+    Four basis representations are available and give bit-identical
     results (exact arithmetic makes every pivot decision identical):
 
     - [`Lu] (default): exact sparse LU factorisation with
@@ -22,6 +22,12 @@
       cyclic reordering) instead of appending a product-form eta, so
       the transform chain stays short over long pivot sequences and
       warm sweeps, and refactorisations become rare;
+    - [`Bg]: the same sparse LU in Bartels–Golub-style bounded-fill
+      mode — sparse spikes fold into U exactly as under [`Ft], but a
+      spike denser than the average factor column is routed to the
+      product-form eta file instead, so U's non-zero count never
+      inflates on the dense entering columns deep warm sweeps produce
+      (see {!Lu});
     - [`Dense]: the explicit basis inverse with rank-one updates and
       Gauss–Jordan refactorisation — kept for differential testing.
 
@@ -29,7 +35,7 @@
     correctness instrument: the test-suite checks they agree on random
     instances and the model layer can be pointed at any of them. *)
 
-type factorization = [ `Dense | `Lu | `Ft ]
+type factorization = [ `Dense | `Lu | `Ft | `Bg ]
 
 type outcome =
   | Optimal of {

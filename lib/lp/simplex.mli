@@ -35,6 +35,22 @@ type pivot_rule =
           fixed threshold.  Falls back to {!Dantzig} in the dense
           tableau kernel, like {!Partial}.
           @raise Invalid_argument if the window is [<= 0]. *)
+  | Steepest of int
+      (** exact steepest edge: candidates are ranked by
+          [d_j^2 / (1 + ||B⁻¹A_j||²)] with the reference weights
+          maintained by the exact Forrest–Goldfarb recurrence before
+          every pivot (two extra BTRANs plus a pricing-pass-shaped
+          sweep per pivot in {!Revised_simplex}; read straight off the
+          tableau here).  Cold solves carry exact weights throughout
+          (identity-basis seed); warm imports start from the
+          [1 + ||A_j||²] reference framework.  Unlike {!Partial} and
+          {!Devex} the rule does {i not} degenerate to {!Dantzig} in
+          the tableau kernel — the ranking differs even under full
+          pricing, so both kernels implement it.  The [int] is the
+          candidate window as in {!Partial} (the tableau kernel prices
+          every column regardless).  Same stall-to-Bland safeguard,
+          same exact full-wrap optimality certificate.
+          @raise Invalid_argument if the window is [<= 0]. *)
 
 type outcome =
   | Optimal of {

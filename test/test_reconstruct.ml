@@ -257,6 +257,35 @@ let test_dynamic_reuse_equivalent () =
     [ Dynamic_sched.Static; Dynamic_sched.Reactive; Dynamic_sched.Oracle;
       Dynamic_sched.Robust ]
 
+let test_warm_delays_reused () =
+  (* a replayed flow serves the cached delay vector, bit-identical to
+     the cold longest-path computation; a perturbed flow misses *)
+  let p = Platform_gen.random_tree ~seed:14 ~nodes:10 () in
+  let sol = MS.solve p ~master:0 in
+  let flow = sol.MS.task_flow in
+  let w = Rec.Warm.create () in
+  let stats = Lp.Stats.create () in
+  let d1 = Rec.delays ~warm:w ~stats p flow in
+  let d2 = Rec.delays ~warm:w ~strict:true ~stats p flow in
+  Alcotest.(check (array int)) "warm = cold" (Flow.delays p flow) d2;
+  Alcotest.(check (array int)) "reuse = first" d1 d2;
+  Alcotest.(check int) "one reuse counted" 1 stats.Lp.Stats.delays_reused;
+  let perturbed = Array.map (fun x -> R.mul x (r 99 98)) flow in
+  let d3 = Rec.delays ~warm:w ~strict:true ~stats p perturbed in
+  Alcotest.(check (array int)) "perturbed recomputed cold"
+    (Flow.delays p perturbed) d3;
+  Alcotest.(check int) "perturbed is not a reuse" 1
+    stats.Lp.Stats.delays_reused;
+  (* end to end: re-scheduling the same solution goes through the warm
+     delay path and stays strict-certified *)
+  let sched1 = MS.schedule ~recon:w ~stats sol in
+  let before = stats.Lp.Stats.delays_reused in
+  let sched2 = MS.schedule ~recon:w ~strict:true ~stats sol in
+  Alcotest.check rat "periods equal" sched1.Schedule.period
+    sched2.Schedule.period;
+  Alcotest.(check bool) "schedule path reused delays" true
+    (stats.Lp.Stats.delays_reused > before)
+
 let test_stats_counters_flow () =
   (* the effort counters reach Lp.Stats through the whole stack *)
   let p = Platform_gen.random_graph ~seed:3 ~nodes:8 ~extra_edges:6 () in
@@ -286,6 +315,8 @@ let suite =
       Alcotest.test_case "warm family over a pool" `Quick test_family_pool;
       Alcotest.test_case "dynamic strategies: reuse-independent" `Quick
         test_dynamic_reuse_equivalent;
+      Alcotest.test_case "warm delays reused bit-identically" `Quick
+        test_warm_delays_reused;
       Alcotest.test_case "effort counters flow into stats" `Quick
         test_stats_counters_flow;
     ] )

@@ -33,6 +33,8 @@ let all_rules =
     Simplex.Partial 7;
     Simplex.Devex 2;
     Simplex.Devex 7;
+    Simplex.Steepest 2;
+    Simplex.Steepest 7;
   ]
 
 let test_rules_same_objective () =
@@ -101,7 +103,7 @@ let test_window_validation () =
                false
              with Invalid_argument _ -> true))
         [ Lp.Tableau; Lp.Revised ])
-    [ Simplex.Partial 0; Simplex.Devex (-1) ]
+    [ Simplex.Partial 0; Simplex.Devex (-1); Simplex.Steepest 0 ]
 
 (* exact devex/partial duals still certify strong duality: all model
    vars have lb = 0, so objective = sum_r dual_r * rhs_r bit-exactly *)
@@ -144,12 +146,17 @@ let test_factorizations_bit_identical () =
       let dv, dobj, dbasis, dpiv = run `Dense in
       let _, lobj, _, lpiv = run `Lu in
       let fv, fobj, fbasis, fpiv = run `Ft in
+      let gv, gobj, gbasis, gpiv = run `Bg in
       Alcotest.check rat (name ^ " obj lu") dobj lobj;
       Alcotest.check rat (name ^ " obj ft") dobj fobj;
+      Alcotest.check rat (name ^ " obj bg") dobj gobj;
       Alcotest.check rat_arr (name ^ " values ft") dv fv;
+      Alcotest.check rat_arr (name ^ " values bg") dv gv;
       Alcotest.(check int) (name ^ " pivots lu") dpiv lpiv;
       Alcotest.(check int) (name ^ " pivots ft") dpiv fpiv;
-      Alcotest.(check (array int)) (name ^ " basis ft") dbasis fbasis)
+      Alcotest.(check int) (name ^ " pivots bg") dpiv gpiv;
+      Alcotest.(check (array int)) (name ^ " basis ft") dbasis fbasis;
+      Alcotest.(check (array int)) (name ^ " basis bg") dbasis gbasis)
     (ms_instances ())
 
 (* strictly diagonally dominant columns: nonsingular by Gershgorin, and
@@ -222,6 +229,82 @@ let test_ft_update_chain () =
     (Lu.btran ft [ (4, R.one) ]);
   Alcotest.check rat_arr "lu/ft still agree" (Lu.ftran lu rhs)
     (Lu.ftran ft rhs)
+
+(* Bartels–Golub bounded fill, driven through both of its update paths
+   deterministically: factoring the identity (lu_nnz = m) pins the
+   density bound at [max 8 2 = 8], so with m = 12 a sparse entering
+   column (diagonal + 2 off-diagonals) folds FT-style while a fully
+   dense one must take the product-form eta path — and every update
+   after it as well, the cached spike being a pre-U image that is
+   invalid behind a post-U eta.  Each step checks bit-identity against
+   a fresh factorisation of the current basis and against a parallel
+   [`Lu] chain; [negate_row] is exercised on both sides of the first
+   product eta (in-place column negation before, diagonal eta after). *)
+let test_bg_update_chain () =
+  let m = 12 in
+  let ident = Array.init m (fun k -> [ (k, R.one) ]) in
+  let bg = Lu.factor ~kind:`Bg ~m (Array.copy ident) in
+  let lu = Lu.factor ~kind:`Lu ~m (Array.copy ident) in
+  Alcotest.(check bool) "kind bg" true (Lu.kind bg = `Bg);
+  let acols = Array.copy ident in
+  let rhs = List.init m (fun r -> (r, R.of_ints (r + 1) 3)) in
+  let sparse_col p salt =
+    List.sort compare
+      ((p, R.of_int 100)
+      :: List.filter_map Fun.id
+           (List.init 2 (fun i ->
+                let r = (p + ((i + 1) * (salt + 2))) mod m in
+                if r = p then None else Some (r, R.of_ints (salt + i + 1) 2))))
+  in
+  let dense_col p =
+    List.init m (fun r ->
+        (r, if r = p then R.of_int 100 else R.of_ints 1 (r + 2)))
+  in
+  let step label p col =
+    let u_bg = Lu.ftran bg col in
+    let u_lu = Lu.ftran lu col in
+    Alcotest.check rat_arr (label ^ " directions agree") u_lu u_bg;
+    Alcotest.(check bool)
+      (label ^ " pivot element nonzero")
+      false
+      (R.is_zero u_bg.(p));
+    Lu.update bg ~p ~u:u_bg;
+    Lu.update lu ~p ~u:u_lu;
+    acols.(p) <- col;
+    let fresh = Lu.factor ~m (Array.copy acols) in
+    Alcotest.check rat_arr (label ^ " ftran") (Lu.ftran fresh rhs)
+      (Lu.ftran bg rhs);
+    Alcotest.check rat_arr (label ^ " btran")
+      (Lu.btran fresh [ (p, R.one) ])
+      (Lu.btran bg [ (p, R.one) ])
+  in
+  (* sparse spikes while the eta file is empty: the FT fold path *)
+  step "fold 1" 3 (sparse_col 3 1);
+  step "fold 2" 7 (sparse_col 7 2);
+  (* negation before any product eta: in-place column negation *)
+  Lu.negate_row bg 5;
+  Lu.negate_row lu 5;
+  acols.(5) <- List.map (fun (r, v) -> (r, R.neg v)) acols.(5);
+  let fresh = Lu.factor ~m (Array.copy acols) in
+  Alcotest.check rat_arr "ftran after eta-free negate" (Lu.ftran fresh rhs)
+    (Lu.ftran bg rhs);
+  (* a dense spike: must land in the product-form eta file *)
+  step "dense spike" 1 (dense_col 1);
+  (* sparse spikes behind the eta: stay product-form, stay exact *)
+  step "post-eta 1" 9 (sparse_col 9 4);
+  step "post-eta 2" 3 (sparse_col 3 5);
+  (* negation behind the eta: the diagonal-eta path *)
+  Lu.negate_row bg 8;
+  Lu.negate_row lu 8;
+  acols.(8) <- List.map (fun (r, v) -> (r, R.neg v)) acols.(8);
+  let fresh = Lu.factor ~m (Array.copy acols) in
+  Alcotest.check rat_arr "ftran after post-eta negate" (Lu.ftran fresh rhs)
+    (Lu.ftran bg rhs);
+  Alcotest.check rat_arr "btran after post-eta negate"
+    (Lu.btran fresh [ (6, R.one) ])
+    (Lu.btran bg [ (6, R.one) ]);
+  Alcotest.check rat_arr "lu/bg still agree" (Lu.ftran lu rhs)
+    (Lu.ftran bg rhs)
 
 let test_ft_update_requires_ftran () =
   let m = 4 in
@@ -322,6 +405,73 @@ let test_reduce_substitution () =
     | Error e -> Alcotest.fail e)
   | _ -> Alcotest.fail "not optimal"
 
+let test_reduce_doubleton () =
+  (* x + 2y = 10 is a doubleton equality but NOT a column singleton —
+     both x and y appear in other rows — so only the doubleton pass can
+     retire it.  x is substituted into c2 and the objective; the
+     optimum sits at y = 8/3 where c2 and c3 cross. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m "x" in
+  let y = Lp.add_var ~ub:(Some (R.of_int 4)) m "y" in
+  let z = Lp.add_var ~ub:(Some (R.of_int 5)) m "z" in
+  Lp.add_constraint ~name:"pair" m
+    (Lp.of_terms [ (R.one, x); (R.of_int 2, y) ])
+    Lp.Eq (R.of_int 10);
+  Lp.add_constraint m (Lp.add (Lp.var x) (Lp.var z)) Lp.Le (R.of_int 8);
+  Lp.add_constraint m (Lp.add (Lp.var y) (Lp.var z)) Lp.Le (R.of_int 6);
+  Lp.set_objective m Lp.Maximize (Lp.sum [ Lp.var x; Lp.var y; Lp.var z ]);
+  let red = Lp.Reduce.reduce m in
+  Alcotest.(check bool) "a variable was eliminated" true
+    (Lp.Reduce.vars_eliminated red >= 1);
+  (match Lp.Reduce.core_model red with
+  | Some core ->
+    Alcotest.(check bool) "pair row gone" false
+      (List.exists (fun (nm, _, _) -> nm = "pair") (Lp.constraints core))
+  | None -> Alcotest.fail "expected a core model");
+  match (Lp.solve m, Lp.Reduce.solve red) with
+  | Lp.Optimal a, Lp.Optimal b ->
+    Alcotest.check rat "objective" (R.of_ints 32 3) a.Lp.objective;
+    Alcotest.check rat "reduced objective" a.Lp.objective b.Lp.objective;
+    Alcotest.check rat "x recovered through the equality"
+      (R.sub (R.of_int 10) (R.mul (R.of_int 2) (b.Lp.values y)))
+      (b.Lp.values x);
+    (match Lp.check_solution m b.Lp.values with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "not optimal"
+
+let test_reduce_dominated () =
+  (* every variable is dominated: w's objective wants it up and both
+     its rows relax upward (Le with c < 0, Ge with c > 0), x and then y
+     mirror that downward — the whole instance decides without a
+     kernel *)
+  let m = Lp.create () in
+  let x = Lp.add_var ~lb:(Some (R.of_int 2)) m "x" in
+  let w = Lp.add_var ~ub:(Some (R.of_int 4)) m "w" in
+  let y = Lp.add_var m "y" in
+  Lp.add_constraint m
+    (Lp.of_terms [ (R.one, x); (R.one, y); (R.of_int (-1), w) ])
+    Lp.Le (R.of_int 10);
+  Lp.add_constraint m
+    (Lp.of_terms [ (R.of_int (-1), x); (R.one, y); (R.one, w) ])
+    Lp.Ge R.one;
+  Lp.set_objective m Lp.Minimize
+    (Lp.of_terms [ (R.of_int 2, x); (R.of_int (-3), w); (R.one, y) ]);
+  let red = Lp.Reduce.reduce m in
+  Alcotest.(check bool) "decided outright" true
+    (Lp.Reduce.core_model red = None);
+  match (Lp.solve m, Lp.Reduce.solve red) with
+  | Lp.Optimal a, Lp.Optimal b ->
+    Alcotest.check rat "objective" (R.of_int (-8)) a.Lp.objective;
+    Alcotest.check rat "reduced objective" a.Lp.objective b.Lp.objective;
+    Alcotest.check rat "x at its lower bound" (R.of_int 2) (b.Lp.values x);
+    Alcotest.check rat "w at its upper bound" (R.of_int 4) (b.Lp.values w);
+    Alcotest.check rat "y at its lower bound" R.zero (b.Lp.values y);
+    (match Lp.check_solution m b.Lp.values with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "not optimal"
+
 (* --- tree-decomposed master–slave solve -------------------------------- *)
 
 let check_ms_solution name p (sol : Master_slave.solution) =
@@ -383,6 +533,194 @@ let test_solve_reduced_schedulable () =
     (R.sign run.Master_slave.completed > 0);
   Alcotest.(check bool) "within upper bound" true
     (R.compare run.Master_slave.completed run.Master_slave.upper_bound <= 0)
+
+(* --- tree-decomposed collectives ---------------------------------------
+
+   The closed-form solutions must satisfy every constraint of the
+   monolithic LP (replayed through Lp.check_solution on the exact model
+   that Collective.solve / All_to_all.solve would pivot on) and, on
+   trees, match the kernel's answer bit for bit — the tree path is the
+   unique route of each commodity, so even the flows agree exactly. *)
+
+let check_collective_solution name mode p ~source ~targets
+    (sol : Collective.solution) =
+  let m, tp_v, s_v, f_v = Collective.model_handles mode p ~source ~targets in
+  let tbl = Hashtbl.create 64 in
+  Hashtbl.replace tbl tp_v sol.Collective.throughput;
+  Array.iteri
+    (fun e v -> Hashtbl.replace tbl v sol.Collective.send_frac.(e))
+    s_v;
+  Array.iteri
+    (fun k fv ->
+      Array.iteri
+        (fun e v -> Hashtbl.replace tbl v sol.Collective.flows.(k).(e))
+        fv)
+    f_v;
+  (match Lp.check_solution m (Hashtbl.find tbl) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (name ^ " infeasible flow: " ^ e));
+  match Collective.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (name ^ " invariant broken: " ^ e)
+
+let check_collective_equal name (full : Collective.solution)
+    (red : Collective.solution) =
+  Alcotest.check rat (name ^ " throughput") full.Collective.throughput
+    red.Collective.throughput;
+  Array.iteri
+    (fun k fk ->
+      Alcotest.check rat_arr
+        (Printf.sprintf "%s flow of commodity %d" name k)
+        fk red.Collective.flows.(k))
+    full.Collective.flows;
+  Alcotest.check rat_arr (name ^ " send_frac") full.Collective.send_frac
+    red.Collective.send_frac
+
+let collective_modes = [ (Collective.Sum, "sum"); (Collective.Max, "max") ]
+
+let test_collective_reduced_trees () =
+  List.iter
+    (fun (seed, nodes) ->
+      let p = Platform_gen.random_tree ~seed ~nodes () in
+      let all = List.filter (fun i -> i <> 0) (P.nodes p) in
+      let sub = List.filter (fun i -> i mod 3 = 1) (P.nodes p) in
+      List.iter
+        (fun (mode, mname) ->
+          List.iter
+            (fun (targets, tname) ->
+              if targets <> [] then begin
+                let name =
+                  Printf.sprintf "%s/%s seed=%d n=%d" mname tname seed nodes
+                in
+                let full =
+                  Collective.solve ~solver:Lp.Revised mode p ~source:0
+                    ~targets
+                in
+                let red = Collective.solve_reduced mode p ~source:0 ~targets in
+                check_collective_equal name full red;
+                check_collective_solution name mode p ~source:0 ~targets red
+              end)
+            [ (all, "all"); (sub, "subset") ])
+        collective_modes)
+    [ (1, 5); (3, 9); (7, 12) ]
+
+let test_collective_reduced_fallback () =
+  (* cyclic platform: the closed form must step aside and the
+     Reduce-presolved monolithic LP must produce the same optimum (the
+     flows may legitimately differ — multiple routes exist) *)
+  let p = Platform_gen.random_graph ~seed:5 ~nodes:7 ~extra_edges:3 () in
+  let targets = List.filter (fun i -> i <> 0) (P.nodes p) in
+  List.iter
+    (fun (mode, mname) ->
+      let full = Collective.solve ~solver:Lp.Revised mode p ~source:0 ~targets in
+      let red = Collective.solve_reduced mode p ~source:0 ~targets in
+      Alcotest.check rat (mname ^ " throughput") full.Collective.throughput
+        red.Collective.throughput;
+      check_collective_solution (mname ^ " fallback") mode p ~source:0 ~targets
+        red)
+    collective_modes
+
+let test_collective_reduced_unreachable () =
+  (* node C feeds into the tree but cannot be reached from the source:
+     its sink law caps the common rate at zero *)
+  let p =
+    P.create
+      ~names:[| "A"; "B"; "C" |]
+      ~weights:[| Ext_rat.of_int 1; Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+      ~edges:[ (0, 1, R.one); (2, 1, R.one) ]
+  in
+  List.iter
+    (fun (mode, mname) ->
+      let targets = [ 1; 2 ] in
+      let full = Collective.solve mode p ~source:0 ~targets in
+      let red = Collective.solve_reduced mode p ~source:0 ~targets in
+      Alcotest.check rat (mname ^ " zero throughput") R.zero
+        red.Collective.throughput;
+      Alcotest.check rat (mname ^ " kernel agrees") full.Collective.throughput
+        red.Collective.throughput;
+      check_collective_solution (mname ^ " unreachable") mode p ~source:0
+        ~targets red)
+    collective_modes
+
+let test_broadcast_reduced () =
+  List.iter
+    (fun (pname, p) ->
+      let full = Broadcast.lp_bound p ~source:0 in
+      let red = Broadcast.lp_bound_reduced p ~source:0 in
+      Alcotest.check rat (pname ^ " bound") full.Collective.throughput
+        red.Collective.throughput)
+    [
+      ("tree9", Platform_gen.random_tree ~seed:9 ~nodes:8 ());
+      ("balanced", Platform_gen.balanced_tree ~seed:2 ~nodes:7 ~arity:2 ());
+      ("fig1", Platform_gen.figure1 ());
+    ]
+
+let check_a2a_solution name p ~participants (sol : All_to_all.solution) =
+  let m, tp_v, s_v, f_v = All_to_all.model_handles p ~participants in
+  let tbl = Hashtbl.create 64 in
+  Hashtbl.replace tbl tp_v sol.All_to_all.throughput;
+  Array.iteri
+    (fun e v ->
+      let s =
+        R.mul (P.edge_cost p e)
+          (R.sum (List.map (fun (_, f) -> f.(e)) sol.All_to_all.flows))
+      in
+      Hashtbl.replace tbl v s)
+    s_v;
+  List.iter
+    (fun (pair, fv) ->
+      let flow = List.assoc pair sol.All_to_all.flows in
+      Array.iteri (fun e v -> Hashtbl.replace tbl v flow.(e)) fv)
+    f_v;
+  (match Lp.check_solution m (Hashtbl.find tbl) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (name ^ " infeasible flow: " ^ e));
+  match All_to_all.check_invariants sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (name ^ " invariant broken: " ^ e)
+
+let test_a2a_reduced_trees () =
+  List.iter
+    (fun (seed, nodes) ->
+      let p = Platform_gen.random_tree ~seed ~nodes () in
+      let participants = List.filter (fun i -> i mod 2 = 0) (P.nodes p) in
+      let name = Printf.sprintf "a2a seed=%d n=%d" seed nodes in
+      let full = All_to_all.solve p ~participants in
+      let red = All_to_all.solve_reduced p ~participants in
+      Alcotest.check rat (name ^ " throughput") full.All_to_all.throughput
+        red.All_to_all.throughput;
+      List.iter
+        (fun (pair, fv) ->
+          Alcotest.check rat_arr (name ^ " pair flow") fv
+            (List.assoc pair red.All_to_all.flows))
+        full.All_to_all.flows;
+      check_a2a_solution name p ~participants red)
+    [ (2, 5); (4, 8) ]
+
+let test_a2a_reduced_fallback () =
+  let p = Platform_gen.random_graph ~seed:11 ~nodes:6 ~extra_edges:2 () in
+  let participants = [ 0; 2; 3 ] in
+  let full = All_to_all.solve p ~participants in
+  let red = All_to_all.solve_reduced p ~participants in
+  Alcotest.check rat "a2a fallback throughput" full.All_to_all.throughput
+    red.All_to_all.throughput;
+  check_a2a_solution "a2a fallback" p ~participants red
+
+let test_a2a_reduced_missing_lane () =
+  (* the A -> B lane exists but B -> A does not: pair (B, A) cannot
+     route, so the common exchange rate is exactly zero *)
+  let p =
+    P.create ~names:[| "A"; "B" |]
+      ~weights:[| Ext_rat.of_int 1; Ext_rat.of_int 1 |]
+      ~edges:[ (0, 1, R.one) ]
+  in
+  let participants = [ 0; 1 ] in
+  let full = All_to_all.solve p ~participants in
+  let red = All_to_all.solve_reduced p ~participants in
+  Alcotest.check rat "a2a zero" R.zero red.All_to_all.throughput;
+  Alcotest.check rat "a2a kernel agrees" full.All_to_all.throughput
+    red.All_to_all.throughput;
+  check_a2a_solution "a2a missing lane" p ~participants red
 
 (* --- generators -------------------------------------------------------- *)
 
@@ -475,10 +813,12 @@ let suite =
       Alcotest.test_case "window validation" `Quick test_window_validation;
       Alcotest.test_case "new rules: strong duality" `Quick
         test_new_rules_strong_duality;
-      Alcotest.test_case "dense/lu/ft bit-identical" `Quick
+      Alcotest.test_case "dense/lu/ft/bg bit-identical" `Quick
         test_factorizations_bit_identical;
       Alcotest.test_case "ft update chain vs refactor" `Quick
         test_ft_update_chain;
+      Alcotest.test_case "bg update chain vs refactor" `Quick
+        test_bg_update_chain;
       Alcotest.test_case "ft update needs preceding ftran" `Quick
         test_ft_update_requires_ftran;
       Alcotest.test_case "reduce: master-slave models" `Quick
@@ -489,12 +829,30 @@ let suite =
         test_reduce_detects_infeasible;
       Alcotest.test_case "reduce: substitution bounds" `Quick
         test_reduce_substitution;
+      Alcotest.test_case "reduce: doubleton equality" `Quick
+        test_reduce_doubleton;
+      Alcotest.test_case "reduce: dominated columns" `Quick
+        test_reduce_dominated;
       Alcotest.test_case "solve_reduced: random trees" `Quick
         test_solve_reduced_trees;
       Alcotest.test_case "solve_reduced: balanced trees" `Quick
         test_solve_reduced_balanced;
       Alcotest.test_case "solve_reduced: non-tree fallback" `Quick
         test_solve_reduced_fallback;
+      Alcotest.test_case "collective reduced: trees" `Quick
+        test_collective_reduced_trees;
+      Alcotest.test_case "collective reduced: non-tree fallback" `Quick
+        test_collective_reduced_fallback;
+      Alcotest.test_case "collective reduced: unreachable target" `Quick
+        test_collective_reduced_unreachable;
+      Alcotest.test_case "broadcast reduced bound" `Quick
+        test_broadcast_reduced;
+      Alcotest.test_case "all-to-all reduced: trees" `Quick
+        test_a2a_reduced_trees;
+      Alcotest.test_case "all-to-all reduced: non-tree fallback" `Quick
+        test_a2a_reduced_fallback;
+      Alcotest.test_case "all-to-all reduced: missing lane" `Quick
+        test_a2a_reduced_missing_lane;
       Alcotest.test_case "solve_reduced: schedulable" `Quick
         test_solve_reduced_schedulable;
       Alcotest.test_case "random_tree: default stream" `Quick
