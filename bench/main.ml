@@ -251,8 +251,10 @@ let record rows name ns =
    attached also land their solve/pivot/refactorisation counts — and,
    since schema 4, the reconstruction effort (cycles cancelled by
    search, matchings repaired vs rebuilt, slots reused; schema 5 adds
-   warm-served delay vectors) — in the JSON, so effort regressions
-   show up even when wall-clock noise hides them *)
+   warm-served delay vectors; schema 6 the churn counters: bases
+   remapped across restrictions, repair budgets exceeded, transfer
+   retries and total backoff time) — in the JSON, so effort
+   regressions show up even when wall-clock noise hides them *)
 let effort_rows : (string, Lp.Stats.t) Hashtbl.t = Hashtbl.create 16
 
 let record_effort name (st : Lp.Stats.t) =
@@ -269,7 +271,18 @@ let record_effort name (st : Lp.Stats.t) =
          "%d cycles, %d repaired, %d rebuilt, %d slots, %d delays reused"
          st.Lp.Stats.cycles_cancelled st.Lp.Stats.matchings_repaired
          st.Lp.Stats.matchings_rebuilt st.Lp.Stats.slots_reused
-         st.Lp.Stats.delays_reused)
+         st.Lp.Stats.delays_reused);
+  if
+    st.Lp.Stats.warm_remapped + st.Lp.Stats.repairs_budget_exceeded
+    + st.Lp.Stats.retries > 0
+    || R.sign st.Lp.Stats.backoff_time > 0
+  then
+    Printf.printf "%-56s %10s\n" name
+      (Printf.sprintf
+         "%d bases remapped, %d budgets exceeded, %d retries, backoff %s"
+         st.Lp.Stats.warm_remapped st.Lp.Stats.repairs_budget_exceeded
+         st.Lp.Stats.retries
+         (R.to_string st.Lp.Stats.backoff_time))
 
 (* --- cache / warm statistics, aggregated across the whole run --- *)
 
@@ -894,6 +907,95 @@ let run_fault_suite ~smoke () =
     "throughput 0, structured loss report";
   List.rev !rows
 
+(* --- part 4.5: churn — cross-epoch warm reuse under restriction --- *)
+
+(* A long fault trace (32 epochs, dense churn) over a heterogeneous
+   star: every epoch re-plans on a different surviving subplatform, so
+   the cold run rebuilds basis, cancellation and matchings from scratch
+   each time while the warm run carries them across restrictions
+   ({!Lp.remap_basis} + {!Reconstruct.Warm.remap}).  Guards: warm and
+   cold must complete bit-identical work with identical per-phase series
+   and loss reports on this curated trace (reuse is an accelerator,
+   never a result changer), the remap machinery must actually fire, and
+   at n=200 the warm run must beat the cold run. *)
+let churn_scenario ~slaves ~phases ~seed =
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        (List.init slaves (fun i ->
+             (Ext_rat.of_ints (3 + (i mod 7)) 2, R.of_ints (2 + (i mod 5)) 3)))
+      ()
+  in
+  let phase = R.of_int 4 in
+  let g = Faults.generator ~seed in
+  let plan =
+    Faults.random_plan g p ~master:0 ~horizon:(R.mul_int phase phases)
+      ~align:phase ~faults:(max 6 (slaves / 2))
+  in
+  let cpu_traces, bw_traces = Faults.traces p plan in
+  { Dynamic_sched.platform = p; master = 0; cpu_traces; bw_traces; phase;
+    phases }
+
+let run_churn_suite ~smoke () =
+  print_endline
+    "\n########## churn: warm reuse across restrictions ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let runs = if smoke then 1 else 3 in
+  let phases = 32 in
+  let sizes = if smoke then [ 20 ] else [ 20; 200 ] in
+  List.iter
+    (fun n ->
+      let sc = churn_scenario ~slaves:n ~phases ~seed:5 in
+      let label tail =
+        Printf.sprintf "churn/%s n=%d epochs=%d" tail n phases
+      in
+      let cold, cold_ns =
+        best_of ~runs (fun () ->
+            Dynamic_sched.run ~reuse:false sc Dynamic_sched.Robust)
+      in
+      record (label "robust cold") cold_ns;
+      let stats = Lp.Stats.create () in
+      let warm = Dynamic_sched.run ~reuse:true ~stats sc Dynamic_sched.Robust in
+      let _, warm_ns =
+        best_of ~runs (fun () ->
+            Dynamic_sched.run ~reuse:true sc Dynamic_sched.Robust)
+      in
+      record (label "robust warm") warm_ns;
+      record_effort (label "robust warm") stats;
+      let completed (o : Dynamic_sched.outcome) = o.Dynamic_sched.completed in
+      if not (R.equal (completed cold) (completed warm)) then
+        failwith
+          (Printf.sprintf
+             "bench: churn warm completed %s <> cold %s at n=%d — reuse \
+              changed a result"
+             (R.to_string (completed warm))
+             (R.to_string (completed cold))
+             n);
+      if
+        not
+          (List.for_all2 R.equal cold.Dynamic_sched.per_phase
+             warm.Dynamic_sched.per_phase)
+      then failwith "bench: churn warm per-phase series diverged from cold";
+      if cold.Dynamic_sched.losses <> warm.Dynamic_sched.losses then
+        failwith "bench: churn warm loss report diverged from cold";
+      if stats.Lp.Stats.warm_remapped = 0 then
+        failwith "bench: churn trace never exercised the cross-epoch remap";
+      Printf.printf "%-56s %10s\n"
+        (Printf.sprintf "churn/guard n=%d" n)
+        (Printf.sprintf "warm = cold = %s, %d bases remapped, speedup %.2fx"
+           (R.to_string (completed warm))
+           stats.Lp.Stats.warm_remapped (cold_ns /. warm_ns));
+      (* hard wall-clock floor where the LP work dominates the run *)
+      if (not smoke) && n >= 200 && warm_ns > cold_ns /. 1.2 then
+        failwith
+          (Printf.sprintf
+             "bench: churn warm run only %.2fx faster than cold at n=%d \
+              (floor 1.2x)"
+             (cold_ns /. warm_ns) n))
+    sizes;
+  List.rev !rows
+
 (* --- scaling suite: pricing, eta compression, structural reduction --- *)
 
 (* Every row is guarded: the optimised path must reproduce the
@@ -1155,7 +1257,7 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/5\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/6\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
@@ -1199,7 +1301,21 @@ let write_json path rows =
                 st.Lp.Stats.delays_reused
             else ""
           in
-          base ^ recon
+          let churn =
+            if
+              st.Lp.Stats.warm_remapped + st.Lp.Stats.repairs_budget_exceeded
+              + st.Lp.Stats.retries > 0
+              || R.sign st.Lp.Stats.backoff_time > 0
+            then
+              Printf.sprintf
+                ", \"warm_remapped\": %d, \"repairs_budget_exceeded\": %d, \
+                 \"retries\": %d, \"backoff_time\": \"%s\""
+                st.Lp.Stats.warm_remapped
+                st.Lp.Stats.repairs_budget_exceeded st.Lp.Stats.retries
+                (R.to_string st.Lp.Stats.backoff_time)
+            else ""
+          in
+          base ^ recon ^ churn
         | None -> ""
       in
       Printf.fprintf oc "    \"%s\": { \"ns\": %.1f%s }%s\n" (json_escape name)
@@ -1254,14 +1370,29 @@ let run_smoke ~cache_dir () =
   ignore (run_disk_suite ~smoke:true ~cache_dir ());
   ignore (run_pool_sweep ~smoke:true ());
   ignore (run_fault_suite ~smoke:true ());
+  ignore (run_churn_suite ~smoke:true ());
   ignore (run_scale_suite ~smoke:true ());
   print_endline "\nsmoke: all workloads executed"
+
+(* fixed-seed chaos campaign (see {!Chaos}); exits non-zero on any
+   invariant violation so CI can gate on it *)
+let run_chaos ~smoke ~seed () =
+  let s = Chaos.run_campaign ~smoke ~seed () in
+  Format.printf "%a@." Chaos.pp_summary s;
+  if s.Chaos.violations <> [] then begin
+    prerr_endline
+      (Printf.sprintf "bench: chaos campaign seed %d: %d violation(s)" seed
+         (List.length s.Chaos.violations));
+    exit 1
+  end
 
 let () =
   let tables_only = ref false in
   let smoke = ref false in
   let faults_only = ref false in
   let recon_only = ref false in
+  let chaos = ref false in
+  let chaos_seed = ref 42 in
   let json_path = ref "BENCH_steady.json" in
   let cache_dir = ref (Sys.getenv_opt "STEADY_CACHE_DIR") in
   let rec parse = function
@@ -1278,6 +1409,16 @@ let () =
     | "--recon-only" :: rest ->
       recon_only := true;
       parse rest
+    | "--chaos" :: rest ->
+      chaos := true;
+      parse rest
+    | "--chaos-seed" :: s :: rest ->
+      (match int_of_string_opt s with
+      | Some n -> chaos_seed := n
+      | None ->
+        prerr_endline ("bench: --chaos-seed expects an integer, got " ^ s);
+        exit 2);
+      parse rest
     | "--json" :: path :: rest ->
       json_path := path;
       parse rest
@@ -1287,11 +1428,13 @@ let () =
     | arg :: _ ->
       prerr_endline
         ("usage: main.exe [--tables-only] [--smoke] [--faults-only] \
-          [--recon-only] [--json PATH] [--cache-dir DIR]; got " ^ arg);
+          [--recon-only] [--chaos] [--chaos-seed N] [--json PATH] \
+          [--cache-dir DIR]; got " ^ arg);
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then run_smoke ~cache_dir:!cache_dir ()
+  if !chaos then run_chaos ~smoke:!smoke ~seed:!chaos_seed ()
+  else if !smoke then run_smoke ~cache_dir:!cache_dir ()
   else if !faults_only then ignore (run_fault_suite ~smoke:false ())
   else if !recon_only then ignore (run_recon_suite ~smoke:false ())
   else begin
@@ -1304,9 +1447,10 @@ let () =
       let disk_rows = run_disk_suite ~smoke:false ~cache_dir:!cache_dir () in
       let sweep_rows = run_pool_sweep ~smoke:false () in
       let fault_rows = run_fault_suite ~smoke:false () in
+      let churn_rows = run_churn_suite ~smoke:false () in
       let scale_rows = run_scale_suite ~smoke:false () in
       write_json !json_path
         (bench_rows @ warm_rows @ recon_rows @ disk_rows @ sweep_rows
-       @ fault_rows @ scale_rows)
+       @ fault_rows @ churn_rows @ scale_rows)
     end
   end

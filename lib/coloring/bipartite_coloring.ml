@@ -47,9 +47,10 @@ type effort = {
   mutable reused : int;
   mutable repaired : int;
   mutable rebuilt : int;
+  mutable budget_exceeded : int;
 }
 
-let effort () = { reused = 0; repaired = 0; rebuilt = 0 }
+let effort () = { reused = 0; repaired = 0; rebuilt = 0; budget_exceeded = 0 }
 
 (* Find a matching covering every tight node.  [adj_l.(i)] lists the
    active work edges out of left node i; [match_l] / [match_r] hold the
@@ -182,7 +183,8 @@ let covering_matching ~left_size ~right_size works tight_l tight_r ~seed =
     match_r;
   (!out, !augmented)
 
-let decompose ?(seed = []) ?effort:eff ~left_size ~right_size edge_list =
+let decompose ?(seed = []) ?budget ?effort:eff ~left_size ~right_size
+    edge_list =
   List.iter
     (fun e ->
       if e.left < 0 || e.left >= left_size || e.right < 0
@@ -215,6 +217,7 @@ let decompose ?(seed = []) ?effort:eff ~left_size ~right_size edge_list =
         m.edges
   in
   let note f = match eff with None -> () | Some eff -> f eff in
+  let repaired_rounds = ref 0 in
   let out = ref [] in
   let guard = ref (List.length edge_list + (2 * (left_size + right_size)) + 1) in
   while !works <> [] do
@@ -233,6 +236,19 @@ let decompose ?(seed = []) ?effort:eff ~left_size ~right_size edge_list =
         if round_seed = [] then eff.rebuilt <- eff.rebuilt + 1
         else if augmented then eff.repaired <- eff.repaired + 1
         else eff.reused <- eff.reused + 1);
+    (* bounded repair: once more than [budget] seeded rounds have needed
+       augmenting-path repair, the seeds have drifted too far from the
+       instance for repair to win — drop the rest and peel the remaining
+       rounds cold (the certified fallback; properties (a)-(d) never
+       depended on the seeds in the first place) *)
+    if round_seed <> [] && augmented then begin
+      incr repaired_rounds;
+      match budget with
+      | Some b when !repaired_rounds > b && !seed <> [] ->
+        seed := [];
+        note (fun eff -> eff.budget_exceeded <- eff.budget_exceeded + 1)
+      | _ -> ()
+    end;
     (* slot duration *)
     let t =
       List.fold_left (fun acc w -> R.min acc w.remaining) delta matched

@@ -41,6 +41,9 @@ type effort = {
   mutable repaired : int;
       (** seeded rounds that needed augmenting-path repair *)
   mutable rebuilt : int; (** rounds built from scratch (no usable seed) *)
+  mutable budget_exceeded : int;
+      (** calls that abandoned their remaining seeds because more than
+          [?budget] seeded rounds needed repair *)
 }
 
 val effort : unit -> effort
@@ -48,6 +51,7 @@ val effort : unit -> effort
 
 val decompose :
   ?seed:matching list ->
+  ?budget:int ->
   ?effort:effort ->
   left_size:int -> right_size:int -> edge list -> matching list
 (** Decomposes the graph into weighted matchings such that (a) within
@@ -67,7 +71,12 @@ val decompose :
     re-derived in exact rationals — only which of the many valid
     decompositions is returned; with an unchanged input the previous
     decomposition is replayed bit-identically with no augmentation.
-    [?effort] accumulates per-round reuse/repair/rebuild counts.
+    [?budget] bounds the incremental-repair work: once more than
+    [budget] seeded rounds have needed augmenting-path repair, all
+    remaining seeds are dropped and the rest of the peeling runs cold —
+    the certified fallback for perturbations too large for repair to
+    win.  [?effort] accumulates per-round reuse/repair/rebuild counts
+    (and budget trips).
     @raise Invalid_argument on out-of-range endpoints or non-positive
     weights. *)
 

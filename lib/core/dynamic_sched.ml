@@ -219,7 +219,7 @@ let make_cache cache reuse =
   | Some _ as c -> c
   | None -> if reuse then Some (Lp.Cache.create ()) else None
 
-let run_classic ?cache ?(reuse = true) sc strategy =
+let run_classic ?cache ?(reuse = true) ?budget ?stats sc strategy =
   let p = sc.platform in
   let node_cts, edge_cts = compile_scenario sc in
   let sim =
@@ -236,11 +236,13 @@ let run_classic ?cache ?(reuse = true) sc strategy =
   let warm = if reuse then Some (Lp.Warm.create ()) else None in
   let recon = if reuse then Some (Reconstruct.Warm.create ()) else None in
   let solve_scaled node_mult edge_mult =
-    Master_slave.solve ?warm ?cache ?recon
+    Master_slave.solve ?warm ?cache ?recon ?budget ?stats
       (scaled_platform sc node_mult edge_mult)
       ~master:sc.master
   in
-  let static_sol = Master_slave.solve ?warm ?cache ?recon p ~master:sc.master in
+  let static_sol =
+    Master_slave.solve ?warm ?cache ?recon ?budget ?stats p ~master:sc.master
+  in
   (* one forecaster per node and per edge (reactive strategy) *)
   let node_fc = Array.init (P.num_nodes p) (fun _ -> Forecast.create ()) in
   let edge_fc = Array.init (P.num_edges p) (fun _ -> Forecast.create ()) in
@@ -323,7 +325,13 @@ let per_phase_of marks completed =
     in
     diffs first rest
 
-let run_robust ?cache ?(reuse = true) sc =
+(* exact elementwise equality of two multiplier snapshots *)
+let mults_equal a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (R.equal a.(i) b.(i) && go (i + 1)) in
+  Array.length b = n && go 0
+
+let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
   let p = sc.platform in
   let n = P.num_nodes p and m = P.num_edges p in
   let node_cts, edge_cts = compile_scenario sc in
@@ -359,44 +367,87 @@ let run_robust ?cache ?(reuse = true) sc =
   let node_fc = Array.init n (fun _ -> Forecast.create ()) in
   let edge_fc = Array.init m (fun _ -> Forecast.create ()) in
   (* in-flight transfers (op id -> edge, attempt count) and the retry
-     backlog of task files whose delivery was cancelled *)
+     backlog of task files waiting for a surviving route *)
   let live = Hashtbl.create 32 in
   let backlog = ref [] in
   let timed_out = ref 0 and boundary_cancelled = ref 0 in
   let retries = ref 0 and lost = ref 0 and degraded = ref 0 in
-  let max_retries = 3 in
-  let submit_transfer sim e attempts =
+  let max_attempts = 4 in
+  let horizon = R.mul (R.of_int sc.phases) sc.phase in
+  (* routes of the current phase's plan, consulted by mid-phase backoff
+     retries; the cursor keeps re-routing round-robin across them *)
+  let routes = ref [||] in
+  let route_rr = ref 0 in
+  let pick_route () =
+    let q = !routes in
+    let len = Array.length q in
+    let rec scan k =
+      if k >= len then None
+      else
+        let e = q.((!route_rr + k) mod len) in
+        if (not dead_bw.(e)) && not dead_cpu.(P.edge_dst p e) then begin
+          route_rr := (!route_rr + k + 1) mod len;
+          Some e
+        end
+        else scan (k + 1)
+    in
+    scan 0
+  in
+  let note_retry backoff =
+    incr retries;
+    match stats with Some s -> Lp.Stats.add_retry s ~backoff | None -> ()
+  in
+  let backoff_base = R.div sc.phase (R.of_int 4) in
+  let rec submit_transfer sim e attempts =
     let dst = P.edge_dst p e in
     let idr = ref None in
     (* callbacks only fire from the event loop, after [idr] is set *)
     let unregister () =
       match !idr with None -> () | Some id -> Hashtbl.remove live id
     in
-    (* The timeout is a stall backstop, not a phase budget: transfers
-       on links the boundary sweep believes alive must not be recycled
-       while they are merely slow — cancelling a running transfer
-       discards its partial progress, which under fail-stop semantics
-       is the one way a "robust" executor can fall behind the static
-       one.  Dead links are cancelled eagerly at boundaries; only an
-       op stuck for several whole phases is pathological. *)
+    (* No per-op timeout: cancelling a transfer discards its partial
+       progress, and a transfer that is merely slow (or deeply queued
+       behind the static supply floor) will finish — recycling it is
+       the one way a "robust" executor falls behind the static one,
+       which never cancels anything.  Genuine stalls are multiplier-0
+       links, and those the boundary sweep detects and cancels
+       eagerly through the outage events. *)
     let id =
       Event_sim.submit_op sim
         (Event_sim.Transfer (e, R.one))
-        ~timeout:(R.mul_int sc.phase (max_retries + 1))
         ~on_done:(fun sim ->
           unregister ();
           Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
-        ~on_cancel:(fun _ reason ->
+        ~on_cancel:(fun sim reason ->
           unregister ();
           (match reason with
           | Event_sim.Timed_out -> incr timed_out
           | Event_sim.Cancelled | Event_sim.Stranded ->
             incr boundary_cancelled);
-          (* bounded retry: the task file goes back to the master's
-             backlog and is re-routed at the next phase boundary (the
-             boundary itself is the backoff) *)
-          if attempts >= max_retries then incr lost
-          else backlog := (attempts + 1) :: !backlog)
+          (* retry with exponential backoff and a per-transfer deadline:
+             attempt [a] waits [phase/4 * 2^(a-1)] before resubmitting on
+             a route alive at fire time (no such route: the task file
+             waits in the backlog for the next boundary).  A retry whose
+             backoff lands at or past the horizon is abandoned — it could
+             never deliver in time anyway.  Every cancellation thus ends
+             in exactly one of {retry, lost, backlog}, which is the
+             accounting identity [timed_out + cancelled = retries +
+             lost_tasks] the chaos harness asserts. *)
+          let attempts = attempts + 1 in
+          if attempts >= max_attempts then incr lost
+          else
+            let delay =
+              R.mul backoff_base (R.of_int (1 lsl (attempts - 1)))
+            in
+            let due = R.add (Event_sim.now sim) delay in
+            if R.compare due horizon >= 0 then incr lost
+            else
+              Event_sim.at sim due (fun sim ->
+                  match pick_route () with
+                  | Some e' ->
+                    note_retry delay;
+                    submit_transfer sim e' attempts
+                  | None -> backlog := attempts :: !backlog))
     in
     idr := Some id;
     Hashtbl.replace live id (e, attempts)
@@ -411,9 +462,39 @@ let run_robust ?cache ?(reuse = true) sc =
      one regime where a fault-free Robust run fell behind.  Physics
      still caps the executed work at the per-epoch LP bound: extra
      submissions merely queue. *)
-  let static_sol = Master_slave.solve ?warm ?cache ?recon p ~master:sc.master in
+  let static_sol =
+    Master_slave.solve ?warm ?cache ?recon ?budget ?stats p ~master:sc.master
+  in
   check_single_hop static_sol;
   let static_transfers, static_master = phase_plan static_sol sc.phase in
+  (* Static-floor supply owed on routes that were dead when the floor
+     would have submitted.  Static keeps queueing through an outage and
+     its queued transfers flow the moment the link recovers, so flooring
+     only the currently-alive routes loses exactly the recovery
+     scenarios (patience beats re-planning there).  The arrears are kept
+     as per-boundary batches and replayed oldest-first (round-robin
+     within each batch) the moment their links are back — which is the
+     submission order of Static's own backed-up queue, so the catch-up
+     traffic crosses the one-port bottleneck in the same order Static's
+     would, restoring [Robust >= Static] under churn with recovery. *)
+  let arrears = ref [] in
+  let master_deficit = ref 0 in
+  (* Cross-epoch reuse under churn.  [prev_restr] remembers the index
+     space the warm slots currently live in (the full platform right
+     after the static solve — an identity restriction); whenever the
+     surviving subplatform changes shape, the reconstruction slot is
+     rewritten through {!Platform.transfer_maps} so epoch [k]'s
+     cancellation log, matchings and delay vector seed epoch [k+1] —
+     including re-expansion when a resource recovers.  The LP basis
+     needs no explicit step: {!Lp.remap_basis} fires inside [solve] on
+     the signature mismatch.  [memo] short-circuits the restriction
+     itself: consecutive epochs with identical multiplier snapshots
+     reuse the previous sub-platform outright (same physical value, so
+     downstream caches hit too). *)
+  let prev_restr = ref (Some (P.identity_restriction p)) in
+  let memo = ref None in
+  let node_mults = Array.make n R.one in
+  let edge_mults = Array.make m R.one in
   let marks = ref [] in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
@@ -438,19 +519,55 @@ let run_robust ?cache ?(reuse = true) sc =
             if not dead_bw.(e) then
               Forecast.observe edge_fc.(e) (compiled_at edge_cts.(e) t0))
           (P.edges p);
+        for i = 0 to n - 1 do
+          node_mults.(i) <-
+            (if dead_cpu.(i) then R.zero else Forecast.predict node_fc.(i))
+        done;
+        for e = 0 to m - 1 do
+          edge_mults.(e) <-
+            (if dead_bw.(e) then R.zero else Forecast.predict edge_fc.(e))
+        done;
+        (* route arrears accrue per branch below (a dead destination CPU
+           does NOT block the floor — delivering to a reachable node
+           whose CPU is down pre-positions the task files, which compute
+           queues and runs at recovery, exactly what Static does through
+           the then-idle port); the master's own floor only stalls on a
+           dead master CPU *)
+        if dead_cpu.(sc.master) then
+          master_deficit := !master_deficit + static_master;
         let restr =
-          surviving_scaled sc
-            ~node_mult:(fun i ->
-              if dead_cpu.(i) then R.zero else Forecast.predict node_fc.(i))
-            ~edge_mult:(fun e ->
-              if dead_bw.(e) then R.zero else Forecast.predict edge_fc.(e))
+          match !memo with
+          | Some (nm, em, r)
+            when reuse && mults_equal nm node_mults && mults_equal em edge_mults
+            ->
+            r
+          | _ ->
+            let r =
+              surviving_scaled sc
+                ~node_mult:(fun i -> node_mults.(i))
+                ~edge_mult:(fun e -> edge_mults.(e))
+            in
+            if reuse then
+              memo := Some (Array.copy node_mults, Array.copy edge_mults, r);
+            r
         in
+        (if reuse then
+           match !prev_restr with
+           | Some prev when prev != restr ->
+             (match recon with
+             | Some w ->
+               let node_map, edge_map = P.transfer_maps ~src:prev ~dst:restr in
+               Reconstruct.Warm.remap w ~node_map ~edge_map
+                 ~platform:restr.P.sub
+             | None -> ())
+           | _ -> ());
+        prev_restr := Some restr;
         let sub = restr.P.sub in
         let plan =
           if not (has_compute sub) then None
           else
             match
-              Master_slave.try_solve ?warm ?cache ?recon sub
+              Master_slave.try_solve ?warm ?cache ?recon ?budget ?stats sub
                 ~master:restr.P.sub_of_node.(sc.master)
             with
             | Error (`Infeasible | `Unbounded) -> None
@@ -459,7 +576,14 @@ let run_robust ?cache ?(reuse = true) sc =
         match plan with
         | None ->
           (* graceful degradation: no surviving compute power (e.g. the
-             master is isolated) — nothing submitted, nothing raised *)
+             master is isolated) — nothing submitted, nothing raised;
+             backlogged task files wait for the next boundary.  The whole
+             static batch goes into arrears: even its link-alive routes
+             got no floor this boundary. *)
+          if static_transfers <> [] then
+            arrears := !arrears @ [ static_transfers ];
+          routes := [||];
+          route_rr := 0;
           incr degraded
         | Some sol ->
           check_single_hop sol;
@@ -471,53 +595,93 @@ let run_robust ?cache ?(reuse = true) sc =
               (fun (se, cnt) -> (restr.P.edge_of_sub.(se), cnt))
               transfers
           in
-          (* apply the static supply floor on surviving routes *)
+          (* apply the static supply floor on every route whose link
+             still delivers (dead destination CPUs queue the work).
+             Supply is layered to mirror Static's own port queue:
+             payable arrears batches (oldest first), then this
+             boundary's floor batch, then the LP extras — so the
+             opportunistic extras never displace through the one-port
+             queue the deliveries Static would have made. *)
           let static_alive =
-            List.filter
-              (fun (e, _) ->
-                (not dead_bw.(e)) && not dead_cpu.(P.edge_dst p e))
-              static_transfers
+            List.filter (fun (e, _) -> not dead_bw.(e)) static_transfers
           in
-          let transfers =
-            List.map
+          let owed =
+            List.filter (fun (e, _) -> dead_bw.(e)) static_transfers
+          in
+          let payable, retained =
+            List.fold_left
+              (fun (pay, keep) batch ->
+                let alive, still_dead =
+                  List.partition (fun (e, _) -> not dead_bw.(e)) batch
+                in
+                ( (if alive <> [] then alive :: pay else pay),
+                  if still_dead <> [] then still_dead :: keep else keep ))
+              ([], []) !arrears
+          in
+          let payable = List.rev payable in
+          arrears :=
+            List.rev retained @ (if owed <> [] then [ owed ] else []);
+          (* LP extras beyond the floor on each route *)
+          let extras =
+            List.filter_map
               (fun (e, cnt) ->
-                match List.assoc_opt e static_alive with
-                | Some c -> (e, max cnt c)
-                | None -> (e, cnt))
+                let f =
+                  match List.assoc_opt e static_alive with
+                  | Some c -> c
+                  | None -> 0
+                in
+                if cnt > f then Some (e, cnt - f) else None)
               transfers
-            @ List.filter
-                (fun (e, _) -> not (List.mem_assoc e transfers))
-                static_alive
           in
           let master_tasks =
             if dead_cpu.(sc.master) then master_tasks
-            else max master_tasks static_master
+            else begin
+              let t = max master_tasks static_master + !master_deficit in
+              master_deficit := 0;
+              t
+            end
           in
           let retry_items = !backlog in
           backlog := [];
-          let queues = Array.of_list transfers in
-          let remaining =
-            ref (Array.fold_left (fun a (_, n) -> a + n) 0 queues)
+          (* retry routes: the LP's routes plus the floored ones *)
+          let route_edges =
+            List.map fst transfers
+            @ List.filter_map
+                (fun (e, _) ->
+                  if List.mem_assoc e transfers then None else Some e)
+                static_alive
           in
-          let counts = Array.map snd queues in
-          while !remaining > 0 do
-            Array.iteri
-              (fun idx (e, _) ->
-                if counts.(idx) > 0 then begin
-                  counts.(idx) <- counts.(idx) - 1;
-                  decr remaining;
-                  submit_transfer sim e 0
-                end)
-              queues
-          done;
-          (* re-route the backlog round-robin over this phase's (alive)
-             routes; with no route it waits for the next boundary *)
-          if Array.length queues = 0 then backlog := retry_items
+          routes := Array.of_list route_edges;
+          route_rr := 0;
+          (* each batch is submitted round-robin across its routes —
+             the same interleaving Static's own per-phase loop uses *)
+          let submit_batch batch =
+            let q = Array.of_list batch in
+            let counts = Array.map snd q in
+            let remaining = ref (Array.fold_left ( + ) 0 counts) in
+            while !remaining > 0 do
+              Array.iteri
+                (fun idx (e, _) ->
+                  if counts.(idx) > 0 then begin
+                    counts.(idx) <- counts.(idx) - 1;
+                    decr remaining;
+                    submit_transfer sim e 0
+                  end)
+                q
+            done
+          in
+          List.iter submit_batch payable;
+          submit_batch static_alive;
+          submit_batch extras;
+          (* re-route the backlog round-robin over this phase's routes;
+             with no route it waits for the next boundary *)
+          let nroutes = Array.length !routes in
+          if nroutes = 0 then backlog := retry_items
           else
             List.iteri
               (fun j a ->
-                let e, _ = queues.(j mod Array.length queues) in
-                incr retries;
+                let e = !routes.(j mod nroutes) in
+                note_retry R.zero;
                 submit_transfer sim e a)
               retry_items;
           (* unit granularity so a partial phase still counts *)
@@ -525,7 +689,6 @@ let run_robust ?cache ?(reuse = true) sc =
             Event_sim.submit sim (Event_sim.Compute (sc.master, R.one))
           done)
   done;
-  let horizon = R.mul (R.of_int sc.phases) sc.phase in
   Event_sim.run_until sim horizon;
   let completed = total_work sim p in
   let reachable =
@@ -554,21 +717,21 @@ let run_robust ?cache ?(reuse = true) sc =
       };
   }
 
-let run ?cache ?reuse sc strategy =
+let run ?cache ?reuse ?budget ?stats sc strategy =
   match strategy with
   | Robust ->
     validate_scenario ~allow_outages:true sc;
-    run_robust ?cache ?reuse sc
+    run_robust ?cache ?reuse ?budget ?stats sc
   | Static ->
     (* outages are execution-time events the static plan never consults:
        the strategy runs (and suffers) fault scenarios as the baseline *)
     validate_scenario ~allow_outages:true sc;
-    run_classic ?cache ?reuse sc strategy
+    run_classic ?cache ?reuse ?budget ?stats sc strategy
   | Reactive | Oracle ->
     (* these plan by dividing weights by observed/true multipliers, so a
        zero multiplier has no meaningful scaled platform *)
     validate_scenario sc;
-    run_classic ?cache ?reuse sc strategy
+    run_classic ?cache ?reuse ?budget ?stats sc strategy
 
 let oracle_throughput_bound ?cache ?(reuse = true) sc =
   validate_scenario sc;

@@ -13,14 +13,25 @@
     - {!Robust}: like Reactive, but failure-aware — it detects dead
       CPUs and cut links (multiplier 0) through the simulator's outage
       events, re-solves the LP on the surviving subplatform at each
-      boundary, cancels and re-routes in-flight transfers stuck on dead
-      links (bounded retry, phase-boundary backoff), and degrades to a
-      structured {!loss_report} instead of raising when no feasible
-      plan survives.  Its per-phase transfer counts are floored by the
-      static plan's counts on surviving routes, so
+      boundary, cancels in-flight transfers stuck on dead links and
+      retries them with exponential backoff (attempt [a] waits
+      [phase/4 * 2^(a-1)], at most 3 retries, and a retry whose backoff
+      lands past the horizon is abandoned — a per-transfer deadline),
+      and degrades to a structured {!loss_report} instead of raising
+      when no feasible plan survives.  Its per-phase transfer counts
+      are floored by the static plan's counts on surviving routes, so
       [Robust >= Static] holds structurally (re-planning only adds
       supply and prunes dead routes) rather than resting on forecast
       quality.
+
+      Under churn its warm state follows the platform: the surviving
+      restriction is memoised on the multiplier snapshot (identical
+      consecutive epochs reuse the previous sub-platform outright), and
+      when the shape changes the reconstruction slot is rewritten
+      through {!Platform.transfer_maps} / {!Reconstruct.Warm.remap}
+      while the LP basis remaps by column meaning inside {!Lp.solve} —
+      epoch [k]'s certificate seeds epoch [k+1] even across failures
+      and recoveries.
 
     Plans are executed in queued (non-strict) mode: if reality is slower
     than the plan assumed, operations stack up and throughput drops —
@@ -72,8 +83,11 @@ type loss_report = {
       (** transfers cancelled at a boundary because their link died *)
   retries : int;  (** task-file re-submissions performed *)
   lost_tasks : int;
-      (** task files abandoned: retry budget exhausted, or still in the
-          backlog with no surviving route at the horizon *)
+      (** task files abandoned: retry budget exhausted, backoff past
+          the horizon, or still in the backlog with no surviving route
+          at the horizon.  Every cancellation is accounted exactly
+          once: [timed_out_transfers + cancelled_transfers
+          = retries + lost_tasks]. *)
   degraded_phases : int;
       (** phases with no feasible plan (no reachable compute power) *)
   dead_nodes : int;
@@ -92,15 +106,26 @@ type outcome = {
   losses : loss_report;
 }
 
-val run : ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> strategy -> outcome
+val run :
+  ?cache:Lp.Cache.t ->
+  ?reuse:bool ->
+  ?budget:int ->
+  ?stats:Lp.Stats.t ->
+  scenario ->
+  strategy ->
+  outcome
 (** Per-phase LP re-solves reuse the previous phase's optimal basis
     (warm start) and memoise exactly repeated instances — flat trace
     segments and the nominal platform cost one solve for the whole run.
     [?cache] shares the memo across runs (e.g. between strategies of the
-    same scenario); [~reuse:false] disables both accelerators and
-    restores cold per-phase solves (baseline measurements).  Completed
-    work is unaffected by [reuse] up to the choice among optimal
-    vertices; throughputs and bounds are bit-identical. *)
+    same scenario); [~reuse:false] disables both accelerators (including
+    {!Robust}'s restriction memo and cross-epoch warm remap) and
+    restores cold per-phase solves (baseline measurements).  [?budget]
+    bounds the per-solve warm-repair work before the certified cold
+    fallback ({!Master_slave.solve}'s [?budget]); [?stats] accumulates
+    solver/repair/retry counters across all phases.  Completed work is
+    unaffected by [reuse] up to the choice among optimal vertices;
+    throughputs and bounds are bit-identical. *)
 
 val oracle_throughput_bound :
   ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> Rat.t

@@ -80,12 +80,13 @@ let solve_lp_only ?rule ?solver ?factorization ?warm ?cache ?stats p ~master =
 
 (* Map an optimal LP solution back onto the platform: activity
    fractions per node, cycle-free task flow per edge. *)
-let solution_of_sol ?recon ?stats p ~master alpha_v s_v (sol : Lp.solution) =
+let solution_of_sol ?recon ?budget ?stats p ~master alpha_v s_v
+    (sol : Lp.solution) =
   let alpha = Array.map sol.Lp.values alpha_v in
   let raw_flow =
     Array.mapi (fun e sv -> R.div (sol.Lp.values sv) (P.edge_cost p e)) s_v
   in
-  let task_flow = Reconstruct.cancel ?warm:recon ?stats p raw_flow in
+  let task_flow = Reconstruct.cancel ?warm:recon ?budget ?stats p raw_flow in
   let send_frac =
     Array.mapi (fun e f -> R.mul f (P.edge_cost p e)) task_flow
   in
@@ -98,17 +99,20 @@ let solution_of_sol ?recon ?stats p ~master alpha_v s_v (sol : Lp.solution) =
     task_flow;
   }
 
-let try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p
-    ~master =
+let try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?budget ?stats
+    p ~master =
   let m, alpha_v, s_v = build_lp p ~master in
   match Lp.solve ?rule ?solver ?factorization ?warm ?cache ?stats m with
   | Lp.Infeasible -> Error `Infeasible
   | Lp.Unbounded -> Error `Unbounded
-  | Lp.Optimal sol -> Ok (solution_of_sol ?recon ?stats p ~master alpha_v s_v sol)
+  | Lp.Optimal sol ->
+    Ok (solution_of_sol ?recon ?budget ?stats p ~master alpha_v s_v sol)
 
-let solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p ~master =
+let solve ?rule ?solver ?factorization ?warm ?cache ?recon ?budget ?stats p
+    ~master =
   match
-    try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?stats p ~master
+    try_solve ?rule ?solver ?factorization ?warm ?cache ?recon ?budget ?stats
+      p ~master
   with
   | Ok sol -> sol
   | Error (`Infeasible | `Unbounded) ->
@@ -253,7 +257,7 @@ let period_of sol =
   in
   R.of_bigint (R.lcm_denominators (List.filter (fun r -> not (R.is_zero r)) rates))
 
-let schedule ?recon ?strict ?stats sol =
+let schedule ?recon ?strict ?budget ?stats sol =
   let p = sol.platform in
   let period = period_of sol in
   let delays = Reconstruct.delays ?warm:recon ?strict ?stats p sol.task_flow in
@@ -280,8 +284,8 @@ let schedule ?recon ?strict ?stats sol =
         if R.sign tasks > 0 then Some (i, tasks) else None)
       (P.nodes p)
   in
-  Reconstruct.reconstruct ?warm:recon ?strict ?stats p ~period ~transfers
-    ~compute ~delays
+  Reconstruct.reconstruct ?warm:recon ?strict ?budget ?stats p ~period
+    ~transfers ~compute ~delays
 
 let tasks_per_period sched sol =
   ignore sol;

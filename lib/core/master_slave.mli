@@ -49,6 +49,7 @@ val solve :
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   ?recon:Reconstruct.Warm.t ->
+  ?budget:int ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -61,8 +62,11 @@ val solve :
     [?recon] extends the warm start downstream of the LP: the
     cycle-cancellation of the previous phase's flow is replayed instead
     of recomputed ({!Reconstruct.cancel}), and a later
-    [schedule ?recon] repairs the previous slots.  [?stats] accumulates
-    exact pivot/refactorisation counts and reconstruction effort.
+    [schedule ?recon] repairs the previous slots.  [?budget] bounds the
+    incremental-repair work before certified cold fallbacks take over
+    ({!Reconstruct.cancel}'s and {!Reconstruct.reconstruct}'s
+    [?budget]).  [?stats] accumulates exact pivot/refactorisation
+    counts and reconstruction effort.
     @raise Failure if the LP is somehow not optimal (cannot happen on a
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
@@ -74,6 +78,7 @@ val try_solve :
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   ?recon:Reconstruct.Warm.t ->
+  ?budget:int ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -125,6 +130,7 @@ val solve_reduced :
 val schedule :
   ?recon:Reconstruct.Warm.t ->
   ?strict:bool ->
+  ?budget:int ->
   ?stats:Lp.Stats.t ->
   solution ->
   Schedule.t

@@ -24,6 +24,121 @@ module Warm = struct
   let hits t = t.hits
   let misses t = t.misses
 
+  (* Cross-restriction transfer: rewrite the remembered cancellation,
+     schedule and delay vector from the index space of the previous
+     surviving sub-platform into a new one.  [node_map]/[edge_map]
+     translate previous sub indices to new sub indices (-1 = the
+     resource did not survive), exactly what {!Platform.transfer_maps}
+     returns; [platform] is the new sub-platform the remapped state will
+     be repaired against.  State that cannot be represented in the new
+     space (log cycles through dropped edges, transfers on dropped
+     edges) is dropped — the remapped slot is a *seed*, and every
+     downstream consumer (delta cancellation, colouring seeds, slot
+     reuse) validates what it takes, so remapping can never change an
+     answer, only how much repair work the next phase pays. *)
+  let remap t ~node_map ~edge_map ~platform =
+    let np = P.num_nodes platform and ne = P.num_edges platform in
+    let map_edge e =
+      if e >= 0 && e < Array.length edge_map then edge_map.(e) else -1
+    in
+    let map_node i =
+      if i >= 0 && i < Array.length node_map then node_map.(i) else -1
+    in
+    (match t.cancel with
+    | None -> ()
+    | Some c when Array.length c.Flow.cin <> Array.length edge_map ->
+      t.cancel <- None
+    | Some c ->
+      let remap_flow f =
+        let out = Array.make ne R.zero in
+        Array.iteri
+          (fun e v ->
+            let e' = map_edge e in
+            if e' >= 0 then out.(e') <- v)
+          f;
+        out
+      in
+      let log =
+        List.filter_map
+          (fun (cycle, amt) ->
+            let mapped = List.map map_edge cycle in
+            if List.for_all (fun e -> e >= 0) mapped then Some (mapped, amt)
+            else None)
+          c.Flow.log
+      in
+      t.cancel <-
+        Some
+          {
+            Flow.cin = remap_flow c.Flow.cin;
+            cout = remap_flow c.Flow.cout;
+            log;
+            fresh = 0;
+          });
+    (match t.sched with
+    | None -> ()
+    | Some s
+      when P.num_nodes s.Schedule.platform <> Array.length node_map
+           || P.num_edges s.Schedule.platform <> Array.length edge_map ->
+      t.sched <- None
+    | Some s ->
+      let demands =
+        Array.of_list
+          (List.filter_map
+             (fun d ->
+               let e' = map_edge d.Schedule.d_edge in
+               if e' >= 0 then Some { d with Schedule.d_edge = e' } else None)
+             (Array.to_list s.Schedule.demands))
+      in
+      let slots =
+        List.map
+          (fun sl ->
+            {
+              sl with
+              Schedule.transfers =
+                List.filter_map
+                  (fun tr ->
+                    let e' = map_edge tr.Schedule.edge in
+                    if e' >= 0 then Some { tr with Schedule.edge = e' }
+                    else None)
+                  sl.Schedule.transfers;
+            })
+          s.Schedule.slots
+      in
+      let compute =
+        List.filter_map
+          (fun (i, w) ->
+            let i' = map_node i in
+            if i' >= 0 then Some (i', w) else None)
+          s.Schedule.compute
+      in
+      let delays = Array.make np 0 in
+      Array.iteri
+        (fun i d ->
+          let i' = map_node i in
+          if i' >= 0 then delays.(i') <- d)
+        s.Schedule.delays;
+      t.sched <-
+        Some
+          { s with Schedule.platform = platform; demands; slots; compute;
+            delays });
+    (match t.delays with
+    | None -> ()
+    | Some (f, d)
+      when Array.length f = Array.length edge_map
+           && Array.length d = Array.length node_map
+           && Array.for_all (fun i -> i >= 0) node_map
+           && Array.for_all (fun e -> e >= 0) edge_map ->
+      (* a pure re-expansion (nothing dropped): the positive-flow DAG is
+         preserved under renaming, recovered resources carry no flow, so
+         the vector stays exact.  Any drop could change longest paths —
+         clear instead. *)
+      let nf = Array.make ne R.zero in
+      Array.iteri (fun e v -> nf.(edge_map.(e)) <- v) f;
+      let nd = Array.make np 0 in
+      Array.iteri (fun i v -> nd.(node_map.(i)) <- v) d;
+      t.delays <- Some (nf, nd)
+    | Some _ -> t.delays <- None)
+
   (* Domain-local slot family, same shape as {!Lp.Warm.Family}: each
      {!Par.Pool} worker domain lazily gets (and keeps, across tasks) its
      own slot, so parallel sweeps repair their own phase sequence
@@ -76,25 +191,45 @@ module Warm = struct
   end
 end
 
-let note_cycles stats fresh =
+let note_cycles ?(budget_exceeded = 0) stats fresh =
   match stats with
   | None -> ()
   | Some s ->
     Lp.Stats.add_reconstruction s ~cycles_cancelled:fresh
-      ~matchings_repaired:0 ~matchings_rebuilt:0 ~slots_reused:0 ()
+      ~repairs_budget_exceeded:budget_exceeded ~matchings_repaired:0
+      ~matchings_rebuilt:0 ~slots_reused:0 ()
 
-let cancel ?warm ?stats p f =
+let cancel ?warm ?budget ?stats p f =
   match warm with
   | None ->
     let c = Flow.cancel_cycles_log p f in
     note_cycles stats c.Flow.fresh;
     c.Flow.cout
   | Some w ->
+    (* the repair budget caps how perturbed an input may be before the
+       log replay is abandoned for a cold (certified-from-scratch)
+       cancellation: a replay over a heavily changed flow re-walks every
+       logged cycle only to cap most of them at zero, and the fresh
+       search afterwards does the real work anyway *)
+    let changed_edges prev =
+      let n = Array.length f in
+      let cnt = ref 0 in
+      for e = 0 to n - 1 do
+        if not (R.equal prev.Flow.cin.(e) f.(e)) then incr cnt
+      done;
+      !cnt
+    in
     let c =
       match w.Warm.cancel with
-      | Some prev when Array.length prev.Flow.cin = P.num_edges p ->
-        w.Warm.hits <- w.Warm.hits + 1;
-        Flow.cancel_cycles_delta p ~prev f
+      | Some prev when Array.length prev.Flow.cin = P.num_edges p -> (
+        match budget with
+        | Some b when changed_edges prev > b ->
+          w.Warm.misses <- w.Warm.misses + 1;
+          note_cycles ~budget_exceeded:1 stats 0;
+          Flow.cancel_cycles_log p f
+        | _ ->
+          w.Warm.hits <- w.Warm.hits + 1;
+          Flow.cancel_cycles_delta p ~prev f)
       | _ ->
         w.Warm.misses <- w.Warm.misses + 1;
         Flow.cancel_cycles_log p f
@@ -226,8 +361,8 @@ let certify (t : Schedule.t) =
           matchings
     end
 
-let reconstruct ?warm ?(strict = false) ?stats p ~period ~transfers ~compute
-    ~delays =
+let reconstruct ?warm ?(strict = false) ?budget ?stats p ~period ~transfers
+    ~compute ~delays =
   let prev =
     match warm with
     | None -> None
@@ -241,7 +376,8 @@ let reconstruct ?warm ?(strict = false) ?stats p ~period ~transfers ~compute
         None)
   in
   let sched =
-    Schedule.reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays
+    Schedule.reconstruct ?prev ?budget ?stats p ~period ~transfers ~compute
+      ~delays
   in
   (match warm with Some w -> w.Warm.sched <- Some sched | None -> ());
   if strict then begin

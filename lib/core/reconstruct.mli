@@ -30,6 +30,23 @@ module Warm : sig
   (** Drop the remembered cancellation, schedule and delay vector
       (counters are kept). *)
 
+  val remap :
+    t ->
+    node_map:int array ->
+    edge_map:int array ->
+    platform:Platform.t ->
+    unit
+  (** Rewrite the slot's remembered state from the index space of the
+      sub-platform it was produced on into a new sub-platform's —
+      cross-epoch reuse under churn.  [node_map]/[edge_map] translate
+      previous sub indices to new sub indices ([-1] = dropped), exactly
+      the output of {!Platform.transfer_maps}; [platform] is the new
+      sub-platform.  Unrepresentable state (cycles or transfers through
+      dropped edges) is discarded, and the cached delay vector survives
+      only a pure re-expansion (no drops).  The remapped state is a
+      seed: every consumer re-validates it, so remapping affects repair
+      effort, never results. *)
+
   val hits : t -> int
   (** Uses of the slot that found previous state to repair from. *)
 
@@ -64,12 +81,21 @@ module Warm : sig
 end
 
 val cancel :
-  ?warm:Warm.t -> ?stats:Lp.Stats.t -> Platform.t -> Flow.t -> Flow.t
+  ?warm:Warm.t ->
+  ?budget:int ->
+  ?stats:Lp.Stats.t ->
+  Platform.t ->
+  Flow.t ->
+  Flow.t
 (** [cancel p f] removes flow cycles like {!Flow.cancel_cycles}, but
     through the warm slot: with previous state present the cancellation
     log is replayed on [f] and only freshly introduced cycles are
     searched for ({!Flow.cancel_cycles_delta}); the new certificate is
-    deposited back into the slot.  Freshly found cycles are counted into
+    deposited back into the slot.  [?budget] caps the perturbation the
+    replay will take on: when more than [budget] edges changed flow
+    since the previous certificate, the log is abandoned and the
+    cancellation runs cold (counted into [stats]'
+    [repairs_budget_exceeded]).  Freshly found cycles are counted into
     [stats]' [cycles_cancelled].  Results are bit-identical to the cold
     path on unchanged flows and acyclic (with balances preserved) on any
     input. *)
@@ -102,6 +128,7 @@ val certify : Schedule.t -> (unit, string) result
 val reconstruct :
   ?warm:Warm.t ->
   ?strict:bool ->
+  ?budget:int ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   period:Rat.t ->
@@ -111,7 +138,9 @@ val reconstruct :
   Schedule.t
 (** Warm wrapper over {!Schedule.reconstruct}: the previous schedule in
     [warm] (if any) is passed as [?prev], and the result is deposited
-    back into the slot for the next phase.
+    back into the slot for the next phase.  [?budget] bounds the
+    matching-repair work before the colouring falls back to a cold
+    peeling ({!Schedule.reconstruct}'s [?budget]).
 
     [strict] (default [false]) turns on paranoid certification: the
     result must pass {!certify}, and — whenever a previous schedule was

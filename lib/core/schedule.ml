@@ -101,7 +101,7 @@ let seed_of_prev p prev transfers =
         prev.slots
   end
 
-let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
+let reconstruct ?prev ?budget ?stats p ~period ~transfers ~compute ~delays =
   if R.sign period <= 0 then
     invalid_arg "Schedule.reconstruct: non-positive period";
   (* compute must fit the period *)
@@ -129,11 +129,12 @@ let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
       if R.sign d.d_items < 0 || R.sign d.d_item_size <= 0 then
         invalid_arg "Schedule.reconstruct: bad transfer volume")
     transfers;
-  let note_recon ~repaired ~rebuilt ~slots_reused =
+  let note_recon ?(budget_exceeded = 0) ~repaired ~rebuilt ~slots_reused () =
     match stats with
     | None -> ()
     | Some s ->
       Lp.Stats.add_reconstruction s ~cycles_cancelled:0
+        ~repairs_budget_exceeded:budget_exceeded
         ~matchings_repaired:repaired ~matchings_rebuilt:rebuilt
         ~slots_reused ()
   in
@@ -155,7 +156,7 @@ let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
     (* nothing moved since the previous phase: the whole slot sequence
        carries over (bit-identically — it was derived from equal exact
        inputs) *)
-    note_recon ~repaired:0 ~rebuilt:0 ~slots_reused:(List.length pr.slots);
+    note_recon ~repaired:0 ~rebuilt:0 ~slots_reused:(List.length pr.slots) ();
     { platform = p; period; slots = pr.slots; compute; delays;
       demands = transfers }
   | None ->
@@ -186,7 +187,8 @@ let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
     in
     let eff = BC.effort () in
     let matchings =
-      BC.decompose ~seed ~effort:eff ~left_size:n ~right_size:n bip_edges
+      BC.decompose ~seed ?budget ~effort:eff ~left_size:n ~right_size:n
+        bip_edges
     in
     let prev_slots =
       match prev with None -> [||] | Some pr -> Array.of_list pr.slots
@@ -256,8 +258,9 @@ let reconstruct ?prev ?stats p ~period ~transfers ~compute ~delays =
           s)
         matchings
     in
-    note_recon ~repaired:(eff.BC.reused + eff.BC.repaired)
-      ~rebuilt:eff.BC.rebuilt ~slots_reused:!reused_slots;
+    note_recon ~budget_exceeded:eff.BC.budget_exceeded
+      ~repaired:(eff.BC.reused + eff.BC.repaired) ~rebuilt:eff.BC.rebuilt
+      ~slots_reused:!reused_slots ();
     { platform = p; period; slots; compute; delays; demands = transfers }
 
 let slot_count t = List.length t.slots

@@ -59,6 +59,7 @@ type t = {
 
 val reconstruct :
   ?prev:t ->
+  ?budget:int ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   period:Rat.t ->
@@ -75,11 +76,13 @@ val reconstruct :
     the previous slot sequence outright; otherwise the previous slots
     seed the colouring ({!Bipartite_coloring.decompose}'s [?seed]) and
     any slot whose matching and durations survived is taken over without
-    re-deriving its transfers.  The warm result satisfies exactly the
-    same contract as a cold one — same period, same per-edge volumes,
-    {!check_well_formed} holds — and on unchanged inputs it is
-    bit-identical to the cold result.  [?stats] accumulates
-    repair-effort counters ({!Lp.Stats}).
+    re-deriving its transfers.  [?budget] bounds the repair work spent
+    on a drifted seed before falling back to a cold peeling
+    ({!Bipartite_coloring.decompose}'s [?budget]).  The warm result
+    satisfies exactly the same contract as a cold one — same period,
+    same per-edge volumes, {!check_well_formed} holds — and on
+    unchanged inputs it is bit-identical to the cold result.  [?stats]
+    accumulates repair-effort counters ({!Lp.Stats}).
     @raise Invalid_argument if the communications cannot fit
     (some port busier than [period]) or some compute exceeds the
     period — the steady-state LPs rule both out. *)

@@ -1,0 +1,67 @@
+(** Seeded chaos campaigns: fuzzing the failure-aware scheduler.
+
+    A campaign sweeps {!Faults.random_plan} (plus the named adversarial
+    scenarios) across fault families × densities × platform shapes,
+    runs the dynamic strategies on every plan, and asserts an invariant
+    battery on each run instead of eyeballing outcomes:
+
+    - zero exceptions — every plan must degrade structurally, never
+      raise;
+    - [Robust >= Static - one phase of Static's throughput]: the static
+      supply floor is structural, but at a finite horizon the one-port
+      queue is non-preemptive, so LP extras queued at one boundary can
+      delay the next boundary's floor deliveries and the horizon cutoff
+      strands a sliver of floor supply in flight — bounded by a single
+      phase of Static's work (exact dominance holds in steady state and
+      is asserted by the curated [test_dynamic] scenarios);
+    - total Robust throughput within the summed per-epoch CPU capacity
+      (the sound physics bound under arbitrary churn; the tighter
+      per-epoch LP bound {!Dynamic_sched.fault_throughput_bound} is
+      deliberately {e not} asserted here — task files delivered during
+      a fast epoch are legitimately computed during a later
+      comm-limited one, so slowdown waves beat the summed LP optima —
+      the curated scenarios in [test_dynamic] keep it); on
+      slowdown-only plans additionally every strategy within
+      {!Dynamic_sched.oracle_throughput_bound};
+    - per-phase accounting: one entry per phase, summing to the total;
+    - warm-vs-cold certification: [~reuse:true], [~reuse:false] and a
+      budgeted warm run ([?budget]) are bit-identical in completed
+      work, per-phase series and loss report — reuse, remapping and
+      repair budgets are accelerators, never result changers;
+    - loss accounting sums: [timed_out + cancelled = retries + lost]
+      and the fault-blind strategies report {!Dynamic_sched.no_losses}.
+
+    Everything is deterministic in the campaign seed (exact rational
+    arithmetic, {!Faults.gen} streams), so a red campaign is a
+    reproducible bug report: re-run with the same seed and the same
+    plan label fails again, to the bit. *)
+
+type violation = {
+  v_plan : string;  (** plan label: [family/shape/dN/sK] *)
+  v_what : string;  (** which invariant broke, with the values *)
+}
+
+type summary = {
+  plans : int;  (** fault plans generated and executed *)
+  runs : int;  (** strategy executions across all plans *)
+  outage_plans : int;  (** plans containing at least one hard outage *)
+  slowdown_plans : int;
+      (** outage-free plans (all four strategies run on these) *)
+  violations : violation list;  (** empty iff the campaign is green *)
+  effort : Lp.Stats.t;
+      (** solver/repair/retry counters accumulated over the warm runs —
+          the campaign doubles as a soak test for the reuse machinery
+          ([warm_remapped], [repairs_budget_exceeded], [retries],
+          [backoff_time] all get exercised) *)
+}
+
+val run_campaign : ?smoke:bool -> seed:int -> unit -> summary
+(** Run a campaign.  Full mode (default) sweeps 6 fault families × 3
+    densities × 3 star shapes × 4 derived seeds — at least 200 plans;
+    [~smoke:true] runs the single-density single-seed subset (fast
+    enough for CI).  Never raises: exceptions inside a plan are caught
+    and reported as violations. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable campaign report (plan counts, effort counters, every
+    violation). *)

@@ -268,9 +268,119 @@ let signature m =
     (List.rev m.cons);
   Buffer.contents buf
 
-type basis = { bsig : string; bcols : int array }
+(* Structural layout of a model's standard form, carried alongside the
+   basis so a basis can be re-interpreted against a *different* model by
+   name: which variables exist (and whether they are shifted or split),
+   and which rows exist (and whether they carry a slack column).  The
+   signature string is kept as the fast equality key; the layout is only
+   consulted on a signature mismatch. *)
+type layout = {
+  lvars : (string * bool * bool) array;
+      (* name, has finite lb (shifted: one column), has ub (extra row) *)
+  lcons : (string * relation) array;
+}
+
+type basis = { bsig : string; bcols : int array; blayout : layout }
 
 let basis_size bs = Array.length bs.bcols
+
+let layout_of_model m =
+  {
+    lvars =
+      Array.map (fun vi -> (vi.name, vi.lb <> None, vi.ub <> None))
+        (var_array m);
+    lcons = Array.of_list (List.rev_map (fun c -> (c.cname, c.rel)) m.cons);
+  }
+
+(* Meaning of every standard-form column of a layout, in column order:
+   structural columns first (one per shifted variable, two per split
+   variable), then slack columns in row order (model constraints, then
+   ub rows).  Meanings are (tag, name) pairs — tag 0 = main/plus column
+   of a variable, 1 = minus column of a split variable, 2 = slack of a
+   named constraint row, 3 = slack of a variable's ub row — and are
+   unique, which is what makes cross-model remapping by meaning
+   well-defined. *)
+let column_meanings lay =
+  let ms = ref [] in
+  Array.iter
+    (fun (name, has_lb, _) ->
+      if has_lb then ms := (0, name) :: !ms
+      else ms := (1, name) :: (0, name) :: !ms)
+    lay.lvars;
+  Array.iter
+    (fun (name, rel) ->
+      match rel with Eq -> () | Le | Ge -> ms := (2, name) :: !ms)
+    lay.lcons;
+  Array.iter
+    (fun (name, _, has_ub) -> if has_ub then ms := (3, name) :: !ms)
+    lay.lvars;
+  Array.of_list (List.rev !ms)
+
+let layout_rows lay =
+  Array.length lay.lcons
+  + Array.fold_left (fun a (_, _, u) -> if u then a + 1 else a) 0 lay.lvars
+
+(* Re-interpret a basis exported from one model against another whose
+   signature differs — the cross-restriction warm transfer: epoch k's
+   surviving subplatform and epoch k+1's produce LPs over overlapping
+   variable/constraint *names* but different index spaces.  Every old
+   basic column is translated by meaning (variable or slack, by name)
+   into the new standard form; columns whose resource vanished are
+   dropped, and the basis is padded back to a full row count with unused
+   slack columns first (they keep the trial basis close to triangular),
+   then any unused structural column.  The result is only a *candidate*:
+   the kernels validate every import and fall back to a cold solve on a
+   singular or infeasible-to-repair basis, so remapping can never change
+   an answer.  [None] when fewer than half the new rows found a match —
+   importing mostly-padding loses to a cold start. *)
+let remap_basis bs m =
+  let nlay = layout_of_model m in
+  let nmean = column_meanings nlay in
+  let omean = column_meanings bs.blayout in
+  let nrows = layout_rows nlay in
+  let ncols = Array.length nmean in
+  if nrows = 0 || nrows > ncols then None
+  else begin
+    let index = Hashtbl.create (2 * ncols) in
+    Array.iteri (fun j key -> Hashtbl.replace index key j) nmean;
+    let in_basis = Array.make ncols false in
+    let mapped = ref [] in
+    let matched = ref 0 in
+    Array.iter
+      (fun oc ->
+        if oc >= 0 && oc < Array.length omean then
+          match Hashtbl.find_opt index omean.(oc) with
+          | Some j when (not in_basis.(j)) && !matched < nrows ->
+            in_basis.(j) <- true;
+            mapped := j :: !mapped;
+            incr matched
+          | _ -> ())
+      bs.bcols;
+    if 2 * !matched < nrows then None
+    else begin
+      let out = Array.make nrows 0 in
+      let k = ref 0 in
+      List.iter
+        (fun j ->
+          out.(!k) <- j;
+          incr k)
+        (List.rev !mapped);
+      let fill pred =
+        Array.iteri
+          (fun j key ->
+            if !k < nrows && (not in_basis.(j)) && pred key then begin
+              in_basis.(j) <- true;
+              out.(!k) <- j;
+              incr k
+            end)
+          nmean
+      in
+      fill (fun (tag, _) -> tag = 2 || tag = 3);
+      fill (fun _ -> true);
+      if !k < nrows then None
+      else Some { bsig = signature m; bcols = out; blayout = nlay }
+    end
+  end
 
 module Warm = struct
   type t = {
@@ -615,7 +725,7 @@ let decode_entry ~sg m value =
             for i = 0 to k - 1 do
               bcols.(i) <- int ()
             done;
-            Some { bsig = sg; bcols })
+            Some { bsig = sg; bcols; blayout = layout_of_model m })
         | _ -> raise Exit
       in
       Some (res, basis)
@@ -636,6 +746,10 @@ module Stats = struct
     mutable matchings_rebuilt : int;
     mutable slots_reused : int;
     mutable delays_reused : int;
+    mutable warm_remapped : int;
+    mutable repairs_budget_exceeded : int;
+    mutable retries : int;
+    mutable backoff_time : R.t;
   }
 
   let create () =
@@ -648,6 +762,10 @@ module Stats = struct
       matchings_rebuilt = 0;
       slots_reused = 0;
       delays_reused = 0;
+      warm_remapped = 0;
+      repairs_budget_exceeded = 0;
+      retries = 0;
+      backoff_time = R.zero;
     }
 
   let add t ~pivots ~refactors =
@@ -655,13 +773,20 @@ module Stats = struct
     t.pivots <- t.pivots + pivots;
     t.refactors <- t.refactors + refactors
 
-  let add_reconstruction t ?(delays_reused = 0) ~cycles_cancelled
-      ~matchings_repaired ~matchings_rebuilt ~slots_reused () =
+  let add_reconstruction t ?(delays_reused = 0)
+      ?(repairs_budget_exceeded = 0) ~cycles_cancelled ~matchings_repaired
+      ~matchings_rebuilt ~slots_reused () =
     t.cycles_cancelled <- t.cycles_cancelled + cycles_cancelled;
     t.matchings_repaired <- t.matchings_repaired + matchings_repaired;
     t.matchings_rebuilt <- t.matchings_rebuilt + matchings_rebuilt;
     t.slots_reused <- t.slots_reused + slots_reused;
-    t.delays_reused <- t.delays_reused + delays_reused
+    t.delays_reused <- t.delays_reused + delays_reused;
+    t.repairs_budget_exceeded <-
+      t.repairs_budget_exceeded + repairs_budget_exceeded
+
+  let add_retry t ~backoff =
+    t.retries <- t.retries + 1;
+    t.backoff_time <- R.add t.backoff_time backoff
 end
 
 (* [?factorization] is absent from the cache key on purpose: the
@@ -730,11 +855,18 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
     | Some (cc, _, _, None) -> cc.Cache.misses <- cc.Cache.misses + 1
     | _ -> ());
     let a, b, c, cmap, obj_const, flip = translate m in
-    let import =
+    (* import a deposited basis: directly on a signature match, through
+       the name-based remap on a mismatch (cross-restriction reuse) *)
+    let import, via_remap =
       match warm with
-      | Some { Warm.basis = Some bs; _ } when String.equal bs.bsig sg ->
-        Some bs.bcols
-      | _ -> None
+      | Some { Warm.basis = Some bs; _ } ->
+        if String.equal bs.bsig sg then (Some bs.bcols, false)
+        else begin
+          match remap_basis bs m with
+          | Some rb -> (Some rb.bcols, true)
+          | None -> (None, false)
+        end
+      | _ -> (None, false)
     in
     let note_effort ~pivots ~refactors =
       match stats with
@@ -774,7 +906,13 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
       | `Optimal (values, objective, std_duals, std_basis, warm_used) ->
         (match warm with
         | Some w ->
-          if warm_used then w.Warm.hits <- w.Warm.hits + 1
+          if warm_used then begin
+            w.Warm.hits <- w.Warm.hits + 1;
+            if via_remap then
+              match stats with
+              | Some s -> s.Stats.warm_remapped <- s.Stats.warm_remapped + 1
+              | None -> ()
+          end
           else w.Warm.misses <- w.Warm.misses + 1
         | None -> ());
         let value v =
@@ -802,7 +940,8 @@ let solve ?(rule = Simplex.Dantzig) ?(solver = Tableau)
             (row_names m)
         in
         ( Optimal { objective; values = (fun v -> varcache.(v)); duals },
-          Some { bsig = sg; bcols = std_basis } )
+          Some { bsig = sg; bcols = std_basis; blayout = layout_of_model m }
+        )
     in
     (match warm, exported with
     | Some w, Some bs -> w.Warm.basis <- Some bs

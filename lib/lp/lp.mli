@@ -121,10 +121,28 @@ type basis
     constraint names and relations.  A basis is re-usable against any
     model with the same signature — i.e. the same standard-form layout —
     even when coefficient values differ (scaled platform weights); a
-    signature mismatch makes the import a silent no-op. *)
+    signature mismatch makes the import a silent no-op — unless the
+    name-based remap of {!remap_basis} can translate it. *)
 
 val basis_size : basis -> int
 (** Number of rows (basic columns) the basis carries. *)
+
+val remap_basis : basis -> model -> basis option
+(** [remap_basis bs m] re-interprets a basis exported from a model with
+    a {e different} signature against [m], by name: each old basic
+    column (a variable's column or a row's slack) is translated to the
+    column playing the same role in [m]'s standard form; columns whose
+    variable or constraint does not exist in [m] are dropped, and the
+    basis is padded back to a full row count with unused slack columns.
+    This is the cross-restriction warm transfer — LPs built on two
+    different surviving subplatforms share most variable and constraint
+    names even though every index differs.  [None] when fewer than half
+    of [m]'s rows found a match.  The result is a candidate only:
+    {!solve} hands it to the kernels, which validate any import and
+    fall back to a cold solve, so a remap can never change an answer.
+    {!solve} applies this automatically when a warm slot's basis has a
+    stale signature; accepted remapped imports are counted in
+    [Stats.warm_remapped]. *)
 
 module Warm : sig
   (** A mutable warm-start slot.  Pass the same slot to successive
@@ -280,6 +298,20 @@ module Stats : sig
     mutable delays_reused : int;
         (** pipeline-delay vectors served from a warm slot against a
             bit-identical flow instead of recomputed by longest path *)
+    mutable warm_remapped : int;
+        (** warm solves whose imported basis came from {!remap_basis}
+            (stale signature translated by name) and was accepted by
+            the kernel *)
+    mutable repairs_budget_exceeded : int;
+        (** incremental repairs abandoned because the perturbation
+            exceeded the caller's [?budget] — the certified cold path
+            ran instead *)
+    mutable retries : int;
+        (** failed transfers re-submitted by a failure-aware executor
+            (exponential backoff or epoch-boundary re-routing) *)
+    mutable backoff_time : Rat.t;
+        (** total simulated time spent waiting in backoff before those
+            retries *)
   }
 
   val create : unit -> t
@@ -291,6 +323,7 @@ module Stats : sig
   val add_reconstruction :
     t ->
     ?delays_reused:int ->
+    ?repairs_budget_exceeded:int ->
     cycles_cancelled:int ->
     matchings_repaired:int ->
     matchings_rebuilt:int ->
@@ -300,6 +333,10 @@ module Stats : sig
   (** Count one schedule reconstruction's effort; called by the
       reconstruction layer ([Reconstruct], [Master_slave.schedule]), not
       by {!solve}. *)
+
+  val add_retry : t -> backoff:Rat.t -> unit
+  (** Count one transfer retry and the backoff delay that preceded it;
+      called by failure-aware executors ({!Dynamic_sched}). *)
 end
 
 val solve :

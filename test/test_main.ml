@@ -17,6 +17,7 @@ let () =
       Test_divisible.suite;
       Test_dynamic.suite;
       Test_faults.suite;
+      Test_chaos.suite;
       Test_baselines.suite;
       Test_forecast.suite;
       Test_topology.suite;

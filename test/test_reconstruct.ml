@@ -298,6 +298,68 @@ let test_stats_counters_flow () =
   Alcotest.(check bool) "matchings accounted" true
     (stats.Lp.Stats.matchings_repaired + stats.Lp.Stats.matchings_rebuilt > 0)
 
+let test_warm_remap_across_restriction () =
+  (* churn: schedule state produced on the full platform is remapped
+     into a surviving subplatform's index space (and later re-expanded);
+     consumers re-validate the remapped seed, so every outcome stays
+     bit-identical to a cold rebuild *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        [
+          (Ext_rat.of_int 1, r 1 2);
+          (Ext_rat.of_int 2, R.one);
+          (Ext_rat.of_int 3, r 3 2);
+          (Ext_rat.of_int 1, r 1 3);
+        ]
+      ()
+  in
+  let full = P.identity_restriction p in
+  let drop =
+    P.restrict p ~keep_node:(fun i -> i <> 2) ~keep_edge:(fun _ -> true)
+  in
+  let w = Rec.Warm.create () in
+  let stats = Lp.Stats.create () in
+  let sol = MS.solve ~recon:w ~stats p ~master:0 in
+  let _sched = MS.schedule ~recon:w ~stats sol in
+  let used = Rec.Warm.hits w + Rec.Warm.misses w in
+  (* contract: carry the slot into the surviving subplatform *)
+  let nm, em = P.transfer_maps ~src:full ~dst:drop in
+  Rec.Warm.remap w ~node_map:nm ~edge_map:em ~platform:drop.P.sub;
+  let sol_sub = MS.solve ~recon:w ~stats drop.P.sub ~master:0 in
+  let sched_sub = MS.schedule ~recon:w ~stats sol_sub in
+  let cold_sub = MS.schedule (MS.solve drop.P.sub ~master:0) in
+  Alcotest.check rat "restricted period = cold" cold_sub.Schedule.period
+    sched_sub.Schedule.period;
+  Alcotest.(check bool) "remapped slot was consulted" true
+    (Rec.Warm.hits w + Rec.Warm.misses w > used);
+  (* re-expand: back onto the full platform *)
+  let nm', em' = P.transfer_maps ~src:drop ~dst:full in
+  Rec.Warm.remap w ~node_map:nm' ~edge_map:em' ~platform:p;
+  let sol_re = MS.solve ~recon:w ~stats p ~master:0 in
+  let sched_re = MS.schedule ~recon:w ~stats sol_re in
+  let cold_full = MS.schedule (MS.solve p ~master:0) in
+  Alcotest.check rat "re-expanded period = cold" cold_full.Schedule.period
+    sched_re.Schedule.period
+
+let test_budget_certified_fallback () =
+  (* a zero repair budget turns every seeded repair that needs work into
+     the certified cold path; the trip is counted and the result is
+     bit-identical to an unbudgeted rebuild *)
+  let p = Platform_gen.random_tree ~seed:21 ~nodes:12 () in
+  let w = Rec.Warm.create () in
+  let stats = Lp.Stats.create () in
+  let sol1 = MS.solve ~recon:w ~stats p ~master:0 in
+  let _s1 = MS.schedule ~recon:w ~stats sol1 in
+  let p2 = scale_edge p 0 (r 99 98) in
+  let sol2 = MS.solve ~recon:w ~budget:0 ~stats p2 ~master:0 in
+  let s2 = MS.schedule ~recon:w ~budget:0 ~stats sol2 in
+  let cold = MS.schedule (MS.solve p2 ~master:0) in
+  Alcotest.check rat "budgeted period = cold" cold.Schedule.period
+    s2.Schedule.period;
+  Alcotest.(check bool) "budget trip counted" true
+    (stats.Lp.Stats.repairs_budget_exceeded > 0)
+
 let suite =
   ( "reconstruct",
     [
@@ -319,4 +381,8 @@ let suite =
         test_warm_delays_reused;
       Alcotest.test_case "effort counters flow into stats" `Quick
         test_stats_counters_flow;
+      Alcotest.test_case "warm state remapped across restrictions" `Quick
+        test_warm_remap_across_restriction;
+      Alcotest.test_case "repair budget: certified cold fallback" `Quick
+        test_budget_certified_fallback;
     ] )

@@ -316,6 +316,43 @@ let prop_stale_basis_safe =
           R.equal cold w)
         [ pa; pb; pa; pb ])
 
+let test_remap_basis_across_restriction () =
+  (* cross-restriction warm transfer: a basis deposited on one surviving
+     subplatform warm-starts the LP of another (the column translation
+     is by name), the accepted import is counted, and the objective is
+     bit-identical to a cold solve in both directions — contraction and
+     re-expansion *)
+  let p =
+    Platform_gen.star ~master_weight:Ext_rat.inf
+      ~slaves:
+        [
+          (Ext_rat.of_int 1, r 1 2);
+          (Ext_rat.of_int 2, R.one);
+          (Ext_rat.of_int 3, r 3 2);
+          (Ext_rat.of_int 2, r 1 3);
+        ]
+      ()
+  in
+  let drop =
+    P.restrict p ~keep_node:(fun i -> i <> 2) ~keep_edge:(fun _ -> true)
+  in
+  let warm = Lp.Warm.create () in
+  let stats = Lp.Stats.create () in
+  let _full = Master_slave.solve ~warm ~stats p ~master:0 in
+  Alcotest.(check int) "no remap on the deposit" 0 stats.Lp.Stats.warm_remapped;
+  let sub_warm = Master_slave.solve ~warm ~stats drop.P.sub ~master:0 in
+  let sub_cold = Master_slave.solve drop.P.sub ~master:0 in
+  Alcotest.check rat "restricted throughput bit-identical"
+    sub_cold.Master_slave.ntask sub_warm.Master_slave.ntask;
+  Alcotest.(check bool) "remapped import accepted" true
+    (stats.Lp.Stats.warm_remapped > 0);
+  (* recovery: the basis now lives in the restricted signature; solving
+     the full platform again remaps it back out *)
+  let re_warm = Master_slave.solve ~warm ~stats p ~master:0 in
+  let re_cold = Master_slave.solve p ~master:0 in
+  Alcotest.check rat "re-expanded throughput bit-identical"
+    re_cold.Master_slave.ntask re_warm.Master_slave.ntask
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   ( "warm",
@@ -337,6 +374,8 @@ let suite =
         test_warm_solution_certified;
       Alcotest.test_case "warm collective certified" `Quick
         test_warm_collective_certified;
+      Alcotest.test_case "basis remapped across restrictions" `Quick
+        test_remap_basis_across_restriction;
       q prop_warm_equals_cold;
       q prop_cache_replays;
       q prop_stale_basis_safe;
