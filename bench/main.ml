@@ -253,8 +253,10 @@ let record rows name ns =
    search, matchings repaired vs rebuilt, slots reused; schema 5 adds
    warm-served delay vectors; schema 6 the churn counters: bases
    remapped across restrictions, repair budgets exceeded, transfer
-   retries and total backoff time) — in the JSON, so effort
-   regressions show up even when wall-clock noise hides them *)
+   retries and total backoff time; schema 7 the guarded recovery/
+   rows: checkpointed, resumed and budget-compared robust runs) — in
+   the JSON, so effort regressions show up even when wall-clock noise
+   hides them *)
 let effort_rows : (string, Lp.Stats.t) Hashtbl.t = Hashtbl.create 16
 
 let record_effort name (st : Lp.Stats.t) =
@@ -996,6 +998,148 @@ let run_churn_suite ~smoke () =
     sizes;
   List.rev !rows
 
+(* --- part 4.6: crash recovery — checkpointed runs and resume --- *)
+
+(* The churn scenario again, now under the checkpoint machinery.
+   Guards: a checkpointed run must complete bit-identical work to the
+   plain warm run (the record writes and the disk-tier cache are
+   accelerator plumbing, never result changers), a run killed mid-flight
+   must resume bit-identically from the record, the adaptive repair
+   budget must match the fixed-budget outcome, and at n=200 the
+   per-epoch checkpoint overhead must stay within 5% of the plain
+   wall. *)
+let run_recovery_suite ~smoke () =
+  print_endline
+    "\n########## recovery: checkpointed executor state ##########\n";
+  let rows = ref [] in
+  let record = record rows in
+  let runs = if smoke then 1 else 3 in
+  let phases = 32 in
+  let fresh_ckpt_dir =
+    let ctr = ref 0 in
+    fun () ->
+      incr ctr;
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "steady-bench-ckpt-%d-%d" (Unix.getpid ()) !ctr)
+      in
+      rm_rf d;
+      d
+  in
+  let completed (o : Dynamic_sched.outcome) = o.Dynamic_sched.completed in
+  List.iter
+    (fun n ->
+      let sc = churn_scenario ~slaves:n ~phases ~seed:5 in
+      let label tail =
+        Printf.sprintf "recovery/%s n=%d epochs=%d" tail n phases
+      in
+      let plain, plain_ns =
+        best_of ~runs (fun () -> Dynamic_sched.run sc Dynamic_sched.Robust)
+      in
+      record (label "robust plain") plain_ns;
+      (* a checkpointed run owns a write-through disk-tier LP cache (so
+         resume can replay the same memo); the fair baseline for the
+         checkpoint-record overhead is therefore a run with the same
+         fresh disk cache and no checkpointing *)
+      let disk_base, disk_ns =
+        best_of ~runs (fun () ->
+            let dir = fresh_ckpt_dir () in
+            let store = Lp.Cache.Disk.open_store dir in
+            let cache = Lp.Cache.create ~disk:store () in
+            let o = Dynamic_sched.run ~cache sc Dynamic_sched.Robust in
+            rm_rf dir;
+            o)
+      in
+      record (label "robust disk cache") disk_ns;
+      (* checkpointed run: a fresh store per repetition, so every run
+         pays the full write-through cost *)
+      let ckpt, ckpt_ns =
+        best_of ~runs (fun () ->
+            let dir = fresh_ckpt_dir () in
+            let checkpoint = { Dynamic_sched.Checkpoint.dir; every = 1 } in
+            let o = Dynamic_sched.run ~checkpoint sc Dynamic_sched.Robust in
+            rm_rf dir;
+            o)
+      in
+      record (label "robust checkpointed every=1") ckpt_ns;
+      if not (Dynamic_sched.outcomes_equal plain disk_base) then
+        failwith
+          (Printf.sprintf
+             "bench: disk-cached run diverged from plain at n=%d — the \
+              cache changed a result"
+             n);
+      if not (Dynamic_sched.outcomes_equal plain ckpt) then
+        failwith
+          (Printf.sprintf
+             "bench: checkpointed run diverged from plain at n=%d — \
+              recovery plumbing changed a result"
+             n);
+      (* kill at mid-run, resume from the record *)
+      let halt = phases / 2 in
+      let dir = fresh_ckpt_dir () in
+      let checkpoint = { Dynamic_sched.Checkpoint.dir; every = 1 } in
+      (match
+         Dynamic_sched.run ~checkpoint ~halt_at:halt sc Dynamic_sched.Robust
+       with
+      | _ -> failwith "bench: halt hook did not fire"
+      | exception Dynamic_sched.Checkpoint.Halted _ -> ());
+      let (resumed, from), resume_ns =
+        wall_ns (fun () -> Dynamic_sched.resume ~checkpoint sc)
+      in
+      rm_rf dir;
+      record (Printf.sprintf "recovery/resume from=%d n=%d" halt n) resume_ns;
+      if from <> Some halt then
+        failwith
+          (Printf.sprintf "bench: resume started cold at n=%d (kill at %d)" n
+             halt);
+      if not (Dynamic_sched.outcomes_equal plain resumed) then
+        failwith
+          (Printf.sprintf
+             "bench: resumed run diverged from uninterrupted at n=%d" n);
+      (* adaptive vs fixed repair budget: identical outcomes, effort
+         recorded for the snapshot diff *)
+      let fixed_stats = Lp.Stats.create () in
+      let fixed =
+        Dynamic_sched.run
+          ~budget:(Master_slave.Fixed 2) ~stats:fixed_stats sc
+          Dynamic_sched.Robust
+      in
+      record_effort (label "budget fixed=2") fixed_stats;
+      let adaptive_stats = Lp.Stats.create () in
+      let adaptive =
+        Dynamic_sched.run
+          ~budget:(Master_slave.adaptive_budget ())
+          ~stats:adaptive_stats sc Dynamic_sched.Robust
+      in
+      record_effort (label "budget adaptive") adaptive_stats;
+      if
+        (not (Dynamic_sched.outcomes_equal plain fixed))
+        || not (Dynamic_sched.outcomes_equal plain adaptive)
+      then
+        failwith
+          (Printf.sprintf
+             "bench: a repair budget changed the outcome at n=%d" n);
+      Printf.printf "%-56s %10s\n"
+        (Printf.sprintf "recovery/guard n=%d" n)
+        (Printf.sprintf
+           "ckpt = resumed = plain = %s, record overhead %.1f%%, adaptive \
+            pivots %d vs fixed %d"
+           (R.to_string (completed plain))
+           (100. *. ((ckpt_ns /. disk_ns) -. 1.))
+           adaptive_stats.Lp.Stats.pivots fixed_stats.Lp.Stats.pivots);
+      (* hard ceiling on the checkpoint-record cost itself (against the
+         disk-cached baseline, which pays the same LP write-through)
+         where the LP work dominates the epoch *)
+      if (not smoke) && n >= 200 && ckpt_ns > disk_ns *. 1.05 then
+        failwith
+          (Printf.sprintf
+             "bench: checkpoint-record overhead %.1f%% at n=%d (ceiling 5%%)"
+             (100. *. ((ckpt_ns /. disk_ns) -. 1.))
+             n))
+    (if smoke then [ 20 ] else [ 20; 200 ]);
+  List.rev !rows
+
 (* --- scaling suite: pricing, eta compression, structural reduction --- *)
 
 (* Every row is guarded: the optimised path must reproduce the
@@ -1257,7 +1401,7 @@ let json_escape s =
 let write_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"steady-bench/6\",\n";
+  Printf.fprintf oc "  \"schema\": \"steady-bench/7\",\n";
   Printf.fprintf oc "  \"unit\": \"ns\",\n";
   Printf.fprintf oc "  \"pool_width_sequential\": 1,\n";
   Printf.fprintf oc "  \"pool_width_parallel\": %d,\n" (pool_width () + 1);
@@ -1371,13 +1515,14 @@ let run_smoke ~cache_dir () =
   ignore (run_pool_sweep ~smoke:true ());
   ignore (run_fault_suite ~smoke:true ());
   ignore (run_churn_suite ~smoke:true ());
+  ignore (run_recovery_suite ~smoke:true ());
   ignore (run_scale_suite ~smoke:true ());
   print_endline "\nsmoke: all workloads executed"
 
 (* fixed-seed chaos campaign (see {!Chaos}); exits non-zero on any
    invariant violation so CI can gate on it *)
-let run_chaos ~smoke ~seed () =
-  let s = Chaos.run_campaign ~smoke ~seed () in
+let run_chaos ~smoke ~seed ~shapes () =
+  let s = Chaos.run_campaign ~smoke ?shapes ~seed () in
   Format.printf "%a@." Chaos.pp_summary s;
   if s.Chaos.violations <> [] then begin
     prerr_endline
@@ -1391,8 +1536,10 @@ let () =
   let smoke = ref false in
   let faults_only = ref false in
   let recon_only = ref false in
+  let recovery_only = ref false in
   let chaos = ref false in
   let chaos_seed = ref 42 in
+  let chaos_shapes = ref None in
   let json_path = ref "BENCH_steady.json" in
   let cache_dir = ref (Sys.getenv_opt "STEADY_CACHE_DIR") in
   let rec parse = function
@@ -1409,6 +1556,9 @@ let () =
     | "--recon-only" :: rest ->
       recon_only := true;
       parse rest
+    | "--recovery-only" :: rest ->
+      recovery_only := true;
+      parse rest
     | "--chaos" :: rest ->
       chaos := true;
       parse rest
@@ -1419,6 +1569,10 @@ let () =
         prerr_endline ("bench: --chaos-seed expects an integer, got " ^ s);
         exit 2);
       parse rest
+    | "--chaos-shapes" :: s :: rest ->
+      chaos_shapes :=
+        Some (List.map String.trim (String.split_on_char ',' s));
+      parse rest
     | "--json" :: path :: rest ->
       json_path := path;
       parse rest
@@ -1428,15 +1582,18 @@ let () =
     | arg :: _ ->
       prerr_endline
         ("usage: main.exe [--tables-only] [--smoke] [--faults-only] \
-          [--recon-only] [--chaos] [--chaos-seed N] [--json PATH] \
-          [--cache-dir DIR]; got " ^ arg);
+          [--recon-only] [--recovery-only] [--chaos] [--chaos-seed N] \
+          [--chaos-shapes S1,S2] \
+          [--json PATH] [--cache-dir DIR]; got " ^ arg);
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !chaos then run_chaos ~smoke:!smoke ~seed:!chaos_seed ()
+  if !chaos then
+    run_chaos ~smoke:!smoke ~seed:!chaos_seed ~shapes:!chaos_shapes ()
   else if !smoke then run_smoke ~cache_dir:!cache_dir ()
   else if !faults_only then ignore (run_fault_suite ~smoke:false ())
   else if !recon_only then ignore (run_recon_suite ~smoke:false ())
+  else if !recovery_only then ignore (run_recovery_suite ~smoke:false ())
   else begin
     print_tables ();
     print_coloring_stats ();
@@ -1448,9 +1605,10 @@ let () =
       let sweep_rows = run_pool_sweep ~smoke:false () in
       let fault_rows = run_fault_suite ~smoke:false () in
       let churn_rows = run_churn_suite ~smoke:false () in
+      let recovery_rows = run_recovery_suite ~smoke:false () in
       let scale_rows = run_scale_suite ~smoke:false () in
       write_json !json_path
         (bench_rows @ warm_rows @ recon_rows @ disk_rows @ sweep_rows
-       @ fault_rows @ churn_rows @ scale_rows)
+       @ fault_rows @ churn_rows @ recovery_rows @ scale_rows)
     end
   end

@@ -282,6 +282,232 @@ let infer_cmd =
   let doc = "Infer shared bottlenecks from simultaneous probes (§5.3)." in
   Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ platform_arg $ master_arg $ hosts_arg)
 
+(* --- dynamic --- *)
+
+module Dy = Dynamic_sched
+
+let parse_rat what s =
+  try Ok (Rat.of_string s)
+  with _ -> Error (Printf.sprintf "bad rational %S for %s" s what)
+
+(* "WHERE@T=MULT" -> (where, t, mult) *)
+let parse_trace_point spec =
+  match String.index_opt spec '@' with
+  | None -> Error (Printf.sprintf "bad trace %S (want WHERE@T=MULT)" spec)
+  | Some i -> (
+    let where = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match String.index_opt rest '=' with
+    | None -> Error (Printf.sprintf "bad trace %S (want WHERE@T=MULT)" spec)
+    | Some j ->
+      let* t = parse_rat spec (String.sub rest 0 j) in
+      let* m =
+        parse_rat spec (String.sub rest (j + 1) (String.length rest - j - 1))
+      in
+      Ok (where, t, m))
+
+let group_traces points =
+  List.fold_left
+    (fun acc (k, pt) ->
+      let prev = try List.assoc k acc with Not_found -> [] in
+      (k, prev @ [ pt ]) :: List.remove_assoc k acc)
+    [] points
+
+let dynamic_cmd =
+  let strategy_arg =
+    let doc = "Strategy: static, reactive, oracle or robust." in
+    Arg.(value & opt string "robust" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
+  in
+  let phase_arg =
+    let doc = "Phase length (rational)." in
+    Arg.(value & opt string "10" & info [ "phase" ] ~docv:"LEN" ~doc)
+  in
+  let phases_arg =
+    let doc = "Number of phases." in
+    Arg.(value & opt int 8 & info [ "phases" ] ~docv:"K" ~doc)
+  in
+  let cpu_trace_arg =
+    let doc =
+      "CPU multiplier breakpoint, NODE@T=MULT (repeatable; 0 = outage)."
+    in
+    Arg.(value & opt_all string [] & info [ "cpu-trace" ] ~docv:"SPEC" ~doc)
+  in
+  let bw_trace_arg =
+    let doc =
+      "Link multiplier breakpoint, SRC>DST@T=MULT (repeatable; 0 = cut)."
+    in
+    Arg.(value & opt_all string [] & info [ "bw-trace" ] ~docv:"SPEC" ~doc)
+  in
+  let ckpt_dir_arg =
+    let doc =
+      "Checkpoint the run (robust only) into $(docv): the per-epoch \
+       decision log, executor snapshot and warm LP basis are committed \
+       through the crash-safe store, alongside the run's disk-tier LP \
+       cache."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+  in
+  let every_arg =
+    let doc = "Checkpoint write cadence, in epochs." in
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume a crashed checkpointed run from --checkpoint-dir instead of \
+       starting it; bit-identical to the uninterrupted run, and a \
+       missing or corrupt record degrades to a cold start."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let halt_at_arg =
+    let doc =
+      "Crash injection: die (like kill -9) at this epoch boundary, after \
+       any checkpoint due there is committed.  Requires --checkpoint-dir."
+    in
+    Arg.(value & opt (some int) None & info [ "halt-at" ] ~docv:"K" ~doc)
+  in
+  let print_outcome (o : Dy.outcome) =
+    Printf.printf "completed %s tasks\n" (Rat.to_string o.Dy.completed);
+    List.iteri
+      (fun i c -> Printf.printf "  phase %d: %s\n" i (Rat.to_string c))
+      o.Dy.per_phase;
+    let l = o.Dy.losses in
+    if l <> Dy.no_losses then
+      Printf.printf
+        "losses: %d timed out, %d cancelled, %d retries, %d lost, %d \
+         degraded phases, %d dead nodes, %d dead edges\n"
+        l.Dy.timed_out_transfers l.Dy.cancelled_transfers l.Dy.retries
+        l.Dy.lost_tasks l.Dy.degraded_phases l.Dy.dead_nodes l.Dy.dead_edges
+  in
+  let run path master strategy phase phases cpu_specs bw_specs ckpt_dir every
+      resume halt_at =
+    or_die
+      (let* p = read_platform path in
+       let* m = node_of_name p master in
+       let* strategy =
+         match String.lowercase_ascii strategy with
+         | "static" -> Ok Dy.Static
+         | "reactive" -> Ok Dy.Reactive
+         | "oracle" -> Ok Dy.Oracle
+         | "robust" -> Ok Dy.Robust
+         | s -> Error (Printf.sprintf "unknown strategy %S" s)
+       in
+       let* phase = parse_rat "--phase" phase in
+       let* cpu_points =
+         List.fold_left
+           (fun acc spec ->
+             let* acc = acc in
+             let* w, t, mult = parse_trace_point spec in
+             let* n = node_of_name p w in
+             Ok ((n, (t, mult)) :: acc))
+           (Ok []) cpu_specs
+       in
+       let* bw_points =
+         List.fold_left
+           (fun acc spec ->
+             let* acc = acc in
+             let* w, t, mult = parse_trace_point spec in
+             match String.index_opt w '>' with
+             | None -> Error (Printf.sprintf "bad link %S (want SRC>DST)" w)
+             | Some i -> (
+               let* src = node_of_name p (String.sub w 0 i) in
+               let* dst =
+                 node_of_name p (String.sub w (i + 1) (String.length w - i - 1))
+               in
+               match Platform.find_edge p src dst with
+               | Some e -> Ok ((e, (t, mult)) :: acc)
+               | None -> Error (Printf.sprintf "no link %S in the platform" w)))
+           (Ok []) bw_specs
+       in
+       let sc =
+         {
+           Dy.platform = p;
+           master = m;
+           cpu_traces = group_traces (List.rev cpu_points);
+           bw_traces = group_traces (List.rev bw_points);
+           phase;
+           phases;
+         }
+       in
+       match (ckpt_dir, resume, halt_at) with
+       | None, true, _ -> Error "--resume requires --checkpoint-dir"
+       | None, _, Some _ -> Error "--halt-at requires --checkpoint-dir"
+       | None, false, None ->
+         print_outcome (Dy.run sc strategy);
+         Ok ()
+       | Some _, _, _ when strategy <> Dy.Robust ->
+         Error "--checkpoint-dir requires the robust strategy"
+       | Some dir, true, _ ->
+         let checkpoint = { Dy.Checkpoint.dir; every } in
+         let o, from = Dy.resume ~checkpoint sc in
+         (match from with
+         | Some k -> Printf.printf "resumed from epoch %d\n" k
+         | None -> print_endline "no usable checkpoint: cold start");
+         print_outcome o;
+         Ok ()
+       | Some dir, false, halt_at -> (
+         let checkpoint = { Dy.Checkpoint.dir; every } in
+         match Dy.run ~checkpoint ?halt_at sc strategy with
+         | o ->
+           print_outcome o;
+           Ok ()
+         | exception Dy.Checkpoint.Halted k ->
+           Printf.printf
+             "halted at epoch %d (checkpoint committed); rerun with \
+              --resume to continue\n"
+             k;
+           Ok ()))
+  in
+  let doc =
+    "Run the phase-based dynamic strategies (§5.5) under multiplier \
+     traces, with optional crash-recoverable checkpointing."
+  in
+  Cmd.v (Cmd.info "dynamic" ~doc)
+    Term.(
+      const run $ platform_arg $ master_arg $ strategy_arg $ phase_arg
+      $ phases_arg $ cpu_trace_arg $ bw_trace_arg $ ckpt_dir_arg $ every_arg
+      $ resume_arg $ halt_at_arg)
+
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let seed_arg =
+    let doc = "Campaign seed (campaigns are deterministic in it)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let smoke_arg =
+    let doc = "Single-density single-seed subset (fast; what CI runs)." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let shapes_arg =
+    let doc =
+      "Comma-separated platform shapes to sweep (default: the full axis \
+       of stars, random trees and random connected graphs)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-shapes" ] ~docv:"S1,S2" ~doc)
+  in
+  let run seed smoke shapes =
+    let shapes =
+      Option.map
+        (fun s -> List.map String.trim (String.split_on_char ',' s))
+        shapes
+    in
+    let s = Chaos.run_campaign ~smoke ?shapes ~seed () in
+    Format.printf "%a@." Chaos.pp_summary s;
+    if s.Chaos.violations = [] then 0 else 1
+  in
+  let doc =
+    "Fuzz the failure-aware scheduler: seeded fault plans across shapes \
+     and densities, an invariant battery on every run (including \
+     kill-and-resume crash recovery); non-zero exit on any violation."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seed_arg $ smoke_arg $ shapes_arg)
+
 (* --- format help --- *)
 
 let format_cmd =
@@ -309,6 +535,8 @@ let main =
       solve_multicast_cmd;
       broadcast_cmd;
       experiments_cmd;
+      dynamic_cmd;
+      chaos_cmd;
       dot_cmd;
       infer_cmd;
       format_cmd;

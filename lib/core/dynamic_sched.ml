@@ -108,32 +108,83 @@ let scaled_platform sc node_mult edge_mult =
              R.div (P.edge_cost p e) (edge_mult e) ))
          (P.edges p))
 
-(* plan for one phase, at single-task granularity so that a slave only
+(* Plan for one phase, at single-task granularity so that a slave only
    computes what has actually been delivered (a stalled link therefore
-   stalls the dependent computation, as it would in reality):
-   - per master out-edge: an integral number of unit task files;
-   - master's own work: an integral number of unit tasks.
-   Edge indices carry over because scaled_platform preserves edge
-   order. *)
+   stalls the dependent computation, as it would in reality).
+
+   The LP task flow is acyclic (cycle-cancelled by {!Reconstruct}) and
+   conserved at every non-master node — in = alpha*speed + out, the
+   LP's own conservation rows — so it decomposes exactly into
+   master-rooted paths: repeatedly follow, from the master, the
+   lowest-indexed edge with positive remaining flow until the first
+   node with positive remaining compute rate, and subtract the
+   bottleneck along the walk.  The invariant
+   [rem_in = rem_comp + rem_out] is preserved by every subtraction, so
+   a walk that cannot absorb at a node always finds an onward edge;
+   acyclicity bounds its length, and each round zeroes an edge or a
+   node, so there are at most |E| + |V| paths.  On a star every edge
+   is its own single-hop path carrying exactly the old per-edge flow,
+   so star plans (and the curated expectations built on them) are
+   unchanged.
+
+   Each path then carries floor(phase * rate) unit task files
+   (delivered hop by hop, computing one unit at the terminal node);
+   the master's own work is floored the same way. *)
 let phase_plan sol phase =
   let p = sol.Master_slave.platform in
-  let transfers =
+  let master = sol.Master_slave.master in
+  let rem = Array.copy sol.Master_slave.task_flow in
+  let comp =
+    Array.init (P.num_nodes p) (fun i ->
+        if i = master then R.zero
+        else R.mul sol.Master_slave.alpha.(i) (P.speed p i))
+  in
+  let out_edges =
+    Array.init (P.num_nodes p) (fun i -> List.sort compare (P.out_edges p i))
+  in
+  let next_edge v =
+    List.find_opt (fun e -> R.sign rem.(e) > 0) out_edges.(v)
+  in
+  let paths = ref [] in
+  let rec walk v acc bottleneck =
+    if v <> master && R.sign comp.(v) > 0 then begin
+      let amount = R.min bottleneck comp.(v) in
+      comp.(v) <- R.sub comp.(v) amount;
+      let path = List.rev acc in
+      List.iter (fun e -> rem.(e) <- R.sub rem.(e) amount) path;
+      paths := (path, amount) :: !paths
+    end
+    else
+      match next_edge v with
+      | Some e -> walk (P.edge_dst p e) (e :: acc) (R.min bottleneck rem.(e))
+      | None ->
+        invalid_arg
+          "Dynamic_sched: task flow is not conserved (cannot decompose \
+           into master-rooted paths)"
+  in
+  let rec drain () =
+    match next_edge master with
+    | None -> ()
+    | Some e ->
+      walk (P.edge_dst p e) [ e ] rem.(e);
+      drain ()
+  in
+  drain ();
+  let paths =
     List.filter_map
-      (fun e ->
-        let items = R.floor (R.mul phase sol.Master_slave.task_flow.(e)) in
-        let items = R.of_bigint items in
-        if R.sign items > 0 then Some (e, R.to_int_exn items) else None)
-      (P.edges p)
+      (fun (path, rate) ->
+        let items = R.to_int_exn (R.of_bigint (R.floor (R.mul phase rate))) in
+        if items > 0 then Some (path, items) else None)
+      (List.rev !paths)
   in
   let master_tasks =
-    let i = sol.Master_slave.master in
     R.to_int_exn
       (R.of_bigint
          (R.floor
             (R.mul phase
-               (R.mul sol.Master_slave.alpha.(i) (P.speed p i)))))
+               (R.mul sol.Master_slave.alpha.(master) (P.speed p master)))))
   in
-  (transfers, master_tasks)
+  (paths, master_tasks)
 
 type loss_report = {
   timed_out_transfers : int;
@@ -201,19 +252,6 @@ let has_compute sub =
       match P.weight sub i with Ext_rat.Inf -> false | Ext_rat.Fin _ -> true)
     (P.nodes sub)
 
-(* the data-driven executor below only handles flows that go directly
-   from the master to the consuming slave (stars, or graphs whose LP
-   solution happens to use only master links) *)
-let check_single_hop sol =
-  let p = sol.Master_slave.platform in
-  Array.iteri
-    (fun e f ->
-      if R.sign f > 0 && P.edge_src p e <> sol.Master_slave.master then
-        invalid_arg
-          "Dynamic_sched: task flow uses relays; only master-direct flows \
-           are supported by the phase executor")
-    sol.Master_slave.task_flow
-
 let make_cache cache reuse =
   match cache with
   | Some _ as c -> c
@@ -268,29 +306,41 @@ let run_classic ?cache ?(reuse = true) ?budget ?stats sc strategy =
         (fun i -> Forecast.predict node_fc.(i))
         (fun e -> Forecast.predict edge_fc.(e))
   in
-  check_single_hop static_sol;
+  (* store-and-forward delivery of one unit task file along a path: each
+     hop is submitted only when the previous one lands (so a stalled
+     link stalls everything behind it, hop by hop), and the terminal
+     arrival enables one unit of computation.  Single-hop paths reduce
+     to the old direct submit *)
+  let rec submit_chain sim path =
+    match path with
+    | [] -> ()
+    | [ e ] ->
+      let dst = P.edge_dst p e in
+      Event_sim.submit sim (Event_sim.Transfer (e, R.one))
+        ~on_done:(fun sim ->
+          Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
+    | e :: rest ->
+      Event_sim.submit sim (Event_sim.Transfer (e, R.one))
+        ~on_done:(fun sim -> submit_chain sim rest)
+  in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
     Event_sim.at sim t0 (fun sim ->
         marks := total_work sim p :: !marks;
         let sol = plan_for t0 in
-        check_single_hop sol;
         let transfers, master_tasks = phase_plan sol sc.phase in
-        (* round-robin across slaves: unit task files, each enabling one
-           unit of computation on arrival *)
+        (* round-robin across paths: unit task files, each enabling one
+           unit of computation on terminal arrival *)
         let queues = Array.of_list transfers in
         let remaining = ref (Array.fold_left (fun a (_, n) -> a + n) 0 queues) in
         let counts = Array.map snd queues in
         while !remaining > 0 do
           Array.iteri
-            (fun idx (e, _) ->
+            (fun idx (path, _) ->
               if counts.(idx) > 0 then begin
                 counts.(idx) <- counts.(idx) - 1;
                 decr remaining;
-                let dst = P.edge_dst p e in
-                Event_sim.submit sim (Event_sim.Transfer (e, R.one))
-                  ~on_done:(fun sim ->
-                    Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
+                submit_chain sim path
               end)
             queues
         done;
@@ -331,7 +381,310 @@ let mults_equal a b =
   let rec go i = i >= n || (R.equal a.(i) b.(i) && go (i + 1)) in
   Array.length b = n && go 0
 
-let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
+(* ---- crash recovery ---------------------------------------------------
+
+   A checkpointed Robust run persists, at a configurable epoch cadence,
+   everything needed to continue the run bit-identically after a crash:
+   the per-epoch *decision log* (what each boundary's planner decided,
+   in original platform indices), a snapshot of the executor's
+   boundary-start state (arrears, backlog, deficits, loss counters,
+   failure flags, work marks — all exact), and the serialized warm LP
+   basis.  [resume] replays the logged decisions through a fresh
+   simulator — deterministic event replay, no LP solves — validates the
+   rebuilt state against the stored snapshot at the checkpointed
+   boundary, restores the warm basis, and continues live from there.
+   LP results of the live suffix coincide with the uninterrupted run's
+   because every checkpointed run writes its solves through a
+   {!Solve_store} disk tier in the same directory: the resumed run's
+   cold memo hits the disk entries the original run wrote.  A missing,
+   truncated, corrupt, version-skewed or mismatching checkpoint is
+   quarantined and degrades to a cold full run — recovery can cost
+   time, never answers. *)
+
+module Checkpoint = struct
+  type config = { dir : string; every : int }
+
+  exception Halted of int
+end
+
+(* one boundary's planning decision, in original platform indices *)
+type decision =
+  | D_degraded
+  | D_plan of (P.edge list * int) list * int
+      (* per-path unit-file counts, raw master floor (pre-adjustment) *)
+
+(* executor state at the *start* of a boundary callback (before the
+   marks push and the cancel sweep) — everything a replay must
+   reproduce exactly *)
+type snapshot = {
+  s_arrears : (P.edge list * int) list list;
+  s_backlog : int list;
+  s_master_deficit : int;
+  s_timed_out : int;
+  s_cancelled : int;
+  s_retries : int;
+  s_lost : int;
+  s_degraded : int;
+  s_dead_cpu : bool array;
+  s_dead_bw : bool array;
+  s_marks : R.t list; (* newest first, as maintained by the run *)
+}
+
+type ckpt_record = {
+  c_epoch : int; (* boundary the snapshot was taken at *)
+  c_reuse : bool;
+  c_log : decision list; (* oldest first; length = c_epoch *)
+  c_snap : snapshot;
+  c_basis : string option; (* {!Lp.export_basis} of the warm slot *)
+}
+
+let ckpt_format = "steady-ckpt 1"
+
+let encode_ckpt r =
+  let b = Buffer.create 1024 in
+  let int i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b '\n'
+  in
+  let batch bt =
+    int (List.length bt);
+    List.iter
+      (fun (path, cnt) ->
+        int cnt;
+        int (List.length path);
+        List.iter int path)
+      bt
+  in
+  Buffer.add_string b ckpt_format;
+  Buffer.add_char b '\n';
+  int r.c_epoch;
+  int (if r.c_reuse then 1 else 0);
+  int (List.length r.c_log);
+  List.iter
+    (function
+      | D_degraded -> Buffer.add_string b "D\n"
+      | D_plan (paths, mt) ->
+        Buffer.add_string b "P\n";
+        int mt;
+        batch paths)
+    r.c_log;
+  let s = r.c_snap in
+  int s.s_master_deficit;
+  int s.s_timed_out;
+  int s.s_cancelled;
+  int s.s_retries;
+  int s.s_lost;
+  int s.s_degraded;
+  int (List.length s.s_backlog);
+  List.iter int s.s_backlog;
+  int (List.length s.s_arrears);
+  List.iter batch s.s_arrears;
+  Buffer.add_string b
+    (String.init (Array.length s.s_dead_cpu) (fun i ->
+         if s.s_dead_cpu.(i) then '1' else '0'));
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (String.init (Array.length s.s_dead_bw) (fun e ->
+         if s.s_dead_bw.(e) then '1' else '0'));
+  Buffer.add_char b '\n';
+  int (List.length s.s_marks);
+  List.iter
+    (fun mk ->
+      Buffer.add_string b (R.to_string mk);
+      Buffer.add_char b '\n')
+    s.s_marks;
+  (match r.c_basis with
+  | None -> Buffer.add_string b "B-\n"
+  | Some bs ->
+    Buffer.add_string b "B\n";
+    int (String.length bs);
+    Buffer.add_string b bs;
+    Buffer.add_char b '\n');
+  Buffer.contents b
+
+(* Strict structural decoder: any deviation — bad magic, counts out of
+   range, indices off the platform, trailing bytes — yields [None], and
+   the caller quarantines the record and cold-starts.  Like
+   {!Lp.import_basis} this must never raise. *)
+let decode_ckpt ~nodes ~edges ~phases raw =
+  let len = String.length raw in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    if !pos >= len then fail ();
+    match String.index_from_opt raw !pos '\n' with
+    | None -> fail ()
+    | Some j ->
+      let s = String.sub raw !pos (j - !pos) in
+      pos := j + 1;
+      s
+  in
+  let int () =
+    match int_of_string_opt (line ()) with Some i -> i | None -> fail ()
+  in
+  let nonneg () =
+    let i = int () in
+    if i < 0 then fail ();
+    i
+  in
+  (* explicit in-order loop: the order of the stateful reads matters *)
+  let list n f =
+    if n < 0 || n > 1_000_000 then fail ();
+    let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+    go n []
+  in
+  let path_entry () =
+    let cnt = nonneg () in
+    let plen = int () in
+    if plen < 1 || plen > edges then fail ();
+    let path =
+      list plen (fun () ->
+          let e = int () in
+          if e < 0 || e >= edges then fail ();
+          e)
+    in
+    (path, cnt)
+  in
+  let batch () = list (int ()) path_entry in
+  let bits k =
+    let l = line () in
+    if String.length l <> k then fail ();
+    Array.init k (fun i ->
+        match l.[i] with '1' -> true | '0' -> false | _ -> fail ())
+  in
+  try
+    if not (String.equal (line ()) ckpt_format) then fail ();
+    let epoch = int () in
+    if epoch < 1 || epoch >= phases then fail ();
+    let reuse = match int () with 0 -> false | 1 -> true | _ -> fail () in
+    let nlog = int () in
+    if nlog <> epoch then fail ();
+    let log =
+      list nlog (fun () ->
+          match line () with
+          | "D" -> D_degraded
+          | "P" ->
+            let mt = nonneg () in
+            let paths = batch () in
+            D_plan (paths, mt)
+          | _ -> fail ())
+    in
+    let master_deficit = nonneg () in
+    let timed_out = nonneg () in
+    let cancelled = nonneg () in
+    let retries = nonneg () in
+    let lost = nonneg () in
+    let degraded = nonneg () in
+    let backlog = list (int ()) (fun () -> nonneg ()) in
+    let arrears = list (int ()) batch in
+    let dead_cpu = bits nodes in
+    let dead_bw = bits edges in
+    let nmarks = int () in
+    if nmarks <> epoch then fail ();
+    let marks = list nmarks (fun () -> R.of_string (line ())) in
+    let basis =
+      match line () with
+      | "B-" -> None
+      | "B" ->
+        let bl = int () in
+        if bl < 0 || !pos + bl >= len then fail ();
+        let s = String.sub raw !pos bl in
+        if raw.[!pos + bl] <> '\n' then fail ();
+        pos := !pos + bl + 1;
+        Some s
+      | _ -> fail ()
+    in
+    if !pos <> len then fail ();
+    Some
+      {
+        c_epoch = epoch;
+        c_reuse = reuse;
+        c_log = log;
+        c_snap =
+          {
+            s_arrears = arrears;
+            s_backlog = backlog;
+            s_master_deficit = master_deficit;
+            s_timed_out = timed_out;
+            s_cancelled = cancelled;
+            s_retries = retries;
+            s_lost = lost;
+            s_degraded = degraded;
+            s_dead_cpu = dead_cpu;
+            s_dead_bw = dead_bw;
+            s_marks = marks;
+          };
+        c_basis = basis;
+      }
+  with Exit | Failure _ | Invalid_argument _ | Division_by_zero -> None
+
+(* canonical store key of a scenario: the checkpoint record binds to the
+   exact platform, traces, horizon and reuse flag — a different run in
+   the same store directory can never pick it up by accident *)
+let scenario_key sc ~reuse =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "ckpt!v1!";
+  let p = sc.platform in
+  List.iter
+    (fun i ->
+      Buffer.add_string b (P.name p i);
+      Buffer.add_char b '=';
+      (match P.weight p i with
+      | Ext_rat.Inf -> Buffer.add_string b "inf"
+      | Ext_rat.Fin w -> Buffer.add_string b (R.to_string w));
+      Buffer.add_char b ';')
+    (P.nodes p);
+  Buffer.add_char b '#';
+  List.iter
+    (fun e ->
+      Buffer.add_string b (string_of_int (P.edge_src p e));
+      Buffer.add_char b '>';
+      Buffer.add_string b (string_of_int (P.edge_dst p e));
+      Buffer.add_char b ':';
+      Buffer.add_string b (R.to_string (P.edge_cost p e));
+      Buffer.add_char b ';')
+    (P.edges p);
+  Buffer.add_char b '#';
+  Buffer.add_string b (string_of_int sc.master);
+  Buffer.add_char b '@';
+  Buffer.add_string b (R.to_string sc.phase);
+  Buffer.add_char b 'x';
+  Buffer.add_string b (string_of_int sc.phases);
+  let dump_traces tag l =
+    Buffer.add_char b '#';
+    Buffer.add_string b tag;
+    List.iter
+      (fun (i, tr) ->
+        Buffer.add_string b (string_of_int i);
+        Buffer.add_char b ':';
+        List.iter
+          (fun (t, mlt) ->
+            Buffer.add_string b (R.to_string t);
+            Buffer.add_char b ',';
+            Buffer.add_string b (R.to_string mlt);
+            Buffer.add_char b ';')
+          (normalize_trace tr);
+        Buffer.add_char b '|')
+      l
+  in
+  dump_traces "cpu" sc.cpu_traces;
+  dump_traces "bw" sc.bw_traces;
+  Buffer.add_char b '#';
+  Buffer.add_string b (if reuse then "w" else "c");
+  Buffer.contents b
+
+(* internal checkpoint context threaded through [run_robust] *)
+type ckpt_ctx = {
+  ck_store : Solve_store.t;
+  ck_key : string;
+  ck_every : int;
+  ck_halt : int option; (* test hook: crash at this boundary *)
+  ck_replay : (decision array * snapshot * string option) option;
+}
+
+exception Resume_mismatch
+
+let run_robust ?cache ?(reuse = true) ?budget ?stats ?ckpt sc =
   let p = sc.platform in
   let n = P.num_nodes p and m = P.num_edges p in
   let node_cts, edge_cts = compile_scenario sc in
@@ -366,14 +719,23 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
         dead_bw.(e) <- R.is_zero out.Event_sim.out_multiplier);
   let node_fc = Array.init n (fun _ -> Forecast.create ()) in
   let edge_fc = Array.init m (fun _ -> Forecast.create ()) in
-  (* in-flight transfers (op id -> edge, attempt count) and the retry
-     backlog of task files waiting for a surviving route *)
+  (* in-flight task files (op id -> remaining path starting at the hop
+     currently on the wire, attempt count) and the retry backlog of
+     task files waiting for a surviving route *)
   let live = Hashtbl.create 32 in
   let backlog = ref [] in
   let timed_out = ref 0 and boundary_cancelled = ref 0 in
   let retries = ref 0 and lost = ref 0 and degraded = ref 0 in
   let max_attempts = 4 in
   let horizon = R.mul (R.of_int sc.phases) sc.phase in
+  (* a route is now a whole master-rooted path; it is usable for a
+     (re)send when every link is alive and the terminal CPU computes *)
+  let path_links_alive path = List.for_all (fun e -> not dead_bw.(e)) path in
+  let path_dst path =
+    match List.rev path with
+    | e :: _ -> P.edge_dst p e
+    | [] -> invalid_arg "Dynamic_sched: empty path"
+  in
   (* routes of the current phase's plan, consulted by mid-phase backoff
      retries; the cursor keeps re-routing round-robin across them *)
   let routes = ref [||] in
@@ -384,10 +746,10 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
     let rec scan k =
       if k >= len then None
       else
-        let e = q.((!route_rr + k) mod len) in
-        if (not dead_bw.(e)) && not dead_cpu.(P.edge_dst p e) then begin
+        let path = q.((!route_rr + k) mod len) in
+        if path_links_alive path && not dead_cpu.(path_dst path) then begin
           route_rr := (!route_rr + k + 1) mod len;
-          Some e
+          Some path
         end
         else scan (k + 1)
     in
@@ -398,59 +760,71 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
     match stats with Some s -> Lp.Stats.add_retry s ~backoff | None -> ()
   in
   let backoff_base = R.div sc.phase (R.of_int 4) in
-  let rec submit_transfer sim e attempts =
-    let dst = P.edge_dst p e in
-    let idr = ref None in
-    (* callbacks only fire from the event loop, after [idr] is set *)
-    let unregister () =
-      match !idr with None -> () | Some id -> Hashtbl.remove live id
-    in
-    (* No per-op timeout: cancelling a transfer discards its partial
-       progress, and a transfer that is merely slow (or deeply queued
-       behind the static supply floor) will finish — recycling it is
-       the one way a "robust" executor falls behind the static one,
-       which never cancels anything.  Genuine stalls are multiplier-0
-       links, and those the boundary sweep detects and cancels
-       eagerly through the outage events. *)
-    let id =
-      Event_sim.submit_op sim
-        (Event_sim.Transfer (e, R.one))
-        ~on_done:(fun sim ->
-          unregister ();
-          Event_sim.submit sim (Event_sim.Compute (dst, R.one)))
-        ~on_cancel:(fun sim reason ->
-          unregister ();
-          (match reason with
-          | Event_sim.Timed_out -> incr timed_out
-          | Event_sim.Cancelled | Event_sim.Stranded ->
-            incr boundary_cancelled);
-          (* retry with exponential backoff and a per-transfer deadline:
-             attempt [a] waits [phase/4 * 2^(a-1)] before resubmitting on
-             a route alive at fire time (no such route: the task file
-             waits in the backlog for the next boundary).  A retry whose
-             backoff lands at or past the horizon is abandoned — it could
-             never deliver in time anyway.  Every cancellation thus ends
-             in exactly one of {retry, lost, backlog}, which is the
-             accounting identity [timed_out + cancelled = retries +
-             lost_tasks] the chaos harness asserts. *)
-          let attempts = attempts + 1 in
-          if attempts >= max_attempts then incr lost
-          else
-            let delay =
-              R.mul backoff_base (R.of_int (1 lsl (attempts - 1)))
-            in
-            let due = R.add (Event_sim.now sim) delay in
-            if R.compare due horizon >= 0 then incr lost
+  (* Store-and-forward delivery along a path: each hop is its own
+     tracked operation, submitted when the previous hop lands; the
+     terminal arrival enables one unit of computation.  A cancellation
+     anywhere along the path abandons the partial progress and resends
+     the whole file from the master on a route picked at retry time —
+     the copy parked at the intermediate node is simply dropped (task
+     files are replicable data, never unique state). *)
+  let rec submit_path sim path attempts =
+    match path with
+    | [] -> ()
+    | e :: rest ->
+      let idr = ref None in
+      (* callbacks only fire from the event loop, after [idr] is set *)
+      let unregister () =
+        match !idr with None -> () | Some id -> Hashtbl.remove live id
+      in
+      (* No per-op timeout: cancelling a transfer discards its partial
+         progress, and a transfer that is merely slow (or deeply queued
+         behind the static supply floor) will finish — recycling it is
+         the one way a "robust" executor falls behind the static one,
+         which never cancels anything.  Genuine stalls are multiplier-0
+         links, and those the boundary sweep detects and cancels
+         eagerly through the outage events. *)
+      let id =
+        Event_sim.submit_op sim
+          (Event_sim.Transfer (e, R.one))
+          ~on_done:(fun sim ->
+            unregister ();
+            match rest with
+            | [] ->
+              Event_sim.submit sim (Event_sim.Compute (P.edge_dst p e, R.one))
+            | _ -> submit_path sim rest attempts)
+          ~on_cancel:(fun sim reason ->
+            unregister ();
+            (match reason with
+            | Event_sim.Timed_out -> incr timed_out
+            | Event_sim.Cancelled | Event_sim.Stranded ->
+              incr boundary_cancelled);
+            (* retry with exponential backoff and a per-transfer deadline:
+               attempt [a] waits [phase/4 * 2^(a-1)] before resubmitting on
+               a route alive at fire time (no such route: the task file
+               waits in the backlog for the next boundary).  A retry whose
+               backoff lands at or past the horizon is abandoned — it could
+               never deliver in time anyway.  Every cancellation thus ends
+               in exactly one of {retry, lost, backlog}, which is the
+               accounting identity [timed_out + cancelled = retries +
+               lost_tasks] the chaos harness asserts. *)
+            let attempts = attempts + 1 in
+            if attempts >= max_attempts then incr lost
             else
-              Event_sim.at sim due (fun sim ->
-                  match pick_route () with
-                  | Some e' ->
-                    note_retry delay;
-                    submit_transfer sim e' attempts
-                  | None -> backlog := attempts :: !backlog))
-    in
-    idr := Some id;
-    Hashtbl.replace live id (e, attempts)
+              let delay =
+                R.mul backoff_base (R.of_int (1 lsl (attempts - 1)))
+              in
+              let due = R.add (Event_sim.now sim) delay in
+              if R.compare due horizon >= 0 then incr lost
+              else
+                Event_sim.at sim due (fun sim ->
+                    match pick_route () with
+                    | Some path' ->
+                      note_retry delay;
+                      submit_path sim path' attempts
+                    | None -> backlog := attempts :: !backlog))
+      in
+      idr := Some id;
+      Hashtbl.replace live id (e :: rest, attempts)
   in
   (* The static baseline plan doubles as a supply floor: on every route
      that survives (link alive, destination CPU alive) Robust submits at
@@ -465,7 +839,16 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
   let static_sol =
     Master_slave.solve ?warm ?cache ?recon ?budget ?stats p ~master:sc.master
   in
-  check_single_hop static_sol;
+  (* Resuming: overwrite the warm slot with the checkpointed basis only
+     *after* the static solve — the uninterrupted run's static solve ran
+     against an empty slot, and the first live epoch must import exactly
+     the basis the last pre-crash solve left behind. *)
+  (match ckpt, warm with
+  | Some { ck_replay = Some (_, _, Some bstr); _ }, Some w -> (
+    match Lp.import_basis bstr with
+    | Some bs -> Lp.Warm.restore w bs
+    | None -> () (* damaged basis: first live solve just starts cold *))
+  | _ -> ());
   let static_transfers, static_master = phase_plan static_sol sc.phase in
   (* Static-floor supply owed on routes that were dead when the floor
      would have submitted.  Static keeps queueing through an outage and
@@ -496,19 +879,105 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
   let node_mults = Array.make n R.one in
   let edge_mults = Array.make m R.one in
   let marks = ref [] in
+  (* ---- checkpoint plumbing ----
+     [replay] is the decision prefix of a resumed run: boundaries
+     [0 .. resume_epoch-1] re-execute the logged decisions through the
+     simulator (deterministic, no LP work), boundary [resume_epoch]
+     validates the rebuilt state against the stored snapshot, and
+     everything from there runs live.  A fresh run has
+     [resume_epoch = 0] and every boundary is live. *)
+  let replay =
+    match ckpt with
+    | Some { ck_replay = Some (log, snap, _); _ } -> Some (log, snap)
+    | _ -> None
+  in
+  let resume_epoch =
+    match replay with Some (log, _) -> Array.length log | None -> 0
+  in
+  let dlog = ref [] in
+  (* newest first; length = boundaries processed so far *)
+  let snapshot () =
+    {
+      s_arrears = !arrears;
+      s_backlog = !backlog;
+      s_master_deficit = !master_deficit;
+      s_timed_out = !timed_out;
+      s_cancelled = !boundary_cancelled;
+      s_retries = !retries;
+      s_lost = !lost;
+      s_degraded = !degraded;
+      s_dead_cpu = Array.copy dead_cpu;
+      s_dead_bw = Array.copy dead_bw;
+      s_marks = !marks;
+    }
+  in
+  let snapshots_equal a b =
+    a.s_arrears = b.s_arrears
+    && a.s_backlog = b.s_backlog
+    && a.s_master_deficit = b.s_master_deficit
+    && a.s_timed_out = b.s_timed_out
+    && a.s_cancelled = b.s_cancelled
+    && a.s_retries = b.s_retries
+    && a.s_lost = b.s_lost
+    && a.s_degraded = b.s_degraded
+    && a.s_dead_cpu = b.s_dead_cpu
+    && a.s_dead_bw = b.s_dead_bw
+    && List.length a.s_marks = List.length b.s_marks
+    && List.for_all2 R.equal a.s_marks b.s_marks
+  in
+  let write_ckpt k =
+    match ckpt with
+    | Some c when k > 0 && k mod c.ck_every = 0 ->
+      let basis =
+        match warm with
+        | Some w -> Option.map Lp.export_basis (Lp.Warm.basis w)
+        | None -> None
+      in
+      Solve_store.add c.ck_store c.ck_key
+        (encode_ckpt
+           {
+             c_epoch = k;
+             c_reuse = reuse;
+             c_log = List.rev !dlog;
+             c_snap = snapshot ();
+             c_basis = basis;
+           })
+    | _ -> ()
+  in
+  let halt_check k =
+    match ckpt with
+    | Some { ck_halt = Some h; _ } when h = k -> raise (Checkpoint.Halted k)
+    | _ -> ()
+  in
   for k = 0 to sc.phases - 1 do
     let t0 = R.mul (R.of_int k) sc.phase in
     Event_sim.at sim t0 (fun sim ->
+        (* resume point: the stored snapshot was taken exactly here, at
+           the start of this boundary's callback *)
+        (match replay with
+        | Some (_, snap) when k = resume_epoch ->
+          if not (snapshots_equal (snapshot ()) snap) then
+            raise Resume_mismatch
+        | _ -> ());
+        if k >= resume_epoch then begin
+          write_ckpt k;
+          halt_check k
+        end;
         marks := total_work sim p :: !marks;
-        (* detection-driven cancellation: a transfer sitting on a link
-           now known dead is going nowhere — free the one-port slots it
-           holds (or its queue position) and re-queue the task file *)
+        (* detection-driven cancellation: a task file whose current hop
+           sits on a link now known dead is going nowhere — free the
+           one-port slots it holds (or its queue position) and re-queue
+           the task file *)
         Hashtbl.fold
-          (fun id (e, _) acc -> if dead_bw.(e) then id :: acc else acc)
+          (fun id (path, _) acc ->
+            match path with
+            | e :: _ when dead_bw.(e) -> id :: acc
+            | _ -> acc)
           live []
         |> List.iter (fun id -> ignore (Event_sim.cancel sim id));
-        (* plan on the surviving subplatform, scaled by forecasts fed
-           only with observations of resources that are actually alive *)
+        (* observations of resources that are actually alive feed the
+           forecasters during replay and live planning alike — the first
+           live epoch's predictions depend on the whole history *)
         List.iter
           (fun i ->
             if not dead_cpu.(i) then
@@ -519,14 +988,6 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
             if not dead_bw.(e) then
               Forecast.observe edge_fc.(e) (compiled_at edge_cts.(e) t0))
           (P.edges p);
-        for i = 0 to n - 1 do
-          node_mults.(i) <-
-            (if dead_cpu.(i) then R.zero else Forecast.predict node_fc.(i))
-        done;
-        for e = 0 to m - 1 do
-          edge_mults.(e) <-
-            (if dead_bw.(e) then R.zero else Forecast.predict edge_fc.(e))
-        done;
         (* route arrears accrue per branch below (a dead destination CPU
            does NOT block the floor — delivering to a reachable node
            whose CPU is down pre-positions the task files, which compute
@@ -535,46 +996,79 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
            dead master CPU *)
         if dead_cpu.(sc.master) then
           master_deficit := !master_deficit + static_master;
-        let restr =
-          match !memo with
-          | Some (nm, em, r)
-            when reuse && mults_equal nm node_mults && mults_equal em edge_mults
-            ->
-            r
+        let decision =
+          match replay with
+          | Some (log, _) when k < resume_epoch -> log.(k)
           | _ ->
-            let r =
-              surviving_scaled sc
-                ~node_mult:(fun i -> node_mults.(i))
-                ~edge_mult:(fun e -> edge_mults.(e))
+            (* live planning: plan on the surviving subplatform, scaled
+               by the forecasts *)
+            for i = 0 to n - 1 do
+              node_mults.(i) <-
+                (if dead_cpu.(i) then R.zero else Forecast.predict node_fc.(i))
+            done;
+            for e = 0 to m - 1 do
+              edge_mults.(e) <-
+                (if dead_bw.(e) then R.zero else Forecast.predict edge_fc.(e))
+            done;
+            let restr =
+              match !memo with
+              | Some (nm, em, r)
+                when reuse && mults_equal nm node_mults
+                     && mults_equal em edge_mults ->
+                r
+              | _ ->
+                let r =
+                  surviving_scaled sc
+                    ~node_mult:(fun i -> node_mults.(i))
+                    ~edge_mult:(fun e -> edge_mults.(e))
+                in
+                if reuse then
+                  memo :=
+                    Some (Array.copy node_mults, Array.copy edge_mults, r);
+                r
             in
-            if reuse then
-              memo := Some (Array.copy node_mults, Array.copy edge_mults, r);
-            r
+            (if reuse then
+               match !prev_restr with
+               | Some prev when prev != restr ->
+                 (match recon with
+                 | Some w ->
+                   let node_map, edge_map =
+                     P.transfer_maps ~src:prev ~dst:restr
+                   in
+                   Reconstruct.Warm.remap w ~node_map ~edge_map
+                     ~platform:restr.P.sub
+                 | None -> ())
+               | _ -> ());
+            prev_restr := Some restr;
+            let sub = restr.P.sub in
+            let plan =
+              if not (has_compute sub) then None
+              else
+                match
+                  Master_slave.try_solve ?warm ?cache ?recon ?budget ?stats
+                    sub
+                    ~master:restr.P.sub_of_node.(sc.master)
+                with
+                | Error (`Infeasible | `Unbounded) -> None
+                | Ok sol -> Some sol
+            in
+            (match plan with
+            | None -> D_degraded
+            | Some sol ->
+              let transfers, master_tasks_raw = phase_plan sol sc.phase in
+              (* plan indices live on the restriction; record (and
+                 execute) in original platform indices *)
+              let transfers =
+                List.map
+                  (fun (path, cnt) ->
+                    (List.map (fun se -> restr.P.edge_of_sub.(se)) path, cnt))
+                  transfers
+              in
+              D_plan (transfers, master_tasks_raw))
         in
-        (if reuse then
-           match !prev_restr with
-           | Some prev when prev != restr ->
-             (match recon with
-             | Some w ->
-               let node_map, edge_map = P.transfer_maps ~src:prev ~dst:restr in
-               Reconstruct.Warm.remap w ~node_map ~edge_map
-                 ~platform:restr.P.sub
-             | None -> ())
-           | _ -> ());
-        prev_restr := Some restr;
-        let sub = restr.P.sub in
-        let plan =
-          if not (has_compute sub) then None
-          else
-            match
-              Master_slave.try_solve ?warm ?cache ?recon ?budget ?stats sub
-                ~master:restr.P.sub_of_node.(sc.master)
-            with
-            | Error (`Infeasible | `Unbounded) -> None
-            | Ok sol -> Some sol
-        in
-        match plan with
-        | None ->
+        dlog := decision :: !dlog;
+        match decision with
+        | D_degraded ->
           (* graceful degradation: no surviving compute power (e.g. the
              master is isolated) — nothing submitted, nothing raised;
              backlogged task files wait for the next boundary.  The whole
@@ -585,34 +1079,31 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
           routes := [||];
           route_rr := 0;
           incr degraded
-        | Some sol ->
-          check_single_hop sol;
-          let transfers, master_tasks = phase_plan sol sc.phase in
-          (* plan indices live on the restriction; execute on the
-             original platform *)
-          let transfers =
-            List.map
-              (fun (se, cnt) -> (restr.P.edge_of_sub.(se), cnt))
-              transfers
-          in
-          (* apply the static supply floor on every route whose link
-             still delivers (dead destination CPUs queue the work).
+        | D_plan (transfers, master_tasks_raw) ->
+          (* apply the static supply floor on every route whose links
+             all still deliver (dead destination CPUs queue the work).
              Supply is layered to mirror Static's own port queue:
              payable arrears batches (oldest first), then this
              boundary's floor batch, then the LP extras — so the
              opportunistic extras never displace through the one-port
              queue the deliveries Static would have made. *)
           let static_alive =
-            List.filter (fun (e, _) -> not dead_bw.(e)) static_transfers
+            List.filter
+              (fun (path, _) -> path_links_alive path)
+              static_transfers
           in
           let owed =
-            List.filter (fun (e, _) -> dead_bw.(e)) static_transfers
+            List.filter
+              (fun (path, _) -> not (path_links_alive path))
+              static_transfers
           in
           let payable, retained =
             List.fold_left
               (fun (pay, keep) batch ->
                 let alive, still_dead =
-                  List.partition (fun (e, _) -> not dead_bw.(e)) batch
+                  List.partition
+                    (fun (path, _) -> path_links_alive path)
+                    batch
                 in
                 ( (if alive <> [] then alive :: pay else pay),
                   if still_dead <> [] then still_dead :: keep else keep ))
@@ -621,22 +1112,23 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
           let payable = List.rev payable in
           arrears :=
             List.rev retained @ (if owed <> [] then [ owed ] else []);
-          (* LP extras beyond the floor on each route *)
+          (* LP extras beyond the floor on each route (paths compare
+             structurally — a route is its exact edge sequence) *)
           let extras =
             List.filter_map
-              (fun (e, cnt) ->
+              (fun (path, cnt) ->
                 let f =
-                  match List.assoc_opt e static_alive with
+                  match List.assoc_opt path static_alive with
                   | Some c -> c
                   | None -> 0
                 in
-                if cnt > f then Some (e, cnt - f) else None)
+                if cnt > f then Some (path, cnt - f) else None)
               transfers
           in
           let master_tasks =
-            if dead_cpu.(sc.master) then master_tasks
+            if dead_cpu.(sc.master) then master_tasks_raw
             else begin
-              let t = max master_tasks static_master + !master_deficit in
+              let t = max master_tasks_raw static_master + !master_deficit in
               master_deficit := 0;
               t
             end
@@ -644,14 +1136,14 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
           let retry_items = !backlog in
           backlog := [];
           (* retry routes: the LP's routes plus the floored ones *)
-          let route_edges =
+          let route_paths =
             List.map fst transfers
             @ List.filter_map
-                (fun (e, _) ->
-                  if List.mem_assoc e transfers then None else Some e)
+                (fun (path, _) ->
+                  if List.mem_assoc path transfers then None else Some path)
                 static_alive
           in
-          routes := Array.of_list route_edges;
+          routes := Array.of_list route_paths;
           route_rr := 0;
           (* each batch is submitted round-robin across its routes —
              the same interleaving Static's own per-phase loop uses *)
@@ -661,11 +1153,11 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
             let remaining = ref (Array.fold_left ( + ) 0 counts) in
             while !remaining > 0 do
               Array.iteri
-                (fun idx (e, _) ->
+                (fun idx (path, _) ->
                   if counts.(idx) > 0 then begin
                     counts.(idx) <- counts.(idx) - 1;
                     decr remaining;
-                    submit_transfer sim e 0
+                    submit_path sim path 0
                   end)
                 q
             done
@@ -680,9 +1172,9 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
           else
             List.iteri
               (fun j a ->
-                let e = !routes.(j mod nroutes) in
+                let path = !routes.(j mod nroutes) in
                 note_retry R.zero;
-                submit_transfer sim e a)
+                submit_path sim path a)
               retry_items;
           (* unit granularity so a partial phase still counts *)
           for _ = 1 to master_tasks do
@@ -717,11 +1209,51 @@ let run_robust ?cache ?(reuse = true) ?budget ?stats sc =
       };
   }
 
-let run ?cache ?reuse ?budget ?stats sc strategy =
+(* fresh checkpoint context for a (re)started run; with [reuse] the LP
+   cache gets the store as its disk tier, so a later resumed run finds
+   every solve the original run performed and reproduces its results
+   bit-identically even where the original hit its in-memory memo *)
+let ckpt_ctx_of config ~reuse ~halt_at =
+  if config.Checkpoint.every < 1 then
+    invalid_arg "Dynamic_sched: checkpoint cadence must be >= 1";
+  let store = Solve_store.open_store config.Checkpoint.dir in
+  let ctx =
+    {
+      ck_store = store;
+      ck_key = "";
+      ck_every = config.Checkpoint.every;
+      ck_halt = halt_at;
+      ck_replay = None;
+    }
+  in
+  let cache = if reuse then Some (Lp.Cache.create ~disk:store ()) else None in
+  (store, ctx, cache)
+
+let run ?cache ?reuse ?budget ?stats ?checkpoint ?halt_at sc strategy =
+  (match checkpoint, strategy with
+  | Some _, (Static | Reactive | Oracle) ->
+    invalid_arg "Dynamic_sched.run: ?checkpoint requires the Robust strategy"
+  | _ -> ());
+  (match halt_at, checkpoint with
+  | Some _, None ->
+    invalid_arg "Dynamic_sched.run: ?halt_at requires ?checkpoint"
+  | _ -> ());
   match strategy with
-  | Robust ->
+  | Robust -> (
     validate_scenario ~allow_outages:true sc;
-    run_robust ?cache ?reuse ?budget ?stats sc
+    match checkpoint with
+    | None -> run_robust ?cache ?reuse ?budget ?stats sc
+    | Some config ->
+      (match cache with
+      | Some _ ->
+        invalid_arg
+          "Dynamic_sched.run: ?cache and ?checkpoint are exclusive (the \
+           checkpointed run manages its own disk-tier cache)"
+      | None -> ());
+      let reuse_v = Option.value reuse ~default:true in
+      let _store, ctx, cache = ckpt_ctx_of config ~reuse:reuse_v ~halt_at in
+      let ctx = { ctx with ck_key = scenario_key sc ~reuse:reuse_v } in
+      run_robust ?cache ?reuse ?budget ?stats ~ckpt:ctx sc)
   | Static ->
     (* outages are execution-time events the static plan never consults:
        the strategy runs (and suffers) fault scenarios as the baseline *)
@@ -732,6 +1264,68 @@ let run ?cache ?reuse ?budget ?stats sc strategy =
        zero multiplier has no meaningful scaled platform *)
     validate_scenario sc;
     run_classic ?cache ?reuse ?budget ?stats sc strategy
+
+let outcomes_equal a b =
+  a.strategy = b.strategy
+  && R.equal a.completed b.completed
+  && List.length a.per_phase = List.length b.per_phase
+  && List.for_all2 R.equal a.per_phase b.per_phase
+  && a.losses = b.losses
+
+let resume ?reuse ?budget ?stats ?(strict = false) ~checkpoint sc =
+  validate_scenario ~allow_outages:true sc;
+  let reuse_v = Option.value reuse ~default:true in
+  let store, ctx, cache = ckpt_ctx_of checkpoint ~reuse:reuse_v ~halt_at:None in
+  let key = scenario_key sc ~reuse:reuse_v in
+  let ctx = { ctx with ck_key = key } in
+  let n = P.num_nodes sc.platform and m = P.num_edges sc.platform in
+  (* a missing, corrupt, version-skewed or wrong-flag record never
+     raises and never changes an answer: it is quarantined (preserved
+     for inspection, out of the live path) and the run cold-starts *)
+  let record =
+    match Solve_store.find store key with
+    | None -> None
+    | Some raw -> (
+      match decode_ckpt ~nodes:n ~edges:m ~phases:sc.phases raw with
+      | Some r when r.c_reuse = reuse_v -> Some r
+      | _ ->
+        Solve_store.quarantine store key;
+        None)
+  in
+  let cold () =
+    (run_robust ?cache ?reuse ?budget ?stats ~ckpt:ctx sc, None)
+  in
+  let outcome, resumed_from =
+    match record with
+    | None -> cold ()
+    | Some r -> (
+      let rctx =
+        {
+          ctx with
+          ck_replay = Some (Array.of_list r.c_log, r.c_snap, r.c_basis);
+        }
+      in
+      match run_robust ?cache ?reuse ?budget ?stats ~ckpt:rctx sc with
+      | o -> (o, Some r.c_epoch)
+      | exception Resume_mismatch ->
+        (* the replayed prefix does not reproduce the stored snapshot:
+           the record lied (bit rot that survived the structural decode,
+           or a foreign record under a colliding key) — demote it and
+           certify the answer by running cold *)
+        Solve_store.quarantine store key;
+        cold ())
+  in
+  if strict then begin
+    (* certification: an uninterrupted cold-state run (fresh caches, no
+       checkpoint machinery) must reproduce the resumed outcome
+       bit-identically *)
+    let fresh = run_robust ?reuse ?budget sc in
+    if not (outcomes_equal outcome fresh) then
+      failwith
+        "Dynamic_sched.resume: strict certification failed (resumed outcome \
+         differs from an uninterrupted cold run)"
+  end;
+  (outcome, resumed_from)
 
 let oracle_throughput_bound ?cache ?(reuse = true) sc =
   validate_scenario sc;

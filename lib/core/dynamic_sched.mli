@@ -106,11 +106,47 @@ type outcome = {
   losses : loss_report;
 }
 
+(** {1 Crash recovery}
+
+    A {!Robust} run given a [Checkpoint.config] persists, every
+    [every] epochs, an exact record of its progress — the per-epoch
+    decision log in original platform indices, a snapshot of the
+    executor state at the boundary (arrears, backlog, deficits, loss
+    counters, failure flags, work marks — all rational-exact), and the
+    serialized warm LP basis — through the same checksummed
+    atomic-commit machinery as the LP disk cache ({!Solve_store}).
+    {!resume} continues such a run after a crash {e bit-identically}:
+    the logged decisions are replayed through a fresh simulator (pure
+    deterministic event replay, no LP work), the rebuilt state is
+    validated against the stored snapshot, the warm basis is
+    re-imported, and the remaining epochs run live against the same
+    disk-tier LP memo the original run wrote through.  Corruption in
+    any form — truncation, bit flips, version skew, a snapshot the
+    replay cannot reproduce — is quarantined and degrades to a cold
+    full run: recovery can cost time, never answers. *)
+
+module Checkpoint : sig
+  type config = {
+    dir : string;
+        (** {!Solve_store} directory holding the checkpoint record and
+            the run's disk-tier LP cache *)
+    every : int;  (** write cadence, in epochs (>= 1) *)
+  }
+
+  exception Halted of int
+  (** Raised by {!run} at the [?halt_at] boundary (after any checkpoint
+      due there is committed) — the chaos harness's crash injection:
+      the simulator dies mid-run exactly as [kill -9] would, and the
+      test then certifies {!resume} against an uninterrupted run. *)
+end
+
 val run :
   ?cache:Lp.Cache.t ->
   ?reuse:bool ->
-  ?budget:int ->
+  ?budget:Master_slave.budget ->
   ?stats:Lp.Stats.t ->
+  ?checkpoint:Checkpoint.config ->
+  ?halt_at:int ->
   scenario ->
   strategy ->
   outcome
@@ -125,7 +161,42 @@ val run :
     fallback ({!Master_slave.solve}'s [?budget]); [?stats] accumulates
     solver/repair/retry counters across all phases.  Completed work is
     unaffected by [reuse] up to the choice among optimal vertices;
-    throughputs and bounds are bit-identical. *)
+    throughputs and bounds are bit-identical.
+
+    [?checkpoint] (Robust only) enables crash recovery as described
+    above; the run then manages its own LP cache with the store as its
+    disk tier, so it is exclusive with [?cache].  [?halt_at] (requires
+    [?checkpoint]) injects a crash: the run raises {!Checkpoint.Halted}
+    at the start of that boundary's callback.
+    @raise Invalid_argument on [?checkpoint] with a non-Robust
+    strategy, a cadence [< 1], [?cache] alongside [?checkpoint], or
+    [?halt_at] without [?checkpoint]. *)
+
+val resume :
+  ?reuse:bool ->
+  ?budget:Master_slave.budget ->
+  ?stats:Lp.Stats.t ->
+  ?strict:bool ->
+  checkpoint:Checkpoint.config ->
+  scenario ->
+  outcome * int option
+(** Continue a crashed checkpointed {!Robust} run.  Returns the outcome
+    and the epoch the run resumed from ([None]: no usable checkpoint
+    was found and the run started cold — which is also the recovery
+    path for a corrupt, version-skewed, wrong-platform or
+    snapshot-mismatching record, after quarantining it).  The resumed
+    outcome is bit-identical to the uninterrupted run's; with
+    [~strict:true] that is certified on the spot against a fresh
+    cold-state run (fresh caches, no checkpoint machinery).
+    [?reuse]/[?budget]/[?stats] as in {!run}; [reuse] must match the
+    original run's flag (a record written under the other flag is
+    treated as a miss).
+    @raise Failure if strict certification fails.
+    @raise Invalid_argument on a cadence [< 1]. *)
+
+val outcomes_equal : outcome -> outcome -> bool
+(** Exact equality of two outcomes: strategy, completed work, per-phase
+    marks (rational equality) and the loss report. *)
 
 val oracle_throughput_bound :
   ?cache:Lp.Cache.t -> ?reuse:bool -> scenario -> Rat.t

@@ -31,6 +31,29 @@ type solution = {
   task_flow : Flow.t; (** per edge: tasks per time unit = s_ij / c_ij *)
 }
 
+type budget =
+  | Fixed of int
+      (** hard per-reconstruction cap on incremental-repair work before
+          the certified cold fallback (the integer handed down to
+          {!Reconstruct}'s [?budget]) *)
+  | Adaptive of adaptive
+      (** per-solve cap scaled on the instance's standard-form row count
+          and boosted while recent solves keep exceeding it — create
+          with {!adaptive_budget} and thread the {e same} value through
+          successive solves so the controller sees the history *)
+
+and adaptive
+(** Mutable controller state of an {!Adaptive} budget: an exponential
+    boost level raised on every solve whose repairs blew the cap
+    (observed through [Lp.Stats.repairs_budget_exceeded] deltas — on the
+    caller's [?stats] when given, on an internal probe otherwise) and
+    decayed after a streak of within-cap solves.  Budgets of either
+    shape are result-neutral: the cold fallback is certified, so
+    adaptivity tunes time, never answers. *)
+
+val adaptive_budget : unit -> budget
+(** A fresh {!Adaptive} budget at boost level 0. *)
+
 val build_lp :
   Platform.t ->
   master:Platform.node ->
@@ -49,7 +72,7 @@ val solve :
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   ?recon:Reconstruct.Warm.t ->
-  ?budget:int ->
+  ?budget:budget ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -65,8 +88,10 @@ val solve :
     [schedule ?recon] repairs the previous slots.  [?budget] bounds the
     incremental-repair work before certified cold fallbacks take over
     ({!Reconstruct.cancel}'s and {!Reconstruct.reconstruct}'s
-    [?budget]).  [?stats] accumulates exact pivot/refactorisation
-    counts and reconstruction effort.
+    [?budget]): {!Fixed} passes the cap through verbatim, {!Adaptive}
+    resolves it per solve from the instance size and the recent
+    exceeded history.  [?stats] accumulates exact
+    pivot/refactorisation counts and reconstruction effort.
     @raise Failure if the LP is somehow not optimal (cannot happen on a
     valid platform: the zero schedule is feasible and throughput is
     bounded). *)
@@ -78,7 +103,7 @@ val try_solve :
   ?warm:Lp.Warm.t ->
   ?cache:Lp.Cache.t ->
   ?recon:Reconstruct.Warm.t ->
-  ?budget:int ->
+  ?budget:budget ->
   ?stats:Lp.Stats.t ->
   Platform.t ->
   master:Platform.node ->
@@ -130,7 +155,7 @@ val solve_reduced :
 val schedule :
   ?recon:Reconstruct.Warm.t ->
   ?strict:bool ->
-  ?budget:int ->
+  ?budget:budget ->
   ?stats:Lp.Stats.t ->
   solution ->
   Schedule.t

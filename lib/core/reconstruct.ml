@@ -191,45 +191,32 @@ module Warm = struct
   end
 end
 
-let note_cycles ?(budget_exceeded = 0) stats fresh =
+let note_cycles stats fresh =
   match stats with
   | None -> ()
   | Some s ->
     Lp.Stats.add_reconstruction s ~cycles_cancelled:fresh
-      ~repairs_budget_exceeded:budget_exceeded ~matchings_repaired:0
-      ~matchings_rebuilt:0 ~slots_reused:0 ()
+      ~repairs_budget_exceeded:0 ~matchings_repaired:0 ~matchings_rebuilt:0
+      ~slots_reused:0 ()
 
-let cancel ?warm ?budget ?stats p f =
+(* No repair budget here, by design: on a cyclic-support flow the delta
+   replay and a cold search cancel different (equally valid)
+   circulations, so a budget-triggered switch between them would change
+   the warm run's answer — budgets steer effort, never results.  The
+   replay prefix a fallback would skip is cheap anyway; the fresh search
+   after it does the real work on heavily perturbed inputs. *)
+let cancel ?warm ?stats p f =
   match warm with
   | None ->
     let c = Flow.cancel_cycles_log p f in
     note_cycles stats c.Flow.fresh;
     c.Flow.cout
   | Some w ->
-    (* the repair budget caps how perturbed an input may be before the
-       log replay is abandoned for a cold (certified-from-scratch)
-       cancellation: a replay over a heavily changed flow re-walks every
-       logged cycle only to cap most of them at zero, and the fresh
-       search afterwards does the real work anyway *)
-    let changed_edges prev =
-      let n = Array.length f in
-      let cnt = ref 0 in
-      for e = 0 to n - 1 do
-        if not (R.equal prev.Flow.cin.(e) f.(e)) then incr cnt
-      done;
-      !cnt
-    in
     let c =
       match w.Warm.cancel with
-      | Some prev when Array.length prev.Flow.cin = P.num_edges p -> (
-        match budget with
-        | Some b when changed_edges prev > b ->
-          w.Warm.misses <- w.Warm.misses + 1;
-          note_cycles ~budget_exceeded:1 stats 0;
-          Flow.cancel_cycles_log p f
-        | _ ->
-          w.Warm.hits <- w.Warm.hits + 1;
-          Flow.cancel_cycles_delta p ~prev f)
+      | Some prev when Array.length prev.Flow.cin = P.num_edges p ->
+        w.Warm.hits <- w.Warm.hits + 1;
+        Flow.cancel_cycles_delta p ~prev f
       | _ ->
         w.Warm.misses <- w.Warm.misses + 1;
         Flow.cancel_cycles_log p f

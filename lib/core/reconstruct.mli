@@ -81,24 +81,24 @@ module Warm : sig
 end
 
 val cancel :
-  ?warm:Warm.t ->
-  ?budget:int ->
-  ?stats:Lp.Stats.t ->
-  Platform.t ->
-  Flow.t ->
-  Flow.t
+  ?warm:Warm.t -> ?stats:Lp.Stats.t -> Platform.t -> Flow.t -> Flow.t
 (** [cancel p f] removes flow cycles like {!Flow.cancel_cycles}, but
     through the warm slot: with previous state present the cancellation
     log is replayed on [f] and only freshly introduced cycles are
     searched for ({!Flow.cancel_cycles_delta}); the new certificate is
-    deposited back into the slot.  [?budget] caps the perturbation the
-    replay will take on: when more than [budget] edges changed flow
-    since the previous certificate, the log is abandoned and the
-    cancellation runs cold (counted into [stats]'
-    [repairs_budget_exceeded]).  Freshly found cycles are counted into
+    deposited back into the slot.  Freshly found cycles are counted into
     [stats]' [cycles_cancelled].  Results are bit-identical to the cold
     path on unchanged flows and acyclic (with balances preserved) on any
-    input. *)
+    input.
+
+    Deliberately {e not} subject to a repair budget: on cyclic-support
+    flows the delta replay and a cold search legitimately cancel
+    different circulations (both valid, different edge values), so a
+    budget-triggered switch between them would change the warm run's
+    answer — and the replay prefix a fallback would skip is the cheap
+    part anyway (the fresh search after it does the real work).  Repair
+    budgets cap the matching/slot layers, where the cold rebuild is
+    certified to reproduce the repaired result. *)
 
 val delays :
   ?warm:Warm.t ->

@@ -18,23 +18,34 @@ let rr = R.of_ints
 
 (* ---- campaign axes ------------------------------------------------- *)
 
-(* The Robust/Static executors are single-hop (master-direct flows), so
-   the shape axis varies star families: slave count, heterogeneity and
-   whether the master computes.  Weights/costs are drawn from the same
-   seeded stream as the fault plan, so every (seed, shape) pair is a
-   different platform. *)
-let shapes = [ "star3"; "star5m"; "star8" ]
+(* The shape axis spans the executor's whole routing range: star
+   families (slave count, heterogeneity, computing master — the
+   single-hop regime), random trees (every delivery is a multi-hop
+   relay chain) and random connected general graphs (cycles, multiple
+   routes between the master and a consumer).  Weights/costs — and for
+   the seeded generators the platform seed itself — are drawn from the
+   same seeded stream as the fault plan, so every (seed, shape) pair is
+   a different platform. *)
+let shapes = [ "star3"; "star5m"; "star8"; "tree6"; "tree9"; "graph8" ]
 
 let make_shape g name =
   let pick_w () = Ext_rat.of_int (1 + Faults.rand_int g 4) in
   let pick_c () = rr (1 + Faults.rand_int g 3) (1 + Faults.rand_int g 2) in
   let slaves k = List.init k (fun _ -> (pick_w (), pick_c ())) in
+  let pseed () = 1 + Faults.rand_int g 1_000_000 in
   match name with
   | "star3" -> Platform_gen.star ~master_weight:Ext_rat.inf ~slaves:(slaves 3) ()
   | "star5m" ->
     (* computing master: master work competes with its own port *)
     Platform_gen.star ~master_weight:(Ext_rat.of_int 2) ~slaves:(slaves 5) ()
   | "star8" -> Platform_gen.star ~master_weight:Ext_rat.inf ~slaves:(slaves 8) ()
+  | "tree6" -> Platform_gen.random_tree ~seed:(pseed ()) ~nodes:6 ()
+  | "tree9" ->
+    (* capped degree: deeper, more path-like — longer relay chains *)
+    Platform_gen.random_tree ~seed:(pseed ()) ~nodes:9 ~max_degree:3 ()
+  | "graph8" ->
+    Platform_gen.random_connected_graph ~seed:(pseed ()) ~nodes:8
+      ~extra_edges:3 ()
   | _ -> invalid_arg "Chaos: unknown shape"
 
 let families =
@@ -156,6 +167,30 @@ let outcome_equal (a : Dy.outcome) (b : Dy.outcome) =
 let check plan what cond violations =
   if not cond then violations := { v_plan = plan; v_what = what } :: !violations
 
+(* ---- crash-recovery scratch space ----------------------------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* scratch base is overridable so CI can point it at a workspace path
+   and upload the kept stores as failure artifacts *)
+let fresh_ckpt_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let base =
+      match Sys.getenv_opt "STEADY_CHAOS_CKPT_DIR" with
+      | Some d -> d
+      | None -> Filename.get_temp_dir_name ()
+    in
+    Filename.concat base
+      (Printf.sprintf "steady-chaos-ckpt-%d-%d" (Unix.getpid ()) !ctr)
+
 let check_accounting plan label (o : Dy.outcome) violations =
   check plan
     (Printf.sprintf "%s: per-phase entries %d <> phases %d" label
@@ -191,7 +226,11 @@ let run_plan ~plan ~g ~family ~shape ~density ~effort ~runs ~violations =
   in
   let robust_w = run ~reuse:true ~stats:effort Dy.Robust in
   let robust_c = run ~reuse:false Dy.Robust in
-  let robust_b = run ~reuse:true ~budget:2 ~stats:effort Dy.Robust in
+  let robust_b = run ~reuse:true ~budget:(Master_slave.Fixed 2) ~stats:effort Dy.Robust in
+  let robust_a =
+    run ~reuse:true ~budget:(Master_slave.adaptive_budget ()) ~stats:effort
+      Dy.Robust
+  in
   let static_w = run ~reuse:true Dy.Static in
   let static_c = run ~reuse:false Dy.Static in
   (* warm, cold and budgeted Robust runs may pick different optimal LP
@@ -202,19 +241,24 @@ let run_plan ~plan ~g ~family ~shape ~density ~effort ~runs ~violations =
      shares the warm run's vertex choices (budgets steer repair effort,
      never results), so those two outcomes must match to the bit. *)
   let cap = capacity_bound p faults in
-  (* Robust must stay within one phase of Static's throughput.  The
-     exact [Robust >= Static] does NOT hold at a finite horizon: the
+  (* Robust must stay within a pipeline's worth of Static's throughput.
+     The exact [Robust >= Static] does NOT hold at a finite horizon: the
      LP extras beyond the static floor are submitted after each
      boundary's floor batch, but the one-port queue is non-preemptive,
      so extras queued at boundary [k] can delay boundary [k+1]'s floor
      deliveries — and the horizon cutoff then strands a sliver of
-     floor supply in flight.  That truncation artefact is bounded by
-     what Static moves in a single phase; in steady state (and in the
+     floor supply in flight.  On a star that truncation artefact is
+     bounded by what Static moves in a single phase; on multi-hop
+     shapes a file crosses up to [depth] links store-and-forward, so
+     up to [depth] phases of floor supply can sit in the relay
+     pipeline when the horizon cuts.  In steady state (and in the
      curated [test_dynamic] scenarios) the exact dominance holds. *)
+  let depth = max 1 (P.depth_from p 0) in
   let slack =
-    List.fold_left
-      (fun a x -> if R.compare x a > 0 then x else a)
-      R.zero static_w.Dy.per_phase
+    R.mul (ri depth)
+      (List.fold_left
+         (fun a x -> if R.compare x a > 0 then x else a)
+         R.zero static_w.Dy.per_phase)
   in
   let static_floor = R.sub static_w.Dy.completed slack in
   List.iter
@@ -235,6 +279,9 @@ let run_plan ~plan ~g ~family ~shape ~density ~effort ~runs ~violations =
   check plan "Robust budgeted <> unbudgeted warm"
     (outcome_equal robust_w robust_b)
     violations;
+  check plan "Robust adaptive-budget <> unbudgeted warm"
+    (outcome_equal robust_w robust_a)
+    violations;
   check plan "Static warm <> cold" (outcome_equal static_w static_c) violations;
   check plan "Static reports losses"
     (losses_equal static_w.Dy.losses Dy.no_losses)
@@ -245,6 +292,48 @@ let run_plan ~plan ~g ~family ~shape ~density ~effort ~runs ~violations =
        (Dy.fault_throughput_bound ~reuse:true sc)
        (Dy.fault_throughput_bound ~reuse:false sc))
     violations;
+  (* crash injection + recovery: kill a checkpointed warm run at a
+     seeded epoch (the halt hook fires exactly where a [kill -9]
+     would land — after that boundary's checkpoint commit), resume
+     from disk, and certify the stitched outcome bit-identical to the
+     uninterrupted warm run above *)
+  let halt = 1 + Faults.rand_int g (phases - 1) in
+  let ckdir = fresh_ckpt_dir () in
+  let checkpoint = { Dy.Checkpoint.dir = ckdir; every = 1 } in
+  let violations_before = List.length !violations in
+  (match
+     ( incr runs;
+       Dy.run ~reuse:true ~checkpoint ~halt_at:halt sc Dy.Robust )
+   with
+  | _ ->
+    check plan
+      (Printf.sprintf "kill@%d: halt hook did not fire" halt)
+      false violations
+  | exception Dy.Checkpoint.Halted h ->
+    check plan
+      (Printf.sprintf "kill@%d: halted at the wrong epoch %d" halt h)
+      (h = halt) violations;
+    incr runs;
+    let resumed, from = Dy.resume ~reuse:true ~checkpoint sc in
+    check plan
+      (Printf.sprintf "kill@%d: resume did not pick up the checkpoint" halt)
+      (from = Some halt) violations;
+    check plan
+      (Printf.sprintf "kill@%d: resumed outcome differs from uninterrupted"
+         halt)
+      (outcome_equal resumed robust_w)
+      violations
+  | exception exn ->
+    check plan
+      ("kill: unexpected exception " ^ Printexc.to_string exn)
+      false violations);
+  (* a failed recovery check keeps its checkpoint store on disk — the
+     exact record that misbehaved is the bug report *)
+  if List.length !violations = violations_before then rm_rf ckdir
+  else
+    check plan
+      ("kill: checkpoint store kept for inspection at " ^ ckdir)
+      false violations;
   let slowdown_only = outage_free faults in
   if slowdown_only then begin
     let reactive = run ~reuse:true ~stats:effort Dy.Reactive in
@@ -276,7 +365,7 @@ let run_plan ~plan ~g ~family ~shape ~density ~effort ~runs ~violations =
   end;
   slowdown_only
 
-let run_campaign ?(smoke = false) ~seed () =
+let run_campaign ?(smoke = false) ?(shapes = shapes) ~seed () =
   let densities = if smoke then [ 4 ] else [ 2; 5; 9 ] in
   let subseeds = if smoke then [ 1 ] else [ 1; 2; 3; 4 ] in
   let plans = ref 0 and runs = ref 0 in

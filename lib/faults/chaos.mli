@@ -29,7 +29,21 @@
       work, per-phase series and loss report — reuse, remapping and
       repair budgets are accelerators, never result changers;
     - loss accounting sums: [timed_out + cancelled = retries + lost]
-      and the fault-blind strategies report {!Dynamic_sched.no_losses}.
+      and the fault-blind strategies report {!Dynamic_sched.no_losses};
+    - crash recovery: per plan, a checkpointed warm Robust run is
+      killed at a seeded epoch ({!Dynamic_sched.Checkpoint.Halted}
+      injection, cadence 1), {!Dynamic_sched.resume} picks the run up
+      from the on-disk record, and the stitched outcome must be
+      bit-identical to the uninterrupted run — with the resume point
+      reported at exactly the kill epoch (a silent cold restart
+      counts as a violation).
+
+    The shape axis spans stars (single-hop deliveries), random trees
+    (every delivery is a store-and-forward relay chain) and random
+    connected general graphs (cycles, multiple master-to-consumer
+    routes); the dominance slack scales with the platform's BFS depth
+    from the master, since a multi-hop pipeline can hold up to [depth]
+    phases of floor supply in flight at the horizon cutoff.
 
     Everything is deterministic in the campaign seed (exact rational
     arithmetic, {!Faults.gen} streams), so a red campaign is a
@@ -55,12 +69,20 @@ type summary = {
           [backoff_time] all get exercised) *)
 }
 
-val run_campaign : ?smoke:bool -> seed:int -> unit -> summary
+val shapes : string list
+(** The default shape axis:
+    [["star3"; "star5m"; "star8"; "tree6"; "tree9"; "graph8"]]. *)
+
+val run_campaign :
+  ?smoke:bool -> ?shapes:string list -> seed:int -> unit -> summary
 (** Run a campaign.  Full mode (default) sweeps 6 fault families × 3
-    densities × 3 star shapes × 4 derived seeds — at least 200 plans;
+    densities × 6 shapes × 4 derived seeds — over 400 plans;
     [~smoke:true] runs the single-density single-seed subset (fast
-    enough for CI).  Never raises: exceptions inside a plan are caught
-    and reported as violations. *)
+    enough for CI).  [?shapes] restricts or reorders the shape axis
+    (e.g. [~shapes:["tree9"; "graph8"]] for a relay-focused sweep);
+    unknown names are reported as violations, not raised.  Never
+    raises: exceptions inside a plan are caught and reported as
+    violations. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Human-readable campaign report (plan counts, effort counters, every

@@ -382,6 +382,117 @@ let remap_basis bs m =
     end
   end
 
+(* --- basis (de)serialisation ---
+
+   Unlike the cache-record basis (which stores only the column indices
+   and rebuilds the layout from the model at decode time), this is a
+   *self-contained* dump: signature, columns and full layout, so a basis
+   can be persisted across processes and re-imported against whatever
+   model the restarted process builds — equal signature imports
+   directly, anything else goes through {!remap_basis}.  Names are
+   length-prefixed, so arbitrary bytes round-trip. *)
+
+let basis_format = "lpbasis 1"
+
+let export_basis bs =
+  let buf = Buffer.create 512 in
+  let int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf '\n'
+  in
+  let str s =
+    int (String.length s);
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf basis_format;
+  Buffer.add_char buf '\n';
+  str bs.bsig;
+  int (Array.length bs.bcols);
+  Array.iter int bs.bcols;
+  int (Array.length bs.blayout.lvars);
+  Array.iter
+    (fun (name, has_lb, has_ub) ->
+      Buffer.add_char buf (if has_lb then 's' else 'f');
+      Buffer.add_char buf (if has_ub then 'u' else '-');
+      Buffer.add_char buf '\n';
+      str name)
+    bs.blayout.lvars;
+  int (Array.length bs.blayout.lcons);
+  Array.iter
+    (fun (name, rel) ->
+      Buffer.add_char buf (match rel with Le -> 'L' | Ge -> 'G' | Eq -> 'E');
+      Buffer.add_char buf '\n';
+      str name)
+    bs.blayout.lcons;
+  Buffer.contents buf
+
+(* [None] on any malformation — truncation, bad counts, trailing bytes.
+   An imported basis is a candidate only: the kernels validate it and
+   fall back to a cold solve, so bad bytes cost time, never answers. *)
+let import_basis raw =
+  let len = String.length raw in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let line () =
+    match String.index_from_opt raw !pos '\n' with
+    | None -> fail ()
+    | Some nl ->
+      let l = String.sub raw !pos (nl - !pos) in
+      pos := nl + 1;
+      l
+  in
+  let int () =
+    match int_of_string_opt (line ()) with Some i -> i | None -> fail ()
+  in
+  let str () =
+    let k = int () in
+    if k < 0 || !pos + k >= len then fail ();
+    let v = String.sub raw !pos k in
+    if raw.[!pos + k] <> '\n' then fail ();
+    pos := !pos + k + 1;
+    v
+  in
+  try
+    if not (String.equal (line ()) basis_format) then fail ();
+    let bsig = str () in
+    let nc = int () in
+    if nc < 0 || nc > 1_000_000 then fail ();
+    let bcols = Array.make nc 0 in
+    for i = 0 to nc - 1 do
+      bcols.(i) <- int ()
+    done;
+    let nv = int () in
+    if nv < 0 || nv > 1_000_000 then fail ();
+    let lvars = Array.make nv ("", false, false) in
+    for i = 0 to nv - 1 do
+      let flags = line () in
+      if String.length flags <> 2 then fail ();
+      let has_lb =
+        match flags.[0] with 's' -> true | 'f' -> false | _ -> fail ()
+      in
+      let has_ub =
+        match flags.[1] with 'u' -> true | '-' -> false | _ -> fail ()
+      in
+      lvars.(i) <- (str (), has_lb, has_ub)
+    done;
+    let nk = int () in
+    if nk < 0 || nk > 1_000_000 then fail ();
+    let lcons = Array.make nk ("", Le) in
+    for i = 0 to nk - 1 do
+      let rel =
+        match line () with
+        | "L" -> Le
+        | "G" -> Ge
+        | "E" -> Eq
+        | _ -> fail ()
+      in
+      lcons.(i) <- (str (), rel)
+    done;
+    if !pos <> len then fail ();
+    Some { bsig; bcols; blayout = { lvars; lcons } }
+  with Exit -> None
+
 module Warm = struct
   type t = {
     mutable basis : basis option;
@@ -392,6 +503,7 @@ module Warm = struct
   let create () = { basis = None; hits = 0; misses = 0 }
   let clear t = t.basis <- None
   let basis t = t.basis
+  let restore t bs = t.basis <- Some bs
   let hits t = t.hits
   let misses t = t.misses
 

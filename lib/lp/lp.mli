@@ -144,6 +144,20 @@ val remap_basis : basis -> model -> basis option
     stale signature; accepted remapped imports are counted in
     [Stats.warm_remapped]. *)
 
+val export_basis : basis -> string
+(** Self-contained textual dump of a basis — signature, basic columns
+    and the full standard-form layout — for persisting warm state
+    across processes (checkpoint records).  Round-trips exactly through
+    {!import_basis}. *)
+
+val import_basis : string -> basis option
+(** Parse a basis previously written by {!export_basis}; [None] on any
+    malformation (truncation, version skew, trailing bytes).  The
+    result is a candidate only: hand it to a warm slot via
+    {!Warm.restore} and the kernels validate the import on the next
+    {!solve}, falling back to a cold solve — bad bytes can cost time,
+    never change an answer. *)
+
 module Warm : sig
   (** A mutable warm-start slot.  Pass the same slot to successive
       {!solve} calls on structurally identical models: each optimal
@@ -161,6 +175,12 @@ module Warm : sig
   val clear : t -> unit
   val basis : t -> basis option
   (** Basis deposited by the last optimal solve, if any. *)
+
+  val restore : t -> basis -> unit
+  (** Seed the slot with a basis (e.g. one re-imported from a
+      checkpoint via {!import_basis}) as if the last solve had
+      deposited it; the next {!solve} imports it through the usual
+      direct-or-remap path. *)
 
   val hits : t -> int
   (** Optimal solves that ran warm (imported basis accepted, no cold

@@ -74,6 +74,23 @@ let mkdir_p d =
   if not (Sys.is_directory d) then
     raise (Sys_error (d ^ ": not a directory"))
 
+let is_tmp name = String.length name >= 5 && String.sub name 0 5 = ".tmp-"
+
+let tmp_max_age = 600. (* seconds: orphans of crashed writers *)
+
+let sweep_tmp_dir dir now =
+  try
+    Array.iter
+      (fun name ->
+        if is_tmp name then
+          let p = Filename.concat dir name in
+          try
+            if now -. (Unix.stat p).Unix.st_mtime > tmp_max_age then
+              Sys.remove p
+          with _ -> ())
+      (Sys.readdir dir)
+  with _ -> ()
+
 let open_store ?(max_entries = 4096) ?(max_bytes = 64 * 1024 * 1024) d =
   if max_entries <= 0 then
     invalid_arg "Solve_store.open_store: max_entries <= 0";
@@ -81,6 +98,11 @@ let open_store ?(max_entries = 4096) ?(max_bytes = 64 * 1024 * 1024) d =
   let qdir = Filename.concat d "quarantine" in
   mkdir_p d;
   mkdir_p qdir;
+  (* Crashed writers leave .tmp- orphans behind; reclaim them eagerly so
+     a store that is only ever opened (never written) does not leak.
+     [sweep_tmp_dir] swallows every error, preserving the contract that
+     [open_store] raises only when the directory itself is unusable. *)
+  sweep_tmp_dir d (Unix.gettimeofday ());
   { dir = d; qdir; max_entries; max_bytes; tmp_seq = 0;
     hits = 0; misses = 0; stores = 0; evictions = 0; quarantined = 0 }
 
@@ -93,7 +115,6 @@ let record_name key = digest key ^ ".rec"
 let record_path t key = Filename.concat t.dir (record_name key)
 
 let is_record name = Filename.check_suffix name ".rec"
-let is_tmp name = String.length name >= 5 && String.sub name 0 5 = ".tmp-"
 
 (* --- advisory locking --- *)
 
@@ -270,20 +291,7 @@ let bytes t = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 (scan t)
 
 (* --- committing --- *)
 
-let tmp_max_age = 600. (* seconds: orphans of crashed writers *)
-
-let sweep_tmp t now =
-  try
-    Array.iter
-      (fun name ->
-        if is_tmp name then
-          let p = Filename.concat t.dir name in
-          try
-            if now -. (Unix.stat p).Unix.st_mtime > tmp_max_age then
-              Sys.remove p
-          with _ -> ())
-      (Sys.readdir t.dir)
-  with _ -> ()
+let sweep_tmp t now = sweep_tmp_dir t.dir now
 
 (* Oldest-first unlinking until both budgets hold.  Run under the lock:
    two processes sweeping concurrently would double-evict (harmless but

@@ -38,7 +38,11 @@ val open_store : ?max_entries:int -> ?max_bytes:int -> string -> t
 (** [open_store dir] opens (creating it, and its [quarantine/]
     sub-directory, if needed) a store rooted at [dir].  Budgets default
     to 4096 entries / 64 MiB; eviction keeps the store strictly under
-    both.  This is the only function that raises on I/O failure
+    both.  Opening also sweeps tempfiles orphaned by crashed writers
+    (older than the in-flight grace period), so a store that is only
+    ever read still reclaims the debris of past kills; the sweep
+    swallows its own I/O errors.  This is the only function that raises
+    on I/O failure
     ([Sys_error]/[Unix.Unix_error], e.g. an uncreatable directory):
     a store that cannot even be opened should be reported to the user,
     whereas a store that merely goes bad underneath us degrades to

@@ -190,6 +190,71 @@ let random_graph ~seed ~nodes ~extra_edges () =
   done;
   Platform.create ~names ~weights ~edges:(mirror !links)
 
+let random_connected_graph ~seed ~nodes ~extra_edges ?max_degree
+    ?(weight_range = (1, 10)) ?(cost_range = (1, 5)) () =
+  if nodes < 2 then
+    invalid_arg "Platform_gen.random_connected_graph: need >= 2 nodes";
+  if extra_edges < 0 then
+    invalid_arg "Platform_gen.random_connected_graph: extra_edges < 0";
+  (match max_degree with
+  | Some d when d < 2 ->
+    invalid_arg "Platform_gen.random_connected_graph: max_degree < 2"
+  | _ -> ());
+  check_range "random_connected_graph" "weight" weight_range;
+  check_range "random_connected_graph" "cost" cost_range;
+  let st = Random.State.make [| seed; nodes; extra_edges; 53 |] in
+  let wlo, whi = weight_range and clo, chi = cost_range in
+  let names = Array.init nodes (fun i -> Printf.sprintf "P%d" i) in
+  let weights =
+    Array.init nodes (fun _ -> E.of_rat (rand_rat st wlo whi 2))
+  in
+  let deg = Array.make nodes 0 in
+  let seen = Hashtbl.create 64 in
+  let links = ref [] in
+  let add i j =
+    if i <> j && not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      Hashtbl.add seen (j, i) ();
+      deg.(i) <- deg.(i) + 1;
+      deg.(j) <- deg.(j) + 1;
+      links := (i, j, rand_rat st clo chi 2) :: !links;
+      true
+    end
+    else false
+  in
+  (* Spanning tree first (connectivity by construction), then chords.
+     Without [max_degree] the parent draw is [int st child], matching
+     {!random_tree}'s historical stream shape; with it the parent is
+     drawn uniformly from the still-eligible earlier nodes. *)
+  for child = 1 to nodes - 1 do
+    let parent =
+      match max_degree with
+      | None -> Random.State.int st child
+      | Some d -> (
+        let eligible =
+          List.filter (fun j -> deg.(j) < d) (List.init child Fun.id)
+        in
+        match eligible with
+        | [] ->
+          invalid_arg
+            "Platform_gen.random_connected_graph: max_degree leaves no \
+             eligible parent"
+        | l -> List.nth l (Random.State.int st (List.length l)))
+    in
+    ignore (add parent child)
+  done;
+  let under_cap i =
+    match max_degree with None -> true | Some d -> deg.(i) < d
+  in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 50 * (extra_edges + 1) do
+    incr attempts;
+    let i = Random.State.int st nodes and j = Random.State.int st nodes in
+    if under_cap i && under_cap j && add i j then incr added
+  done;
+  Platform.create ~names ~weights ~edges:(mirror !links)
+
 let mesh ~seed ~rows ~cols () =
   if rows < 1 || cols < 1 then invalid_arg "Platform_gen.mesh: bad dims";
   let st = Random.State.make [| seed; rows; cols; 31 |] in

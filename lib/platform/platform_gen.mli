@@ -79,6 +79,33 @@ val random_graph :
     random chords, heterogeneous weights and costs, full duplex.
     Cycles and multiple routes exercise the general-graph code paths. *)
 
+val random_connected_graph :
+  seed:int ->
+  nodes:int ->
+  extra_edges:int ->
+  ?max_degree:int ->
+  ?weight_range:int * int ->
+  ?cost_range:int * int ->
+  unit ->
+  Platform.t
+(** Random connected general graph with controlled heterogeneity: a
+    random spanning tree (connectivity by construction) plus up to
+    [extra_edges] distinct random chords, weights in [weight_range]
+    (default [1, 10]), costs in [cost_range] (default [1, 5]) —
+    rationals with small denominators — full duplex.  [?max_degree]
+    caps every node's physical-link degree (tree link and chords
+    together); chord draws that would exceed a cap are rejected, so
+    fewer than [extra_edges] chords may land.  The random stream is a
+    function of [(seed, nodes, extra_edges)] only and the default
+    stream is independent of the optional arguments' {e presence} — the
+    same stream-stability contract as {!random_tree}: seeded platforms
+    recorded in tests and benches never move when new knobs grow.
+    Unlike the star generators, node 0 ("P0") is an ordinary computing
+    node; chaos campaigns use it as the master.
+    @raise Invalid_argument on [nodes < 2], a negative [extra_edges],
+    an empty/invalid range, [max_degree < 2], or a cap so tight some
+    spanning-tree child has no eligible parent. *)
+
 val mesh : seed:int -> rows:int -> cols:int -> unit -> Platform.t
 (** 2D mesh (grid) of computing nodes with full-duplex nearest-neighbour
     links — the classic regular-topology stress test for the relaying

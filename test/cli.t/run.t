@@ -52,3 +52,23 @@ stderr so stdout stays identical either way:
   cache cachedir: 1 hits (1 from disk), 0 misses, 0 stored, 0 quarantined
 
   $ cmp first.out second.out
+
+The dynamic strategies run under multiplier traces; a checkpointed
+robust run killed mid-flight resumes bit-identically:
+
+  $ steady-cli dynamic demo.platform -m M --phases 4 --cpu-trace A@10=0 --cpu-trace A@20=1 > plain.out
+  $ steady-cli dynamic demo.platform -m M --phases 4 --cpu-trace A@10=0 --cpu-trace A@20=1 --checkpoint-dir ckpt --halt-at 2
+  halted at epoch 2 (checkpoint committed); rerun with --resume to continue
+  $ steady-cli dynamic demo.platform -m M --phases 4 --cpu-trace A@10=0 --cpu-trace A@20=1 --checkpoint-dir ckpt --resume > resumed.out
+  $ head -1 resumed.out
+  resumed from epoch 2
+  $ tail -n +2 resumed.out | cmp plain.out -
+
+Misuse is rejected before any work happens:
+
+  $ steady-cli dynamic demo.platform -m M --resume
+  error: --resume requires --checkpoint-dir
+  [1]
+  $ steady-cli dynamic demo.platform -m M -s static --checkpoint-dir ckpt
+  error: --checkpoint-dir requires the robust strategy
+  [1]

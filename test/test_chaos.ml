@@ -10,9 +10,25 @@ let test_smoke_green () =
     Alcotest.failf "%d violations; first %s: %s"
       (List.length s.Chaos.violations)
       v.Chaos.v_plan v.Chaos.v_what);
-  Alcotest.(check bool) "enough plans" true (s.Chaos.plans >= 18);
+  Alcotest.(check bool) "enough plans" true (s.Chaos.plans >= 36);
   Alcotest.(check bool) "both plan kinds covered" true
     (s.Chaos.outage_plans > 0 && s.Chaos.slowdown_plans > 0)
+
+let test_shape_axis () =
+  (* the shape axis must cover multi-hop platforms, and a restricted
+     relay-only sweep must stay green on its own *)
+  Alcotest.(check bool) "tree and graph shapes in the default axis" true
+    (List.mem "tree9" Chaos.shapes && List.mem "graph8" Chaos.shapes);
+  let s =
+    Chaos.run_campaign ~smoke:true ~shapes:[ "tree6"; "graph8" ] ~seed:11 ()
+  in
+  (match s.Chaos.violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "%d violations; first %s: %s"
+      (List.length s.Chaos.violations)
+      v.Chaos.v_plan v.Chaos.v_what);
+  Alcotest.(check int) "families x shapes plans" 12 s.Chaos.plans
 
 let test_determinism () =
   let a = Chaos.run_campaign ~smoke:true ~seed:7 () in
@@ -45,4 +61,5 @@ let suite =
         test_determinism;
       Alcotest.test_case "effort counters exercised" `Quick
         test_effort_exercised;
+      Alcotest.test_case "multi-hop shape axis" `Quick test_shape_axis;
     ] )

@@ -396,6 +396,104 @@ let prop_trace_agreement =
       R.equal (Dy.multiplier_at trace t)
         (Event_sim.trace_multiplier normalized t))
 
+(* --- multi-hop platforms: deliveries are store-and-forward relays --- *)
+
+let relay_chain () =
+  Platform_gen.chain
+    ~weights:[ Ext_rat.inf; Ext_rat.inf; Ext_rat.of_int 1 ]
+    ~cost:(ri 1) ()
+
+let test_relay_chain_delivery () =
+  (* M -> R -> C with a pure relay in the middle: every task file is
+     store-and-forwarded over two hops before it can compute, so this
+     exercises the path-decomposed executors end to end *)
+  let sc =
+    {
+      Dy.platform = relay_chain ();
+      master = 0;
+      cpu_traces = [];
+      bw_traces = [];
+      phase = ri 10;
+      phases = 4;
+    }
+  in
+  let s = Dy.run sc Dy.Static in
+  let rctv = (Dy.run sc Dy.Reactive).Dy.completed in
+  let o = (Dy.run sc Dy.Oracle).Dy.completed in
+  let rb = (Dy.run sc Dy.Robust).Dy.completed in
+  Alcotest.(check bool) "relayed work lands" true
+    R.Infix.(s.Dy.completed > R.zero);
+  Alcotest.check rat "reactive matches static" s.Dy.completed rctv;
+  Alcotest.check rat "oracle matches static" s.Dy.completed o;
+  Alcotest.check rat "robust matches static" s.Dy.completed rb;
+  Alcotest.(check bool) "within the oracle bound" true
+    R.Infix.(s.Dy.completed <= Dy.oracle_throughput_bound sc);
+  Alcotest.(check int) "one entry per phase" sc.Dy.phases
+    (List.length s.Dy.per_phase);
+  Alcotest.check rat "phases sum to total" s.Dy.completed
+    (R.sum s.Dy.per_phase)
+
+let test_relay_chain_cut_and_recover () =
+  (* the mid-chain link dies and recovers: the robust executor must
+     cancel the hop stranded on it, retry whole paths from the master,
+     and settle the loss accounting exactly *)
+  let p = relay_chain () in
+  let cut =
+    match Platform.find_edge p 1 2 with
+    | Some e -> e
+    | None -> Alcotest.fail "chain edge R->C missing"
+  in
+  let sc =
+    {
+      Dy.platform = p;
+      master = 0;
+      cpu_traces = [];
+      bw_traces = [ (cut, [ (ri 10, R.zero); (ri 30, R.one) ]) ];
+      phase = ri 10;
+      phases = 4;
+    }
+  in
+  let rb = Dy.run sc Dy.Robust in
+  Alcotest.(check bool) "work lands despite the cut" true
+    R.Infix.(rb.Dy.completed > R.zero);
+  let l = rb.Dy.losses in
+  Alcotest.(check bool) "stranded hops were cancelled" true
+    (l.Dy.cancelled_transfers + l.Dy.timed_out_transfers > 0);
+  Alcotest.(check int) "loss accounting settles"
+    (l.Dy.timed_out_transfers + l.Dy.cancelled_transfers)
+    (l.Dy.retries + l.Dy.lost_tasks);
+  Alcotest.(check int) "link recovered" 0 l.Dy.dead_edges;
+  Alcotest.(check int) "no node stays dead" 0 l.Dy.dead_nodes;
+  (* the cut strands the only compute node for phases 1-2: no feasible
+     plan exists there and the run must degrade structurally, not raise *)
+  Alcotest.(check int) "cut phases degrade structurally" 2
+    l.Dy.degraded_phases;
+  Alcotest.check rat "phases sum to total" rb.Dy.completed
+    (R.sum rb.Dy.per_phase)
+
+let test_tree_multihop_stable () =
+  (* on a stable random tree all strategies coincide: re-planning on
+     the truth changes nothing when the truth never changes *)
+  let sc =
+    {
+      Dy.platform = Platform_gen.random_tree ~seed:5 ~nodes:7 ();
+      master = 0;
+      cpu_traces = [];
+      bw_traces = [];
+      phase = ri 8;
+      phases = 5;
+    }
+  in
+  let s = Dy.run sc Dy.Static in
+  let o = (Dy.run sc Dy.Oracle).Dy.completed in
+  let rb = (Dy.run sc Dy.Robust).Dy.completed in
+  Alcotest.(check bool) "tree delivers work" true
+    R.Infix.(s.Dy.completed > R.zero);
+  Alcotest.check rat "oracle matches static" s.Dy.completed o;
+  Alcotest.check rat "robust matches static" s.Dy.completed rb;
+  Alcotest.(check bool) "within the oracle bound" true
+    R.Infix.(s.Dy.completed <= Dy.oracle_throughput_bound sc)
+
 let test_multiplier_edge_cases () =
   (* entries beyond any horizon of interest are legal and inert early *)
   let tr = [ (ri 100, r 1 2) ] in
@@ -434,6 +532,12 @@ let suite =
       Alcotest.test_case "mid-run isolation" `Quick test_mid_run_isolation;
       Alcotest.test_case "surviving platform" `Quick test_surviving_platform;
       Alcotest.test_case "no slave survives" `Quick test_no_slave_survives;
+      Alcotest.test_case "relay chain delivery" `Quick
+        test_relay_chain_delivery;
+      Alcotest.test_case "relay chain cut and recover" `Quick
+        test_relay_chain_cut_and_recover;
+      Alcotest.test_case "tree multi-hop stable" `Quick
+        test_tree_multihop_stable;
       Alcotest.test_case "multiplier edge cases" `Quick
         test_multiplier_edge_cases;
       QCheck_alcotest.to_alcotest prop_trace_agreement;

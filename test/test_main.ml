@@ -30,6 +30,7 @@ let () =
       Test_lu.suite;
       Test_warm.suite;
       Test_store.suite;
+      Test_recovery.suite;
       (* spawns pool domains: must come after the forking store tests *)
       Test_reconstruct.suite;
       Test_pool.suite;

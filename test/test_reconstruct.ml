@@ -352,8 +352,8 @@ let test_budget_certified_fallback () =
   let sol1 = MS.solve ~recon:w ~stats p ~master:0 in
   let _s1 = MS.schedule ~recon:w ~stats sol1 in
   let p2 = scale_edge p 0 (r 99 98) in
-  let sol2 = MS.solve ~recon:w ~budget:0 ~stats p2 ~master:0 in
-  let s2 = MS.schedule ~recon:w ~budget:0 ~stats sol2 in
+  let sol2 = MS.solve ~recon:w ~budget:(MS.Fixed 0) ~stats p2 ~master:0 in
+  let s2 = MS.schedule ~recon:w ~budget:(MS.Fixed 0) ~stats sol2 in
   let cold = MS.schedule (MS.solve p2 ~master:0) in
   Alcotest.check rat "budgeted period = cold" cold.Schedule.period
     s2.Schedule.period;

@@ -1,0 +1,291 @@
+(* Crash recovery: a checkpointed Robust run killed at any epoch must
+   resume bit-identically from the on-disk record, and any damage to
+   that record — truncation, bit flips, version skew, stale tempfiles —
+   must degrade to a cold start that still produces the identical
+   answer.  Recovery may cost time, never answers. *)
+
+module R = Rat
+module Dy = Dynamic_sched
+module MS = Master_slave
+
+let r = R.of_ints
+let ri = R.of_int
+let rat = Alcotest.testable R.pp R.equal
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "steady-recovery-test-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    rm_rf d;
+    d
+
+(* multi-hop churn scenario: a random tree with a link cut, a CPU
+   outage and a slowdown, all with recoveries — every delivery is a
+   store-and-forward relay, so the snapshot carries real multi-hop
+   executor state (arrears, backlog, retries) across the kill *)
+let tree_scenario () =
+  let p = Platform_gen.random_tree ~seed:5 ~nodes:7 () in
+  {
+    Dy.platform = p;
+    master = 0;
+    cpu_traces =
+      [ (3, [ (ri 8, R.zero); (ri 24, R.one) ]); (5, [ (ri 16, r 1 2) ]) ];
+    bw_traces = [ (2, [ (ri 8, R.zero); (ri 32, R.one) ]) ];
+    phase = ri 8;
+    phases = 6;
+  }
+
+(* single-hop star with both a CPU outage and a link cut: the shape the
+   curated dynamic tests pin down, here under the checkpoint machinery *)
+let star_scenario () =
+  let p =
+    Platform_gen.star ~master_weight:(Ext_rat.of_int 2)
+      ~slaves:[ (Ext_rat.of_int 1, ri 1); (Ext_rat.of_int 2, r 3 2) ]
+      ()
+  in
+  {
+    Dy.platform = p;
+    master = 0;
+    cpu_traces = [ (1, [ (ri 8, R.zero); (ri 24, R.one) ]) ];
+    bw_traces = [ (1, [ (ri 16, R.zero) ]) ];
+    phase = ri 8;
+    phases = 6;
+  }
+
+let halt_run ?reuse ~checkpoint ~halt sc =
+  match Dy.run ?reuse ~checkpoint ~halt_at:halt sc Dy.Robust with
+  | _ -> Alcotest.failf "halt hook at epoch %d did not fire" halt
+  | exception Dy.Checkpoint.Halted h ->
+    Alcotest.(check int) "halted at the requested epoch" halt h
+
+let test_resume_every_epoch () =
+  List.iter
+    (fun (label, sc) ->
+      let uninterrupted = Dy.run sc Dy.Robust in
+      for halt = 1 to sc.Dy.phases - 1 do
+        let dir = fresh_dir () in
+        let checkpoint = { Dy.Checkpoint.dir; every = 1 } in
+        halt_run ~checkpoint ~halt sc;
+        let resumed, from = Dy.resume ~checkpoint sc in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: resumed from the kill epoch %d" label halt)
+          (Some halt) from;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: kill at %d is bit-identical" label halt)
+          true
+          (Dy.outcomes_equal uninterrupted resumed);
+        rm_rf dir
+      done)
+    [ ("tree", tree_scenario ()); ("star", star_scenario ()) ]
+
+let test_strict_resume_with_cadence () =
+  (* cadence 2 with a kill at 5: the newest record is epoch 4, so the
+     resume replays 4 epochs and re-executes 4..5 live; strict mode
+     certifies the stitched outcome against a fresh cold-state run *)
+  let sc = tree_scenario () in
+  let dir = fresh_dir () in
+  let checkpoint = { Dy.Checkpoint.dir; every = 2 } in
+  halt_run ~checkpoint ~halt:5 sc;
+  let _, from = Dy.resume ~strict:true ~checkpoint sc in
+  Alcotest.(check (option int))
+    "resumes from the newest cadence-aligned record" (Some 4) from;
+  rm_rf dir
+
+let test_reuse_false_round_trip () =
+  (* checkpointing composes with cold per-phase solves: the record is
+     keyed on the reuse flag, and the resumed cold run is still exact *)
+  let sc = tree_scenario () in
+  let uninterrupted = Dy.run ~reuse:false sc Dy.Robust in
+  let dir = fresh_dir () in
+  let checkpoint = { Dy.Checkpoint.dir; every = 1 } in
+  halt_run ~reuse:false ~checkpoint ~halt:4 sc;
+  let resumed, from = Dy.resume ~reuse:false ~strict:true ~checkpoint sc in
+  Alcotest.(check (option int)) "resumed from the kill epoch" (Some 4) from;
+  Alcotest.(check bool) "cold-mode resume is bit-identical" true
+    (Dy.outcomes_equal uninterrupted resumed);
+  rm_rf dir
+
+let test_reuse_flag_mismatch_cold_starts () =
+  (* a record written under ~reuse:true must be invisible to a
+     ~reuse:false resume: different key, so it is a miss — never a
+     wrong-mode replay *)
+  let sc = star_scenario () in
+  let cold = Dy.run ~reuse:false sc Dy.Robust in
+  let dir = fresh_dir () in
+  let checkpoint = { Dy.Checkpoint.dir; every = 1 } in
+  halt_run ~checkpoint ~halt:3 sc;
+  let resumed, from = Dy.resume ~reuse:false ~checkpoint sc in
+  Alcotest.(check (option int)) "other flag: cold start" None from;
+  Alcotest.(check bool) "cold-run answer" true (Dy.outcomes_equal cold resumed);
+  rm_rf dir
+
+let test_resume_empty_store_cold_starts () =
+  let sc = tree_scenario () in
+  let uninterrupted = Dy.run sc Dy.Robust in
+  let dir = fresh_dir () in
+  let resumed, from =
+    Dy.resume ~strict:true ~checkpoint:{ Dy.Checkpoint.dir; every = 2 } sc
+  in
+  Alcotest.(check (option int)) "nothing to resume" None from;
+  Alcotest.(check bool) "cold start, same answer" true
+    (Dy.outcomes_equal uninterrupted resumed);
+  rm_rf dir
+
+(* record files committed by the store (tempfiles and the quarantine
+   subdirectory excluded) *)
+let data_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         (not (String.length f >= 4 && String.sub f 0 4 = ".tmp"))
+         && not (Sys.is_directory (Filename.concat dir f)))
+
+let mutilate f path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f b);
+  close_out oc
+
+let test_damaged_records_cold_start () =
+  (* kill -9 mid-write leaves truncated bytes; disks flip bits; old
+     binaries leave version-skewed records — all of it must read as a
+     miss (checksum or format rejection), cold start, identical answer *)
+  List.iter
+    (fun (what, mangle) ->
+      let sc = star_scenario () in
+      let uninterrupted = Dy.run sc Dy.Robust in
+      let dir = fresh_dir () in
+      let checkpoint = { Dy.Checkpoint.dir; every = 1 } in
+      halt_run ~checkpoint ~halt:3 sc;
+      let files = data_files dir in
+      Alcotest.(check bool) (what ^ ": records were committed") true
+        (files <> []);
+      List.iter
+        (fun f -> mutilate mangle (Filename.concat dir f))
+        files;
+      let resumed, from = Dy.resume ~checkpoint sc in
+      Alcotest.(check (option int)) (what ^ ": cold start") None from;
+      Alcotest.(check bool) (what ^ ": answer unchanged") true
+        (Dy.outcomes_equal uninterrupted resumed);
+      rm_rf dir)
+    [
+      ("truncated", fun b -> String.sub b 0 (String.length b / 2));
+      ( "bit-flipped",
+        fun b ->
+          let i = String.length b / 2 in
+          String.mapi
+            (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c)
+            b );
+      ("version-skewed", fun b -> "steady-solve-store 999\n" ^ b);
+    ]
+
+let test_orphan_tmp_swept_on_resume () =
+  (* a checkpoint writer killed mid-commit leaves a stale tempfile; the
+     resume's open sweeps it without touching the committed record *)
+  let sc = star_scenario () in
+  let uninterrupted = Dy.run sc Dy.Robust in
+  let dir = fresh_dir () in
+  let checkpoint = { Dy.Checkpoint.dir; every = 1 } in
+  halt_run ~checkpoint ~halt:2 sc;
+  let orphan = Filename.concat dir ".tmp-99999-0-1" in
+  let oc = open_out_bin orphan in
+  output_string oc "partial checkpoint write";
+  close_out oc;
+  let old = Unix.gettimeofday () -. 3600. in
+  Unix.utimes orphan old old;
+  let resumed, from = Dy.resume ~checkpoint sc in
+  Alcotest.(check bool) "stale tempfile swept at open" false
+    (Sys.file_exists orphan);
+  Alcotest.(check (option int)) "record survived the orphan" (Some 2) from;
+  Alcotest.(check bool) "bit-identical" true
+    (Dy.outcomes_equal uninterrupted resumed);
+  rm_rf dir
+
+let test_argument_validation () =
+  let sc = star_scenario () in
+  let checkpoint = { Dy.Checkpoint.dir = fresh_dir (); every = 1 } in
+  let expect_invalid what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "checkpoint on a non-Robust strategy" (fun () ->
+      Dy.run ~checkpoint sc Dy.Static);
+  expect_invalid "halt_at without checkpoint" (fun () ->
+      Dy.run ~halt_at:2 sc Dy.Robust);
+  expect_invalid "cache alongside checkpoint" (fun () ->
+      Dy.run ~cache:(Lp.Cache.create ()) ~checkpoint sc Dy.Robust);
+  expect_invalid "cadence 0" (fun () ->
+      Dy.run
+        ~checkpoint:{ checkpoint with Dy.Checkpoint.every = 0 }
+        sc Dy.Robust)
+
+let test_adaptive_budget_result_neutral () =
+  (* the adaptive repair budget is an accelerator knob: outcomes match
+     the unbudgeted and hard-capped runs to the bit, while the solver
+     actually runs under it *)
+  let sc = tree_scenario () in
+  let plain = Dy.run sc Dy.Robust in
+  let fixed = Dy.run ~budget:(MS.Fixed 0) sc Dy.Robust in
+  let stats = Lp.Stats.create () in
+  let adaptive = Dy.run ~budget:(MS.adaptive_budget ()) ~stats sc Dy.Robust in
+  Alcotest.(check bool) "hard cap 0 is result-neutral" true
+    (Dy.outcomes_equal plain fixed);
+  Alcotest.(check bool) "adaptive budget is result-neutral" true
+    (Dy.outcomes_equal plain adaptive);
+  Alcotest.(check bool) "solver ran under the adaptive budget" true
+    (stats.Lp.Stats.solves > 0)
+
+let test_adaptive_budget_threads_through_solves () =
+  (* one Adaptive value threaded through successive solves (the §5.5
+     usage) stays result-neutral against fresh cold solves while the
+     controller accumulates history *)
+  let b = MS.adaptive_budget () in
+  List.iter
+    (fun seed ->
+      let p = Platform_gen.random_tree ~seed ~nodes:9 () in
+      let budgeted = MS.solve ~budget:b p ~master:0 in
+      let plain = MS.solve p ~master:0 in
+      Alcotest.check rat
+        (Printf.sprintf "seed %d: same throughput" seed)
+        plain.MS.ntask budgeted.MS.ntask)
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  ( "recovery",
+    [
+      Alcotest.test_case "resume at every epoch is bit-identical" `Quick
+        test_resume_every_epoch;
+      Alcotest.test_case "strict resume, cadence > 1" `Quick
+        test_strict_resume_with_cadence;
+      Alcotest.test_case "reuse:false round trip" `Quick
+        test_reuse_false_round_trip;
+      Alcotest.test_case "reuse-flag mismatch cold starts" `Quick
+        test_reuse_flag_mismatch_cold_starts;
+      Alcotest.test_case "empty store cold starts" `Quick
+        test_resume_empty_store_cold_starts;
+      Alcotest.test_case "damaged records cold start" `Quick
+        test_damaged_records_cold_start;
+      Alcotest.test_case "orphan tempfile swept on resume" `Quick
+        test_orphan_tmp_swept_on_resume;
+      Alcotest.test_case "argument validation" `Quick test_argument_validation;
+      Alcotest.test_case "adaptive budget result-neutral" `Quick
+        test_adaptive_budget_result_neutral;
+      Alcotest.test_case "adaptive budget threads through solves" `Quick
+        test_adaptive_budget_threads_through_solves;
+    ] )

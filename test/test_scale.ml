@@ -761,6 +761,68 @@ let test_balanced_tree_shape () =
   let q = Platform_gen.balanced_tree ~seed:4 ~nodes:14 ~arity () in
   Alcotest.(check bool) "deterministic" true (P.equal p q)
 
+let test_connected_graph_generator () =
+  (* the chaos shape axis rests on this generator: deterministic in
+     (seed, nodes, extra_edges), connected by construction, full
+     duplex, and stream-stable as knobs grow *)
+  let p =
+    Platform_gen.random_connected_graph ~seed:9 ~nodes:10 ~extra_edges:4 ()
+  in
+  let q =
+    Platform_gen.random_connected_graph ~seed:9 ~nodes:10 ~extra_edges:4 ()
+  in
+  Alcotest.(check bool) "deterministic" true (P.equal p q);
+  let r =
+    Platform_gen.random_connected_graph ~seed:9 ~nodes:10 ~extra_edges:4
+      ~weight_range:(1, 10) ~cost_range:(1, 5) ()
+  in
+  Alcotest.(check bool) "explicit defaults = historical stream" true
+    (P.equal p r);
+  Alcotest.(check bool) "spanning" true (P.is_spanning_from p 0);
+  Alcotest.(check bool) "at least a spanning tree" true
+    (P.num_edges p >= 2 * 9);
+  List.iter
+    (fun e ->
+      match P.find_edge p (P.edge_dst p e) (P.edge_src p e) with
+      | Some m ->
+        Alcotest.check rat "mirror at the same cost" (P.edge_cost p e)
+          (P.edge_cost p m)
+      | None -> Alcotest.fail "missing mirror link")
+    (P.edges p);
+  List.iter
+    (fun d ->
+      let g =
+        Platform_gen.random_connected_graph ~seed:3 ~nodes:12 ~extra_edges:6
+          ~max_degree:d ()
+      in
+      Alcotest.(check bool) "capped graph still spanning" true
+        (P.is_spanning_from g 0);
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "degree of %d under cap %d" i d)
+            true
+            (List.length (P.out_edges g i) <= d))
+        (P.nodes g))
+    [ 2; 3; 4 ]
+
+let test_connected_graph_reduced_certified () =
+  (* general graphs take solve_reduced's presolved full-LP fallback:
+     certify it bit-for-bit against the monolithic LP, with feasibility
+     checked against the model's own constraints *)
+  List.iter
+    (fun (seed, nodes, extra) ->
+      let p =
+        Platform_gen.random_connected_graph ~seed ~nodes ~extra_edges:extra ()
+      in
+      let full = Master_slave.solve p ~master:0 in
+      let red = Master_slave.solve_reduced p ~master:0 in
+      let name = Printf.sprintf "cgraph seed=%d n=%d" seed nodes in
+      Alcotest.check rat (name ^ " ntask") full.Master_slave.ntask
+        red.Master_slave.ntask;
+      check_ms_solution name p red)
+    [ (1, 6, 3); (7, 8, 3); (11, 10, 5) ]
+
 (* --- stats and hashed cache -------------------------------------------- *)
 
 let test_stats_counting () =
@@ -859,6 +921,10 @@ let suite =
         test_default_stream_unchanged;
       Alcotest.test_case "random_tree: max_degree" `Quick
         test_max_degree_respected;
+      Alcotest.test_case "random_connected_graph: generator" `Quick
+        test_connected_graph_generator;
+      Alcotest.test_case "random_connected_graph: reduced certified" `Quick
+        test_connected_graph_reduced_certified;
       Alcotest.test_case "balanced_tree: shape" `Quick
         test_balanced_tree_shape;
       Alcotest.test_case "stats counting" `Quick test_stats_counting;

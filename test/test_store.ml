@@ -279,6 +279,31 @@ let test_orphan_tmp_is_invisible () =
   Alcotest.(check int) "nothing quarantined" 0 (S.quarantined h2);
   rm_rf dir
 
+let test_open_sweeps_stale_tmp () =
+  (* open_store garbage-collects tempfiles old enough that no live
+     writer can still own them, and leaves recent ones alone (they may
+     belong to a concurrent writer about to rename) *)
+  let dir = fresh_dir () in
+  let h = S.open_store dir in
+  let c = Lp.Cache.create ~disk:h () in
+  check_fig1 "populate" ~cache:c ();
+  let stale = Filename.concat dir ".tmp-99999-0-0" in
+  let recent = Filename.concat dir ".tmp-99999-0-1" in
+  write_file stale "dead writer's leftovers";
+  write_file recent "live writer mid-commit";
+  let old = Unix.gettimeofday () -. 3600. in
+  Unix.utimes stale old old;
+  let h2 = S.open_store dir in
+  Alcotest.(check bool) "stale tempfile swept" false (Sys.file_exists stale);
+  Alcotest.(check bool) "recent tempfile retained" true
+    (Sys.file_exists recent);
+  let c2 = Lp.Cache.create ~disk:h2 () in
+  check_fig1 "record untouched by the sweep" ~cache:c2 ();
+  Alcotest.(check int) "record still served from disk" 1
+    (Lp.Cache.disk_hits c2);
+  Alcotest.(check int) "nothing quarantined" 0 (S.quarantined h2);
+  rm_rf dir
+
 let test_kill_mid_write () =
   let dir = fresh_dir () in
   let expected k = String.make 4096 (Char.chr (Char.code 'a' + (k mod 16))) in
@@ -540,6 +565,8 @@ let suite =
         test_key_echo_rejects_foreign_record;
       Alcotest.test_case "orphan tempfile invisible" `Quick
         test_orphan_tmp_is_invisible;
+      Alcotest.test_case "open sweeps stale tempfiles" `Quick
+        test_open_sweeps_stale_tmp;
       Alcotest.test_case "kill -9 mid-write" `Quick test_kill_mid_write;
       Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
       Alcotest.test_case "disk LRU by entries" `Quick test_disk_lru_entries;
